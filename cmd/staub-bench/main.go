@@ -1,0 +1,155 @@
+// Command staub-bench regenerates the tables and figures of the paper's
+// evaluation section on the synthetic benchmark corpora.
+//
+// Usage:
+//
+//	staub-bench [flags] <experiment>
+//
+// Experiments:
+//
+//	table1    theoretical summary (static)
+//	table2    tractability improvements per logic/profile/mode
+//	table3    geometric-mean speedups with ablations and SLOT
+//	fig2      fixed-width sweep: cost (2a) and verdict drift (2b)
+//	fig7      scatter CSV of original vs final solving time
+//	fig8      termination-prover client analysis
+//	ablation  width-inference ablation summary (subset of table3)
+//	reduce    §6.4 extension: width reduction of wide bitvector corpora
+//	all       every experiment in order (excluding reduce)
+//
+// Flags:
+//
+//	-timeout D    per-solve budget (default 1.5s; the paper's 300s scaled)
+//	-seed N       benchmark generation seed (default 42)
+//	-scale F      scale instance counts by F (default 1.0)
+//	-v            progress output on stderr
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"staub/internal/harness"
+	"staub/internal/termination"
+)
+
+func main() {
+	var (
+		timeout = flag.Duration("timeout", 1500*time.Millisecond, "per-solve budget")
+		seed    = flag.Int64("seed", 42, "benchmark generation seed")
+		scale   = flag.Float64("scale", 1.0, "instance count scale factor")
+		verbose = flag.Bool("v", false, "progress output on stderr")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: staub-bench [flags] table1|table2|table3|fig2|fig7|fig8|ablation|reduce|all")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	opts := harness.Options{
+		Timeout: *timeout,
+		Seed:    *seed,
+		Counts:  scaledCounts(*scale),
+	}
+	if *verbose {
+		opts.Progress = os.Stderr
+	}
+
+	exp := flag.Arg(0)
+	w := os.Stdout
+	switch exp {
+	case "table1":
+		harness.Table1(w)
+	case "table2", "table3", "fig7", "ablation":
+		records := runAll(opts)
+		switch exp {
+		case "table2":
+			harness.Table2(w, records)
+		case "table3":
+			harness.Table3(w, records, opts.Timeout)
+		case "fig7":
+			harness.Figure7CSV(w, records)
+		case "ablation":
+			harness.Table2(w, records)
+			fmt.Fprintln(w)
+			harness.Table3(w, records, opts.Timeout)
+		}
+	case "fig2":
+		points, err := harness.Figure2(opts, nil)
+		if err != nil {
+			fatal(err)
+		}
+		harness.Figure2Print(w, points)
+	case "fig8":
+		runFig8(w, opts)
+	case "reduce":
+		rows, err := harness.ReductionExperiment(opts, nil)
+		if err != nil {
+			fatal(err)
+		}
+		harness.ReductionPrint(w, rows)
+	case "all":
+		harness.Table1(w)
+		fmt.Fprintln(w)
+		points, err := harness.Figure2(opts, nil)
+		if err != nil {
+			fatal(err)
+		}
+		harness.Figure2Print(w, points)
+		fmt.Fprintln(w)
+		records := runAll(opts)
+		harness.Table2(w, records)
+		fmt.Fprintln(w)
+		harness.Table3(w, records, opts.Timeout)
+		fmt.Fprintln(w)
+		fmt.Fprintf(w, "Figure 7 portfolio invariant violations: %d\n", harness.Figure7Check(records))
+		if mean, err := harness.MeanInferredWidth(opts); err == nil && mean > 0 {
+			fmt.Fprintf(w, "Mean inferred bitvector width over integer corpora: %.1f (paper: 13.1)\n", mean)
+		}
+		fmt.Fprintln(w)
+		runFig8(w, opts)
+	default:
+		fatal(fmt.Errorf("unknown experiment %q", exp))
+	}
+}
+
+func runAll(opts harness.Options) map[string][]harness.Record {
+	records, err := harness.Run(opts)
+	if err != nil {
+		fatal(err)
+	}
+	return records
+}
+
+func runFig8(w io.Writer, opts harness.Options) {
+	res, err := termination.RunExperiment(termination.ExperimentOptions{
+		Programs: 97,
+		Seed:     opts.Seed,
+		Timeout:  opts.Timeout,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	res.Print(w)
+}
+
+func scaledCounts(scale float64) map[string]int {
+	base := map[string]int{"QF_NIA": 100, "QF_LIA": 60, "QF_NRA": 48, "QF_LRA": 24}
+	out := map[string]int{}
+	for k, v := range base {
+		n := int(float64(v) * scale)
+		if n < 4 {
+			n = 4
+		}
+		out[k] = n
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "staub-bench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,156 @@
+// Command staub is the STAUB theory-arbitrage tool: it reads an SMT-LIB
+// constraint over the unbounded theories of integers or reals, infers
+// bounds by abstract interpretation, translates the constraint to the
+// bounded theory of bitvectors or floating-point numbers, solves it, and
+// verifies the model against the original (reverting on failure).
+//
+// Usage:
+//
+//	staub [flags] constraint.smt2
+//
+// Flags:
+//
+//	-emit            print the transformed bounded constraint and exit
+//	-width N         use a fixed width instead of abstract interpretation
+//	-timeout D       per-solve budget (default 10s)
+//	-slot            apply SLOT compiler optimizations to the bounded form
+//	-portfolio       race STAUB against the unmodified solver (two cores)
+//	-solver NAME     solver profile: prima (default) or secunda
+//	-stats           print inference and translation statistics
+//	-dimacs          print the CNF of the bit-blasted bounded constraint
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"staub/internal/bitblast"
+	"staub/internal/core"
+	"staub/internal/sat"
+	"staub/internal/slot"
+	"staub/internal/smt"
+	"staub/internal/solver"
+	"staub/internal/status"
+)
+
+func main() {
+	var (
+		emit      = flag.Bool("emit", false, "print the transformed bounded constraint and exit")
+		width     = flag.Int("width", 0, "fixed bit width (0 = infer via abstract interpretation)")
+		timeout   = flag.Duration("timeout", 10*time.Second, "per-solve budget")
+		useSlot   = flag.Bool("slot", false, "apply SLOT optimizations to the bounded constraint")
+		portfolio = flag.Bool("portfolio", false, "race STAUB against the unmodified solver")
+		profile   = flag.String("solver", "prima", "solver profile: prima or secunda")
+		stats     = flag.Bool("stats", false, "print inference and translation statistics")
+		dimacs    = flag.Bool("dimacs", false, "print the CNF of the bit-blasted bounded constraint and exit")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: staub [flags] constraint.smt2")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	c, err := smt.ParseScript(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	prof := solver.Prima
+	if *profile == "secunda" {
+		prof = solver.Secunda
+	}
+	cfg := core.Config{
+		Timeout:    *timeout,
+		FixedWidth: *width,
+		UseSLOT:    *useSlot,
+		Profile:    prof,
+	}
+
+	if *dimacs {
+		tr, _, err := core.Transform(c, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		s := sat.New()
+		bl := bitblast.New(s)
+		if err := bl.Encode(tr.Bounded); err != nil {
+			fatal(err)
+		}
+		if err := s.WriteDIMACS(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if *emit {
+		tr, root, err := core.Transform(c, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		bounded := tr.Bounded
+		if *useSlot {
+			opt, st, err := slot.Optimize(bounded)
+			if err != nil {
+				fatal(err)
+			}
+			bounded = opt
+			if *stats {
+				fmt.Fprintf(os.Stderr, "; SLOT: %d → %d nodes (%d folded, %d identities, %d reduced)\n",
+					st.NodesBefore, st.NodesAfter, st.Folded, st.Identities, st.Reduced)
+			}
+		}
+		if *stats {
+			fmt.Fprintf(os.Stderr, "; inference root = %d, %s\n", root, tr.Stats())
+		}
+		fmt.Print(bounded.Script())
+		return
+	}
+
+	if *portfolio {
+		res := core.RunPortfolio(c, cfg)
+		fmt.Println(res.Status)
+		if res.Status == status.Sat {
+			fmt.Print(solver.FormatModel(c, res.Model))
+		}
+		if *stats {
+			fmt.Fprintf(os.Stderr, "; elapsed=%v from-staub=%t pipeline: %v\n",
+				res.Elapsed.Round(time.Microsecond), res.FromSTAUB, res.Pipeline)
+		}
+		if res.Status == status.Unknown {
+			os.Exit(1)
+		}
+		return
+	}
+
+	res := core.RunPipeline(c, cfg, nil)
+	if *stats {
+		fmt.Fprintf(os.Stderr, "; pipeline: %v\n", res)
+	}
+	switch res.Outcome {
+	case core.OutcomeVerified:
+		fmt.Println("sat")
+		fmt.Print(solver.FormatModel(c, res.Model))
+	default:
+		// STAUB alone concludes nothing on revert; fall back to the
+		// original solver within the remaining budget.
+		fmt.Fprintf(os.Stderr, "; STAUB reverted (%v); solving original constraint\n", res.Outcome)
+		orig := solver.SolveTimeout(c, *timeout, prof)
+		fmt.Println(orig.Status)
+		if orig.Status == status.Sat {
+			fmt.Print(solver.FormatModel(c, orig.Model))
+		}
+		if orig.Status == status.Unknown {
+			os.Exit(1)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "staub:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,70 @@
+package staub_test
+
+import (
+	"fmt"
+	"time"
+
+	"staub"
+)
+
+// ExampleTransform shows the translation step alone: the Figure 1a
+// integer constraint becomes a 12-bit bitvector constraint with overflow
+// guards (Figure 1b of the paper).
+func ExampleTransform() {
+	c, err := staub.ParseScript(`
+		(declare-fun x () Int)
+		(assert (= (* x x) 49))
+		(check-sat)`)
+	if err != nil {
+		panic(err)
+	}
+	tr, root, err := staub.Transform(c, staub.Config{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("inferred width:", root)
+	fmt.Print(tr.Bounded.Script())
+	// Output:
+	// inferred width: 7
+	// (set-logic QF_BV)
+	// (declare-fun x () (_ BitVec 7))
+	// (assert (not (bvsmulo x x)))
+	// (assert (= (bvmul x x) (_ bv49 7)))
+	// (check-sat)
+}
+
+// ExampleRunPipeline runs the full arbitrage pipeline and prints the
+// verified verdict.
+func ExampleRunPipeline() {
+	c, err := staub.ParseScript(`
+		(declare-fun x () Int)
+		(assert (= (* x x) 49))
+		(assert (> x 0))
+		(check-sat)`)
+	if err != nil {
+		panic(err)
+	}
+	res := staub.RunPipeline(c, staub.Config{Timeout: 30 * time.Second})
+	fmt.Println(res.Outcome, res.Status)
+	fmt.Println("x =", res.Model["x"].Int)
+	// Output:
+	// verified sat
+	// x = 7
+}
+
+// ExampleRunPortfolio races STAUB against the plain unbounded solver; the
+// verdict is definitive either way.
+func ExampleRunPortfolio() {
+	c, err := staub.ParseScript(`
+		(declare-fun x () Int)
+		(assert (> x 5))
+		(assert (< x 5))
+		(check-sat)`)
+	if err != nil {
+		panic(err)
+	}
+	res := staub.RunPortfolio(c, staub.Config{Timeout: 5 * time.Second})
+	fmt.Println(res.Status)
+	// Output:
+	// unsat
+}

@@ -1,0 +1,3 @@
+module staub
+
+go 1.22

@@ -1,0 +1,128 @@
+// Package absint implements STAUB's bound inference (Section 4.2 of the
+// paper) as an abstract interpretation over constraint syntax DAGs.
+//
+// For integer constraints the abstract domain is the set of bit widths: an
+// abstract value a represents every integer representable in a bits of
+// two's complement. For real constraints the domain is pairs (m, p) of
+// magnitude bits and binary precision (fractional bits), with p possibly
+// infinite; (m, p) represents every dyadic rational v with |v| < 2^(m-1)
+// and 2^p * v integral.
+//
+// Both domains form Galois connections with the concrete powerset domains
+// (Lemmas 4.3 and 4.4); the Alpha/Gamma functions here exist chiefly so
+// the property-based tests can check the connection laws, while inference
+// itself runs the abstract transfer functions of Figure 5 over the DAG.
+package absint
+
+import (
+	"math/big"
+
+	"staub/internal/smt"
+)
+
+// AlphaInt is the integer abstraction function α_i: it returns the width
+// needed to represent every integer in vals in two's complement (one sign
+// bit beyond the magnitude). The empty set abstracts to width 1.
+func AlphaInt(vals []*big.Int) int {
+	w := 1
+	for _, v := range vals {
+		if b := v.BitLen() + 1; b > w {
+			w = b
+		}
+	}
+	return w
+}
+
+// GammaInt is the integer concretization function γ_i: it returns the
+// inclusive interval [-2^(a-1), 2^(a-1)-1] of integers representable in a
+// bits.
+func GammaInt(a int) (lo, hi *big.Int) {
+	lo = new(big.Int).Neg(new(big.Int).Lsh(big.NewInt(1), uint(a-1)))
+	hi = new(big.Int).Sub(new(big.Int).Lsh(big.NewInt(1), uint(a-1)), big.NewInt(1))
+	return lo, hi
+}
+
+// InGammaInt reports whether v is representable in a bits.
+func InGammaInt(v *big.Int, a int) bool {
+	lo, hi := GammaInt(a)
+	return v.Cmp(lo) >= 0 && v.Cmp(hi) <= 0
+}
+
+// MP is an abstract value of the real domain: M magnitude bits and P
+// binary fractional digits; PInf marks infinite precision (irrational or
+// unbounded-precision values).
+type MP struct {
+	M    int
+	P    int
+	PInf bool
+}
+
+// Leq reports whether a ⊑ b in the (non-lexicographic) partial order of
+// Equation 3: both components must be no greater.
+func (a MP) Leq(b MP) bool {
+	if a.M > b.M {
+		return false
+	}
+	if b.PInf {
+		return true
+	}
+	if a.PInf {
+		return false
+	}
+	return a.P <= b.P
+}
+
+// Join returns the least upper bound of a and b.
+func (a MP) Join(b MP) MP {
+	out := MP{M: max(a.M, b.M)}
+	if a.PInf || b.PInf {
+		out.PInf = true
+	} else {
+		out.P = max(a.P, b.P)
+	}
+	return out
+}
+
+// addP returns the precision sum, saturating at infinity.
+func addP(a, b MP) (p int, inf bool) {
+	if a.PInf || b.PInf {
+		return 0, true
+	}
+	return a.P + b.P, false
+}
+
+// AlphaReal is the real abstraction function α_r over a finite set of
+// rationals: the magnitude component covers the largest ceil-magnitude and
+// the precision component is the largest dig(c), infinite if any value is
+// not a dyadic rational.
+func AlphaReal(vals []*big.Rat) MP {
+	out := MP{M: 1}
+	for _, v := range vals {
+		m := smt.CeilAbsBits(v) + 1
+		if m > out.M {
+			out.M = m
+		}
+		d, ok := smt.DigBits(v)
+		if !ok {
+			out.PInf = true
+		} else if !out.PInf && d > out.P {
+			out.P = d
+		}
+	}
+	return out
+}
+
+// InGammaReal reports whether v is in γ_r((m, p)): within magnitude range
+// and with 2^p * v integral (any precision if PInf).
+func InGammaReal(v *big.Rat, a MP) bool {
+	lo, hi := GammaInt(a.M)
+	loR, hiR := new(big.Rat).SetInt(lo), new(big.Rat).SetInt(hi)
+	if v.Cmp(loR) < 0 || v.Cmp(hiR) > 0 {
+		return false
+	}
+	if a.PInf {
+		return true
+	}
+	d, ok := smt.DigBits(v)
+	return ok && d <= a.P
+}

@@ -1,0 +1,84 @@
+// Package benchgen generates the synthetic benchmark corpora standing in
+// for the SMT-LIB suites the paper evaluates on (QF_NIA, QF_LIA, QF_LRA,
+// QF_NRA). Every family is modeled on a dominant family of the real suite
+// and seeded deterministically, so the experiment harness is reproducible.
+//
+// The families are designed to reproduce the *population structure* the
+// paper's numbers depend on rather than individual instances: a sat/unsat
+// mix, a heavy tail of hard nonlinear-integer instances whose solutions
+// are large, mostly-easy linear-real instances, and real-arithmetic
+// instances whose solutions need high precision (driving floating-point
+// semantic differences).
+package benchgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"staub/internal/smt"
+)
+
+// Instance is one generated benchmark constraint.
+type Instance struct {
+	// Name identifies the instance (family + index).
+	Name string
+	// Logic is the SMT-LIB logic (QF_NIA, QF_LIA, QF_LRA, QF_NRA).
+	Logic string
+	// Family is the generator family.
+	Family string
+	// Constraint is the generated constraint.
+	Constraint *smt.Constraint
+	// PlantedSat reports whether a satisfying assignment was planted
+	// (instances without a planted model may still be satisfiable).
+	PlantedSat bool
+}
+
+// Suite generates n instances of the given logic from the seed. The
+// family mix is fixed per logic.
+func Suite(logic string, n int, seed int64) ([]Instance, error) {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Instance, 0, n)
+	for i := 0; i < n; i++ {
+		var inst Instance
+		var err error
+		switch logic {
+		case "QF_NIA":
+			inst, err = niaInstance(rng, i)
+		case "QF_LIA":
+			inst, err = liaInstance(rng, i)
+		case "QF_LRA":
+			inst, err = lraInstance(rng, i)
+		case "QF_NRA":
+			inst, err = nraInstance(rng, i)
+		default:
+			return nil, fmt.Errorf("benchgen: unknown logic %q", logic)
+		}
+		if err != nil {
+			return nil, err
+		}
+		inst.Logic = logic
+		out = append(out, inst)
+	}
+	return out, nil
+}
+
+// Logics lists the supported logics in the paper's order.
+func Logics() []string { return []string{"QF_NIA", "QF_LIA", "QF_NRA", "QF_LRA"} }
+
+// pick returns a weighted choice index: weights need not sum to 100.
+func pick(rng *rand.Rand, weights []int) int {
+	total := 0
+	for _, w := range weights {
+		total += w
+	}
+	r := rng.Intn(total)
+	for i, w := range weights {
+		if r < w {
+			return i
+		}
+		r -= w
+	}
+	return len(weights) - 1
+}
+
+var varNames = []string{"a", "b", "c", "d", "e", "f", "g", "h"}

@@ -1,0 +1,152 @@
+package benchgen
+
+import (
+	"testing"
+	"time"
+
+	"staub/internal/eval"
+	"staub/internal/smt"
+	"staub/internal/solver"
+	"staub/internal/status"
+)
+
+func TestSuiteDeterministic(t *testing.T) {
+	for _, logic := range Logics() {
+		a, err := Suite(logic, 20, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Suite(logic, 20, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != 20 || len(b) != 20 {
+			t.Fatalf("%s: sizes %d/%d", logic, len(a), len(b))
+		}
+		for i := range a {
+			if a[i].Constraint.Script() != b[i].Constraint.Script() {
+				t.Fatalf("%s[%d]: same seed, different constraint", logic, i)
+			}
+		}
+		c, err := Suite(logic, 20, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		same := 0
+		for i := range a {
+			if a[i].Constraint.Script() == c[i].Constraint.Script() {
+				same++
+			}
+		}
+		if same == 20 {
+			t.Errorf("%s: different seed produced identical suite", logic)
+		}
+	}
+}
+
+func TestInstancesWellFormed(t *testing.T) {
+	for _, logic := range Logics() {
+		insts, err := Suite(logic, 40, 13)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, inst := range insts {
+			if inst.Logic != logic {
+				t.Errorf("%s: instance logic %q", inst.Name, inst.Logic)
+			}
+			if len(inst.Constraint.Assertions) == 0 {
+				t.Errorf("%s: no assertions", inst.Name)
+			}
+			if len(inst.Constraint.Vars) == 0 {
+				t.Errorf("%s: no variables", inst.Name)
+			}
+			// Scripts must reparse.
+			if _, err := smt.ParseScript(inst.Constraint.Script()); err != nil {
+				t.Errorf("%s: script does not reparse: %v", inst.Name, err)
+			}
+			// Sorts match the logic.
+			wantReal := logic == "QF_LRA" || logic == "QF_NRA"
+			for _, v := range inst.Constraint.Vars {
+				isReal := v.Sort.Kind == smt.KindReal
+				if isReal != wantReal {
+					t.Errorf("%s: variable %s has sort %v in logic %s", inst.Name, v.Name, v.Sort, logic)
+				}
+			}
+		}
+	}
+}
+
+// TestPlantedInstancesAreSat: every instance flagged PlantedSat must be
+// genuinely satisfiable — confirmed by solving with a generous budget or,
+// at minimum, never proved unsat.
+func TestPlantedInstancesAreSat(t *testing.T) {
+	for _, logic := range Logics() {
+		insts, err := Suite(logic, 25, 17)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, inst := range insts {
+			if !inst.PlantedSat {
+				continue
+			}
+			r := solver.SolveTimeout(inst.Constraint, 3*time.Second, solver.Prima)
+			if r.Status == status.Unsat {
+				t.Errorf("%s: planted-sat instance proved unsat:\n%s", inst.Name, inst.Constraint.Script())
+			}
+			if r.Status == status.Sat {
+				ok, err := eval.Constraint(inst.Constraint, r.Model)
+				if err != nil || !ok {
+					t.Errorf("%s: solver model does not verify", inst.Name)
+				}
+			}
+		}
+	}
+}
+
+// TestUnsatFamiliesNeverSat: instances from families constructed to be
+// unsatisfiable must never yield a model.
+func TestUnsatFamiliesNeverSat(t *testing.T) {
+	unsatFamilies := map[string]bool{
+		"lin-conflict": true, "mod4-unsat": true, "sign-unsat": true,
+		"lin-unsat": true, "parity-unsat": true, "lra-unsat": true,
+		"nra-unsat": true,
+	}
+	for _, logic := range Logics() {
+		insts, err := Suite(logic, 60, 19)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, inst := range insts {
+			if !unsatFamilies[inst.Family] {
+				continue
+			}
+			r := solver.SolveTimeout(inst.Constraint, 2*time.Second, solver.Prima)
+			if r.Status == status.Sat {
+				t.Errorf("%s (%s): unsat-by-construction instance solved sat:\n%s",
+					inst.Name, inst.Family, inst.Constraint.Script())
+			}
+		}
+	}
+}
+
+func TestUnknownLogicRejected(t *testing.T) {
+	if _, err := Suite("QF_UFLIA", 5, 1); err == nil {
+		t.Error("expected error for unsupported logic")
+	}
+}
+
+func TestFamilyMixCoverage(t *testing.T) {
+	insts, err := Suite("QF_NIA", 120, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fams := map[string]int{}
+	for _, inst := range insts {
+		fams[inst.Family]++
+	}
+	for _, want := range []string{"cubes", "quad-easy", "quad-hard", "lin-conflict", "mod4-unsat", "sign-unsat"} {
+		if fams[want] == 0 {
+			t.Errorf("family %q absent from a 120-instance suite (mix %v)", want, fams)
+		}
+	}
+}

@@ -1,0 +1,240 @@
+package benchgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"staub/internal/smt"
+)
+
+// liaInstance generates a linear integer instance: random inequality
+// systems (sat and unsat), equality systems, and knapsack-style equalities
+// whose branch-and-bound trees are large.
+func liaInstance(rng *rand.Rand, idx int) (Instance, error) {
+	switch pick(rng, []int{30, 18, 13, 15, 8, 16}) {
+	case 0:
+		return liaSystemSat(rng, idx)
+	case 1:
+		return liaSystemUnsat(rng, idx)
+	case 2:
+		return liaEqualities(rng, idx)
+	case 3:
+		return liaKnapsack(rng, idx)
+	case 4:
+		return liaParity(rng, idx)
+	default:
+		return liaMarketSplit(rng, idx)
+	}
+}
+
+// liaMarketSplit emits market-split-style instances: 0/1 variables under
+// two dense equalities with a planted solution. The rational relaxation is
+// fractional almost everywhere, so branch-and-bound degenerates to an
+// exponential 0/1 enumeration — the classic hard class for
+// relaxation-based LIA engines — while the bit-level search space is tiny.
+func liaMarketSplit(rng *rand.Rand, idx int) (Instance, error) {
+	c := smt.NewConstraint("QF_LIA")
+	b := c.Builder
+	nVars := 8 + rng.Intn(5)
+	vars := make([]*smt.Term, nVars)
+	point := make([]int64, nVars)
+	names := make([]string, nVars)
+	for i := 0; i < nVars; i++ {
+		names[i] = fmt.Sprintf("x%d", i)
+		vars[i] = c.MustDeclare(names[i], smt.IntSort)
+		point[i] = int64(rng.Intn(2))
+		c.MustAssert(b.Ge(vars[i], b.Int(0)))
+		c.MustAssert(b.Le(vars[i], b.Int(1)))
+	}
+	// Half the instances plant a solution; the other half use the classic
+	// b = (Σ a_ij)/2 right-hand sides, which are usually infeasible and
+	// force branch-and-bound to exhaust the 0/1 tree.
+	planted := rng.Intn(2) == 0
+	for k := 0; k < 2; k++ {
+		coeffs := make([]int64, nVars)
+		sum, target := int64(0), int64(0)
+		for i := range coeffs {
+			coeffs[i] = int64(rng.Intn(90) + 10)
+			sum += coeffs[i]
+			target += coeffs[i] * point[i]
+		}
+		if !planted {
+			target = sum / 2
+		}
+		c.MustAssert(b.Eq(linComb(b, vars, coeffs), b.Int(target)))
+	}
+	return Instance{
+		Name:       fmt.Sprintf("market-split-%04d", idx),
+		Family:     "market-split",
+		Constraint: c,
+		PlantedSat: planted,
+	}, nil
+}
+
+// linComb builds sum(coeffs[i] * vars[i]).
+func linComb(b *smt.Builder, vars []*smt.Term, coeffs []int64) *smt.Term {
+	terms := make([]*smt.Term, 0, len(vars))
+	for i, v := range vars {
+		if coeffs[i] == 0 {
+			continue
+		}
+		if coeffs[i] == 1 {
+			terms = append(terms, v)
+		} else {
+			terms = append(terms, b.Mul(b.Int(coeffs[i]), v))
+		}
+	}
+	if len(terms) == 0 {
+		return b.Int(0)
+	}
+	return b.Add(terms...)
+}
+
+// liaSystemSat plants an integer point and emits inequalities it
+// satisfies.
+func liaSystemSat(rng *rand.Rand, idx int) (Instance, error) {
+	c := smt.NewConstraint("QF_LIA")
+	b := c.Builder
+	nVars := 3 + rng.Intn(5)
+	vars := make([]*smt.Term, nVars)
+	point := make([]int64, nVars)
+	for i := range vars {
+		vars[i] = c.MustDeclare(varNames[i], smt.IntSort)
+		point[i] = int64(rng.Intn(41) - 20)
+	}
+	nIneq := 4 + rng.Intn(8)
+	for k := 0; k < nIneq; k++ {
+		coeffs := make([]int64, nVars)
+		val := int64(0)
+		for i := range coeffs {
+			coeffs[i] = int64(rng.Intn(11) - 5)
+			val += coeffs[i] * point[i]
+		}
+		slack := int64(rng.Intn(30))
+		c.MustAssert(b.Le(linComb(b, vars, coeffs), b.Int(val+slack)))
+	}
+	return Instance{
+		Name:       fmt.Sprintf("lin-sat-%04d", idx),
+		Family:     "lin-sat",
+		Constraint: c,
+		PlantedSat: true,
+	}, nil
+}
+
+// liaSystemUnsat emits a random system plus an explicit contradiction on a
+// fresh combination.
+func liaSystemUnsat(rng *rand.Rand, idx int) (Instance, error) {
+	inst, err := liaSystemSat(rng, idx)
+	if err != nil {
+		return inst, err
+	}
+	c := inst.Constraint
+	b := c.Builder
+	nVars := len(c.Vars)
+	coeffs := make([]int64, nVars)
+	for i := range coeffs {
+		coeffs[i] = int64(rng.Intn(7) - 3)
+	}
+	if coeffs[0] == 0 {
+		coeffs[0] = 1
+	}
+	vars := append([]*smt.Term(nil), c.Vars...)
+	k := int64(rng.Intn(100) - 50)
+	lhs := linComb(b, vars, coeffs)
+	c.MustAssert(b.Ge(lhs, b.Int(k+1)))
+	c.MustAssert(b.Le(lhs, b.Int(k)))
+	inst.Name = fmt.Sprintf("lin-unsat-%04d", idx)
+	inst.Family = "lin-unsat"
+	inst.PlantedSat = false
+	return inst, nil
+}
+
+// liaEqualities plants a point and emits equalities pinning combinations
+// of the variables.
+func liaEqualities(rng *rand.Rand, idx int) (Instance, error) {
+	c := smt.NewConstraint("QF_LIA")
+	b := c.Builder
+	nVars := 2 + rng.Intn(4)
+	vars := make([]*smt.Term, nVars)
+	point := make([]int64, nVars)
+	for i := range vars {
+		vars[i] = c.MustDeclare(varNames[i], smt.IntSort)
+		point[i] = int64(rng.Intn(31) - 15)
+	}
+	for k := 0; k < nVars-1; k++ {
+		coeffs := make([]int64, nVars)
+		val := int64(0)
+		for i := range coeffs {
+			coeffs[i] = int64(rng.Intn(9) - 4)
+			val += coeffs[i] * point[i]
+		}
+		c.MustAssert(b.Eq(linComb(b, vars, coeffs), b.Int(val)))
+	}
+	return Instance{
+		Name:       fmt.Sprintf("lin-eq-%04d", idx),
+		Family:     "lin-eq",
+		Constraint: c,
+		PlantedSat: true,
+	}, nil
+}
+
+// liaKnapsack emits c1*x1 + ... + ck*xk = C with non-negative bounded
+// variables and a planted solution; the rational relaxation is highly
+// fractional, so branch-and-bound works hard while the bit-level search
+// is quick — the (small) LIA arbitrage-win class the paper reports.
+func liaKnapsack(rng *rand.Rand, idx int) (Instance, error) {
+	c := smt.NewConstraint("QF_LIA")
+	b := c.Builder
+	nVars := 6 + rng.Intn(3)
+	point := make([]int64, nVars)
+	vars := make([]*smt.Term, nVars)
+	for i := 0; i < nVars; i++ {
+		vars[i] = c.MustDeclare(varNames[i], smt.IntSort)
+		point[i] = int64(rng.Intn(16))
+		c.MustAssert(b.Ge(vars[i], b.Int(0)))
+		c.MustAssert(b.Le(vars[i], b.Int(31)))
+	}
+	// Two simultaneous knapsack equalities sharing the planted point keep
+	// the rational relaxation fractional nearly everywhere, blowing up
+	// branch-and-bound while staying easy at the bit level.
+	for k := 0; k < 2; k++ {
+		coeffs := make([]int64, nVars)
+		target := int64(0)
+		for i := 0; i < nVars; i++ {
+			coeffs[i] = int64(rng.Intn(44) + 17)
+			target += coeffs[i] * point[i]
+		}
+		c.MustAssert(b.Eq(linComb(b, vars, coeffs), b.Int(target)))
+	}
+	return Instance{
+		Name:       fmt.Sprintf("knapsack-%04d", idx),
+		Family:     "knapsack",
+		Constraint: c,
+		PlantedSat: true,
+	}, nil
+}
+
+// liaParity emits an all-even combination equal to an odd constant over
+// bounded variables: unsatisfiable, with a branch-and-bound tree that is
+// exponential for the relaxation-based engine but trivial at the bit
+// level (where STAUB still cannot help, since bounded-unsat reverts).
+func liaParity(rng *rand.Rand, idx int) (Instance, error) {
+	c := smt.NewConstraint("QF_LIA")
+	b := c.Builder
+	nVars := 3 + rng.Intn(3)
+	vars := make([]*smt.Term, nVars)
+	coeffs := make([]int64, nVars)
+	for i := range vars {
+		vars[i] = c.MustDeclare(varNames[i], smt.IntSort)
+		coeffs[i] = int64(2 * (rng.Intn(9) + 1))
+		c.MustAssert(b.Ge(vars[i], b.Int(-15)))
+		c.MustAssert(b.Le(vars[i], b.Int(15)))
+	}
+	target := int64(2*rng.Intn(100) + 1)
+	c.MustAssert(b.Eq(linComb(b, vars, coeffs), b.Int(target)))
+	return Instance{
+		Name:       fmt.Sprintf("parity-unsat-%04d", idx),
+		Family:     "parity-unsat",
+		Constraint: c,
+	}, nil
+}

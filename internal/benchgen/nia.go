@@ -1,0 +1,210 @@
+package benchgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"staub/internal/smt"
+)
+
+// niaInstance generates a nonlinear integer instance. The family mix is
+// modeled on the QF_NIA suite: Diophantine "MathProblems"-style sum-of-
+// cubes probes, planted quadratic systems of varying hardness, and several
+// unsatisfiable shapes with different refutation difficulty.
+func niaInstance(rng *rand.Rand, idx int) (Instance, error) {
+	switch pick(rng, []int{19, 20, 28, 10, 11, 12}) {
+	case 0:
+		return niaCubes(rng, idx)
+	case 1:
+		return niaQuadEasy(rng, idx)
+	case 2:
+		return niaQuadHard(rng, idx)
+	case 3:
+		return niaLinearConflict(rng, idx)
+	case 4:
+		return niaMod4Unsat(rng, idx)
+	default:
+		return niaSignUnsat(rng, idx)
+	}
+}
+
+// niaCubes emits x^3 + y^3 + z^3 = C for random small C, after the
+// MathProblems family the paper's Figure 1 is drawn from. Satisfiability
+// varies with C and is not known a priori.
+func niaCubes(rng *rand.Rand, idx int) (Instance, error) {
+	c := smt.NewConstraint("QF_NIA")
+	b := c.Builder
+	vars := make([]*smt.Term, 3)
+	for i, n := range []string{"x", "y", "z"} {
+		vars[i] = c.MustDeclare(n, smt.IntSort)
+	}
+	cubes := make([]*smt.Term, 3)
+	for i, v := range vars {
+		cubes[i] = b.Mul(v, v, v)
+	}
+	target := int64(rng.Intn(1500) + 1)
+	c.MustAssert(b.Eq(b.Add(cubes...), b.Int(target)))
+	return Instance{
+		Name:       fmt.Sprintf("cubes-%04d", idx),
+		Family:     "cubes",
+		Constraint: c,
+	}, nil
+}
+
+// plantQuadratic builds a quadratic polynomial over nVars variables with a
+// planted solution of the given coordinate magnitude, asserting the
+// polynomial equals its planted value. Returns the constraint, the
+// planted values, and the polynomial value. The planted value is kept
+// small (|total| <= 2000) so the inferred widths stay in the regime the
+// paper reports (average 13.1 bits); oversized draws are retried with
+// shrinking coordinates.
+func plantQuadratic(rng *rand.Rand, nVars, coordLo, coordHi int) (*smt.Constraint, []int64, int64) {
+	for try := 0; ; try++ {
+		c, vals, total := plantQuadraticOnce(rng, nVars, coordLo, coordHi)
+		if total >= -2000 && total <= 2000 || try >= 8 {
+			return c, vals, total
+		}
+		if coordHi > coordLo+2 {
+			coordHi--
+		}
+	}
+}
+
+func plantQuadraticOnce(rng *rand.Rand, nVars, coordLo, coordHi int) (*smt.Constraint, []int64, int64) {
+	c := smt.NewConstraint("QF_NIA")
+	b := c.Builder
+	vars := make([]*smt.Term, nVars)
+	vals := make([]int64, nVars)
+	for i := 0; i < nVars; i++ {
+		vars[i] = c.MustDeclare(varNames[i], smt.IntSort)
+		mag := int64(coordLo + rng.Intn(coordHi-coordLo+1))
+		if rng.Intn(2) == 0 {
+			mag = -mag
+		}
+		vals[i] = mag
+	}
+	// Square terms for every variable, plus a few cross terms.
+	var terms []*smt.Term
+	total := int64(0)
+	for i, v := range vars {
+		terms = append(terms, b.Mul(v, v))
+		total += vals[i] * vals[i]
+	}
+	nCross := 1 + rng.Intn(nVars)
+	for k := 0; k < nCross; k++ {
+		i := rng.Intn(nVars)
+		j := rng.Intn(nVars)
+		if i == j {
+			j = (j + 1) % nVars
+		}
+		coef := int64(rng.Intn(3) + 1)
+		if rng.Intn(2) == 0 {
+			coef = -coef
+		}
+		terms = append(terms, b.Mul(b.Int(coef), vars[i], vars[j]))
+		total += coef * vals[i] * vals[j]
+	}
+	c.MustAssert(b.Eq(b.Add(terms...), b.Int(total)))
+	return c, vals, total
+}
+
+// niaQuadEasy plants small-coordinate solutions the deepening search finds
+// quickly, populating the no-improvement diagonal of Figure 7.
+func niaQuadEasy(rng *rand.Rand, idx int) (Instance, error) {
+	nVars := 2 + rng.Intn(2)
+	c, _, _ := plantQuadratic(rng, nVars, 1, 6)
+	return Instance{
+		Name:       fmt.Sprintf("quad-easy-%04d", idx),
+		Family:     "quad-easy",
+		Constraint: c,
+		PlantedSat: true,
+	}, nil
+}
+
+// niaQuadHard plants medium-coordinate solutions and adds multi-variable
+// linear bounds near the planted sums. The bounds force every solution to
+// have large coordinates but cannot be absorbed into the enumerator's
+// per-variable box, so the unbounded search is slow while the bounded
+// constraint stays small — the paper's arbitrage-win region.
+func niaQuadHard(rng *rand.Rand, idx int) (Instance, error) {
+	nVars := 4 + rng.Intn(2)
+	c, vals, _ := plantQuadratic(rng, nVars, 12, 20)
+	b := c.Builder
+	// Pairwise sum bounds anchored just below the planted sums force every
+	// solution's coordinates large in each dimension pair.
+	nBounds := nVars / 2
+	for k := 0; k < nBounds && 2*k+1 < nVars; k++ {
+		i, j := 2*k, 2*k+1
+		vi, _ := b.LookupVar(varNames[i])
+		vj, _ := b.LookupVar(varNames[j])
+		sum := vals[i] + vals[j]
+		if sum >= 0 {
+			c.MustAssert(b.Ge(b.Add(vi, vj), b.Int(sum-rng.Int63n(3))))
+		} else {
+			c.MustAssert(b.Le(b.Add(vi, vj), b.Int(sum+rng.Int63n(3))))
+		}
+	}
+	return Instance{
+		Name:       fmt.Sprintf("quad-hard-%04d", idx),
+		Family:     "quad-hard",
+		Constraint: c,
+		PlantedSat: true,
+	}, nil
+}
+
+// niaLinearConflict adds contradictory linear bounds to a quadratic;
+// solvers refute it via their linear core immediately (fast unsat on the
+// diagonal).
+func niaLinearConflict(rng *rand.Rand, idx int) (Instance, error) {
+	nVars := 2 + rng.Intn(3)
+	c, _, _ := plantQuadratic(rng, nVars, 1, 9)
+	b := c.Builder
+	v0, _ := b.LookupVar(varNames[0])
+	v1, _ := b.LookupVar(varNames[rng.Intn(nVars-1)+1])
+	k := int64(rng.Intn(50))
+	c.MustAssert(b.Gt(b.Add(v0, v1), b.Int(k+1)))
+	c.MustAssert(b.Lt(b.Add(v0, v1), b.Int(k)))
+	return Instance{
+		Name:       fmt.Sprintf("lin-conflict-%04d", idx),
+		Family:     "lin-conflict",
+		Constraint: c,
+	}, nil
+}
+
+// niaMod4Unsat emits x^2 + y^2 = C with C ≡ 3 (mod 4), which is
+// unsatisfiable by a parity argument no interval or linear reasoning
+// sees: the unbounded search deepens until timeout, and arbitrage cannot
+// help because the bounded constraint is unsat too (both-timeout mass in
+// Figure 7).
+func niaMod4Unsat(rng *rand.Rand, idx int) (Instance, error) {
+	c := smt.NewConstraint("QF_NIA")
+	b := c.Builder
+	x := c.MustDeclare("x", smt.IntSort)
+	y := c.MustDeclare("y", smt.IntSort)
+	target := int64(4*(rng.Intn(400)+1) + 3)
+	c.MustAssert(b.Eq(b.Add(b.Mul(x, x), b.Mul(y, y)), b.Int(target)))
+	return Instance{
+		Name:       fmt.Sprintf("mod4-unsat-%04d", idx),
+		Family:     "mod4-unsat",
+		Constraint: c,
+	}, nil
+}
+
+// niaSignUnsat emits a sum of squares bounded above by a negative
+// constant, refuted instantly by sign analysis (fast unsat diagonal).
+func niaSignUnsat(rng *rand.Rand, idx int) (Instance, error) {
+	c := smt.NewConstraint("QF_NIA")
+	b := c.Builder
+	nVars := 2 + rng.Intn(3)
+	var terms []*smt.Term
+	for i := 0; i < nVars; i++ {
+		v := c.MustDeclare(varNames[i], smt.IntSort)
+		terms = append(terms, b.Mul(v, v))
+	}
+	c.MustAssert(b.Le(b.Add(terms...), b.Int(-int64(rng.Intn(100)+1))))
+	return Instance{
+		Name:       fmt.Sprintf("sign-unsat-%04d", idx),
+		Family:     "sign-unsat",
+		Constraint: c,
+	}, nil
+}

@@ -1,0 +1,241 @@
+package benchgen
+
+import (
+	"fmt"
+	"math/big"
+	"math/rand"
+
+	"staub/internal/smt"
+)
+
+// lraInstance generates linear real instances. LRA is decidable and fast
+// for simplex-based engines, and the floating-point image of most
+// instances fails verification through rounding — which is exactly why the
+// paper measures no LRA improvement at all. The generator reproduces that
+// population: random inequality systems with rational (often non-dyadic)
+// planted points.
+func lraInstance(rng *rand.Rand, idx int) (Instance, error) {
+	switch pick(rng, []int{45, 30, 25}) {
+	case 0:
+		return lraSystemSat(rng, idx)
+	case 1:
+		return lraSystemUnsat(rng, idx)
+	default:
+		return lraStrictChain(rng, idx)
+	}
+}
+
+// ratPoint returns a random rational with denominator in {1,2,3,4,5,7}.
+func ratPoint(rng *rand.Rand) *big.Rat {
+	dens := []int64{1, 2, 3, 4, 5, 7}
+	return big.NewRat(int64(rng.Intn(61)-30), dens[rng.Intn(len(dens))])
+}
+
+func lraSystemSat(rng *rand.Rand, idx int) (Instance, error) {
+	c := smt.NewConstraint("QF_LRA")
+	b := c.Builder
+	nVars := 2 + rng.Intn(4)
+	vars := make([]*smt.Term, nVars)
+	point := make([]*big.Rat, nVars)
+	for i := range vars {
+		vars[i] = c.MustDeclare(varNames[i], smt.RealSort)
+		point[i] = ratPoint(rng)
+	}
+	nIneq := 3 + rng.Intn(6)
+	for k := 0; k < nIneq; k++ {
+		coeffs := make([]int64, nVars)
+		val := new(big.Rat)
+		for i := range coeffs {
+			coeffs[i] = int64(rng.Intn(9) - 4)
+			val.Add(val, new(big.Rat).Mul(big.NewRat(coeffs[i], 1), point[i]))
+		}
+		slack := big.NewRat(int64(rng.Intn(20)), int64(rng.Intn(3)+1))
+		bound := new(big.Rat).Add(val, slack)
+		terms := make([]*smt.Term, 0, nVars)
+		for i, v := range vars {
+			if coeffs[i] == 0 {
+				continue
+			}
+			terms = append(terms, b.Mul(b.RealRat(big.NewRat(coeffs[i], 1)), v))
+		}
+		if len(terms) == 0 {
+			continue
+		}
+		c.MustAssert(b.Le(b.Add(terms...), b.RealRat(bound)))
+	}
+	return Instance{
+		Name:       fmt.Sprintf("lra-sat-%04d", idx),
+		Family:     "lra-sat",
+		Constraint: c,
+		PlantedSat: true,
+	}, nil
+}
+
+func lraSystemUnsat(rng *rand.Rand, idx int) (Instance, error) {
+	inst, err := lraSystemSat(rng, idx)
+	if err != nil {
+		return inst, err
+	}
+	c := inst.Constraint
+	b := c.Builder
+	v := c.Vars[rng.Intn(len(c.Vars))]
+	k := b.RealRat(ratPoint(rng))
+	c.MustAssert(b.Lt(v, k))
+	c.MustAssert(b.Gt(v, k))
+	inst.Name = fmt.Sprintf("lra-unsat-%04d", idx)
+	inst.Family = "lra-unsat"
+	inst.PlantedSat = false
+	return inst, nil
+}
+
+// lraStrictChain emits a chain a < b < ... < bound requiring δ-rational
+// reasoning; solutions exist but are often non-dyadic midpoints, defeating
+// floating-point verification.
+func lraStrictChain(rng *rand.Rand, idx int) (Instance, error) {
+	c := smt.NewConstraint("QF_LRA")
+	b := c.Builder
+	nVars := 3 + rng.Intn(3)
+	vars := make([]*smt.Term, nVars)
+	for i := range vars {
+		vars[i] = c.MustDeclare(varNames[i], smt.RealSort)
+	}
+	for i := 0; i+1 < nVars; i++ {
+		c.MustAssert(b.Lt(vars[i], vars[i+1]))
+	}
+	lo := ratPoint(rng)
+	hi := new(big.Rat).Add(lo, big.NewRat(int64(rng.Intn(3)+1), 3))
+	c.MustAssert(b.Gt(vars[0], b.RealRat(lo)))
+	c.MustAssert(b.Lt(vars[nVars-1], b.RealRat(hi)))
+	return Instance{
+		Name:       fmt.Sprintf("lra-strict-%04d", idx),
+		Family:     "lra-strict",
+		Constraint: c,
+		PlantedSat: true,
+	}, nil
+}
+
+// nraInstance generates nonlinear real instances: polynomial inequality
+// boxes (easy), precision bands around non-dyadic curves (slow for ICP,
+// occasionally rescued by the bounded FP search), dyadic-root equalities,
+// and sign-refuted unsat shapes.
+func nraInstance(rng *rand.Rand, idx int) (Instance, error) {
+	switch pick(rng, []int{40, 20, 20, 20}) {
+	case 0:
+		return nraIneqBox(rng, idx)
+	case 1:
+		return nraPrecisionBand(rng, idx)
+	case 2:
+		return nraDyadicRoot(rng, idx)
+	default:
+		return nraSignUnsat(rng, idx)
+	}
+}
+
+// nraIneqBox plants a rational point and emits polynomial inequalities
+// with slack around it.
+func nraIneqBox(rng *rand.Rand, idx int) (Instance, error) {
+	c := smt.NewConstraint("QF_NRA")
+	b := c.Builder
+	nVars := 2 + rng.Intn(2)
+	vars := make([]*smt.Term, nVars)
+	point := make([]*big.Rat, nVars)
+	for i := range vars {
+		vars[i] = c.MustDeclare(varNames[i], smt.RealSort)
+		point[i] = big.NewRat(int64(rng.Intn(17)-8), int64(rng.Intn(2)+1))
+	}
+	nIneq := 2 + rng.Intn(3)
+	for k := 0; k < nIneq; k++ {
+		// term: ci * vi * vj (i may equal j) + linear part
+		i := rng.Intn(nVars)
+		j := rng.Intn(nVars)
+		coef := int64(rng.Intn(5) - 2)
+		if coef == 0 {
+			coef = 1
+		}
+		val := new(big.Rat).Mul(point[i], point[j])
+		val.Mul(val, big.NewRat(coef, 1))
+		lin := rng.Intn(nVars)
+		val.Add(val, point[lin])
+		slack := big.NewRat(int64(rng.Intn(12)+1), 2)
+		expr := b.Add(b.Mul(b.RealRat(big.NewRat(coef, 1)), vars[i], vars[j]), vars[lin])
+		c.MustAssert(b.Le(expr, b.RealRat(new(big.Rat).Add(val, slack))))
+	}
+	return Instance{
+		Name:       fmt.Sprintf("nra-box-%04d", idx),
+		Family:     "nra-box",
+		Constraint: c,
+		PlantedSat: true,
+	}, nil
+}
+
+// nraPrecisionBand requires x*x inside a narrow band around a non-square
+// constant: satisfiable with rationals but only at high precision, so the
+// ICP engine splits deeply.
+func nraPrecisionBand(rng *rand.Rand, idx int) (Instance, error) {
+	c := smt.NewConstraint("QF_NRA")
+	b := c.Builder
+	x := c.MustDeclare("x", smt.RealSort)
+	target := int64(rng.Intn(40) + 2)
+	// Keep targets non-square to avoid easy integer roots.
+	for isSquare(target) {
+		target++
+	}
+	denom := int64(1 << (4 + rng.Intn(8)))
+	lo := new(big.Rat).Sub(big.NewRat(target, 1), big.NewRat(1, denom))
+	hi := new(big.Rat).Add(big.NewRat(target, 1), big.NewRat(1, denom))
+	sq := b.Mul(x, x)
+	c.MustAssert(b.Gt(sq, b.RealRat(lo)))
+	c.MustAssert(b.Lt(sq, b.RealRat(hi)))
+	c.MustAssert(b.Gt(x, b.RealRat(new(big.Rat))))
+	return Instance{
+		Name:       fmt.Sprintf("nra-band-%04d", idx),
+		Family:     "nra-band",
+		Constraint: c,
+		PlantedSat: true,
+	}, nil
+}
+
+func isSquare(n int64) bool {
+	for i := int64(0); i*i <= n; i++ {
+		if i*i == n {
+			return true
+		}
+	}
+	return false
+}
+
+// nraDyadicRoot asserts x*x = d^2 for a dyadic d, which both the ICP
+// midpoint probe and the FP search can hit exactly.
+func nraDyadicRoot(rng *rand.Rand, idx int) (Instance, error) {
+	c := smt.NewConstraint("QF_NRA")
+	b := c.Builder
+	x := c.MustDeclare("x", smt.RealSort)
+	d := big.NewRat(int64(rng.Intn(31)+1), int64(1<<rng.Intn(3)))
+	sq := new(big.Rat).Mul(d, d)
+	c.MustAssert(b.Eq(b.Mul(x, x), b.RealRat(sq)))
+	c.MustAssert(b.Gt(x, b.RealRat(new(big.Rat))))
+	return Instance{
+		Name:       fmt.Sprintf("nra-root-%04d", idx),
+		Family:     "nra-root",
+		Constraint: c,
+		PlantedSat: true,
+	}, nil
+}
+
+// nraSignUnsat emits squares below a negative bound (instant refutation).
+func nraSignUnsat(rng *rand.Rand, idx int) (Instance, error) {
+	c := smt.NewConstraint("QF_NRA")
+	b := c.Builder
+	nVars := 1 + rng.Intn(3)
+	var terms []*smt.Term
+	for i := 0; i < nVars; i++ {
+		v := c.MustDeclare(varNames[i], smt.RealSort)
+		terms = append(terms, b.Mul(v, v))
+	}
+	c.MustAssert(b.Lt(b.Add(terms...), b.RealRat(big.NewRat(-int64(rng.Intn(9)+1), 2))))
+	return Instance{
+		Name:       fmt.Sprintf("nra-unsat-%04d", idx),
+		Family:     "nra-unsat",
+		Constraint: c,
+	}, nil
+}

@@ -1,0 +1,791 @@
+// Package bitblast lowers QF_BV constraints to CNF by Tseitin transformation
+// and decides them with package sat — the standard production pipeline for
+// bitvector logics and the reason bounded constraints are cheap to solve,
+// which STAUB's theory arbitrage exploits.
+//
+// Every bitvector term becomes a vector of literals; every boolean term a
+// single literal. Gates perform constant folding against the two constant
+// literals, so constraints with literal-heavy structure shrink during
+// construction.
+package bitblast
+
+import (
+	"fmt"
+	"math/big"
+
+	"staub/internal/bv"
+	"staub/internal/eval"
+	"staub/internal/sat"
+	"staub/internal/smt"
+)
+
+// Blaster holds the encoding state for one constraint.
+type Blaster struct {
+	s     *sat.Solver
+	c     *smt.Constraint
+	bits  map[*smt.Term][]sat.Lit
+	bools map[*smt.Term]sat.Lit
+	tLit  sat.Lit // literal fixed true
+	// prods caches signed full-width products by operand terms so the
+	// bvsmulo overflow guard and the bvmul it protects share one
+	// multiplier circuit.
+	prods map[[2]*smt.Term][]sat.Lit
+}
+
+// New creates a blaster that encodes into the given solver.
+func New(s *sat.Solver) *Blaster {
+	b := &Blaster{
+		s:     s,
+		bits:  map[*smt.Term][]sat.Lit{},
+		bools: map[*smt.Term]sat.Lit{},
+		prods: map[[2]*smt.Term][]sat.Lit{},
+	}
+	t := s.NewVar()
+	b.tLit = sat.PosLit(t)
+	s.AddClause(b.tLit)
+	return b
+}
+
+func (b *Blaster) fLit() sat.Lit { return b.tLit.Not() }
+
+// Encode adds the CNF encoding of every assertion in c to the solver.
+func (b *Blaster) Encode(c *smt.Constraint) error {
+	b.c = c
+	for _, v := range c.Vars {
+		switch v.Sort.Kind {
+		case smt.KindBool:
+			b.bools[v] = b.fresh()
+		case smt.KindBitVec:
+			vec := make([]sat.Lit, v.Sort.Width)
+			for i := range vec {
+				vec[i] = b.fresh()
+			}
+			b.bits[v] = vec
+		default:
+			return fmt.Errorf("bitblast: unsupported variable sort %v", v.Sort)
+		}
+	}
+	for _, a := range c.Assertions {
+		l, err := b.boolTerm(a)
+		if err != nil {
+			return err
+		}
+		b.s.AddClause(l)
+	}
+	return nil
+}
+
+// Solve is a convenience: build a solver, encode, solve, and extract a
+// model on sat.
+func Solve(c *smt.Constraint, configure func(*sat.Solver)) (sat.Status, eval.Assignment, error) {
+	s := sat.New()
+	if configure != nil {
+		configure(s)
+	}
+	bl := New(s)
+	if err := bl.Encode(c); err != nil {
+		return sat.Unknown, nil, err
+	}
+	st := s.Solve()
+	if st != sat.Sat {
+		return st, nil, nil
+	}
+	return st, bl.Model(), nil
+}
+
+// Model extracts the assignment of the encoded constraint's variables
+// after a Sat result.
+func (b *Blaster) Model() eval.Assignment {
+	m := make(eval.Assignment, len(b.c.Vars))
+	for _, v := range b.c.Vars {
+		switch v.Sort.Kind {
+		case smt.KindBool:
+			m[v.Name] = eval.BoolValue(b.litVal(b.bools[v]))
+		case smt.KindBitVec:
+			bitsVal := new(big.Int)
+			for i, l := range b.bits[v] {
+				if b.litVal(l) {
+					bitsVal.SetBit(bitsVal, i, 1)
+				}
+			}
+			m[v.Name] = eval.BVValue(bv.New(v.Sort.Width, bitsVal))
+		}
+	}
+	return m
+}
+
+func (b *Blaster) litVal(l sat.Lit) bool {
+	if l == b.tLit {
+		return true
+	}
+	if l == b.fLit() {
+		return false
+	}
+	return b.s.Value(l.Var()) != l.Sign()
+}
+
+func (b *Blaster) fresh() sat.Lit { return sat.PosLit(b.s.NewVar()) }
+
+// Gate construction with constant folding.
+
+func (b *Blaster) isT(l sat.Lit) bool { return l == b.tLit }
+func (b *Blaster) isF(l sat.Lit) bool { return l == b.fLit() }
+
+func (b *Blaster) and2(x, y sat.Lit) sat.Lit {
+	switch {
+	case b.isF(x) || b.isF(y):
+		return b.fLit()
+	case b.isT(x):
+		return y
+	case b.isT(y):
+		return x
+	case x == y:
+		return x
+	case x == y.Not():
+		return b.fLit()
+	}
+	o := b.fresh()
+	b.s.AddClause(o.Not(), x)
+	b.s.AddClause(o.Not(), y)
+	b.s.AddClause(o, x.Not(), y.Not())
+	return o
+}
+
+func (b *Blaster) or2(x, y sat.Lit) sat.Lit {
+	return b.and2(x.Not(), y.Not()).Not()
+}
+
+func (b *Blaster) xor2(x, y sat.Lit) sat.Lit {
+	switch {
+	case b.isF(x):
+		return y
+	case b.isF(y):
+		return x
+	case b.isT(x):
+		return y.Not()
+	case b.isT(y):
+		return x.Not()
+	case x == y:
+		return b.fLit()
+	case x == y.Not():
+		return b.tLit
+	}
+	o := b.fresh()
+	b.s.AddClause(o.Not(), x, y)
+	b.s.AddClause(o.Not(), x.Not(), y.Not())
+	b.s.AddClause(o, x, y.Not())
+	b.s.AddClause(o, x.Not(), y)
+	return o
+}
+
+func (b *Blaster) eq2(x, y sat.Lit) sat.Lit { return b.xor2(x, y).Not() }
+
+// mux returns s ? x : y.
+func (b *Blaster) mux(s, x, y sat.Lit) sat.Lit {
+	switch {
+	case b.isT(s):
+		return x
+	case b.isF(s):
+		return y
+	case x == y:
+		return x
+	}
+	o := b.fresh()
+	b.s.AddClause(s.Not(), x.Not(), o)
+	b.s.AddClause(s.Not(), x, o.Not())
+	b.s.AddClause(s, y.Not(), o)
+	b.s.AddClause(s, y, o.Not())
+	return o
+}
+
+func (b *Blaster) bigAnd(ls []sat.Lit) sat.Lit {
+	out := b.tLit
+	for _, l := range ls {
+		out = b.and2(out, l)
+	}
+	return out
+}
+
+func (b *Blaster) bigOr(ls []sat.Lit) sat.Lit {
+	out := b.fLit()
+	for _, l := range ls {
+		out = b.or2(out, l)
+	}
+	return out
+}
+
+// fullAdder returns (sum, carry) of x + y + cin.
+func (b *Blaster) fullAdder(x, y, cin sat.Lit) (sum, cout sat.Lit) {
+	sum = b.xor2(b.xor2(x, y), cin)
+	cout = b.or2(b.and2(x, y), b.and2(cin, b.xor2(x, y)))
+	return sum, cout
+}
+
+// addVec returns x + y + cin at the operand width and the carry-out.
+func (b *Blaster) addVec(x, y []sat.Lit, cin sat.Lit) (out []sat.Lit, cout sat.Lit) {
+	out = make([]sat.Lit, len(x))
+	c := cin
+	for i := range x {
+		out[i], c = b.fullAdder(x[i], y[i], c)
+	}
+	return out, c
+}
+
+func (b *Blaster) notVec(x []sat.Lit) []sat.Lit {
+	out := make([]sat.Lit, len(x))
+	for i, l := range x {
+		out[i] = l.Not()
+	}
+	return out
+}
+
+func (b *Blaster) negVec(x []sat.Lit) []sat.Lit {
+	out, _ := b.addVec(b.notVec(x), b.constVec(len(x), big.NewInt(0)), b.tLit)
+	return out
+}
+
+func (b *Blaster) subVec(x, y []sat.Lit) []sat.Lit {
+	out, _ := b.addVec(x, b.notVec(y), b.tLit)
+	return out
+}
+
+func (b *Blaster) constVec(w int, v *big.Int) []sat.Lit {
+	val := bv.New(w, v)
+	out := make([]sat.Lit, w)
+	for i := range out {
+		if val.Bit(i) == 1 {
+			out[i] = b.tLit
+		} else {
+			out[i] = b.fLit()
+		}
+	}
+	return out
+}
+
+func (b *Blaster) muxVec(s sat.Lit, x, y []sat.Lit) []sat.Lit {
+	out := make([]sat.Lit, len(x))
+	for i := range x {
+		out[i] = b.mux(s, x[i], y[i])
+	}
+	return out
+}
+
+// mulVec returns the low len(x) bits of x*y (shift-and-add).
+func (b *Blaster) mulVec(x, y []sat.Lit) []sat.Lit {
+	w := len(x)
+	acc := b.constVec(w, big.NewInt(0))
+	for i := 0; i < w; i++ {
+		// partial = (x << i) & y_i, truncated to w bits
+		partial := make([]sat.Lit, w)
+		for j := 0; j < w; j++ {
+			if j < i {
+				partial[j] = b.fLit()
+			} else {
+				partial[j] = b.and2(x[j-i], y[i])
+			}
+		}
+		acc, _ = b.addVec(acc, partial, b.fLit())
+	}
+	return acc
+}
+
+// eqVec returns a literal that is true iff x == y bitwise.
+func (b *Blaster) eqVec(x, y []sat.Lit) sat.Lit {
+	parts := make([]sat.Lit, len(x))
+	for i := range x {
+		parts[i] = b.eq2(x[i], y[i])
+	}
+	return b.bigAnd(parts)
+}
+
+// ultVec returns a literal for unsigned x < y.
+func (b *Blaster) ultVec(x, y []sat.Lit) sat.Lit {
+	lt := b.fLit()
+	for i := 0; i < len(x); i++ { // LSB to MSB
+		bitLt := b.and2(x[i].Not(), y[i])
+		lt = b.mux(b.eq2(x[i], y[i]), lt, bitLt)
+	}
+	return lt
+}
+
+// sltVec returns a literal for signed x < y (complement the sign bits and
+// compare unsigned).
+func (b *Blaster) sltVec(x, y []sat.Lit) sat.Lit {
+	w := len(x)
+	x2 := make([]sat.Lit, w)
+	y2 := make([]sat.Lit, w)
+	copy(x2, x)
+	copy(y2, y)
+	x2[w-1] = x[w-1].Not()
+	y2[w-1] = y[w-1].Not()
+	return b.ultVec(x2, y2)
+}
+
+// zext zero-extends x to width w.
+func (b *Blaster) zext(x []sat.Lit, w int) []sat.Lit {
+	out := make([]sat.Lit, w)
+	copy(out, x)
+	for i := len(x); i < w; i++ {
+		out[i] = b.fLit()
+	}
+	return out
+}
+
+// sext sign-extends x to width w.
+func (b *Blaster) sext(x []sat.Lit, w int) []sat.Lit {
+	out := make([]sat.Lit, w)
+	copy(out, x)
+	for i := len(x); i < w; i++ {
+		out[i] = x[len(x)-1]
+	}
+	return out
+}
+
+// cachedSignedFull returns the signed full product of the two operand
+// terms, memoized so guard and product share the circuit. The cache is
+// keyed on the unordered operand pair.
+func (b *Blaster) cachedSignedFull(tx, ty *smt.Term, x, y []sat.Lit) []sat.Lit {
+	key := [2]*smt.Term{tx, ty}
+	if tx.ID() > ty.ID() {
+		key = [2]*smt.Term{ty, tx}
+	}
+	if full, ok := b.prods[key]; ok {
+		return full
+	}
+	full := b.mulFull(x, y, true)
+	b.prods[key] = full
+	// Register both argument orders implicitly via the canonical key; the
+	// bvmul lookup canonicalizes the same way.
+	b.prods[[2]*smt.Term{tx, ty}] = full
+	b.prods[[2]*smt.Term{ty, tx}] = full
+	return full
+}
+
+// mulFull returns the full 2w-bit product of sign- or zero-extended
+// operands.
+func (b *Blaster) mulFull(x, y []sat.Lit, signed bool) []sat.Lit {
+	w2 := 2 * len(x)
+	var xe, ye []sat.Lit
+	if signed {
+		xe, ye = b.sext(x, w2), b.sext(y, w2)
+	} else {
+		xe, ye = b.zext(x, w2), b.zext(y, w2)
+	}
+	return b.mulVec(xe, ye)
+}
+
+// imply asserts cond -> l.
+func (b *Blaster) imply(cond, l sat.Lit) {
+	if b.isT(cond) {
+		b.s.AddClause(l)
+		return
+	}
+	if b.isF(cond) {
+		return
+	}
+	b.s.AddClause(cond.Not(), l)
+}
+
+// implyEqVec asserts cond -> (x == y) bitwise.
+func (b *Blaster) implyEqVec(cond sat.Lit, x, y []sat.Lit) {
+	for i := range x {
+		b.imply(cond, b.eq2(x[i], y[i]))
+	}
+}
+
+// udivVec introduces quotient and remainder vectors constrained per
+// SMT-LIB semantics (division by zero yields all-ones quotient and the
+// dividend as remainder).
+func (b *Blaster) udivVec(x, y []sat.Lit) (q, r []sat.Lit) {
+	w := len(x)
+	q = make([]sat.Lit, w)
+	r = make([]sat.Lit, w)
+	for i := range q {
+		q[i] = b.fresh()
+		r[i] = b.fresh()
+	}
+	zero := b.constVec(w, big.NewInt(0))
+	yIsZero := b.eqVec(y, zero)
+
+	// Division case: x == y*q + r (computed at 2w so nothing wraps), r < y.
+	prod := b.mulFull(y, q, false)
+	sum, _ := b.addVec(prod, b.zext(r, 2*w), b.fLit())
+	xw := b.zext(x, 2*w)
+	b.implyEqVec(yIsZero.Not(), sum, xw)
+	b.imply(yIsZero.Not(), b.ultVec(r, y))
+
+	// Zero-divisor case: q = all ones, r = x.
+	ones := b.constVec(w, new(big.Int).Sub(new(big.Int).Lsh(big.NewInt(1), uint(w)), big.NewInt(1)))
+	b.implyEqVec(yIsZero, q, ones)
+	b.implyEqVec(yIsZero, r, x)
+	return q, r
+}
+
+// sdivParts computes signed division via magnitudes, returning quotient
+// and remainder (remainder sign follows the dividend).
+func (b *Blaster) sdivParts(x, y []sat.Lit) (quot, rem []sat.Lit) {
+	w := len(x)
+	negX := x[w-1]
+	negY := y[w-1]
+	absX := b.muxVec(negX, b.negVec(x), x)
+	absY := b.muxVec(negY, b.negVec(y), y)
+	q, r := b.udivVec(absX, absY)
+	quot = b.muxVec(b.xor2(negX, negY), b.negVec(q), q)
+	rem = b.muxVec(negX, b.negVec(r), r)
+	return quot, rem
+}
+
+// shiftVec builds a barrel shifter. dir: 0 = shl, 1 = lshr, 2 = ashr.
+func (b *Blaster) shiftVec(x, amt []sat.Lit, dir int) []sat.Lit {
+	w := len(x)
+	fill := b.fLit()
+	if dir == 2 {
+		fill = x[w-1]
+	}
+	cur := x
+	// Stage shifts for amount bits below the width.
+	for j := 0; (1<<j) < w && j < len(amt); j++ {
+		shifted := make([]sat.Lit, w)
+		k := 1 << j
+		for i := 0; i < w; i++ {
+			var src sat.Lit
+			if dir == 0 { // left
+				if i-k >= 0 {
+					src = cur[i-k]
+				} else {
+					src = b.fLit()
+				}
+			} else { // right
+				if i+k < w {
+					src = cur[i+k]
+				} else {
+					src = fill
+				}
+			}
+			shifted[i] = b.mux(amt[j], src, cur[i])
+		}
+		cur = shifted
+	}
+	// Shift amounts of w or more saturate to the fill value.
+	wConst := b.constVec(len(amt), big.NewInt(int64(w)))
+	over := b.ultVec(amt, wConst).Not()
+	full := make([]sat.Lit, w)
+	for i := range full {
+		full[i] = fill
+	}
+	return b.muxVec(over, full, cur)
+}
+
+// boolTerm encodes a boolean term and returns its literal.
+func (b *Blaster) boolTerm(t *smt.Term) (sat.Lit, error) {
+	if l, ok := b.bools[t]; ok {
+		return l, nil
+	}
+	l, err := b.boolTermUncached(t)
+	if err != nil {
+		return 0, err
+	}
+	b.bools[t] = l
+	return l, nil
+}
+
+func (b *Blaster) boolTermUncached(t *smt.Term) (sat.Lit, error) {
+	switch t.Op {
+	case smt.OpTrue:
+		return b.tLit, nil
+	case smt.OpFalse:
+		return b.fLit(), nil
+	case smt.OpVar:
+		return 0, fmt.Errorf("bitblast: undeclared boolean variable %q", t.Name)
+	case smt.OpNot:
+		l, err := b.boolTerm(t.Args[0])
+		if err != nil {
+			return 0, err
+		}
+		return l.Not(), nil
+	case smt.OpAnd, smt.OpOr, smt.OpXor, smt.OpImplies:
+		ls := make([]sat.Lit, len(t.Args))
+		for i, a := range t.Args {
+			l, err := b.boolTerm(a)
+			if err != nil {
+				return 0, err
+			}
+			ls[i] = l
+		}
+		switch t.Op {
+		case smt.OpAnd:
+			return b.bigAnd(ls), nil
+		case smt.OpOr:
+			return b.bigOr(ls), nil
+		case smt.OpXor:
+			out := ls[0]
+			for _, l := range ls[1:] {
+				out = b.xor2(out, l)
+			}
+			return out, nil
+		default: // implies, right-associative
+			out := ls[len(ls)-1]
+			for i := len(ls) - 2; i >= 0; i-- {
+				out = b.or2(ls[i].Not(), out)
+			}
+			return out, nil
+		}
+	case smt.OpIte:
+		c, err := b.boolTerm(t.Args[0])
+		if err != nil {
+			return 0, err
+		}
+		x, err := b.boolTerm(t.Args[1])
+		if err != nil {
+			return 0, err
+		}
+		y, err := b.boolTerm(t.Args[2])
+		if err != nil {
+			return 0, err
+		}
+		return b.mux(c, x, y), nil
+	case smt.OpEq, smt.OpDistinct:
+		return b.eqDistinct(t)
+	case smt.OpBVSLe, smt.OpBVSLt, smt.OpBVSGe, smt.OpBVSGt,
+		smt.OpBVULe, smt.OpBVULt, smt.OpBVUGe, smt.OpBVUGt:
+		x, err := b.bvTerm(t.Args[0])
+		if err != nil {
+			return 0, err
+		}
+		y, err := b.bvTerm(t.Args[1])
+		if err != nil {
+			return 0, err
+		}
+		switch t.Op {
+		case smt.OpBVSLt:
+			return b.sltVec(x, y), nil
+		case smt.OpBVSGt:
+			return b.sltVec(y, x), nil
+		case smt.OpBVSLe:
+			return b.sltVec(y, x).Not(), nil
+		case smt.OpBVSGe:
+			return b.sltVec(x, y).Not(), nil
+		case smt.OpBVULt:
+			return b.ultVec(x, y), nil
+		case smt.OpBVUGt:
+			return b.ultVec(y, x), nil
+		case smt.OpBVULe:
+			return b.ultVec(y, x).Not(), nil
+		default:
+			return b.ultVec(x, y).Not(), nil
+		}
+	case smt.OpBVNegO, smt.OpBVSAddO, smt.OpBVSSubO, smt.OpBVSMulO, smt.OpBVSDivO:
+		return b.overflow(t)
+	}
+	return 0, fmt.Errorf("bitblast: unsupported boolean operator %v", t.Op)
+}
+
+func (b *Blaster) eqDistinct(t *smt.Term) (sat.Lit, error) {
+	kind := t.Args[0].Sort.Kind
+	argLit := func(i, j int) (sat.Lit, error) {
+		if kind == smt.KindBool {
+			x, err := b.boolTerm(t.Args[i])
+			if err != nil {
+				return 0, err
+			}
+			y, err := b.boolTerm(t.Args[j])
+			if err != nil {
+				return 0, err
+			}
+			return b.eq2(x, y), nil
+		}
+		x, err := b.bvTerm(t.Args[i])
+		if err != nil {
+			return 0, err
+		}
+		y, err := b.bvTerm(t.Args[j])
+		if err != nil {
+			return 0, err
+		}
+		return b.eqVec(x, y), nil
+	}
+	if t.Op == smt.OpEq {
+		var parts []sat.Lit
+		for i := 0; i+1 < len(t.Args); i++ {
+			eq, err := argLit(i, i+1)
+			if err != nil {
+				return 0, err
+			}
+			parts = append(parts, eq)
+		}
+		return b.bigAnd(parts), nil
+	}
+	var parts []sat.Lit
+	for i := range t.Args {
+		for j := i + 1; j < len(t.Args); j++ {
+			eq, err := argLit(i, j)
+			if err != nil {
+				return 0, err
+			}
+			parts = append(parts, eq.Not())
+		}
+	}
+	return b.bigAnd(parts), nil
+}
+
+func (b *Blaster) overflow(t *smt.Term) (sat.Lit, error) {
+	x, err := b.bvTerm(t.Args[0])
+	if err != nil {
+		return 0, err
+	}
+	w := len(x)
+	minVec := b.constVec(w, bv.MinSigned(w))
+	switch t.Op {
+	case smt.OpBVNegO:
+		return b.eqVec(x, minVec), nil
+	}
+	y, err := b.bvTerm(t.Args[1])
+	if err != nil {
+		return 0, err
+	}
+	switch t.Op {
+	case smt.OpBVSAddO:
+		sum, _ := b.addVec(x, y, b.fLit())
+		sameSign := b.eq2(x[w-1], y[w-1])
+		flipped := b.xor2(sum[w-1], x[w-1])
+		return b.and2(sameSign, flipped), nil
+	case smt.OpBVSSubO:
+		diff := b.subVec(x, y)
+		diffSign := b.xor2(x[w-1], y[w-1])
+		flipped := b.xor2(diff[w-1], x[w-1])
+		return b.and2(diffSign, flipped), nil
+	case smt.OpBVSMulO:
+		prod := b.cachedSignedFull(t.Args[0], t.Args[1], x, y)
+		// Overflow iff bits w-1 .. 2w-1 are not all equal (the value does
+		// not fit in w signed bits).
+		ref := prod[w-1]
+		var diffs []sat.Lit
+		for i := w; i < 2*w; i++ {
+			diffs = append(diffs, b.xor2(prod[i], ref))
+		}
+		return b.bigOr(diffs), nil
+	case smt.OpBVSDivO:
+		minusOne := b.constVec(w, big.NewInt(-1))
+		return b.and2(b.eqVec(x, minVec), b.eqVec(y, minusOne)), nil
+	}
+	return 0, fmt.Errorf("bitblast: unsupported overflow predicate %v", t.Op)
+}
+
+// bvTerm encodes a bitvector term into a literal vector.
+func (b *Blaster) bvTerm(t *smt.Term) ([]sat.Lit, error) {
+	if v, ok := b.bits[t]; ok {
+		return v, nil
+	}
+	v, err := b.bvTermUncached(t)
+	if err != nil {
+		return nil, err
+	}
+	b.bits[t] = v
+	return v, nil
+}
+
+func (b *Blaster) bvTermUncached(t *smt.Term) ([]sat.Lit, error) {
+	switch t.Op {
+	case smt.OpBVConst:
+		return b.constVec(t.Sort.Width, t.IntVal), nil
+	case smt.OpVar:
+		return nil, fmt.Errorf("bitblast: undeclared bitvector variable %q", t.Name)
+	case smt.OpIte:
+		c, err := b.boolTerm(t.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		x, err := b.bvTerm(t.Args[1])
+		if err != nil {
+			return nil, err
+		}
+		y, err := b.bvTerm(t.Args[2])
+		if err != nil {
+			return nil, err
+		}
+		return b.muxVec(c, x, y), nil
+	}
+
+	args := make([][]sat.Lit, len(t.Args))
+	for i, a := range t.Args {
+		v, err := b.bvTerm(a)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = v
+	}
+	fold := func(f func(x, y []sat.Lit) []sat.Lit) []sat.Lit {
+		acc := args[0]
+		for _, a := range args[1:] {
+			acc = f(acc, a)
+		}
+		return acc
+	}
+	bitwise := func(g func(x, y sat.Lit) sat.Lit) []sat.Lit {
+		return fold(func(x, y []sat.Lit) []sat.Lit {
+			out := make([]sat.Lit, len(x))
+			for i := range x {
+				out[i] = g(x[i], y[i])
+			}
+			return out
+		})
+	}
+
+	switch t.Op {
+	case smt.OpBVNot:
+		return b.notVec(args[0]), nil
+	case smt.OpBVNeg:
+		return b.negVec(args[0]), nil
+	case smt.OpBVAnd:
+		return bitwise(b.and2), nil
+	case smt.OpBVOr:
+		return bitwise(b.or2), nil
+	case smt.OpBVXor:
+		return bitwise(b.xor2), nil
+	case smt.OpBVAdd:
+		return fold(func(x, y []sat.Lit) []sat.Lit {
+			out, _ := b.addVec(x, y, b.fLit())
+			return out
+		}), nil
+	case smt.OpBVSub:
+		return fold(b.subVec), nil
+	case smt.OpBVMul:
+		if len(t.Args) == 2 {
+			// The truncated product is the low half of the signed full
+			// product, which an overflow guard on the same operands has
+			// typically already built.
+			if full, ok := b.prods[[2]*smt.Term{t.Args[0], t.Args[1]}]; ok {
+				return full[:len(args[0])], nil
+			}
+		}
+		return fold(b.mulVec), nil
+	case smt.OpBVUDiv:
+		q, _ := b.udivVec(args[0], args[1])
+		return q, nil
+	case smt.OpBVURem:
+		_, r := b.udivVec(args[0], args[1])
+		return r, nil
+	case smt.OpBVSDiv:
+		q, _ := b.sdivParts(args[0], args[1])
+		return q, nil
+	case smt.OpBVSRem:
+		_, r := b.sdivParts(args[0], args[1])
+		return r, nil
+	case smt.OpBVSMod:
+		_, r := b.sdivParts(args[0], args[1])
+		w := len(r)
+		zero := b.constVec(w, big.NewInt(0))
+		rZero := b.eqVec(r, zero)
+		signDiff := b.xor2(r[w-1], args[1][w-1])
+		adjusted, _ := b.addVec(r, args[1], b.fLit())
+		cond := b.and2(rZero.Not(), signDiff)
+		return b.muxVec(cond, adjusted, r), nil
+	case smt.OpBVShl:
+		return b.shiftVec(args[0], args[1], 0), nil
+	case smt.OpBVLshr:
+		return b.shiftVec(args[0], args[1], 1), nil
+	case smt.OpBVAshr:
+		return b.shiftVec(args[0], args[1], 2), nil
+	}
+	return nil, fmt.Errorf("bitblast: unsupported bitvector operator %v", t.Op)
+}

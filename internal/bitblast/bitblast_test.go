@@ -1,0 +1,320 @@
+package bitblast
+
+import (
+	"fmt"
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"staub/internal/bv"
+	"staub/internal/eval"
+	"staub/internal/sat"
+	"staub/internal/smt"
+)
+
+// solveConstraint bit-blasts and solves c, returning the status and model.
+func solveConstraint(t *testing.T, c *smt.Constraint) (sat.Status, eval.Assignment) {
+	t.Helper()
+	st, model, err := Solve(c, nil)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	return st, model
+}
+
+// checkModel verifies a sat model against the exact evaluator.
+func checkModel(t *testing.T, c *smt.Constraint, m eval.Assignment) {
+	t.Helper()
+	ok, err := eval.Constraint(c, m)
+	if err != nil {
+		t.Fatalf("eval: %v", err)
+	}
+	if !ok {
+		t.Fatalf("model %v does not satisfy constraint:\n%s", m, c.Script())
+	}
+}
+
+func TestSimpleEquation(t *testing.T) {
+	// x + 3 = 10 over 8-bit vectors.
+	c := smt.NewConstraint("QF_BV")
+	b := c.Builder
+	x := c.MustDeclare("x", smt.BitVecSort(8))
+	c.MustAssert(b.Eq(b.MustApply(smt.OpBVAdd, x, b.BV(big.NewInt(3), 8)), b.BV(big.NewInt(10), 8)))
+	st, m := solveConstraint(t, c)
+	if st != sat.Sat {
+		t.Fatalf("status = %v, want sat", st)
+	}
+	if got := m["x"].BV.Uint().Int64(); got != 7 {
+		t.Errorf("x = %d, want 7", got)
+	}
+}
+
+func TestUnsatEquation(t *testing.T) {
+	// x < 0 && x > 0 signed is unsat.
+	c := smt.NewConstraint("QF_BV")
+	b := c.Builder
+	x := c.MustDeclare("x", smt.BitVecSort(6))
+	zero := b.BV(new(big.Int), 6)
+	c.MustAssert(b.MustApply(smt.OpBVSLt, x, zero))
+	c.MustAssert(b.MustApply(smt.OpBVSGt, x, zero))
+	st, _ := solveConstraint(t, c)
+	if st != sat.Unsat {
+		t.Fatalf("status = %v, want unsat", st)
+	}
+}
+
+func TestSumOfCubes(t *testing.T) {
+	// The paper's Figure 1b: x^3 + y^3 + z^3 = 855 at width 12 with
+	// overflow guards. Known solution: 7^3 + 8^3 + 0^3 = 343+512.
+	c := smt.NewConstraint("QF_BV")
+	b := c.Builder
+	w := 12
+	vars := make([]*smt.Term, 3)
+	for i, n := range []string{"x", "y", "z"} {
+		vars[i] = c.MustDeclare(n, smt.BitVecSort(w))
+	}
+	cubes := make([]*smt.Term, 3)
+	for i, v := range vars {
+		c.MustAssert(b.Not(b.MustApply(smt.OpBVSMulO, v, v)))
+		sq := b.MustApply(smt.OpBVMul, v, v)
+		c.MustAssert(b.Not(b.MustApply(smt.OpBVSMulO, sq, v)))
+		cubes[i] = b.MustApply(smt.OpBVMul, sq, v)
+	}
+	sum01 := b.MustApply(smt.OpBVAdd, cubes[0], cubes[1])
+	c.MustAssert(b.Not(b.MustApply(smt.OpBVSAddO, cubes[0], cubes[1])))
+	c.MustAssert(b.Not(b.MustApply(smt.OpBVSAddO, sum01, cubes[2])))
+	total := b.MustApply(smt.OpBVAdd, sum01, cubes[2])
+	c.MustAssert(b.Eq(total, b.BV(big.NewInt(855), w)))
+
+	st, m := solveConstraint(t, c)
+	if st != sat.Sat {
+		t.Fatalf("status = %v, want sat", st)
+	}
+	checkModel(t, c, m)
+	// Confirm the cubes really sum to 855 over the integers.
+	sum := new(big.Int)
+	for _, n := range []string{"x", "y", "z"} {
+		v := m[n].BV.Int()
+		cube := new(big.Int).Mul(v, v)
+		cube.Mul(cube, v)
+		sum.Add(sum, cube)
+	}
+	if sum.Int64() != 855 {
+		t.Errorf("sum of cubes = %v, want 855 (model %v)", sum, m)
+	}
+}
+
+// TestOpsAgainstConcrete cross-checks each circuit against the bv package
+// semantics: for random constants a, b it asserts x = a OP b and checks
+// the solver agrees with the concrete result.
+func TestOpsAgainstConcrete(t *testing.T) {
+	ops := []smt.Op{
+		smt.OpBVAdd, smt.OpBVSub, smt.OpBVMul, smt.OpBVAnd, smt.OpBVOr,
+		smt.OpBVXor, smt.OpBVUDiv, smt.OpBVURem, smt.OpBVSDiv,
+		smt.OpBVSRem, smt.OpBVSMod, smt.OpBVShl, smt.OpBVLshr, smt.OpBVAshr,
+	}
+	rng := rand.New(rand.NewSource(11))
+	for _, op := range ops {
+		op := op
+		t.Run(op.String(), func(t *testing.T) {
+			for trial := 0; trial < 12; trial++ {
+				w := 3 + rng.Intn(6)
+				av := big.NewInt(int64(rng.Intn(1 << w)))
+				bvv := big.NewInt(int64(rng.Intn(1 << w)))
+				if trial == 0 {
+					bvv = big.NewInt(0) // always cover the zero divisor
+				}
+
+				c := smt.NewConstraint("QF_BV")
+				b := c.Builder
+				x := c.MustDeclare("x", smt.BitVecSort(w))
+				expr := b.MustApply(op, b.BV(av, w), b.BV(bvv, w))
+				c.MustAssert(b.Eq(x, expr))
+
+				st, m := solveConstraint(t, c)
+				if st != sat.Sat {
+					t.Fatalf("w=%d a=%v b=%v: status %v, want sat", w, av, bvv, st)
+				}
+				// The evaluator computes the concrete expected value.
+				want, err := eval.Term(expr, nil)
+				if err != nil {
+					t.Fatalf("eval: %v", err)
+				}
+				if m["x"].BV.Uint().Cmp(want.BV.Uint()) != 0 {
+					t.Errorf("w=%d %v(%v, %v) = %v, want %v", w, op, av, bvv, m["x"].BV, want.BV)
+				}
+			}
+		})
+	}
+}
+
+// TestComparisonsAgainstConcrete checks comparison circuits by asserting
+// the comparison of two constants and matching sat/unsat to the concrete
+// truth value.
+func TestComparisonsAgainstConcrete(t *testing.T) {
+	ops := []smt.Op{
+		smt.OpBVSLt, smt.OpBVSLe, smt.OpBVSGt, smt.OpBVSGe,
+		smt.OpBVULt, smt.OpBVULe, smt.OpBVUGt, smt.OpBVUGe,
+		smt.OpBVSAddO, smt.OpBVSSubO, smt.OpBVSMulO, smt.OpBVSDivO,
+	}
+	rng := rand.New(rand.NewSource(13))
+	for _, op := range ops {
+		op := op
+		t.Run(op.String(), func(t *testing.T) {
+			for trial := 0; trial < 20; trial++ {
+				w := 3 + rng.Intn(5)
+				av := big.NewInt(int64(rng.Intn(1 << w)))
+				bvv := big.NewInt(int64(rng.Intn(1 << w)))
+
+				c := smt.NewConstraint("QF_BV")
+				b := c.Builder
+				pred := b.MustApply(op, b.BV(av, w), b.BV(bvv, w))
+				c.MustAssert(pred)
+
+				want, err := eval.Term(pred, nil)
+				if err != nil {
+					t.Fatalf("eval: %v", err)
+				}
+				st, _ := solveConstraint(t, c)
+				wantSt := sat.Unsat
+				if want.Bool {
+					wantSt = sat.Sat
+				}
+				if st != wantSt {
+					t.Errorf("w=%d %v(%v, %v): status %v, want %v", w, op, av, bvv, st, wantSt)
+				}
+			}
+		})
+	}
+}
+
+// TestRandomConstraintsAgainstEnumeration builds small random constraints
+// over one 4-bit variable and compares solver verdicts with brute force.
+func TestRandomConstraintsAgainstEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	arith := []smt.Op{smt.OpBVAdd, smt.OpBVSub, smt.OpBVMul, smt.OpBVAnd, smt.OpBVOr, smt.OpBVXor}
+	cmps := []smt.Op{smt.OpBVSLt, smt.OpBVULe, smt.OpBVSGe, smt.OpBVUGt}
+	const w = 4
+	for iter := 0; iter < 60; iter++ {
+		c := smt.NewConstraint("QF_BV")
+		b := c.Builder
+		x := c.MustDeclare("x", smt.BitVecSort(w))
+		n := 1 + rng.Intn(3)
+		for i := 0; i < n; i++ {
+			e := b.MustApply(arith[rng.Intn(len(arith))], x, b.BV(big.NewInt(int64(rng.Intn(16))), w))
+			pred := b.MustApply(cmps[rng.Intn(len(cmps))], e, b.BV(big.NewInt(int64(rng.Intn(16))), w))
+			c.MustAssert(pred)
+		}
+
+		// Brute force over all 16 values.
+		wantSat := false
+		for v := 0; v < 16; v++ {
+			m := eval.Assignment{"x": eval.BVValue(bv.NewInt64(w, int64(v)))}
+			ok, err := eval.Constraint(c, m)
+			if err != nil {
+				t.Fatalf("eval: %v", err)
+			}
+			if ok {
+				wantSat = true
+				break
+			}
+		}
+
+		st, m := solveConstraint(t, c)
+		if wantSat && st != sat.Sat {
+			t.Fatalf("iter %d: status %v, want sat\n%s", iter, st, c.Script())
+		}
+		if !wantSat && st != sat.Unsat {
+			t.Fatalf("iter %d: status %v, want unsat\n%s", iter, st, c.Script())
+		}
+		if st == sat.Sat {
+			checkModel(t, c, m)
+		}
+	}
+}
+
+// TestVariableShiftAmounts exercises the barrel shifter with non-constant
+// amounts (the constant case folds away during encoding).
+func TestVariableShiftAmounts(t *testing.T) {
+	const w = 5
+	ops := []smt.Op{smt.OpBVShl, smt.OpBVLshr, smt.OpBVAshr}
+	for _, op := range ops {
+		op := op
+		t.Run(op.String(), func(t *testing.T) {
+			// For every (value, amount) pair, assert r = x OP y together
+			// with x = value and y = amount as equalities over variables,
+			// so the shifter sees literal vectors of unknowns.
+			c := smt.NewConstraint("QF_BV")
+			b := c.Builder
+			x := c.MustDeclare("x", smt.BitVecSort(w))
+			y := c.MustDeclare("y", smt.BitVecSort(w))
+			r := c.MustDeclare("r", smt.BitVecSort(w))
+			c.MustAssert(b.Eq(r, b.MustApply(op, x, y)))
+
+			st, m := solveConstraint(t, c)
+			if st != sat.Sat {
+				t.Fatalf("status = %v", st)
+			}
+			checkModel(t, c, m)
+
+			// Concrete cross-checks: pin x and y through variable
+			// equalities (so the shifter circuit sees unknowns, not
+			// foldable constants) and compare r with the bv semantics.
+			rng := rand.New(rand.NewSource(29))
+			for trial := 0; trial < 10; trial++ {
+				a := int64(rng.Intn(1 << w))
+				amt := int64(rng.Intn(1 << w))
+				cc := smt.NewConstraint("QF_BV")
+				bb := cc.Builder
+				xx := cc.MustDeclare("x", smt.BitVecSort(w))
+				yy := cc.MustDeclare("y", smt.BitVecSort(w))
+				rr := cc.MustDeclare("r", smt.BitVecSort(w))
+				cc.MustAssert(bb.Eq(xx, bb.BV(big.NewInt(a), w)))
+				cc.MustAssert(bb.Eq(yy, bb.BV(big.NewInt(amt), w)))
+				cc.MustAssert(bb.Eq(rr, bb.MustApply(op, xx, yy)))
+				stc, mc := solveConstraint(t, cc)
+				if stc != sat.Sat {
+					t.Fatalf("a=%d amt=%d: status %v", a, amt, stc)
+				}
+				want, err := eval.Term(bb.MustApply(op, bb.BV(big.NewInt(a), w), bb.BV(big.NewInt(amt), w)), nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if mc["r"].BV.Uint().Cmp(want.BV.Uint()) != 0 {
+					t.Fatalf("%v(%d, %d) = %v, want %v", op, a, amt, mc["r"].BV, want.BV)
+				}
+			}
+
+			// Pin a specific hard case: shift by >= width saturates.
+			c2 := smt.NewConstraint("QF_BV")
+			b2 := c2.Builder
+			x2 := c2.MustDeclare("x", smt.BitVecSort(w))
+			y2 := c2.MustDeclare("y", smt.BitVecSort(w))
+			c2.MustAssert(b2.Eq(x2, b2.BV(big.NewInt(27), w)))
+			c2.MustAssert(b2.MustApply(smt.OpBVUGe, y2, b2.BV(big.NewInt(int64(w)), w)))
+			want, err := eval.Term(
+				b2.MustApply(op, b2.BV(big.NewInt(27), w), b2.BV(big.NewInt(int64(w)), w)), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c2.MustAssert(b2.Eq(b2.MustApply(op, x2, y2), b2.BV(want.BV.Uint(), w)))
+			st2, m2 := solveConstraint(t, c2)
+			if st2 != sat.Sat {
+				t.Fatalf("saturating shift: status = %v", st2)
+			}
+			checkModel(t, c2, m2)
+		})
+	}
+}
+
+func ExampleSolve() {
+	c := smt.NewConstraint("QF_BV")
+	b := c.Builder
+	x := c.MustDeclare("x", smt.BitVecSort(8))
+	c.MustAssert(b.Eq(b.MustApply(smt.OpBVMul, x, x), b.BV(big.NewInt(49), 8)))
+	st, m, _ := Solve(c, nil)
+	v := m["x"].BV.Int()
+	vv := new(big.Int).Mul(v, v)
+	fmt.Println(st, new(big.Int).Mod(vv, big.NewInt(256)))
+	// Output: sat 49
+}

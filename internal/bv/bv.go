@@ -1,0 +1,300 @@
+// Package bv implements the value semantics of the SMT-LIB theory of
+// fixed-size bitvectors at arbitrary widths, including the signed overflow
+// predicates (bvnego, bvsaddo, bvssubo, bvsmulo, bvsdivo) that STAUB's
+// integer-to-bitvector translation asserts to rule out wrap-around.
+//
+// A Value stores its bits as an unsigned big.Int in [0, 2^width). The
+// package is the concrete counterpart of the circuit construction in
+// package bitblast: both must agree, and the tests cross-check them.
+package bv
+
+import (
+	"fmt"
+	"math/big"
+)
+
+var one = big.NewInt(1)
+
+// Value is a bitvector of a fixed width. The zero Value is invalid; use
+// New.
+type Value struct {
+	width int
+	bits  *big.Int // invariant: 0 <= bits < 2^width
+}
+
+// New returns a bitvector of the given width holding v reduced modulo
+// 2^width (two's complement for negative v).
+func New(width int, v *big.Int) Value {
+	if width <= 0 {
+		panic(fmt.Sprintf("bv: invalid width %d", width))
+	}
+	mod := new(big.Int).Lsh(one, uint(width))
+	bits := new(big.Int).Mod(v, mod)
+	if bits.Sign() < 0 {
+		bits.Add(bits, mod)
+	}
+	return Value{width: width, bits: bits}
+}
+
+// NewInt64 returns a bitvector of the given width holding v.
+func NewInt64(width int, v int64) Value { return New(width, big.NewInt(v)) }
+
+// Width returns the bit width.
+func (v Value) Width() int { return v.width }
+
+// Uint returns the unsigned integer value (a fresh copy).
+func (v Value) Uint() *big.Int { return new(big.Int).Set(v.bits) }
+
+// Int returns the signed (two's-complement) integer value.
+func (v Value) Int() *big.Int {
+	out := new(big.Int).Set(v.bits)
+	if v.bits.Bit(v.width-1) == 1 {
+		out.Sub(out, new(big.Int).Lsh(one, uint(v.width)))
+	}
+	return out
+}
+
+// Bit returns bit i (0 = least significant).
+func (v Value) Bit(i int) uint { return v.bits.Bit(i) }
+
+// MinSigned returns the most negative value representable at width w.
+func MinSigned(w int) *big.Int {
+	return new(big.Int).Neg(new(big.Int).Lsh(one, uint(w-1)))
+}
+
+// MaxSigned returns the most positive value representable at width w.
+func MaxSigned(w int) *big.Int {
+	m := new(big.Int).Lsh(one, uint(w-1))
+	return m.Sub(m, one)
+}
+
+// FitsSigned reports whether x is representable as a signed w-bit value.
+func FitsSigned(x *big.Int, w int) bool {
+	return x.Cmp(MinSigned(w)) >= 0 && x.Cmp(MaxSigned(w)) <= 0
+}
+
+func (v Value) String() string {
+	return fmt.Sprintf("(_ bv%s %d)", v.bits.String(), v.width)
+}
+
+func check2(a, b Value) int {
+	if a.width != b.width {
+		panic(fmt.Sprintf("bv: width mismatch %d vs %d", a.width, b.width))
+	}
+	return a.width
+}
+
+// Add returns a + b (mod 2^w).
+func Add(a, b Value) Value {
+	w := check2(a, b)
+	return New(w, new(big.Int).Add(a.bits, b.bits))
+}
+
+// Sub returns a - b (mod 2^w).
+func Sub(a, b Value) Value {
+	w := check2(a, b)
+	return New(w, new(big.Int).Sub(a.bits, b.bits))
+}
+
+// Mul returns a * b (mod 2^w).
+func Mul(a, b Value) Value {
+	w := check2(a, b)
+	return New(w, new(big.Int).Mul(a.bits, b.bits))
+}
+
+// Neg returns -a (mod 2^w).
+func Neg(a Value) Value {
+	return New(a.width, new(big.Int).Neg(a.bits))
+}
+
+// Not returns the bitwise complement.
+func Not(a Value) Value {
+	mod := new(big.Int).Lsh(one, uint(a.width))
+	mod.Sub(mod, one)
+	return Value{width: a.width, bits: new(big.Int).Xor(a.bits, mod)}
+}
+
+// And returns the bitwise conjunction.
+func And(a, b Value) Value {
+	w := check2(a, b)
+	return Value{width: w, bits: new(big.Int).And(a.bits, b.bits)}
+}
+
+// Or returns the bitwise disjunction.
+func Or(a, b Value) Value {
+	w := check2(a, b)
+	return Value{width: w, bits: new(big.Int).Or(a.bits, b.bits)}
+}
+
+// Xor returns the bitwise exclusive or.
+func Xor(a, b Value) Value {
+	w := check2(a, b)
+	return Value{width: w, bits: new(big.Int).Xor(a.bits, b.bits)}
+}
+
+// Shl returns a << b, with the SMT-LIB convention that shifts of w or more
+// produce zero.
+func Shl(a, b Value) Value {
+	w := check2(a, b)
+	if b.bits.Cmp(big.NewInt(int64(w))) >= 0 {
+		return New(w, new(big.Int))
+	}
+	return New(w, new(big.Int).Lsh(a.bits, uint(b.bits.Int64())))
+}
+
+// Lshr returns the logical right shift a >> b.
+func Lshr(a, b Value) Value {
+	w := check2(a, b)
+	if b.bits.Cmp(big.NewInt(int64(w))) >= 0 {
+		return New(w, new(big.Int))
+	}
+	return Value{width: w, bits: new(big.Int).Rsh(a.bits, uint(b.bits.Int64()))}
+}
+
+// Ashr returns the arithmetic right shift of a by b.
+func Ashr(a, b Value) Value {
+	w := check2(a, b)
+	sa := a.Int()
+	if b.bits.Cmp(big.NewInt(int64(w))) >= 0 {
+		if sa.Sign() < 0 {
+			return New(w, big.NewInt(-1))
+		}
+		return New(w, new(big.Int))
+	}
+	return New(w, new(big.Int).Rsh(sa, uint(b.bits.Int64())))
+}
+
+// UDiv returns the unsigned quotient; division by zero yields all ones,
+// per SMT-LIB.
+func UDiv(a, b Value) Value {
+	w := check2(a, b)
+	if b.bits.Sign() == 0 {
+		return Not(New(w, new(big.Int)))
+	}
+	return New(w, new(big.Int).Quo(a.bits, b.bits))
+}
+
+// URem returns the unsigned remainder; remainder by zero yields a.
+func URem(a, b Value) Value {
+	w := check2(a, b)
+	if b.bits.Sign() == 0 {
+		return a
+	}
+	return New(w, new(big.Int).Rem(a.bits, b.bits))
+}
+
+// SDiv returns the signed quotient with truncation toward zero, defined
+// via UDiv on magnitudes per SMT-LIB (so x/0 is -1 for x >= 0 and 1
+// otherwise).
+func SDiv(a, b Value) Value {
+	w := check2(a, b)
+	negA := a.bits.Bit(w-1) == 1
+	negB := b.bits.Bit(w-1) == 1
+	absA, absB := a, b
+	if negA {
+		absA = Neg(a)
+	}
+	if negB {
+		absB = Neg(b)
+	}
+	q := UDiv(absA, absB)
+	if negA != negB {
+		return Neg(q)
+	}
+	return q
+}
+
+// SRem returns the signed remainder with sign following the dividend.
+func SRem(a, b Value) Value {
+	w := check2(a, b)
+	negA := a.bits.Bit(w-1) == 1
+	absA, absB := a, b
+	if negA {
+		absA = Neg(a)
+	}
+	if b.bits.Bit(w-1) == 1 {
+		absB = Neg(b)
+	}
+	r := URem(absA, absB)
+	if negA {
+		return Neg(r)
+	}
+	return r
+}
+
+// SMod returns the signed modulus with sign following the divisor.
+func SMod(a, b Value) Value {
+	w := check2(a, b)
+	r := SRem(a, b)
+	if r.bits.Sign() == 0 {
+		return r
+	}
+	negR := r.bits.Bit(w-1) == 1
+	negB := b.bits.Bit(w-1) == 1
+	if negR != negB {
+		return Add(r, b)
+	}
+	return r
+}
+
+// Comparisons.
+
+// ULt reports a < b unsigned.
+func ULt(a, b Value) bool { check2(a, b); return a.bits.Cmp(b.bits) < 0 }
+
+// ULe reports a <= b unsigned.
+func ULe(a, b Value) bool { check2(a, b); return a.bits.Cmp(b.bits) <= 0 }
+
+// UGt reports a > b unsigned.
+func UGt(a, b Value) bool { return ULt(b, a) }
+
+// UGe reports a >= b unsigned.
+func UGe(a, b Value) bool { return ULe(b, a) }
+
+// SLt reports a < b signed.
+func SLt(a, b Value) bool { check2(a, b); return a.Int().Cmp(b.Int()) < 0 }
+
+// SLe reports a <= b signed.
+func SLe(a, b Value) bool { check2(a, b); return a.Int().Cmp(b.Int()) <= 0 }
+
+// SGt reports a > b signed.
+func SGt(a, b Value) bool { return SLt(b, a) }
+
+// SGe reports a >= b signed.
+func SGe(a, b Value) bool { return SLe(b, a) }
+
+// Eq reports bitwise equality.
+func Eq(a, b Value) bool { check2(a, b); return a.bits.Cmp(b.bits) == 0 }
+
+// Overflow predicates. Each is true exactly when the corresponding signed
+// operation on w-bit operands leaves the representable range.
+
+// NegOverflow reports whether -a overflows (a is the minimum value).
+func NegOverflow(a Value) bool {
+	return !FitsSigned(new(big.Int).Neg(a.Int()), a.width)
+}
+
+// SAddOverflow reports whether a + b overflows signed arithmetic.
+func SAddOverflow(a, b Value) bool {
+	w := check2(a, b)
+	return !FitsSigned(new(big.Int).Add(a.Int(), b.Int()), w)
+}
+
+// SSubOverflow reports whether a - b overflows signed arithmetic.
+func SSubOverflow(a, b Value) bool {
+	w := check2(a, b)
+	return !FitsSigned(new(big.Int).Sub(a.Int(), b.Int()), w)
+}
+
+// SMulOverflow reports whether a * b overflows signed arithmetic.
+func SMulOverflow(a, b Value) bool {
+	w := check2(a, b)
+	return !FitsSigned(new(big.Int).Mul(a.Int(), b.Int()), w)
+}
+
+// SDivOverflow reports whether a / b overflows signed arithmetic (only
+// min / -1 does).
+func SDivOverflow(a, b Value) bool {
+	w := check2(a, b)
+	return a.Int().Cmp(MinSigned(w)) == 0 && b.Int().Cmp(big.NewInt(-1)) == 0
+}

@@ -1,0 +1,189 @@
+package bv
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestAgainstInt64Model cross-checks every operation at width 64 against
+// Go's native int64/uint64 two's-complement arithmetic.
+func TestAgainstInt64Model(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 3000; i++ {
+		a := rng.Uint64()
+		b := rng.Uint64()
+		va := New(64, new(big.Int).SetUint64(a))
+		vb := New(64, new(big.Int).SetUint64(b))
+
+		check := func(name string, got Value, want uint64) {
+			t.Helper()
+			if got.Uint().Uint64() != want {
+				t.Fatalf("%s(%#x, %#x) = %#x, want %#x", name, a, b, got.Uint().Uint64(), want)
+			}
+		}
+		check("Add", Add(va, vb), a+b)
+		check("Sub", Sub(va, vb), a-b)
+		check("Mul", Mul(va, vb), a*b)
+		check("And", And(va, vb), a&b)
+		check("Or", Or(va, vb), a|b)
+		check("Xor", Xor(va, vb), a^b)
+		check("Not", Not(va), ^a)
+		check("Neg", Neg(va), -a)
+		if b != 0 {
+			check("UDiv", UDiv(va, vb), a/b)
+			check("URem", URem(va, vb), a%b)
+		}
+		sa, sb := int64(a), int64(b)
+		if sb != 0 && !(sa == -1<<63 && sb == -1) {
+			check("SDiv", SDiv(va, vb), uint64(sa/sb))
+			check("SRem", SRem(va, vb), uint64(sa%sb))
+		}
+		if ULt(va, vb) != (a < b) {
+			t.Fatalf("ULt(%#x, %#x) wrong", a, b)
+		}
+		if SLt(va, vb) != (sa < sb) {
+			t.Fatalf("SLt(%#x, %#x) wrong", a, b)
+		}
+		sh := vb
+		if b > 200 {
+			sh = NewInt64(64, int64(b%70))
+		}
+		shAmt := sh.Uint().Uint64()
+		wantShl := uint64(0)
+		wantLshr := uint64(0)
+		wantAshr := uint64(int64(a) >> 63) // all sign bits
+		if shAmt < 64 {
+			wantShl = a << shAmt
+			wantLshr = a >> shAmt
+			wantAshr = uint64(int64(a) >> shAmt)
+		}
+		check("Shl", Shl(va, sh), wantShl)
+		check("Lshr", Lshr(va, sh), wantLshr)
+		check("Ashr", Ashr(va, sh), wantAshr)
+	}
+}
+
+// TestSMTLIBDivisionByZero checks the standard's special cases.
+func TestSMTLIBDivisionByZero(t *testing.T) {
+	w := 8
+	a := NewInt64(w, 37)
+	zero := NewInt64(w, 0)
+	if got := UDiv(a, zero).Uint().Int64(); got != 255 {
+		t.Errorf("bvudiv x 0 = %d, want 255 (all ones)", got)
+	}
+	if got := URem(a, zero).Uint().Int64(); got != 37 {
+		t.Errorf("bvurem x 0 = %d, want 37 (dividend)", got)
+	}
+	// Signed: positive/0 → -1, negative/0 → 1.
+	if got := SDiv(a, zero).Int().Int64(); got != -1 {
+		t.Errorf("bvsdiv 37 0 = %d, want -1", got)
+	}
+	neg := NewInt64(w, -37)
+	if got := SDiv(neg, zero).Int().Int64(); got != 1 {
+		t.Errorf("bvsdiv -37 0 = %d, want 1", got)
+	}
+	if got := SRem(neg, zero).Int().Int64(); got != -37 {
+		t.Errorf("bvsrem -37 0 = %d, want -37", got)
+	}
+}
+
+// TestSModSignFollowsDivisor checks bvsmod semantics over all small
+// operand pairs by comparing against the defining property:
+// result ≡ a (mod |b|) with the sign of b (or zero).
+func TestSModSignFollowsDivisor(t *testing.T) {
+	w := 5
+	for ai := -16; ai < 16; ai++ {
+		for bi := -16; bi < 16; bi++ {
+			if bi == 0 {
+				continue
+			}
+			a := NewInt64(w, int64(ai))
+			b := NewInt64(w, int64(bi))
+			m := SMod(a, b).Int().Int64()
+			// Same residue class.
+			if (m-int64(ai))%int64(bi) != 0 {
+				t.Fatalf("smod(%d, %d) = %d: wrong residue", ai, bi, m)
+			}
+			// Sign follows divisor (or zero).
+			if m != 0 && (m > 0) != (bi > 0) {
+				t.Fatalf("smod(%d, %d) = %d: wrong sign", ai, bi, m)
+			}
+			if abs64(m) >= abs64(int64(bi)) {
+				t.Fatalf("smod(%d, %d) = %d: magnitude too large", ai, bi, m)
+			}
+		}
+	}
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// TestOverflowPredicatesExhaustive checks the overflow predicates against
+// exact arithmetic for every 5-bit operand pair.
+func TestOverflowPredicatesExhaustive(t *testing.T) {
+	w := 5
+	lo, hi := -16, 15
+	for ai := lo; ai <= hi; ai++ {
+		for bi := lo; bi <= hi; bi++ {
+			a := NewInt64(w, int64(ai))
+			b := NewInt64(w, int64(bi))
+			inRange := func(v int) bool { return v >= lo && v <= hi }
+			if got, want := SAddOverflow(a, b), !inRange(ai+bi); got != want {
+				t.Fatalf("saddo(%d, %d) = %t, want %t", ai, bi, got, want)
+			}
+			if got, want := SSubOverflow(a, b), !inRange(ai-bi); got != want {
+				t.Fatalf("ssubo(%d, %d) = %t, want %t", ai, bi, got, want)
+			}
+			if got, want := SMulOverflow(a, b), !inRange(ai*bi); got != want {
+				t.Fatalf("smulo(%d, %d) = %t, want %t", ai, bi, got, want)
+			}
+			if got, want := SDivOverflow(a, b), ai == lo && bi == -1; got != want {
+				t.Fatalf("sdivo(%d, %d) = %t, want %t", ai, bi, got, want)
+			}
+		}
+		a := NewInt64(w, int64(ai))
+		if got, want := NegOverflow(a), ai == lo; got != want {
+			t.Fatalf("nego(%d) = %t, want %t", ai, got, want)
+		}
+	}
+}
+
+// TestRoundTripProperty: Int() and New() are inverse for in-range values.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(v int32, wRaw uint8) bool {
+		w := int(wRaw%60) + 4
+		val := New(w, big.NewInt(int64(v)))
+		back := New(w, val.Int())
+		return Eq(val, back)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSignedRange: Int() is always within [MinSigned, MaxSigned].
+func TestSignedRange(t *testing.T) {
+	f := func(v int64, wRaw uint8) bool {
+		w := int(wRaw%62) + 2
+		val := New(w, big.NewInt(v))
+		return FitsSigned(val.Int(), w)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWidthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on width mismatch")
+		}
+	}()
+	Add(NewInt64(8, 1), NewInt64(9, 1))
+}

@@ -1,0 +1,375 @@
+// Package core implements STAUB itself: the four-step theory-arbitrage
+// pipeline of Figure 3 in the paper (sort selection and bound inference by
+// abstract interpretation, constraint translation, bounded solving, and
+// model verification), plus the two-core portfolio that races the pipeline
+// against an unmodified solver so no constraint ever gets slower
+// (Section 4.4).
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"staub/internal/absint"
+	"staub/internal/eval"
+	"staub/internal/slot"
+	"staub/internal/smt"
+	"staub/internal/solver"
+	"staub/internal/status"
+	"staub/internal/translate"
+)
+
+// Config controls a STAUB run.
+type Config struct {
+	// Limits bounds the sorts bound inference may select.
+	Limits absint.Limits
+	// FixedWidth, when positive, bypasses abstract interpretation and
+	// uses the given width for every constraint (the paper's fixed-width
+	// ablation).
+	FixedWidth int
+	// Timeout is the per-solve budget (default 2s).
+	Timeout time.Duration
+	// Profile selects the underlying solver profile.
+	Profile solver.Profile
+	// UseSLOT additionally optimizes the bounded constraint with the
+	// SLOT passes before solving (RQ2).
+	UseSLOT bool
+	// RangeHints adds per-variable range assertions from
+	// absint.InferIntPerVar to the translated constraint (the §6.2
+	// per-variable refinement realized without mixed-width operations).
+	RangeHints bool
+	// RefineRounds enables the iterative bound refinement of the paper's
+	// Section 6.2: when the bounded constraint is unsat (bounds possibly
+	// insufficient), the width is doubled and the pipeline retried up to
+	// this many times within the same overall timeout. Zero disables
+	// refinement (the paper's evaluated configuration).
+	RefineRounds int
+	// Seed perturbs randomized engines.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Timeout == 0 {
+		c.Timeout = 2 * time.Second
+	}
+	return c
+}
+
+// Outcome classifies how the pipeline ended (Figure 6 of the paper).
+type Outcome int
+
+// Pipeline outcomes.
+const (
+	// OutcomeVerified: the bounded constraint was sat and its model,
+	// mapped back, satisfies the original — a definitive sat with speedup.
+	OutcomeVerified Outcome = iota
+	// OutcomeBoundedUnsat: the bounded constraint was unsat; insufficient
+	// bounds are indistinguishable from real unsatisfiability, so STAUB
+	// reverts to the original constraint.
+	OutcomeBoundedUnsat
+	// OutcomeSemanticDifference: the bounded model does not satisfy the
+	// original (overflow/rounding artifact); revert.
+	OutcomeSemanticDifference
+	// OutcomeBoundedUnknown: the bounded solve hit its budget; revert.
+	OutcomeBoundedUnknown
+	// OutcomeTransformFailed: the constraint is outside the supported
+	// fragment (mixed theories, unsupported operators); revert.
+	OutcomeTransformFailed
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeVerified:
+		return "verified"
+	case OutcomeBoundedUnsat:
+		return "bounded-unsat"
+	case OutcomeSemanticDifference:
+		return "semantic-difference"
+	case OutcomeBoundedUnknown:
+		return "bounded-unknown"
+	default:
+		return "transform-failed"
+	}
+}
+
+// PipelineResult is a completed STAUB pipeline run (without the portfolio
+// leg).
+type PipelineResult struct {
+	// Outcome classifies the run.
+	Outcome Outcome
+	// Status is Sat when verified; Unknown otherwise (STAUB alone never
+	// concludes unsat).
+	Status status.Status
+	// Model is a verified model of the ORIGINAL constraint.
+	Model eval.Assignment
+	// TTrans, TPost and TCheck are the paper's cost components:
+	// translation (including inference and optional SLOT), bounded
+	// solving, and verification.
+	TTrans, TPost, TCheck time.Duration
+	// Total is TTrans + TPost + TCheck.
+	Total time.Duration
+	// Width is the bitvector width used (integer constraints).
+	Width int
+	// FPSort is the floating-point sort used (real constraints).
+	FPSort smt.Sort
+	// InferredRoot is the raw abstract-interpretation result before
+	// clamping (integer constraints).
+	InferredRoot int
+	// Refined counts bound-refinement rounds taken (Section 6.2); the
+	// reported Width is the final round's width.
+	Refined int
+	// Slot reports optimizer statistics when UseSLOT was set.
+	Slot slot.Stats
+	// Bounded is the transformed constraint (for inspection/emission).
+	Bounded *smt.Constraint
+}
+
+// Transform runs only the inference + translation steps (no solving).
+func Transform(c *smt.Constraint, cfg Config) (*translate.Result, int, error) {
+	cfg = cfg.withDefaults()
+	kind, err := translate.Classify(c)
+	if err != nil {
+		return nil, 0, err
+	}
+	if cfg.FixedWidth > 0 {
+		switch kind {
+		case translate.KindIntToBV:
+			r, err := translate.IntToBV(c, cfg.FixedWidth)
+			return r, cfg.FixedWidth, err
+		default:
+			r, err := translate.RealToFP(c, FixedFPSort(cfg.FixedWidth))
+			return r, cfg.FixedWidth, err
+		}
+	}
+	switch kind {
+	case translate.KindIntToBV:
+		x := absint.DefaultIntX(c)
+		inf := absint.InferIntWith(c, x, absint.SemPractical)
+		w := absint.SelectBVWidth(inf.Root, cfg.Limits)
+		var hints map[string]int
+		if cfg.RangeHints {
+			hints = absint.InferIntPerVar(c, x)
+		}
+		r, err := translate.IntToBVWithHints(c, w, hints)
+		return r, inf.Root, err
+	default:
+		x := absint.DefaultRealX(c)
+		inf := absint.InferReal(c, x)
+		s := absint.SelectFPSort(inf.Root, cfg.Limits)
+		r, err := translate.RealToFP(c, s)
+		return r, inf.Root.M + inf.Root.P, err
+	}
+}
+
+// FixedFPSort maps a total bit width to a floating-point sort for the
+// fixed-width ablation (e.g. 16 → Float16).
+func FixedFPSort(width int) smt.Sort {
+	switch {
+	case width <= 8:
+		return smt.FloatSort(4, width-4+1)
+	case width == 16:
+		return smt.Float16Sort
+	case width == 32:
+		return smt.Float32Sort
+	case width == 64:
+		return smt.Float64Sort
+	default:
+		eb := 5
+		for (1<<(eb-1))-1 < width/2 {
+			eb++
+		}
+		return smt.FloatSort(eb, width-eb)
+	}
+}
+
+// RunPipeline executes the STAUB pipeline on c: transform, solve bounded,
+// verify. The optional interrupt aborts the bounded solve (used by the
+// portfolio). With Config.RefineRounds set, a bounded-unsat outcome
+// triggers width-doubling retries within the same deadline (Section 6.2).
+func RunPipeline(c *smt.Constraint, cfg Config, interrupt *atomic.Bool) PipelineResult {
+	cfg = cfg.withDefaults()
+	deadline := time.Now().Add(cfg.Timeout)
+	res := runPipelineOnce(c, cfg, deadline, interrupt)
+	if cfg.RefineRounds <= 0 || cfg.FixedWidth > 0 {
+		return res
+	}
+	limits := cfg.Limits
+	maxWidth := limits.MaxWidth
+	if maxWidth == 0 {
+		maxWidth = 64
+	}
+	width := res.Width
+	for round := 1; round <= cfg.RefineRounds; round++ {
+		if res.Outcome != OutcomeBoundedUnsat || width == 0 {
+			break
+		}
+		width *= 2
+		if width > maxWidth || !time.Now().Before(deadline) {
+			break
+		}
+		retryCfg := cfg
+		retryCfg.FixedWidth = width
+		retry := runPipelineOnce(c, retryCfg, deadline, interrupt)
+		// Accumulate the cost of earlier rounds so measurements stay
+		// honest about total work.
+		retry.TTrans += res.TTrans
+		retry.TPost += res.TPost
+		retry.TCheck += res.TCheck
+		retry.Total += res.Total
+		retry.Refined = round
+		res = retry
+	}
+	return res
+}
+
+// runPipelineOnce is a single transform-solve-verify round.
+func runPipelineOnce(c *smt.Constraint, cfg Config, deadline time.Time, interrupt *atomic.Bool) PipelineResult {
+	t0 := time.Now()
+	tr, root, err := Transform(c, cfg)
+	if err != nil {
+		return PipelineResult{
+			Outcome: OutcomeTransformFailed,
+			Status:  status.Unknown,
+			TTrans:  time.Since(t0),
+			Total:   time.Since(t0),
+		}
+	}
+	bounded := tr.Bounded
+	res := PipelineResult{
+		Width:        tr.Width,
+		FPSort:       tr.FPSort,
+		InferredRoot: root,
+	}
+	if cfg.UseSLOT {
+		opt, stats, err := slot.Optimize(bounded)
+		if err == nil {
+			bounded = opt
+			res.Slot = stats
+		}
+	}
+	res.Bounded = bounded
+	res.TTrans = time.Since(t0)
+
+	t1 := time.Now()
+	sres := solver.Solve(bounded, solver.Options{
+		Deadline:  deadline,
+		Interrupt: interrupt,
+		Profile:   cfg.Profile,
+		Seed:      cfg.Seed,
+	})
+	res.TPost = time.Since(t1)
+
+	switch sres.Status {
+	case status.Unsat:
+		res.Outcome = OutcomeBoundedUnsat
+		res.Status = status.Unknown
+	case status.Unknown:
+		res.Outcome = OutcomeBoundedUnknown
+		res.Status = status.Unknown
+	case status.Sat:
+		t2 := time.Now()
+		model, err := tr.ModelBack(sres.Model)
+		verified := false
+		if err == nil {
+			verified = solver.VerifyModel(c, model)
+		}
+		res.TCheck = time.Since(t2)
+		if verified {
+			res.Outcome = OutcomeVerified
+			res.Status = status.Sat
+			res.Model = model
+		} else {
+			res.Outcome = OutcomeSemanticDifference
+			res.Status = status.Unknown
+		}
+	}
+	res.Total = res.TTrans + res.TPost + res.TCheck
+	return res
+}
+
+// PortfolioResult is the outcome of racing STAUB against the unmodified
+// solver.
+type PortfolioResult struct {
+	// Status and Model are the combined verdict.
+	Status status.Status
+	Model  eval.Assignment
+	// FromSTAUB reports whether the STAUB leg produced the verdict.
+	FromSTAUB bool
+	// Elapsed is the wall-clock time of the race.
+	Elapsed time.Duration
+	// Pipeline carries the STAUB leg details.
+	Pipeline PipelineResult
+}
+
+// RunPortfolio races the original constraint (unbounded solver) against
+// the STAUB pipeline on two goroutines, following the paper's portfolio
+// methodology [68]: the first definitive answer wins and cancels the
+// other leg.
+func RunPortfolio(c *smt.Constraint, cfg Config) PortfolioResult {
+	cfg = cfg.withDefaults()
+	start := time.Now()
+
+	var cancelOrig, cancelStaub atomic.Bool
+	type leg struct {
+		fromStaub bool
+		status    status.Status
+		model     eval.Assignment
+		pipeline  PipelineResult
+		ok        bool // definitive answer
+	}
+	results := make(chan leg, 2)
+	var wg sync.WaitGroup
+	wg.Add(2)
+
+	go func() {
+		defer wg.Done()
+		r := solver.Solve(c, solver.Options{
+			Deadline:  time.Now().Add(cfg.Timeout),
+			Interrupt: &cancelOrig,
+			Profile:   cfg.Profile,
+			Seed:      cfg.Seed,
+		})
+		results <- leg{status: r.Status, model: r.Model, ok: r.Status != status.Unknown}
+	}()
+	go func() {
+		defer wg.Done()
+		p := RunPipeline(c, cfg, &cancelStaub)
+		// Only a verified sat is definitive for the original constraint.
+		results <- leg{fromStaub: true, status: p.Status, model: p.Model, pipeline: p, ok: p.Status == status.Sat}
+	}()
+
+	var out PortfolioResult
+	out.Status = status.Unknown
+	for i := 0; i < 2; i++ {
+		l := <-results
+		if l.fromStaub {
+			out.Pipeline = l.pipeline
+		}
+		if l.ok && out.Status == status.Unknown {
+			out.Status = l.status
+			out.Model = l.model
+			out.FromSTAUB = l.fromStaub
+			// Cancel the other leg.
+			cancelOrig.Store(true)
+			cancelStaub.Store(true)
+		}
+	}
+	wg.Wait()
+	out.Elapsed = time.Since(start)
+	return out
+}
+
+// String summarizes a pipeline result for logs.
+func (r PipelineResult) String() string {
+	sort := ""
+	if r.Width > 0 {
+		sort = fmt.Sprintf("width=%d", r.Width)
+	} else if r.FPSort.Kind == smt.KindFloat {
+		sort = r.FPSort.String()
+	}
+	return fmt.Sprintf("%s %s trans=%v post=%v check=%v",
+		r.Outcome, sort, r.TTrans.Round(time.Microsecond),
+		r.TPost.Round(time.Microsecond), r.TCheck.Round(time.Microsecond))
+}

@@ -1,0 +1,315 @@
+package fp
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func ratFromFloat64(f float64) *big.Rat {
+	r := new(big.Rat)
+	r.SetFloat64(f)
+	return r
+}
+
+func toFloat64(v Value) float64 {
+	switch {
+	case v.IsNaN():
+		return math.NaN()
+	case v.IsInf(1):
+		return math.Inf(1)
+	case v.IsInf(-1):
+		return math.Inf(-1)
+	}
+	r, _ := v.Rat()
+	f, _ := r.Float64()
+	if v.IsZero() && v.Signbit() {
+		return math.Copysign(0, -1)
+	}
+	return f
+}
+
+func fromFloat64(f float64) Value {
+	return FromBits(Float64, new(big.Int).SetUint64(math.Float64bits(f)))
+}
+
+func fromFloat32(f float32) Value {
+	return FromBits(Float32, new(big.Int).SetUint64(uint64(math.Float32bits(f))))
+}
+
+func toFloat32(v Value) float32 {
+	return float32(math.Float32frombits(uint32(v.Bits().Uint64())))
+}
+
+// TestFloat64BitsRoundTrip: decoding hardware bit patterns and re-reading
+// the rational value matches the hardware interpretation.
+func TestFloat64BitsRoundTrip(t *testing.T) {
+	f := func(bits uint64) bool {
+		hw := math.Float64frombits(bits)
+		v := FromBits(Float64, new(big.Int).SetUint64(bits))
+		switch {
+		case math.IsNaN(hw):
+			return v.IsNaN()
+		case math.IsInf(hw, 1):
+			return v.IsInf(1)
+		case math.IsInf(hw, -1):
+			return v.IsInf(-1)
+		default:
+			r, ok := v.Rat()
+			if !ok {
+				return false
+			}
+			want := ratFromFloat64(hw)
+			return r.Cmp(want) == 0
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFromRatMatchesHardwareRounding: rounding arbitrary rationals p/q into
+// Float64 agrees with the hardware's big.Rat → float64 conversion (which
+// is also RNE).
+func TestFromRatMatchesHardwareRounding(t *testing.T) {
+	f := func(p int64, q int64) bool {
+		if q == 0 {
+			q = 1
+		}
+		r := big.NewRat(p, q)
+		v, _ := FromRat(Float64, r)
+		hw, _ := r.Float64() // exact RNE per math/big documentation
+		return toFloat64(v) == hw || (math.IsNaN(hw) && v.IsNaN())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestArithMatchesHardware32 cross-checks add/sub/mul/div on Float32
+// against the hardware (float32 ops in Go round with RNE).
+func TestArithMatchesHardware32(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 4000; i++ {
+		a := math.Float32frombits(rng.Uint32())
+		b := math.Float32frombits(rng.Uint32())
+		va, vb := fromFloat32(a), fromFloat32(b)
+
+		check := func(op string, got Value, want float32) {
+			t.Helper()
+			switch {
+			case math.IsNaN(float64(want)):
+				if !got.IsNaN() {
+					t.Fatalf("%v %s %v = %v, want NaN", a, op, b, got)
+				}
+			default:
+				gotBits := uint32(got.Bits().Uint64())
+				wantBits := math.Float32bits(want)
+				if gotBits != wantBits {
+					t.Fatalf("%v %s %v = %v (bits %08x), want %v (bits %08x)",
+						a, op, b, got, gotBits, want, wantBits)
+				}
+			}
+		}
+		check("+", Add(va, vb), a+b)
+		check("-", Sub(va, vb), a-b)
+		check("*", Mul(va, vb), a*b)
+		check("/", Div(va, vb), a/b)
+	}
+}
+
+// TestCompareMatchesHardware cross-checks the comparison predicates.
+func TestCompareMatchesHardware(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 4000; i++ {
+		a := math.Float32frombits(rng.Uint32())
+		b := math.Float32frombits(rng.Uint32())
+		va, vb := fromFloat32(a), fromFloat32(b)
+		if Eq(va, vb) != (a == b) {
+			t.Fatalf("Eq(%v, %v) = %t, want %t", a, b, Eq(va, vb), a == b)
+		}
+		if Lt(va, vb) != (a < b) {
+			t.Fatalf("Lt(%v, %v) = %t, want %t", a, b, Lt(va, vb), a < b)
+		}
+		if Le(va, vb) != (a <= b) {
+			t.Fatalf("Le(%v, %v) = %t, want %t", a, b, Le(va, vb), a <= b)
+		}
+		if Gt(va, vb) != (a > b) {
+			t.Fatalf("Gt(%v, %v) = %t, want %t", a, b, Gt(va, vb), a > b)
+		}
+		if Ge(va, vb) != (a >= b) {
+			t.Fatalf("Ge(%v, %v) = %t, want %t", a, b, Ge(va, vb), a >= b)
+		}
+	}
+}
+
+func TestSpecialValues(t *testing.T) {
+	f := Float16
+	nan := f.NaN()
+	pinf := f.Inf(false)
+	ninf := f.Inf(true)
+	zero := f.Zero(false)
+	nzero := f.Zero(true)
+
+	if !nan.IsNaN() || nan.IsFinite() {
+		t.Error("NaN misclassified")
+	}
+	if !pinf.IsInf(1) || pinf.IsInf(-1) || pinf.IsFinite() {
+		t.Error("+oo misclassified")
+	}
+	if !ninf.IsInf(-1) {
+		t.Error("-oo misclassified")
+	}
+	if !zero.IsZero() || zero.Signbit() {
+		t.Error("+0 misclassified")
+	}
+	if !nzero.IsZero() || !nzero.Signbit() {
+		t.Error("-0 misclassified")
+	}
+	// IEEE: -0 == +0, NaN != NaN, oo + -oo = NaN, 1/0 = oo.
+	if !Eq(zero, nzero) {
+		t.Error("-0 != +0")
+	}
+	if Eq(nan, nan) {
+		t.Error("NaN == NaN")
+	}
+	if !Add(pinf, ninf).IsNaN() {
+		t.Error("oo + -oo != NaN")
+	}
+	one, _ := FromRat(f, big.NewRat(1, 1))
+	if !Div(one, zero).IsInf(1) {
+		t.Error("1/+0 != +oo")
+	}
+	if !Div(one, nzero).IsInf(-1) {
+		t.Error("1/-0 != -oo")
+	}
+	if !Div(zero, zero).IsNaN() {
+		t.Error("0/0 != NaN")
+	}
+}
+
+func TestOverflowToInfinity(t *testing.T) {
+	f := Float16
+	big1 := f.MaxFinite()
+	v, exact := FromRat(f, new(big.Rat).Mul(big1, big.NewRat(2, 1)))
+	if exact || !v.IsInf(1) {
+		t.Errorf("2*MaxFinite should round to +oo, got %v (exact=%t)", v, exact)
+	}
+	neg := new(big.Rat).Neg(big1)
+	neg.Mul(neg, big.NewRat(2, 1))
+	v, _ = FromRat(f, neg)
+	if !v.IsInf(-1) {
+		t.Errorf("-2*MaxFinite should round to -oo, got %v", v)
+	}
+}
+
+func TestSubnormals(t *testing.T) {
+	f := Format{5, 11} // Float16
+	// Smallest positive subnormal: 2^(EMin - SB + 1) = 2^-24.
+	tiny := new(big.Rat).SetFrac(big.NewInt(1), new(big.Int).Lsh(big.NewInt(1), 24))
+	v, exact := FromRat(f, tiny)
+	if !exact {
+		t.Errorf("2^-24 should be exactly representable in Float16")
+	}
+	r, _ := v.Rat()
+	if r.Cmp(tiny) != 0 {
+		t.Errorf("subnormal round-trip: got %v, want %v", r, tiny)
+	}
+	// Half of it rounds to zero (RNE ties to even → 0).
+	half := new(big.Rat).Quo(tiny, big.NewRat(2, 1))
+	v, exact = FromRat(f, half)
+	if exact || !v.IsZero() {
+		t.Errorf("2^-25 should round to zero, got %v", v)
+	}
+}
+
+func TestRoundToNearestEvenTies(t *testing.T) {
+	f := Format{5, 4} // 3 mantissa bits: representable integers step by 2 above 16
+	// 17 is exactly between 16 and 18; RNE picks 16 (even significand).
+	v, exact := FromRat(f, big.NewRat(17, 1))
+	if exact {
+		t.Error("17 should not be exact in a 4-bit significand")
+	}
+	r, _ := v.Rat()
+	if r.Cmp(big.NewRat(16, 1)) != 0 {
+		t.Errorf("RNE(17) = %v, want 16", r)
+	}
+	// 19 is between 18 and 20 → 20 (even).
+	v, _ = FromRat(f, big.NewRat(19, 1))
+	r, _ = v.Rat()
+	if r.Cmp(big.NewRat(20, 1)) != 0 {
+		t.Errorf("RNE(19) = %v, want 20", r)
+	}
+}
+
+func TestNegAbs(t *testing.T) {
+	f := Float16
+	v, _ := FromRat(f, big.NewRat(-7, 2))
+	if Neg(v).Signbit() == v.Signbit() {
+		t.Error("Neg did not flip sign")
+	}
+	if Abs(v).Signbit() {
+		t.Error("Abs left sign set")
+	}
+	r, _ := Abs(v).Rat()
+	if r.Cmp(big.NewRat(7, 2)) != 0 {
+		t.Errorf("Abs(-7/2) = %v, want 7/2", r)
+	}
+}
+
+func TestFormatProperties(t *testing.T) {
+	cases := []struct {
+		f     Format
+		bias  int
+		total int
+	}{
+		{Float16, 15, 16},
+		{Float32, 127, 32},
+		{Float64, 1023, 64},
+	}
+	for _, tc := range cases {
+		if got := tc.f.Bias(); got != tc.bias {
+			t.Errorf("%v.Bias() = %d, want %d", tc.f, got, tc.bias)
+		}
+		if got := tc.f.TotalBits(); got != tc.total {
+			t.Errorf("%v.TotalBits() = %d, want %d", tc.f, got, tc.total)
+		}
+	}
+	// Float64 MaxFinite matches math.MaxFloat64.
+	want := ratFromFloat64(math.MaxFloat64)
+	if got := Float64.MaxFinite(); got.Cmp(want) != 0 {
+		t.Errorf("Float64.MaxFinite() = %v, want %v", got, want)
+	}
+}
+
+// TestTinyFormatExhaustive checks the Rat/FromRat round trip for every
+// finite pattern of a tiny format.
+func TestTinyFormatExhaustive(t *testing.T) {
+	f := Format{3, 3}
+	for bits := int64(0); bits < 1<<6; bits++ {
+		v := FromBits(f, big.NewInt(bits))
+		if !v.IsFinite() {
+			continue
+		}
+		r, ok := v.Rat()
+		if !ok {
+			t.Fatalf("finite value %064b has no rational", bits)
+		}
+		back, exact := FromRat(f, r)
+		if !exact {
+			t.Fatalf("representable value %v not exact on re-rounding", r)
+		}
+		// -0 re-rounds to +0; otherwise bits must round-trip.
+		if v.IsZero() {
+			if !back.IsZero() {
+				t.Fatalf("zero did not round-trip")
+			}
+			continue
+		}
+		if back.Bits().Cmp(v.Bits()) != 0 {
+			t.Fatalf("bits %06b round-tripped to %06b (value %v)", bits, back.Bits(), r)
+		}
+	}
+}

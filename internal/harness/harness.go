@@ -1,0 +1,236 @@
+// Package harness runs the paper's experiments: it measures original
+// (unbounded) solving against the STAUB pipeline across the generated
+// benchmark corpora and reproduces every table and figure of the
+// evaluation section — tractability improvements (Table 2), geometric-mean
+// speedups with the fixed-width ablation and the SLOT combination
+// (Table 3), the fixed-width tradeoff sweep (Figure 2), before/after
+// scatter data (Figure 7), and the termination-client summary (Figure 8).
+//
+// All measurements follow the paper's portfolio methodology: a constraint
+// only improves when the full STAUB pipeline (T_trans + T_post + T_check)
+// beats the original solve and the bounded model verifies; everything else
+// reverts, so no constraint is reported slower. Timeouts contribute the
+// full timeout duration, as in the paper.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"staub/internal/benchgen"
+	"staub/internal/core"
+	"staub/internal/solver"
+	"staub/internal/status"
+)
+
+// Mode identifies a transformation configuration measured per instance.
+type Mode int
+
+// Measurement modes.
+const (
+	// ModeStaub uses abstract-interpretation width inference.
+	ModeStaub Mode = iota
+	// ModeFixed8 and ModeFixed16 are the paper's fixed-width ablations.
+	ModeFixed8
+	ModeFixed16
+	// ModeSlot chains STAUB inference with the SLOT optimizer.
+	ModeSlot
+	numModes
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeStaub:
+		return "STAUB"
+	case ModeFixed8:
+		return "Fixed 8-bit"
+	case ModeFixed16:
+		return "Fixed 16-bit"
+	case ModeSlot:
+		return "STAUB+SLOT"
+	default:
+		return "?"
+	}
+}
+
+// Options configures an experiment run.
+type Options struct {
+	// Timeout is the per-solve budget (the paper's 300s, scaled down;
+	// default 1500ms).
+	Timeout time.Duration
+	// Seed drives benchmark generation.
+	Seed int64
+	// Counts gives the number of instances per logic; zero entries fall
+	// back to defaults scaled from the paper's suite sizes.
+	Counts map[string]int
+	// Profiles lists the solver profiles to measure (default both).
+	Profiles []solver.Profile
+	// Modes lists the transformation modes to measure (default all).
+	Modes []Mode
+	// Progress, when non-nil, receives one line per measured instance.
+	Progress io.Writer
+}
+
+func (o Options) withDefaults() Options {
+	if o.Timeout == 0 {
+		o.Timeout = 1500 * time.Millisecond
+	}
+	if o.Counts == nil {
+		o.Counts = map[string]int{}
+	}
+	defaults := map[string]int{"QF_NIA": 100, "QF_LIA": 60, "QF_NRA": 48, "QF_LRA": 24}
+	for logic, n := range defaults {
+		if o.Counts[logic] == 0 {
+			o.Counts[logic] = n
+		}
+	}
+	if len(o.Profiles) == 0 {
+		o.Profiles = []solver.Profile{solver.Prima, solver.Secunda}
+	}
+	if len(o.Modes) == 0 {
+		o.Modes = []Mode{ModeStaub, ModeFixed8, ModeFixed16, ModeSlot}
+	}
+	return o
+}
+
+// ModeResult is one pipeline measurement.
+type ModeResult struct {
+	Outcome  core.Outcome
+	Total    time.Duration
+	Width    int
+	Verified bool
+}
+
+// Record is the full measurement of one instance under one profile.
+type Record struct {
+	Inst    benchgen.Instance
+	Profile solver.Profile
+	// TPre is the original solving time (timeouts count the full budget).
+	TPre time.Duration
+	// PreStatus is the original verdict.
+	PreStatus status.Status
+	// Modes holds the pipeline measurements keyed by Mode.
+	Modes map[Mode]ModeResult
+}
+
+// FinalTime returns the portfolio completion time under the given mode:
+// the better of the original run and the pipeline (when the pipeline
+// verified).
+func (r Record) FinalTime(m Mode) time.Duration {
+	mr, ok := r.Modes[m]
+	if !ok || !mr.Verified {
+		return r.TPre
+	}
+	return min(r.TPre, mr.Total)
+}
+
+// Alpha returns the speedup ratio T_pre / T_final for the mode.
+func (r Record) Alpha(m Mode) float64 {
+	final := r.FinalTime(m)
+	if final <= 0 {
+		final = time.Microsecond
+	}
+	return float64(r.TPre) / float64(final)
+}
+
+// Tractability reports whether the mode turned an original timeout into a
+// verified answer.
+func (r Record) Tractability(m Mode) bool {
+	mr, ok := r.Modes[m]
+	return ok && r.PreStatus == status.Unknown && mr.Verified
+}
+
+// Run measures every instance of every requested logic under every
+// profile and returns the records grouped by logic.
+func Run(o Options) (map[string][]Record, error) {
+	o = o.withDefaults()
+	out := map[string][]Record{}
+	for _, logic := range benchgen.Logics() {
+		n := o.Counts[logic]
+		if n == 0 {
+			continue
+		}
+		insts, err := benchgen.Suite(logic, n, o.Seed)
+		if err != nil {
+			return nil, err
+		}
+		for _, profile := range o.Profiles {
+			for _, inst := range insts {
+				rec := measure(inst, profile, o)
+				out[logic] = append(out[logic], rec)
+				if o.Progress != nil {
+					fmt.Fprintf(o.Progress, "%s %s/%s pre=%v(%v) staub=%v\n",
+						logic, profile, inst.Name, rec.PreStatus,
+						rec.TPre.Round(time.Millisecond),
+						rec.Modes[ModeStaub].Outcome)
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+func measure(inst benchgen.Instance, profile solver.Profile, o Options) Record {
+	rec := Record{
+		Inst:    inst,
+		Profile: profile,
+		Modes:   map[Mode]ModeResult{},
+	}
+	pre := solver.SolveTimeout(inst.Constraint, o.Timeout, profile)
+	rec.PreStatus = pre.Status
+	if pre.Status == status.Unknown {
+		rec.TPre = o.Timeout
+	} else {
+		rec.TPre = pre.Elapsed
+	}
+
+	for _, m := range o.Modes {
+		cfg := core.Config{Timeout: o.Timeout, Profile: profile}
+		switch m {
+		case ModeFixed8:
+			cfg.FixedWidth = 8
+		case ModeFixed16:
+			cfg.FixedWidth = 16
+		case ModeSlot:
+			cfg.UseSLOT = true
+		}
+		p := core.RunPipeline(inst.Constraint, cfg, nil)
+		total := p.Total
+		if total > o.Timeout {
+			total = o.Timeout
+		}
+		rec.Modes[m] = ModeResult{
+			Outcome:  p.Outcome,
+			Total:    total,
+			Width:    p.Width,
+			Verified: p.Outcome == core.OutcomeVerified,
+		}
+	}
+	return rec
+}
+
+// GeoMean returns the geometric mean of the values (1.0 for empty input).
+func GeoMean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 1
+	}
+	sum := 0.0
+	for _, v := range vals {
+		if v <= 0 {
+			v = 1e-9
+		}
+		sum += math.Log(v)
+	}
+	return math.Exp(sum / float64(len(vals)))
+}
+
+// GeoMeanDurations returns the geometric mean of durations in seconds.
+func GeoMeanDurations(ds []time.Duration) float64 {
+	vals := make([]float64, len(ds))
+	for i, d := range ds {
+		vals[i] = d.Seconds()
+	}
+	return GeoMean(vals)
+}

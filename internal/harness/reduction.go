@@ -1,0 +1,98 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"staub/internal/benchgen"
+	"staub/internal/reduce"
+	"staub/internal/solver"
+	"staub/internal/status"
+	"staub/internal/translate"
+)
+
+// ReductionRow summarizes the Section 6.4 width-reduction extension on one
+// wide-bitvector corpus.
+type ReductionRow struct {
+	Width        int
+	Count        int
+	Verified     int
+	Reverted     int
+	Tractability int
+	MeanVerSpeed float64
+	MeanAllSpeed float64
+}
+
+// ReductionExperiment evaluates bound inference on already-bounded
+// constraints (the paper's §6.4 future-work direction): the QF_NIA corpus
+// is translated to wide bitvector constraints (as a program-analysis
+// front end would emit), then each is solved directly and through the
+// width-reduction pipeline.
+func ReductionExperiment(o Options, widths []int) ([]ReductionRow, error) {
+	o = o.withDefaults()
+	if len(widths) == 0 {
+		widths = []int{24, 32, 48}
+	}
+	insts, err := benchgen.Suite("QF_NIA", o.Counts["QF_NIA"], o.Seed)
+	if err != nil {
+		return nil, err
+	}
+	var rows []ReductionRow
+	for _, width := range widths {
+		row := ReductionRow{Width: width}
+		var ver, all []float64
+		for _, inst := range insts {
+			tr, err := translate.IntToBV(inst.Constraint, width)
+			if err != nil {
+				continue
+			}
+			wide := tr.Bounded
+			row.Count++
+
+			pre := solver.SolveTimeout(wide, o.Timeout, solver.Prima)
+			tPre := pre.Elapsed
+			if pre.Status == status.Unknown {
+				tPre = o.Timeout
+			}
+			res := reduce.RunPipeline(wide, o.Timeout, solver.Prima)
+			tFinal := tPre
+			switch res.Outcome {
+			case reduce.OutcomeVerified:
+				row.Verified++
+				if res.Total < tFinal {
+					tFinal = res.Total
+				}
+				if pre.Status == status.Unknown {
+					row.Tractability++
+				}
+				ver = append(ver, float64(tPre)/float64(maxDur(tFinal, time.Microsecond)))
+			default:
+				row.Reverted++
+			}
+			all = append(all, float64(tPre)/float64(maxDur(tFinal, time.Microsecond)))
+		}
+		row.MeanVerSpeed = GeoMean(ver)
+		row.MeanAllSpeed = GeoMean(all)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func maxDur(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ReductionPrint renders the reduction experiment.
+func ReductionPrint(w io.Writer, rows []ReductionRow) {
+	fmt.Fprintln(w, "Width-reduction extension (§6.4): wide QF_BV corpora solved directly vs. via inferred-width reduction.")
+	fmt.Fprintf(w, "%6s %6s %9s %9s %13s %10s %10s\n",
+		"width", "count", "verified", "reverted", "tractability", "ver-speed", "all-speed")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%6d %6d %9d %9d %13d %10.3f %10.3f\n",
+			r.Width, r.Count, r.Verified, r.Reverted, r.Tractability, r.MeanVerSpeed, r.MeanAllSpeed)
+	}
+}

@@ -1,0 +1,332 @@
+// Package interval implements exact interval arithmetic over the rationals
+// with infinite endpoints. It is the pruning engine of the unbounded
+// integer and real solvers (branch-and-prune / ICP): evaluating a
+// polynomial over a box yields an enclosure of its range, and an enclosure
+// that excludes zero refutes an equality.
+package interval
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Endpoint is a rational endpoint or an infinity: Inf < 0 is -oo, Inf > 0
+// is +oo, Inf == 0 means V holds the finite value.
+type Endpoint struct {
+	V   *big.Rat
+	Inf int
+}
+
+// NegInf and PosInf return infinite endpoints.
+func NegInf() Endpoint { return Endpoint{Inf: -1} }
+
+// PosInf returns the +oo endpoint.
+func PosInf() Endpoint { return Endpoint{Inf: 1} }
+
+// Finite returns a finite endpoint.
+func Finite(v *big.Rat) Endpoint { return Endpoint{V: v} }
+
+// FiniteInt returns a finite endpoint from an int64.
+func FiniteInt(v int64) Endpoint { return Endpoint{V: big.NewRat(v, 1)} }
+
+// IsFinite reports whether the endpoint is a rational.
+func (e Endpoint) IsFinite() bool { return e.Inf == 0 }
+
+// Cmp compares endpoints with -oo < finite < +oo.
+func (e Endpoint) Cmp(o Endpoint) int {
+	switch {
+	case e.Inf != 0 || o.Inf != 0:
+		switch {
+		case e.Inf < o.Inf:
+			return -1
+		case e.Inf > o.Inf:
+			return 1
+		default:
+			return 0
+		}
+	default:
+		return e.V.Cmp(o.V)
+	}
+}
+
+func (e Endpoint) String() string {
+	switch {
+	case e.Inf < 0:
+		return "-oo"
+	case e.Inf > 0:
+		return "+oo"
+	default:
+		return e.V.RatString()
+	}
+}
+
+// Interval is a closed interval [Lo, Hi] (closed at finite endpoints). An
+// interval with Lo > Hi is empty.
+type Interval struct {
+	Lo, Hi Endpoint
+}
+
+// Full returns (-oo, +oo).
+func Full() Interval { return Interval{Lo: NegInf(), Hi: PosInf()} }
+
+// Point returns the degenerate interval [v, v].
+func Point(v *big.Rat) Interval { return Interval{Lo: Finite(v), Hi: Finite(v)} }
+
+// Of returns [lo, hi] from int64 bounds.
+func Of(lo, hi int64) Interval {
+	return Interval{Lo: FiniteInt(lo), Hi: FiniteInt(hi)}
+}
+
+// New returns [lo, hi].
+func New(lo, hi Endpoint) Interval { return Interval{Lo: lo, Hi: hi} }
+
+// Empty reports whether the interval contains no values.
+func (iv Interval) Empty() bool { return iv.Lo.Cmp(iv.Hi) > 0 }
+
+// IsPoint reports whether the interval is a single finite value.
+func (iv Interval) IsPoint() bool {
+	return iv.Lo.IsFinite() && iv.Hi.IsFinite() && iv.Lo.V.Cmp(iv.Hi.V) == 0
+}
+
+// Contains reports whether v lies in the interval.
+func (iv Interval) Contains(v *big.Rat) bool {
+	p := Finite(v)
+	return iv.Lo.Cmp(p) <= 0 && p.Cmp(iv.Hi) <= 0
+}
+
+// Intersect returns the intersection of two intervals.
+func (iv Interval) Intersect(o Interval) Interval {
+	out := iv
+	if o.Lo.Cmp(out.Lo) > 0 {
+		out.Lo = o.Lo
+	}
+	if o.Hi.Cmp(out.Hi) < 0 {
+		out.Hi = o.Hi
+	}
+	return out
+}
+
+// Join returns the smallest interval containing both.
+func (iv Interval) Join(o Interval) Interval {
+	out := iv
+	if o.Lo.Cmp(out.Lo) < 0 {
+		out.Lo = o.Lo
+	}
+	if o.Hi.Cmp(out.Hi) > 0 {
+		out.Hi = o.Hi
+	}
+	return out
+}
+
+func (iv Interval) String() string {
+	return fmt.Sprintf("[%s, %s]", iv.Lo, iv.Hi)
+}
+
+// Neg returns {-x : x in iv}.
+func (iv Interval) Neg() Interval {
+	return Interval{Lo: negEndpoint(iv.Hi), Hi: negEndpoint(iv.Lo)}
+}
+
+func negEndpoint(e Endpoint) Endpoint {
+	if e.Inf != 0 {
+		return Endpoint{Inf: -e.Inf}
+	}
+	return Finite(new(big.Rat).Neg(e.V))
+}
+
+// Add returns the interval sum.
+func (iv Interval) Add(o Interval) Interval {
+	return Interval{Lo: addEndpoint(iv.Lo, o.Lo, -1), Hi: addEndpoint(iv.Hi, o.Hi, 1)}
+}
+
+// addEndpoint adds endpoints; inf selects the sign of infinity used to
+// resolve (-oo) + (+oo), which cannot occur for valid interval bounds.
+func addEndpoint(a, b Endpoint, inf int) Endpoint {
+	if a.Inf != 0 {
+		return a
+	}
+	if b.Inf != 0 {
+		return b
+	}
+	_ = inf
+	return Finite(new(big.Rat).Add(a.V, b.V))
+}
+
+// Sub returns the interval difference.
+func (iv Interval) Sub(o Interval) Interval { return iv.Add(o.Neg()) }
+
+// Mul returns the interval product.
+func (iv Interval) Mul(o Interval) Interval {
+	// The product range is spanned by the four endpoint products.
+	cands := []Endpoint{
+		mulEndpoint(iv.Lo, o.Lo),
+		mulEndpoint(iv.Lo, o.Hi),
+		mulEndpoint(iv.Hi, o.Lo),
+		mulEndpoint(iv.Hi, o.Hi),
+	}
+	lo, hi := cands[0], cands[0]
+	for _, c := range cands[1:] {
+		if c.Cmp(lo) < 0 {
+			lo = c
+		}
+		if c.Cmp(hi) > 0 {
+			hi = c
+		}
+	}
+	return Interval{Lo: lo, Hi: hi}
+}
+
+func mulEndpoint(a, b Endpoint) Endpoint {
+	sign := func(e Endpoint) int {
+		if e.Inf != 0 {
+			return e.Inf
+		}
+		return e.V.Sign()
+	}
+	if a.Inf != 0 || b.Inf != 0 {
+		s := sign(a) * sign(b)
+		if s == 0 {
+			// 0 * oo: treat as 0 (sound for closed-box enclosures since
+			// the finite factor really is zero).
+			return FiniteInt(0)
+		}
+		return Endpoint{Inf: s}
+	}
+	return Finite(new(big.Rat).Mul(a.V, b.V))
+}
+
+// Pow returns an enclosure of {x^n : x in iv} for n >= 1, tighter than
+// repeated Mul for even powers.
+func (iv Interval) Pow(n int) Interval {
+	if n == 1 {
+		return iv
+	}
+	if n%2 == 1 {
+		return iv.Mul(iv.Pow(n - 1))
+	}
+	// Even power: range is [min(|x|)^n or 0, max endpoint power].
+	containsZero := iv.Contains(new(big.Rat))
+	abs := iv.Abs()
+	hi := powEndpoint(abs.Hi, n)
+	var lo Endpoint
+	if containsZero {
+		lo = FiniteInt(0)
+	} else {
+		lo = powEndpoint(abs.Lo, n)
+	}
+	return Interval{Lo: lo, Hi: hi}
+}
+
+func powEndpoint(e Endpoint, n int) Endpoint {
+	if e.Inf != 0 {
+		return PosInf()
+	}
+	out := big.NewRat(1, 1)
+	for i := 0; i < n; i++ {
+		out.Mul(out, e.V)
+	}
+	return Finite(out)
+}
+
+// Abs returns {|x| : x in iv}.
+func (iv Interval) Abs() Interval {
+	zero := new(big.Rat)
+	switch {
+	case iv.Lo.Cmp(Finite(zero)) >= 0:
+		return iv
+	case iv.Hi.Cmp(Finite(zero)) <= 0:
+		return iv.Neg()
+	default:
+		hi := negEndpoint(iv.Lo)
+		if iv.Hi.Cmp(hi) > 0 {
+			hi = iv.Hi
+		}
+		return Interval{Lo: Finite(zero), Hi: hi}
+	}
+}
+
+// SignLo and related predicates used by the solvers for refutation.
+
+// DefinitelyPositive reports whether every value in iv is > 0.
+func (iv Interval) DefinitelyPositive() bool {
+	return iv.Lo.Cmp(Finite(new(big.Rat))) > 0
+}
+
+// DefinitelyNegative reports whether every value in iv is < 0.
+func (iv Interval) DefinitelyNegative() bool {
+	return iv.Hi.Cmp(Finite(new(big.Rat))) < 0
+}
+
+// DefinitelyNonNegative reports whether every value in iv is >= 0.
+func (iv Interval) DefinitelyNonNegative() bool {
+	return iv.Lo.Cmp(Finite(new(big.Rat))) >= 0
+}
+
+// DefinitelyNonPositive reports whether every value in iv is <= 0.
+func (iv Interval) DefinitelyNonPositive() bool {
+	return iv.Hi.Cmp(Finite(new(big.Rat))) <= 0
+}
+
+// ExcludesZero reports whether 0 is not in iv.
+func (iv Interval) ExcludesZero() bool {
+	return iv.DefinitelyPositive() || iv.DefinitelyNegative()
+}
+
+// Mid returns a finite midpoint of iv for branching; unbounded sides fall
+// back to stepping out from the finite side (or zero).
+func (iv Interval) Mid() *big.Rat {
+	switch {
+	case iv.Lo.IsFinite() && iv.Hi.IsFinite():
+		m := new(big.Rat).Add(iv.Lo.V, iv.Hi.V)
+		return m.Quo(m, big.NewRat(2, 1))
+	case iv.Lo.IsFinite():
+		return new(big.Rat).Add(iv.Lo.V, big.NewRat(1, 1))
+	case iv.Hi.IsFinite():
+		return new(big.Rat).Sub(iv.Hi.V, big.NewRat(1, 1))
+	default:
+		return new(big.Rat)
+	}
+}
+
+// Width returns the width of the interval and ok=false if unbounded.
+func (iv Interval) Width() (*big.Rat, bool) {
+	if !iv.Lo.IsFinite() || !iv.Hi.IsFinite() {
+		return nil, false
+	}
+	return new(big.Rat).Sub(iv.Hi.V, iv.Lo.V), true
+}
+
+// RoundIntoInts tightens an interval to integer endpoints (for integer
+// variables): the low endpoint rounds up, the high endpoint rounds down.
+func (iv Interval) RoundIntoInts() Interval {
+	out := iv
+	if out.Lo.IsFinite() {
+		out.Lo = Finite(new(big.Rat).SetInt(ceilRat(out.Lo.V)))
+	}
+	if out.Hi.IsFinite() {
+		out.Hi = Finite(new(big.Rat).SetInt(floorRat(out.Hi.V)))
+	}
+	return out
+}
+
+func floorRat(r *big.Rat) *big.Int {
+	q, m := new(big.Int).QuoRem(r.Num(), r.Denom(), new(big.Int))
+	if m.Sign() < 0 {
+		q.Sub(q, big.NewInt(1))
+	}
+	return q
+}
+
+func ceilRat(r *big.Rat) *big.Int {
+	q, m := new(big.Int).QuoRem(r.Num(), r.Denom(), new(big.Int))
+	if m.Sign() > 0 {
+		q.Add(q, big.NewInt(1))
+	}
+	return q
+}
+
+// Floor returns floor(r) as a big.Int.
+func Floor(r *big.Rat) *big.Int { return floorRat(r) }
+
+// Ceil returns ceil(r) as a big.Int.
+func Ceil(r *big.Rat) *big.Int { return ceilRat(r) }

@@ -1,0 +1,169 @@
+package interval
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestArithmeticSoundness: for random operand intervals and random points
+// inside them, the result of exact arithmetic lies in the result interval.
+func TestArithmeticSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	sample := func(iv Interval) *big.Rat {
+		lo := iv.Lo.V.Num().Int64()
+		hi := iv.Hi.V.Num().Int64()
+		if hi <= lo {
+			return big.NewRat(lo, 1)
+		}
+		return big.NewRat(lo+rng.Int63n(hi-lo+1), 1)
+	}
+	for iter := 0; iter < 5000; iter++ {
+		mk := func() Interval {
+			lo := int64(rng.Intn(41) - 20)
+			return Of(lo, lo+int64(rng.Intn(15)))
+		}
+		a, b := mk(), mk()
+		x, y := sample(a), sample(b)
+
+		checks := []struct {
+			name string
+			iv   Interval
+			val  *big.Rat
+		}{
+			{"Add", a.Add(b), new(big.Rat).Add(x, y)},
+			{"Sub", a.Sub(b), new(big.Rat).Sub(x, y)},
+			{"Mul", a.Mul(b), new(big.Rat).Mul(x, y)},
+			{"Neg", a.Neg(), new(big.Rat).Neg(x)},
+			{"Abs", a.Abs(), new(big.Rat).Abs(x)},
+			{"Pow2", a.Pow(2), new(big.Rat).Mul(x, x)},
+			{"Pow3", a.Pow(3), new(big.Rat).Mul(new(big.Rat).Mul(x, x), x)},
+		}
+		for _, c := range checks {
+			if !c.iv.Contains(c.val) {
+				t.Fatalf("%s: %v ∌ %v (a=%v x=%v, b=%v y=%v)", c.name, c.iv, c.val, a, x, b, y)
+			}
+		}
+	}
+}
+
+func TestInfiniteEndpoints(t *testing.T) {
+	full := Full()
+	if full.Empty() {
+		t.Error("full interval empty")
+	}
+	if _, ok := full.Width(); ok {
+		t.Error("full interval should have no width")
+	}
+	if !full.Contains(big.NewRat(1<<40, 1)) {
+		t.Error("full interval should contain everything")
+	}
+	pos := New(FiniteInt(1), PosInf())
+	if !pos.DefinitelyPositive() {
+		t.Error("[1, +oo) should be definitely positive")
+	}
+	prod := pos.Mul(Of(-2, -1))
+	if !prod.DefinitelyNegative() {
+		t.Errorf("[1,+oo) * [-2,-1] = %v should be definitely negative", prod)
+	}
+	// 0 * infinite interval stays bounded at zero.
+	z := Point(new(big.Rat)).Mul(full)
+	if !z.IsPoint() || z.Lo.V.Sign() != 0 {
+		t.Errorf("0 * (-oo,+oo) = %v, want [0,0]", z)
+	}
+}
+
+func TestIntersectJoin(t *testing.T) {
+	a := Of(0, 10)
+	b := Of(5, 20)
+	i := a.Intersect(b)
+	if i.Lo.V.Cmp(big.NewRat(5, 1)) != 0 || i.Hi.V.Cmp(big.NewRat(10, 1)) != 0 {
+		t.Errorf("Intersect = %v, want [5,10]", i)
+	}
+	j := a.Join(b)
+	if j.Lo.V.Sign() != 0 || j.Hi.V.Cmp(big.NewRat(20, 1)) != 0 {
+		t.Errorf("Join = %v, want [0,20]", j)
+	}
+	empty := Of(0, 1).Intersect(Of(5, 6))
+	if !empty.Empty() {
+		t.Errorf("disjoint intersect %v should be empty", empty)
+	}
+}
+
+func TestPowEvenTightness(t *testing.T) {
+	// [-3, 2]² = [0, 9] (not [-6, 9] as naive multiplication would give).
+	iv := Of(-3, 2).Pow(2)
+	if iv.Lo.V.Sign() != 0 || iv.Hi.V.Cmp(big.NewRat(9, 1)) != 0 {
+		t.Errorf("[-3,2]² = %v, want [0,9]", iv)
+	}
+	// [-3, -2]² = [4, 9].
+	iv = Of(-3, -2).Pow(2)
+	if iv.Lo.V.Cmp(big.NewRat(4, 1)) != 0 {
+		t.Errorf("[-3,-2]² = %v, want [4,9]", iv)
+	}
+}
+
+func TestRoundIntoInts(t *testing.T) {
+	iv := Interval{Lo: Finite(big.NewRat(3, 2)), Hi: Finite(big.NewRat(7, 2))}
+	r := iv.RoundIntoInts()
+	if r.Lo.V.Cmp(big.NewRat(2, 1)) != 0 || r.Hi.V.Cmp(big.NewRat(3, 1)) != 0 {
+		t.Errorf("RoundIntoInts([3/2, 7/2]) = %v, want [2, 3]", r)
+	}
+	neg := Interval{Lo: Finite(big.NewRat(-7, 2)), Hi: Finite(big.NewRat(-3, 2))}
+	r = neg.RoundIntoInts()
+	if r.Lo.V.Cmp(big.NewRat(-3, 1)) != 0 || r.Hi.V.Cmp(big.NewRat(-2, 1)) != 0 {
+		t.Errorf("RoundIntoInts([-7/2, -3/2]) = %v, want [-3, -2]", r)
+	}
+}
+
+func TestFloorCeil(t *testing.T) {
+	cases := []struct {
+		num, den int64
+		floor    int64
+		ceil     int64
+	}{
+		{7, 2, 3, 4},
+		{-7, 2, -4, -3},
+		{6, 2, 3, 3},
+		{0, 1, 0, 0},
+	}
+	for _, tc := range cases {
+		r := big.NewRat(tc.num, tc.den)
+		if got := Floor(r).Int64(); got != tc.floor {
+			t.Errorf("Floor(%v) = %d, want %d", r, got, tc.floor)
+		}
+		if got := Ceil(r).Int64(); got != tc.ceil {
+			t.Errorf("Ceil(%v) = %d, want %d", r, got, tc.ceil)
+		}
+	}
+}
+
+func TestMidInsideInterval(t *testing.T) {
+	f := func(lo int16, spanRaw uint8) bool {
+		iv := Of(int64(lo), int64(lo)+int64(spanRaw))
+		return iv.Contains(iv.Mid())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Unbounded sides still produce finite midpoints.
+	if m := New(FiniteInt(5), PosInf()).Mid(); m.Cmp(big.NewRat(5, 1)) <= 0 {
+		t.Errorf("Mid of [5, +oo) = %v, want > 5", m)
+	}
+	if m := Full().Mid(); m.Sign() != 0 {
+		t.Errorf("Mid of full = %v, want 0", m)
+	}
+}
+
+func TestEndpointOrdering(t *testing.T) {
+	if NegInf().Cmp(PosInf()) >= 0 {
+		t.Error("-oo < +oo violated")
+	}
+	if NegInf().Cmp(FiniteInt(-1000000)) >= 0 {
+		t.Error("-oo < finite violated")
+	}
+	if FiniteInt(5).Cmp(FiniteInt(5)) != 0 {
+		t.Error("finite equality violated")
+	}
+}

@@ -1,0 +1,367 @@
+// Package reduce applies STAUB's bound-inference strategy to constraints
+// that are already bounded — the extension sketched in Section 6.4 of the
+// paper (after Jonáš and Strejček's bit-width reductions): a wide
+// bitvector constraint is re-expressed at a narrower width inferred by the
+// same abstract interpretation, solved there, and the narrow model is
+// sign-extended back and verified against the original. Like the
+// unbounded-to-bounded arbitrage, the reduction underapproximates (models
+// outside the narrow range are lost, and wrap-around behaviour differs),
+// so verification restores end-to-end correctness and an unsat narrow
+// constraint reverts.
+package reduce
+
+import (
+	"fmt"
+	"time"
+
+	"staub/internal/bv"
+	"staub/internal/eval"
+	"staub/internal/smt"
+	"staub/internal/solver"
+	"staub/internal/status"
+)
+
+// InferWidth runs the integer width inference over a bitvector constraint,
+// reading constants as signed values: the result is the narrowest width
+// that represents every constant and (under the practical semantics) the
+// intermediate values anchored by them. The declared width is returned
+// when inference cannot do better.
+func InferWidth(c *smt.Constraint) int {
+	declared := 0
+	for _, v := range c.Vars {
+		if v.Sort.Kind == smt.KindBitVec && v.Sort.Width > declared {
+			declared = v.Sort.Width
+		}
+	}
+	if declared == 0 {
+		return 0
+	}
+	// Variable assumption: largest constant's signed width plus one.
+	x := 4
+	for _, a := range c.Assertions {
+		a.Walk(func(t *smt.Term) bool {
+			if t.Op == smt.OpBVConst {
+				if w := t.BVSigned().BitLen() + 2; w > x {
+					x = w
+				}
+			}
+			return true
+		})
+	}
+	memo := map[*smt.Term]int{}
+	root := 1
+	for _, a := range c.Assertions {
+		if w := inferBVTerm(a, x, memo); w > root {
+			root = w
+		}
+	}
+	if root >= declared {
+		return declared
+	}
+	return root
+}
+
+// inferBVTerm mirrors the practical integer semantics over bitvector
+// operators.
+func inferBVTerm(t *smt.Term, x int, memo map[*smt.Term]int) int {
+	if w, ok := memo[t]; ok {
+		return w
+	}
+	var w int
+	switch t.Op {
+	case smt.OpVar:
+		if t.Sort.Kind == smt.KindBool {
+			w = 1
+		} else {
+			w = x
+		}
+	case smt.OpBVConst:
+		w = t.BVSigned().BitLen() + 1
+	case smt.OpTrue, smt.OpFalse:
+		w = 1
+	case smt.OpBVNeg, smt.OpBVNot:
+		w = inferBVTerm(t.Args[0], x, memo) + 1
+	case smt.OpBVAdd, smt.OpBVSub:
+		// Chains of nested additions (as binary-chaining translators
+		// emit) count as one growth level, matching the practical
+		// integer semantics on the n-ary form.
+		m := 0
+		var leaves func(u *smt.Term)
+		leaves = func(u *smt.Term) {
+			if u.Op == smt.OpBVAdd || u.Op == smt.OpBVSub {
+				for _, a := range u.Args {
+					leaves(a)
+				}
+				return
+			}
+			m = max(m, inferBVTerm(u, x, memo))
+		}
+		leaves(t)
+		w = m + 1
+	case smt.OpBVMul:
+		for _, a := range t.Args {
+			w = max(w, inferBVTerm(a, x, memo))
+		}
+	case smt.OpBVSDiv, smt.OpBVUDiv:
+		w = inferBVTerm(t.Args[0], x, memo) + 1
+		inferBVTerm(t.Args[1], x, memo)
+	case smt.OpBVSRem, smt.OpBVSMod, smt.OpBVURem:
+		inferBVTerm(t.Args[0], x, memo)
+		w = inferBVTerm(t.Args[1], x, memo)
+	default:
+		w = 1
+		for _, a := range t.Args {
+			w = max(w, inferBVTerm(a, x, memo))
+		}
+	}
+	memo[t] = w
+	return w
+}
+
+// Result is a completed width reduction.
+type Result struct {
+	// Reduced is the constraint at the narrow width.
+	Reduced *smt.Constraint
+	// FromWidth and ToWidth record the reduction.
+	FromWidth, ToWidth int
+
+	origVars []*smt.Term
+}
+
+// Reduce rebuilds a single-width bitvector constraint at the given
+// narrower width. Constants that do not fit are truncated (their
+// constraints then select different models, which verification catches).
+// Shifts and the overflow predicates are structure-preserving. Constraints
+// mixing several bitvector widths are rejected.
+func Reduce(c *smt.Constraint, width int) (*Result, error) {
+	out := smt.NewConstraint(c.Logic)
+	r := &Result{Reduced: out, ToWidth: width, origVars: c.Vars}
+	tr := &reducer{dst: out, width: width, memo: map[*smt.Term]*smt.Term{}}
+	for _, v := range c.Vars {
+		switch v.Sort.Kind {
+		case smt.KindBool:
+			if _, err := out.Declare(v.Name, smt.BoolSort); err != nil {
+				return nil, err
+			}
+		case smt.KindBitVec:
+			if r.FromWidth == 0 {
+				r.FromWidth = v.Sort.Width
+			} else if r.FromWidth != v.Sort.Width {
+				return nil, fmt.Errorf("reduce: mixed widths %d and %d", r.FromWidth, v.Sort.Width)
+			}
+			if _, err := out.Declare(v.Name, smt.BitVecSort(width)); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("reduce: unsupported variable sort %v", v.Sort)
+		}
+	}
+	if r.FromWidth == 0 {
+		return nil, fmt.Errorf("reduce: no bitvector variables")
+	}
+	if width >= r.FromWidth {
+		return nil, fmt.Errorf("reduce: target width %d is not narrower than %d", width, r.FromWidth)
+	}
+	for _, a := range c.Assertions {
+		t, err := tr.term(a)
+		if err != nil {
+			return nil, err
+		}
+		// Overflow guards first: they force the narrow arithmetic to be
+		// exact, so a narrow model extends to the original width (where
+		// the same values cannot overflow either, being far smaller).
+		for _, g := range tr.guards {
+			out.MustAssert(g)
+		}
+		tr.guards = nil
+		if err := out.Assert(t); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+type reducer struct {
+	dst       *smt.Constraint
+	width     int
+	memo      map[*smt.Term]*smt.Term
+	guards    []*smt.Term
+	guardSeen map[*smt.Term]bool
+}
+
+func (tr *reducer) addGuard(g *smt.Term) {
+	if tr.guardSeen == nil {
+		tr.guardSeen = map[*smt.Term]bool{}
+	}
+	if tr.guardSeen[g] {
+		return
+	}
+	tr.guardSeen[g] = true
+	tr.guards = append(tr.guards, g)
+}
+
+func (tr *reducer) term(t *smt.Term) (*smt.Term, error) {
+	if out, ok := tr.memo[t]; ok {
+		return out, nil
+	}
+	out, err := tr.termUncached(t)
+	if err != nil {
+		return nil, err
+	}
+	tr.memo[t] = out
+	return out, nil
+}
+
+func (tr *reducer) termUncached(t *smt.Term) (*smt.Term, error) {
+	b := tr.dst.Builder
+	switch t.Op {
+	case smt.OpVar:
+		v, ok := b.LookupVar(t.Name)
+		if !ok {
+			return nil, fmt.Errorf("reduce: undeclared variable %q", t.Name)
+		}
+		return v, nil
+	case smt.OpTrue:
+		return b.True(), nil
+	case smt.OpFalse:
+		return b.False(), nil
+	case smt.OpBVConst:
+		// Re-encode the signed value at the narrow width (wrapping).
+		return b.BV(t.BVSigned(), tr.width), nil
+	case smt.OpIntConst, smt.OpRealConst, smt.OpFPConst:
+		return nil, fmt.Errorf("reduce: non-bitvector constant in bitvector constraint")
+	}
+	args := make([]*smt.Term, len(t.Args))
+	for i, a := range t.Args {
+		ra, err := tr.term(a)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = ra
+	}
+	// Guard narrow arithmetic against overflow so its results are exact.
+	switch t.Op {
+	case smt.OpBVNeg:
+		tr.addGuard(b.Not(b.MustApply(smt.OpBVNegO, args[0])))
+	case smt.OpBVAdd, smt.OpBVSub, smt.OpBVMul, smt.OpBVSDiv:
+		guard := map[smt.Op]smt.Op{
+			smt.OpBVAdd:  smt.OpBVSAddO,
+			smt.OpBVSub:  smt.OpBVSSubO,
+			smt.OpBVMul:  smt.OpBVSMulO,
+			smt.OpBVSDiv: smt.OpBVSDivO,
+		}[t.Op]
+		acc := args[0]
+		for _, a := range args[1:] {
+			tr.addGuard(b.Not(b.MustApply(guard, acc, a)))
+			var err error
+			acc, err = b.Apply(t.Op, acc, a)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return acc, nil
+	}
+	return b.Apply(t.Op, args...)
+}
+
+// ModelBack sign-extends a narrow model to the original width.
+func (r *Result) ModelBack(narrow eval.Assignment) (eval.Assignment, error) {
+	out := make(eval.Assignment, len(narrow))
+	for _, v := range r.origVars {
+		nv, ok := narrow[v.Name]
+		if !ok {
+			return nil, fmt.Errorf("reduce: model missing %q", v.Name)
+		}
+		switch v.Sort.Kind {
+		case smt.KindBool:
+			out[v.Name] = nv
+		case smt.KindBitVec:
+			out[v.Name] = eval.BVValue(bv.New(r.FromWidth, nv.BV.Int()))
+		}
+	}
+	return out, nil
+}
+
+// Outcome classifies a reduction pipeline run.
+type Outcome int
+
+// Outcomes.
+const (
+	// OutcomeVerified: the narrow model sign-extends to a model of the
+	// original constraint.
+	OutcomeVerified Outcome = iota
+	// OutcomeNarrowUnsat: the narrow constraint is unsat; revert.
+	OutcomeNarrowUnsat
+	// OutcomeSemanticDifference: the narrow model does not extend; revert.
+	OutcomeSemanticDifference
+	// OutcomeUnknown: budget exhausted or unsupported; revert.
+	OutcomeUnknown
+	// OutcomeNoReduction: inference found no narrower width.
+	OutcomeNoReduction
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeVerified:
+		return "verified"
+	case OutcomeNarrowUnsat:
+		return "narrow-unsat"
+	case OutcomeSemanticDifference:
+		return "semantic-difference"
+	case OutcomeNoReduction:
+		return "no-reduction"
+	default:
+		return "unknown"
+	}
+}
+
+// PipelineResult reports a reduction pipeline run.
+type PipelineResult struct {
+	Outcome            Outcome
+	Status             status.Status
+	Model              eval.Assignment
+	FromWidth, ToWidth int
+	Total              time.Duration
+}
+
+// RunPipeline reduces, solves narrow, and verifies — the bounded-to-
+// narrower-bounded analogue of the STAUB pipeline.
+func RunPipeline(c *smt.Constraint, timeout time.Duration, profile solver.Profile) PipelineResult {
+	start := time.Now()
+	done := func(o Outcome, st status.Status, m eval.Assignment, from, to int) PipelineResult {
+		return PipelineResult{Outcome: o, Status: st, Model: m, FromWidth: from, ToWidth: to, Total: time.Since(start)}
+	}
+	w := InferWidth(c)
+	if w == 0 {
+		return done(OutcomeUnknown, status.Unknown, nil, 0, 0)
+	}
+	declared := 0
+	for _, v := range c.Vars {
+		if v.Sort.Kind == smt.KindBitVec {
+			declared = v.Sort.Width
+			break
+		}
+	}
+	if w >= declared {
+		return done(OutcomeNoReduction, status.Unknown, nil, declared, declared)
+	}
+	r, err := Reduce(c, w)
+	if err != nil {
+		return done(OutcomeUnknown, status.Unknown, nil, declared, w)
+	}
+	res := solver.SolveTimeout(r.Reduced, timeout-time.Since(start), profile)
+	switch res.Status {
+	case status.Unsat:
+		return done(OutcomeNarrowUnsat, status.Unknown, nil, r.FromWidth, w)
+	case status.Unknown:
+		return done(OutcomeUnknown, status.Unknown, nil, r.FromWidth, w)
+	}
+	model, err := r.ModelBack(res.Model)
+	if err != nil {
+		return done(OutcomeSemanticDifference, status.Unknown, nil, r.FromWidth, w)
+	}
+	if ok, err := eval.Constraint(c, model); err != nil || !ok {
+		return done(OutcomeSemanticDifference, status.Unknown, nil, r.FromWidth, w)
+	}
+	return done(OutcomeVerified, status.Sat, model, r.FromWidth, w)
+}

@@ -1,0 +1,157 @@
+package reduce
+
+import (
+	"testing"
+	"time"
+
+	"staub/internal/eval"
+	"staub/internal/smt"
+	"staub/internal/solver"
+	"staub/internal/status"
+)
+
+func parse(t *testing.T, src string) *smt.Constraint {
+	t.Helper()
+	c, err := smt.ParseScript(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestInferWidthNarrows(t *testing.T) {
+	c := parse(t, `
+		(declare-fun x () (_ BitVec 32))
+		(declare-fun y () (_ BitVec 32))
+		(assert (= (bvadd x y) (_ bv100 32)))
+		(assert (bvsgt x (_ bv0 32)))
+		(check-sat)`)
+	w := InferWidth(c)
+	if w >= 32 {
+		t.Fatalf("InferWidth = %d, want < 32", w)
+	}
+	if w < 8 {
+		t.Fatalf("InferWidth = %d, too narrow for constant 100", w)
+	}
+}
+
+func TestInferWidthNoImprovement(t *testing.T) {
+	// A constant using the full width blocks reduction.
+	c := parse(t, `
+		(declare-fun x () (_ BitVec 8))
+		(assert (bvsgt x (_ bv100 8)))
+		(check-sat)`)
+	if w := InferWidth(c); w != 8 {
+		t.Fatalf("InferWidth = %d, want 8 (no reduction possible)", w)
+	}
+}
+
+func TestReducePipelineVerifies(t *testing.T) {
+	c := parse(t, `
+		(declare-fun x () (_ BitVec 32))
+		(declare-fun y () (_ BitVec 32))
+		(assert (= (bvmul x y) (_ bv391 32)))
+		(assert (bvsgt x (_ bv1 32)))
+		(assert (bvsgt y x))
+		(check-sat)`)
+	res := RunPipeline(c, 20*time.Second, solver.Prima)
+	if res.Outcome != OutcomeVerified {
+		t.Fatalf("outcome = %v (from %d to %d)", res.Outcome, res.FromWidth, res.ToWidth)
+	}
+	if res.ToWidth >= 32 {
+		t.Errorf("no narrowing: %d", res.ToWidth)
+	}
+	ok, err := eval.Constraint(c, res.Model)
+	if err != nil || !ok {
+		t.Fatalf("model does not verify: %v", err)
+	}
+	// 391 = 17 * 23.
+	x := res.Model["x"].BV.Int().Int64()
+	y := res.Model["y"].BV.Int().Int64()
+	if x*y != 391 {
+		t.Errorf("x*y = %d, want 391", x*y)
+	}
+}
+
+func TestReduceRevertsOnNarrowUnsat(t *testing.T) {
+	// Satisfiable only by values beyond the inferred narrow range: the
+	// narrow constraint is unsat and the pipeline must revert, not claim
+	// unsat.
+	c := parse(t, `
+		(declare-fun x () (_ BitVec 32))
+		(assert (= (bvmul x x) (_ bv16384 32)))
+		(assert (bvsgt x (_ bv100 32)))
+		(check-sat)`)
+	res := RunPipeline(c, 10*time.Second, solver.Prima)
+	if res.Status == status.Unsat {
+		t.Fatal("reduction pipeline must never report unsat")
+	}
+	if res.Outcome == OutcomeVerified {
+		// Acceptable only with a genuinely correct model.
+		ok, _ := eval.Constraint(c, res.Model)
+		if !ok {
+			t.Fatal("verified a wrong model")
+		}
+	}
+}
+
+func TestReduceModelBackSignExtends(t *testing.T) {
+	c := parse(t, `
+		(declare-fun x () (_ BitVec 16))
+		(assert (bvslt x (_ bv0 16)))
+		(assert (bvsgt x (bvneg (_ bv5 16))))
+		(check-sat)`)
+	res := RunPipeline(c, 10*time.Second, solver.Prima)
+	if res.Outcome != OutcomeVerified {
+		t.Fatalf("outcome = %v", res.Outcome)
+	}
+	x := res.Model["x"].BV
+	if x.Width() != 16 {
+		t.Fatalf("model width = %d, want 16", x.Width())
+	}
+	if v := x.Int().Int64(); v >= 0 || v <= -5 {
+		t.Errorf("x = %d, want in (-5, 0)", v)
+	}
+}
+
+func TestReduceRejectsMixedWidths(t *testing.T) {
+	c := smt.NewConstraint("QF_BV")
+	c.MustDeclare("a", smt.BitVecSort(8))
+	c.MustDeclare("b", smt.BitVecSort(16))
+	if _, err := Reduce(c, 4); err == nil {
+		t.Error("expected mixed-width rejection")
+	}
+}
+
+func TestReduceSpeedsUpWideConstraint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing comparison")
+	}
+	// A 40-bit constraint whose interesting action fits in ~12 bits.
+	src := `
+		(declare-fun x () (_ BitVec 40))
+		(declare-fun y () (_ BitVec 40))
+		(declare-fun z () (_ BitVec 40))
+		(assert (= (bvadd (bvmul x x) (bvmul y y) (bvmul z z)) (_ bv1604 40)))
+		(assert (bvsgt (bvadd x y) (_ bv30 40)))
+		(check-sat)`
+	c := parse(t, src)
+	res := RunPipeline(c, 30*time.Second, solver.Prima)
+	if res.Outcome != OutcomeVerified {
+		t.Fatalf("outcome = %v", res.Outcome)
+	}
+	c2 := parse(t, src)
+	budget := 2 * res.Total
+	if budget < 200*time.Millisecond {
+		budget = 200 * time.Millisecond
+	}
+	direct := solver.SolveTimeout(c2, budget, solver.Prima)
+	if direct.Status == status.Unknown {
+		t.Logf("reduction win: direct 40-bit solve timed out in %v; reduced pipeline took %v (%d→%d bits)",
+			budget, res.Total, res.FromWidth, res.ToWidth)
+		return
+	}
+	if direct.Elapsed < res.Total {
+		t.Logf("direct solve was faster (%v vs %v) — acceptable, reduction reverts via portfolio", direct.Elapsed, res.Total)
+	}
+}

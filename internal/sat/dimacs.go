@@ -1,0 +1,57 @@
+package sat
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteDIMACS writes the solver's problem clauses (not learned clauses) in
+// DIMACS CNF format, so encodings produced by the bit-blaster can be
+// inspected or handed to external SAT solvers.
+func (s *Solver) WriteDIMACS(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "p cnf %d %d\n", len(s.vars), len(s.clauses)+len(s.unitsOnTrail())); err != nil {
+		return err
+	}
+	// Top-level units (assigned at decision level 0) are part of the
+	// problem: AddClause enqueues unit clauses instead of storing them.
+	for _, l := range s.unitsOnTrail() {
+		if _, err := fmt.Fprintf(bw, "%d 0\n", dimacsLit(l)); err != nil {
+			return err
+		}
+	}
+	for _, c := range s.clauses {
+		for _, l := range c.lits {
+			if _, err := fmt.Fprintf(bw, "%d ", dimacsLit(l)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(bw, "0"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// unitsOnTrail returns the literals fixed at decision level 0.
+func (s *Solver) unitsOnTrail() []Lit {
+	var out []Lit
+	bound := len(s.trail)
+	if len(s.trailLim) > 0 {
+		bound = s.trailLim[0]
+	}
+	for _, l := range s.trail[:bound] {
+		out = append(out, l)
+	}
+	return out
+}
+
+// dimacsLit converts to the 1-based signed DIMACS convention.
+func dimacsLit(l Lit) int {
+	v := l.Var() + 1
+	if l.Sign() {
+		return -v
+	}
+	return v
+}

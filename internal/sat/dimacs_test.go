@@ -1,0 +1,90 @@
+package sat
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteDIMACS(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	b := s.NewVar()
+	c := s.NewVar()
+	s.AddClause(PosLit(a), NegLit(b), PosLit(c))
+	s.AddClause(NegLit(a), PosLit(b))
+	s.AddClause(PosLit(c)) // becomes a level-0 unit
+
+	var buf bytes.Buffer
+	if err := s.WriteDIMACS(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if lines[0] != "p cnf 3 3" {
+		t.Errorf("header = %q, want %q", lines[0], "p cnf 3 3")
+	}
+	want := map[string]bool{"3 0": false, "1 -2 3 0": false, "-1 2 0": false}
+	for _, ln := range lines[1:] {
+		if _, ok := want[ln]; !ok {
+			t.Errorf("unexpected clause line %q", ln)
+			continue
+		}
+		want[ln] = true
+	}
+	for ln, seen := range want {
+		if !seen {
+			t.Errorf("missing clause line %q", ln)
+		}
+	}
+}
+
+func TestWriteDIMACSRoundTripSatisfiability(t *testing.T) {
+	// The exported CNF must be satisfiable exactly when the solver says
+	// so; check by re-importing into a fresh solver.
+	s := New()
+	for i := 0; i < 4; i++ {
+		s.NewVar()
+	}
+	s.AddClause(PosLit(0), PosLit(1))
+	s.AddClause(NegLit(0), PosLit(2))
+	s.AddClause(NegLit(2), NegLit(1))
+	s.AddClause(PosLit(3))
+
+	var buf bytes.Buffer
+	if err := s.WriteDIMACS(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Minimal DIMACS import.
+	s2 := New()
+	for i := 0; i < 4; i++ {
+		s2.NewVar()
+	}
+	for _, ln := range strings.Split(strings.TrimSpace(buf.String()), "\n")[1:] {
+		var lits []Lit
+		for _, f := range strings.Fields(ln) {
+			n := 0
+			neg := false
+			for i, ch := range f {
+				if i == 0 && ch == '-' {
+					neg = true
+					continue
+				}
+				n = n*10 + int(ch-'0')
+			}
+			if n == 0 {
+				continue
+			}
+			if neg {
+				lits = append(lits, NegLit(n-1))
+			} else {
+				lits = append(lits, PosLit(n-1))
+			}
+		}
+		s2.AddClause(lits...)
+	}
+	if got, want := s2.Solve(), s.Solve(); got != want {
+		t.Errorf("reimported CNF: %v, original: %v", got, want)
+	}
+}

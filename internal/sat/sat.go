@@ -1,0 +1,681 @@
+// Package sat implements a CDCL (conflict-driven clause learning) SAT
+// solver with two-literal watching, first-UIP conflict analysis, VSIDS
+// variable activity, phase saving, Luby restarts and activity-based
+// learned-clause deletion. It is the backend for package bitblast, giving
+// this repository the standard production pipeline for deciding the
+// bounded constraints STAUB produces.
+package sat
+
+import (
+	"math/rand"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Lit is a literal: variable index v (from NewVar) with polarity encoded
+// as 2v for the positive and 2v+1 for the negative literal.
+type Lit int32
+
+// PosLit returns the positive literal of variable v.
+func PosLit(v int) Lit { return Lit(2 * v) }
+
+// NegLit returns the negative literal of variable v.
+func NegLit(v int) Lit { return Lit(2*v + 1) }
+
+// Not returns the complement literal.
+func (l Lit) Not() Lit { return l ^ 1 }
+
+// Var returns the literal's variable index.
+func (l Lit) Var() int { return int(l >> 1) }
+
+// Sign reports whether the literal is negative.
+func (l Lit) Sign() bool { return l&1 == 1 }
+
+// Status is a solve outcome.
+type Status int
+
+// Solve outcomes.
+const (
+	// Unknown means the budget or deadline expired, or solving was
+	// interrupted.
+	Unknown Status = iota
+	// Sat means a satisfying assignment was found.
+	Sat
+	// Unsat means the formula was proved unsatisfiable.
+	Unsat
+)
+
+func (s Status) String() string {
+	switch s {
+	case Sat:
+		return "sat"
+	case Unsat:
+		return "unsat"
+	default:
+		return "unknown"
+	}
+}
+
+type lbool int8
+
+const (
+	lUndef lbool = iota
+	lTrue
+	lFalse
+)
+
+type clause struct {
+	lits    []Lit
+	learned bool
+	act     float64
+}
+
+type watcher struct {
+	c       *clause
+	blocker Lit
+}
+
+type varData struct {
+	level   int32
+	reason  *clause
+	act     float64
+	phase   bool // saved phase
+	polInit bool
+	heapIdx int32
+}
+
+// Stats records solver work counters.
+type Stats struct {
+	Decisions    int64
+	Propagations int64
+	Conflicts    int64
+	Restarts     int64
+	Learned      int64
+}
+
+// Solver is a single-use CDCL SAT solver: construct, add clauses, call
+// Solve once (repeated Solve calls are permitted and resume with learned
+// clauses retained, supporting incremental use under assumptions).
+type Solver struct {
+	clauses []*clause
+	learnts []*clause
+	watches [][]watcher // indexed by literal
+
+	vars     []varData
+	assigns  []lbool // per-literal truth value, indexed by Lit
+	trail    []Lit
+	trailLim []int
+	qhead    int
+
+	order  varHeap
+	varInc float64
+	// VarDecay is the VSIDS activity decay factor in (0, 1); lower values
+	// focus the search harder on recent conflicts. Set before Solve.
+	VarDecay float64
+	claInc   float64
+	claDecay float64
+
+	ok        bool    // false once a top-level conflict is found
+	maxLearnt float64 // adaptive learned-clause cap
+	rng       *rand.Rand
+
+	// RandomFreq is the probability of a random branching decision in
+	// [0, 1); a small positive value makes the search robust against
+	// pathological activity orderings. Set before Solve.
+	RandomFreq float64
+
+	// Budget controls.
+	Deadline    time.Time    // zero means none
+	ConflictCap int64        // 0 means unlimited
+	interrupted *atomic.Bool // optional external interrupt
+
+	Stats Stats
+
+	seen     []bool
+	analyzeT []Lit
+}
+
+// New returns an empty solver.
+func New() *Solver {
+	s := &Solver{
+		varInc:     1,
+		VarDecay:   0.8,
+		claInc:     1,
+		claDecay:   0.999,
+		ok:         true,
+		RandomFreq: 0.02,
+		rng:        rand.New(rand.NewSource(1)),
+	}
+	s.order.s = s
+	return s
+}
+
+// SetInterrupt installs an external interrupt flag; when it becomes true
+// the solver returns Unknown at the next check.
+func (s *Solver) SetInterrupt(flag *atomic.Bool) { s.interrupted = flag }
+
+// NumVars returns the number of variables created.
+func (s *Solver) NumVars() int { return len(s.vars) }
+
+// NewVar creates a new variable and returns its index.
+func (s *Solver) NewVar() int {
+	v := len(s.vars)
+	s.vars = append(s.vars, varData{heapIdx: -1})
+	s.assigns = append(s.assigns, lUndef, lUndef)
+	s.watches = append(s.watches, nil, nil)
+	s.seen = append(s.seen, false)
+	s.order.push(v)
+	return v
+}
+
+// AddClause adds a clause over existing variables. It returns false if the
+// solver is already known unsatisfiable at the top level.
+func (s *Solver) AddClause(lits ...Lit) bool {
+	if !s.ok {
+		return false
+	}
+	// Simplify: drop duplicate and false literals, detect tautologies.
+	out := lits[:0:0]
+	for _, l := range lits {
+		switch s.litValue(l) {
+		case lTrue:
+			return true // already satisfied at level 0 (only level 0 here)
+		case lFalse:
+			continue
+		}
+		dup, taut := false, false
+		for _, o := range out {
+			if o == l {
+				dup = true
+				break
+			}
+			if o == l.Not() {
+				taut = true
+				break
+			}
+		}
+		if taut {
+			return true
+		}
+		if !dup {
+			out = append(out, l)
+		}
+	}
+	switch len(out) {
+	case 0:
+		s.ok = false
+		return false
+	case 1:
+		if !s.enqueue(out[0], nil) {
+			s.ok = false
+			return false
+		}
+		if s.propagate() != nil {
+			s.ok = false
+			return false
+		}
+		return true
+	}
+	c := &clause{lits: out}
+	s.clauses = append(s.clauses, c)
+	s.attach(c)
+	return true
+}
+
+func (s *Solver) attach(c *clause) {
+	s.watches[c.lits[0].Not()] = append(s.watches[c.lits[0].Not()], watcher{c: c, blocker: c.lits[1]})
+	s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], watcher{c: c, blocker: c.lits[0]})
+}
+
+func (s *Solver) litValue(l Lit) lbool { return s.assigns[l] }
+
+// Value returns the model value of variable v after a Sat result.
+func (s *Solver) Value(v int) bool { return s.assigns[PosLit(v)] == lTrue }
+
+func (s *Solver) decisionLevel() int { return len(s.trailLim) }
+
+func (s *Solver) enqueue(l Lit, reason *clause) bool {
+	switch s.assigns[l] {
+	case lTrue:
+		return true
+	case lFalse:
+		return false
+	}
+	s.assigns[l] = lTrue
+	s.assigns[l^1] = lFalse
+	vd := &s.vars[l.Var()]
+	vd.level = int32(s.decisionLevel())
+	vd.reason = reason
+	s.trail = append(s.trail, l)
+	return true
+}
+
+func (s *Solver) propagate() *clause {
+	for s.qhead < len(s.trail) {
+		l := s.trail[s.qhead]
+		s.qhead++
+		s.Stats.Propagations++
+		ws := s.watches[l]
+		j := 0
+		for i := 0; i < len(ws); i++ {
+			w := ws[i]
+			if s.litValue(w.blocker) == lTrue {
+				ws[j] = w
+				j++
+				continue
+			}
+			c := w.c
+			// Make sure the false literal is lits[1].
+			if c.lits[0] == l.Not() {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			first := c.lits[0]
+			if first != w.blocker && s.litValue(first) == lTrue {
+				ws[j] = watcher{c: c, blocker: first}
+				j++
+				continue
+			}
+			// Look for a new watch.
+			found := false
+			for k := 2; k < len(c.lits); k++ {
+				if s.litValue(c.lits[k]) != lFalse {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], watcher{c: c, blocker: first})
+					found = true
+					break
+				}
+			}
+			if found {
+				continue
+			}
+			// Clause is unit or conflicting.
+			ws[j] = watcher{c: c, blocker: first}
+			j++
+			if s.litValue(first) == lFalse {
+				// Conflict: restore remaining watchers and report.
+				for i++; i < len(ws); i++ {
+					ws[j] = ws[i]
+					j++
+				}
+				s.watches[l] = ws[:j]
+				s.qhead = len(s.trail)
+				return c
+			}
+			s.enqueue(first, c)
+		}
+		s.watches[l] = ws[:j]
+	}
+	return nil
+}
+
+func (s *Solver) analyze(confl *clause) (learnt []Lit, backLevel int) {
+	pathC := 0
+	var p Lit = -1
+	learnt = append(learnt, 0) // reserve slot for the asserting literal
+	idx := len(s.trail) - 1
+
+	for {
+		for _, q := range confl.lits {
+			if p != -1 && q == p {
+				continue
+			}
+			v := q.Var()
+			if !s.seen[v] && s.vars[v].level > 0 {
+				s.seen[v] = true
+				s.bumpVar(v)
+				if int(s.vars[v].level) >= s.decisionLevel() {
+					pathC++
+				} else {
+					learnt = append(learnt, q)
+				}
+			}
+		}
+		// Find the next literal to expand.
+		for !s.seen[s.trail[idx].Var()] {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		v := p.Var()
+		s.seen[v] = false
+		pathC--
+		if pathC == 0 {
+			break
+		}
+		confl = s.vars[v].reason
+	}
+	learnt[0] = p.Not()
+
+	// Minimize: remove literals implied by the rest (cheap
+	// self-subsumption). learnt[:1:1] forces the appends below onto a
+	// fresh backing array so the original set stays intact for the
+	// redundancy checks.
+	minimized := learnt[:1:1]
+	for _, q := range learnt[1:] {
+		r := s.vars[q.Var()].reason
+		if r == nil || !s.redundant(q, r, learnt) {
+			minimized = append(minimized, q)
+		}
+	}
+	for _, q := range learnt {
+		s.seen[q.Var()] = false
+	}
+	learnt = minimized
+
+	// Compute backtrack level: second-highest level in the clause.
+	backLevel = 0
+	if len(learnt) > 1 {
+		maxI := 1
+		for i := 2; i < len(learnt); i++ {
+			if s.vars[learnt[i].Var()].level > s.vars[learnt[maxI].Var()].level {
+				maxI = i
+			}
+		}
+		learnt[1], learnt[maxI] = learnt[maxI], learnt[1]
+		backLevel = int(s.vars[learnt[1].Var()].level)
+	}
+	return learnt, backLevel
+}
+
+// redundant reports whether literal q's reason clause is subsumed by the
+// learnt set (all its other literals already appear or are level 0).
+func (s *Solver) redundant(q Lit, r *clause, learnt []Lit) bool {
+	for _, l := range r.lits {
+		if l == q.Not() {
+			continue
+		}
+		if s.vars[l.Var()].level == 0 {
+			continue
+		}
+		found := false
+		for _, m := range learnt[1:] {
+			if m == l {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Solver) backtrack(level int) {
+	if s.decisionLevel() <= level {
+		return
+	}
+	bound := s.trailLim[level]
+	for i := len(s.trail) - 1; i >= bound; i-- {
+		l := s.trail[i]
+		v := l.Var()
+		s.vars[v].phase = !l.Sign()
+		s.vars[v].polInit = true
+		s.assigns[l] = lUndef
+		s.assigns[l^1] = lUndef
+		s.vars[v].reason = nil
+		if s.vars[v].heapIdx < 0 {
+			s.order.push(v)
+		}
+	}
+	s.trail = s.trail[:bound]
+	s.trailLim = s.trailLim[:level]
+	s.qhead = len(s.trail)
+}
+
+func (s *Solver) bumpVar(v int) {
+	s.vars[v].act += s.varInc
+	if s.vars[v].act > 1e100 {
+		for i := range s.vars {
+			s.vars[i].act *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+	if s.vars[v].heapIdx >= 0 {
+		s.order.up(int(s.vars[v].heapIdx))
+	}
+}
+
+func (s *Solver) bumpClause(c *clause) {
+	c.act += s.claInc
+	if c.act > 1e20 {
+		for _, l := range s.learnts {
+			l.act *= 1e-20
+		}
+		s.claInc *= 1e-20
+	}
+}
+
+// luby computes the Luby restart sequence value for index i (1-based).
+func luby(i int64) int64 {
+	for k := int64(1); ; k++ {
+		if i == (1<<uint(k))-1 {
+			return 1 << uint(k-1)
+		}
+		if i >= 1<<uint(k-1) && i < (1<<uint(k))-1 {
+			return luby(i - (1 << uint(k-1)) + 1)
+		}
+	}
+}
+
+// Solve runs the CDCL loop and returns the outcome.
+func (s *Solver) Solve() Status {
+	if !s.ok {
+		return Unsat
+	}
+	var restartN int64
+	for {
+		restartN++
+		budget := 100 * luby(restartN)
+		st := s.search(budget)
+		if st != Unknown {
+			return st
+		}
+		if s.exhausted() {
+			return Unknown
+		}
+		s.Stats.Restarts++
+		s.backtrack(0)
+	}
+}
+
+func (s *Solver) exhausted() bool {
+	if s.ConflictCap > 0 && s.Stats.Conflicts >= s.ConflictCap {
+		return true
+	}
+	if !s.Deadline.IsZero() && time.Now().After(s.Deadline) {
+		return true
+	}
+	if s.interrupted != nil && s.interrupted.Load() {
+		return true
+	}
+	return false
+}
+
+func (s *Solver) search(conflictBudget int64) Status {
+	var conflicts int64
+	for {
+		confl := s.propagate()
+		if confl != nil {
+			s.Stats.Conflicts++
+			conflicts++
+			if s.decisionLevel() == 0 {
+				s.ok = false
+				return Unsat
+			}
+			learnt, backLevel := s.analyze(confl)
+			s.backtrack(backLevel)
+			if len(learnt) == 1 {
+				s.enqueue(learnt[0], nil)
+			} else {
+				c := &clause{lits: learnt, learned: true}
+				s.learnts = append(s.learnts, c)
+				s.Stats.Learned++
+				s.attach(c)
+				s.bumpClause(c)
+				s.enqueue(learnt[0], c)
+			}
+			s.varInc /= s.VarDecay
+			s.claInc /= s.claDecay
+			if conflicts >= conflictBudget {
+				return Unknown
+			}
+			if conflicts%256 == 0 && s.exhausted() {
+				return Unknown
+			}
+			if s.maxLearnt == 0 {
+				s.maxLearnt = float64(max(2000, len(s.clauses)/3))
+			}
+			if float64(len(s.learnts)) > s.maxLearnt {
+				s.reduceDB()
+				s.maxLearnt *= 1.1
+			}
+			continue
+		}
+		// Decide.
+		v := s.pickBranchVar()
+		if v < 0 {
+			return Sat
+		}
+		s.Stats.Decisions++
+		s.trailLim = append(s.trailLim, len(s.trail))
+		phase := s.vars[v].phase
+		if !s.vars[v].polInit {
+			phase = false
+		}
+		if phase {
+			s.enqueue(PosLit(v), nil)
+		} else {
+			s.enqueue(NegLit(v), nil)
+		}
+	}
+}
+
+func (s *Solver) pickBranchVar() int {
+	if s.RandomFreq > 0 && s.rng.Float64() < s.RandomFreq && len(s.vars) > 0 {
+		v := s.rng.Intn(len(s.vars))
+		if s.assigns[PosLit(v)] == lUndef {
+			return v
+		}
+	}
+	for s.order.size() > 0 {
+		v := s.order.pop()
+		if s.assigns[PosLit(v)] == lUndef {
+			return v
+		}
+	}
+	return -1
+}
+
+// reduceDB removes the less active half of the learned clauses (keeping
+// reason clauses of the current trail).
+func (s *Solver) reduceDB() {
+	locked := map[*clause]bool{}
+	for _, l := range s.trail {
+		if r := s.vars[l.Var()].reason; r != nil {
+			locked[r] = true
+		}
+	}
+	sorted := make([]*clause, len(s.learnts))
+	copy(sorted, s.learnts)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].act < sorted[j].act })
+	thresholdIdx := len(sorted) / 2
+	drop := map[*clause]bool{}
+	for _, c := range sorted[:thresholdIdx] {
+		if !locked[c] && len(c.lits) > 2 {
+			drop[c] = true
+		}
+	}
+	if len(drop) == 0 {
+		return
+	}
+	kept := s.learnts[:0]
+	for _, c := range s.learnts {
+		if drop[c] {
+			continue
+		}
+		kept = append(kept, c)
+	}
+	s.learnts = kept
+	// Rebuild watches.
+	for i := range s.watches {
+		s.watches[i] = s.watches[i][:0]
+	}
+	for _, c := range s.clauses {
+		s.attach(c)
+	}
+	for _, c := range s.learnts {
+		s.attach(c)
+	}
+}
+
+// varHeap is a max-heap over variable activity.
+type varHeap struct {
+	s    *Solver
+	heap []int
+}
+
+func (h *varHeap) size() int { return len(h.heap) }
+
+func (h *varHeap) less(i, j int) bool {
+	return h.s.vars[h.heap[i]].act > h.s.vars[h.heap[j]].act
+}
+
+func (h *varHeap) swap(i, j int) {
+	h.heap[i], h.heap[j] = h.heap[j], h.heap[i]
+	h.s.vars[h.heap[i]].heapIdx = int32(i)
+	h.s.vars[h.heap[j]].heapIdx = int32(j)
+}
+
+func (h *varHeap) push(v int) {
+	if h.s.vars[v].heapIdx >= 0 {
+		return
+	}
+	h.heap = append(h.heap, v)
+	i := len(h.heap) - 1
+	h.s.vars[v].heapIdx = int32(i)
+	h.up(i)
+}
+
+func (h *varHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			return
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *varHeap) down(i int) {
+	n := len(h.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+}
+
+func (h *varHeap) pop() int {
+	v := h.heap[0]
+	last := len(h.heap) - 1
+	h.swap(0, last)
+	h.heap = h.heap[:last]
+	h.s.vars[v].heapIdx = -1
+	if len(h.heap) > 0 {
+		h.down(0)
+	}
+	return v
+}

@@ -1,0 +1,196 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTrivialSat(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	b := s.NewVar()
+	s.AddClause(PosLit(a), PosLit(b))
+	s.AddClause(NegLit(a))
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("Solve() = %v, want Sat", got)
+	}
+	if s.Value(a) {
+		t.Errorf("a = true, want false")
+	}
+	if !s.Value(b) {
+		t.Errorf("b = false, want true")
+	}
+}
+
+func TestTrivialUnsat(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	s.AddClause(PosLit(a))
+	if ok := s.AddClause(NegLit(a)); ok {
+		t.Fatalf("AddClause(¬a) = true, want false (top-level conflict)")
+	}
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("Solve() = %v, want Unsat", got)
+	}
+}
+
+func TestEmptyClauseUnsat(t *testing.T) {
+	s := New()
+	s.NewVar()
+	if ok := s.AddClause(); ok {
+		t.Fatalf("empty AddClause() = true, want false")
+	}
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("Solve() = %v, want Unsat", got)
+	}
+}
+
+func TestTautologyIgnored(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	s.AddClause(PosLit(a), NegLit(a))
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("Solve() = %v, want Sat", got)
+	}
+}
+
+// pigeonhole encodes PHP(n+1, n): n+1 pigeons into n holes, unsatisfiable.
+func pigeonhole(s *Solver, pigeons, holes int) {
+	vars := make([][]int, pigeons)
+	for p := range vars {
+		vars[p] = make([]int, holes)
+		for h := range vars[p] {
+			vars[p][h] = s.NewVar()
+		}
+	}
+	for p := 0; p < pigeons; p++ {
+		lits := make([]Lit, holes)
+		for h := 0; h < holes; h++ {
+			lits[h] = PosLit(vars[p][h])
+		}
+		s.AddClause(lits...)
+	}
+	for h := 0; h < holes; h++ {
+		for p1 := 0; p1 < pigeons; p1++ {
+			for p2 := p1 + 1; p2 < pigeons; p2++ {
+				s.AddClause(NegLit(vars[p1][h]), NegLit(vars[p2][h]))
+			}
+		}
+	}
+}
+
+func TestPigeonholeUnsat(t *testing.T) {
+	for n := 2; n <= 6; n++ {
+		s := New()
+		pigeonhole(s, n+1, n)
+		if got := s.Solve(); got != Unsat {
+			t.Errorf("PHP(%d,%d): Solve() = %v, want Unsat", n+1, n, got)
+		}
+	}
+}
+
+func TestPigeonholeSat(t *testing.T) {
+	s := New()
+	pigeonhole(s, 5, 5) // equal pigeons and holes: satisfiable
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("PHP(5,5): Solve() = %v, want Sat", got)
+	}
+}
+
+// TestRandom3SATAgainstBruteForce cross-checks CDCL against exhaustive
+// enumeration on small random instances.
+func TestRandom3SATAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 200; iter++ {
+		nVars := 4 + rng.Intn(6)
+		nClauses := 3 + rng.Intn(30)
+		clauses := make([][]Lit, nClauses)
+		for i := range clauses {
+			cl := make([]Lit, 3)
+			for j := range cl {
+				v := rng.Intn(nVars)
+				if rng.Intn(2) == 0 {
+					cl[j] = PosLit(v)
+				} else {
+					cl[j] = NegLit(v)
+				}
+			}
+			clauses[i] = cl
+		}
+
+		want := bruteForceSat(nVars, clauses)
+
+		s := New()
+		for i := 0; i < nVars; i++ {
+			s.NewVar()
+		}
+		for _, cl := range clauses {
+			s.AddClause(cl...)
+		}
+		got := s.Solve()
+		wantStatus := Unsat
+		if want {
+			wantStatus = Sat
+		}
+		if got != wantStatus {
+			t.Fatalf("iter %d: Solve() = %v, want %v", iter, got, wantStatus)
+		}
+		if got == Sat {
+			// Check the model actually satisfies all clauses.
+			for ci, cl := range clauses {
+				ok := false
+				for _, l := range cl {
+					if s.Value(l.Var()) != l.Sign() {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					t.Fatalf("iter %d: model does not satisfy clause %d", iter, ci)
+				}
+			}
+		}
+	}
+}
+
+func bruteForceSat(nVars int, clauses [][]Lit) bool {
+	for mask := 0; mask < 1<<nVars; mask++ {
+		all := true
+		for _, cl := range clauses {
+			sat := false
+			for _, l := range cl {
+				val := mask>>(l.Var())&1 == 1
+				if val != l.Sign() {
+					sat = true
+					break
+				}
+			}
+			if !sat {
+				all = false
+				break
+			}
+		}
+		if all {
+			return true
+		}
+	}
+	return false
+}
+
+func TestConflictCap(t *testing.T) {
+	s := New()
+	pigeonhole(s, 9, 8) // hard enough to exceed a tiny budget
+	s.ConflictCap = 5
+	if got := s.Solve(); got != Unknown {
+		t.Fatalf("Solve() with tiny conflict cap = %v, want Unknown", got)
+	}
+}
+
+func TestLuby(t *testing.T) {
+	want := []int64{1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8}
+	for i, w := range want {
+		if got := luby(int64(i + 1)); got != w {
+			t.Errorf("luby(%d) = %d, want %d", i+1, got, w)
+		}
+	}
+}

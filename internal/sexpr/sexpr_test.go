@@ -1,0 +1,154 @@
+package sexpr
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseAtoms(t *testing.T) {
+	cases := []struct {
+		src  string
+		kind Kind
+		text string
+	}{
+		{"foo", KindSymbol, "foo"},
+		{"bv855", KindSymbol, "bv855"},
+		{"=>", KindSymbol, "=>"},
+		{"+", KindSymbol, "+"},
+		{"123", KindNumeral, "123"},
+		{"1.5", KindDecimal, "1.5"},
+		{"0.250", KindDecimal, "0.250"},
+		{"#xDEAD", KindHex, "#xDEAD"},
+		{"#b1010", KindBinary, "#b1010"},
+		{`"hello"`, KindString, "hello"},
+		{`"say ""hi"""`, KindString, `say "hi"`},
+		{"|quoted sym|", KindSymbol, "quoted sym"},
+		{":keyword", KindKeyword, ":keyword"},
+	}
+	for _, tc := range cases {
+		nodes, err := ParseAll(tc.src)
+		if err != nil {
+			t.Errorf("ParseAll(%q): %v", tc.src, err)
+			continue
+		}
+		if len(nodes) != 1 {
+			t.Errorf("ParseAll(%q): %d nodes, want 1", tc.src, len(nodes))
+			continue
+		}
+		if nodes[0].Kind != tc.kind || nodes[0].Text != tc.text {
+			t.Errorf("ParseAll(%q) = %v %q, want %v %q", tc.src, nodes[0].Kind, nodes[0].Text, tc.kind, tc.text)
+		}
+	}
+}
+
+func TestParseNested(t *testing.T) {
+	nodes, err := ParseAll(`(assert (= (+ x 1) (* y 2)))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := nodes[0]
+	if n.Head() != "assert" || n.Len() != 2 {
+		t.Fatalf("bad root: %v", n)
+	}
+	eq := n.Items[1]
+	if eq.Head() != "=" || eq.Len() != 3 {
+		t.Fatalf("bad eq: %v", eq)
+	}
+	if eq.Items[1].Head() != "+" || eq.Items[2].Head() != "*" {
+		t.Fatalf("bad children: %v", eq)
+	}
+}
+
+func TestComments(t *testing.T) {
+	nodes, err := ParseAll("; leading comment\n(a b) ; trailing\n(c)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 2 {
+		t.Fatalf("got %d nodes, want 2", len(nodes))
+	}
+}
+
+func TestErrors(t *testing.T) {
+	for _, src := range []string{"(", ")", "(a", `"unterminated`, "|unterminated", "#", "#q", "1.", "#x", "#b"} {
+		if _, err := ParseAll(src); err == nil {
+			t.Errorf("ParseAll(%q): expected error", src)
+		}
+	}
+}
+
+func TestErrorPosition(t *testing.T) {
+	_, err := ParseAll("(a\n  b))")
+	se, ok := err.(*SyntaxError)
+	if !ok {
+		t.Fatalf("want *SyntaxError, got %T (%v)", err, err)
+	}
+	if se.Line != 2 {
+		t.Errorf("error line = %d, want 2", se.Line)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	srcs := []string{
+		`(assert (= (+ x 1) 855))`,
+		`(declare-fun x () (_ BitVec 12))`,
+		`(assert (fp #b0 #b01111 #b0000000000))`,
+		`(foo "a string" :kw 1.25 #xFF)`,
+	}
+	for _, src := range srcs {
+		nodes, err := ParseAll(src)
+		if err != nil {
+			t.Fatalf("ParseAll(%q): %v", src, err)
+		}
+		out := nodes[0].String()
+		// Reparse the printed form and compare structure.
+		again, err := ParseAll(out)
+		if err != nil {
+			t.Fatalf("reparse %q: %v", out, err)
+		}
+		if !structurallyEqual(nodes[0], again[0]) {
+			t.Errorf("round trip changed structure: %q → %q", src, out)
+		}
+	}
+}
+
+func structurallyEqual(a, b *Node) bool {
+	if a.Kind != b.Kind || a.Text != b.Text || len(a.Items) != len(b.Items) {
+		return false
+	}
+	for i := range a.Items {
+		if !structurallyEqual(a.Items[i], b.Items[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestQuotedSymbolPrinting(t *testing.T) {
+	n := Symbol("has space")
+	if got := n.String(); got != "|has space|" {
+		t.Errorf("String() = %q, want %q", got, "|has space|")
+	}
+	n2 := Symbol("123starts-with-digit")
+	if !strings.HasPrefix(n2.String(), "|") {
+		t.Errorf("digit-leading symbol should be quoted, got %q", n2.String())
+	}
+}
+
+func TestParserNextSequential(t *testing.T) {
+	p := NewParser("(a) (b) (c)")
+	count := 0
+	for {
+		n, err := p.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == nil {
+			break
+		}
+		count++
+	}
+	if count != 3 {
+		t.Errorf("Next() yielded %d nodes, want 3", count)
+	}
+}

@@ -1,0 +1,82 @@
+// Package simplex implements an exact general simplex procedure for
+// conjunctions of linear rational atoms, in the style of Dutertre and de
+// Moura's solver for DPLL(T) — the decision procedure underneath the
+// unbounded linear-arithmetic solvers (QF_LIA via branch-and-bound on top,
+// QF_LRA directly). Strict inequalities are handled with δ-rationals:
+// pairs a + b·δ ordered lexicographically, where δ is an infinitesimal
+// resolved to a concrete small rational during model extraction.
+package simplex
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Num is a δ-rational a + b·δ.
+type Num struct {
+	A *big.Rat // standard part
+	B *big.Rat // infinitesimal coefficient
+}
+
+// NumOf returns a + b·δ.
+func NumOf(a, b *big.Rat) Num {
+	return Num{A: new(big.Rat).Set(a), B: new(big.Rat).Set(b)}
+}
+
+// Rat returns the δ-free rational r.
+func Rat(r *big.Rat) Num { return NumOf(r, new(big.Rat)) }
+
+// Int returns the δ-free integer value v.
+func Int(v int64) Num { return Rat(big.NewRat(v, 1)) }
+
+// Zero returns 0.
+func Zero() Num { return Int(0) }
+
+// Cmp compares lexicographically: the standard part dominates.
+func (n Num) Cmp(o Num) int {
+	if c := n.A.Cmp(o.A); c != 0 {
+		return c
+	}
+	return n.B.Cmp(o.B)
+}
+
+// Add returns n + o.
+func (n Num) Add(o Num) Num {
+	return Num{A: new(big.Rat).Add(n.A, o.A), B: new(big.Rat).Add(n.B, o.B)}
+}
+
+// Sub returns n - o.
+func (n Num) Sub(o Num) Num {
+	return Num{A: new(big.Rat).Sub(n.A, o.A), B: new(big.Rat).Sub(n.B, o.B)}
+}
+
+// Scale returns c * n for rational c.
+func (n Num) Scale(c *big.Rat) Num {
+	return Num{A: new(big.Rat).Mul(n.A, c), B: new(big.Rat).Mul(n.B, c)}
+}
+
+// Resolve substitutes a concrete value for δ.
+func (n Num) Resolve(delta *big.Rat) *big.Rat {
+	out := new(big.Rat).Mul(n.B, delta)
+	return out.Add(out, n.A)
+}
+
+func (n Num) String() string {
+	if n.B.Sign() == 0 {
+		return n.A.RatString()
+	}
+	return fmt.Sprintf("%s%+sδ", n.A.RatString(), n.B.RatString())
+}
+
+// bound is an optional δ-rational bound.
+type bound struct {
+	val Num
+	set bool
+}
+
+func (b bound) String() string {
+	if !b.set {
+		return "∞"
+	}
+	return b.val.String()
+}

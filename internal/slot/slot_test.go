@@ -1,0 +1,216 @@
+package slot
+
+import (
+	"math/big"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"staub/internal/bv"
+	"staub/internal/eval"
+	"staub/internal/smt"
+)
+
+func parseBV(t *testing.T, src string) *smt.Constraint {
+	t.Helper()
+	c, err := smt.ParseScript(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestConstantFolding(t *testing.T) {
+	c := parseBV(t, `
+		(declare-fun x () (_ BitVec 8))
+		(assert (= x (bvadd (_ bv3 8) (_ bv4 8))))
+		(check-sat)`)
+	opt, stats, err := Optimize(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Folded == 0 {
+		t.Error("expected constant folding")
+	}
+	if !strings.Contains(opt.Script(), "(_ bv7 8)") {
+		t.Errorf("3+4 not folded to 7:\n%s", opt.Script())
+	}
+}
+
+func TestIdentities(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string // substring of the optimized assertion
+	}{
+		{"add-zero", `(assert (= x (bvadd y (_ bv0 8))))`, "(= x y)"},
+		{"mul-one", `(assert (= x (bvmul y (_ bv1 8))))`, "(= x y)"},
+		{"mul-zero", `(assert (= x (bvmul y (_ bv0 8))))`, "(= x (_ bv0 8))"},
+		{"xor-self", `(assert (= x (bvxor y y)))`, "(= x (_ bv0 8))"},
+		{"sub-self", `(assert (= x (bvsub y y)))`, "(= x (_ bv0 8))"},
+		{"neg-neg", `(assert (= x (bvneg (bvneg y))))`, "(= x y)"},
+		{"and-self", `(assert (= x (bvand y y)))`, "(= x y)"},
+	}
+	decls := `(declare-fun x () (_ BitVec 8))(declare-fun y () (_ BitVec 8))`
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := parseBV(t, decls+tc.src+"(check-sat)")
+			opt, _, err := Optimize(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(opt.Script(), tc.want) {
+				t.Errorf("want %q in:\n%s", tc.want, opt.Script())
+			}
+		})
+	}
+}
+
+func TestStrengthReduction(t *testing.T) {
+	c := parseBV(t, `
+		(declare-fun x () (_ BitVec 8))
+		(assert (= (bvmul x (_ bv8 8)) (_ bv64 8)))
+		(check-sat)`)
+	opt, stats, err := Optimize(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Reduced == 0 {
+		t.Error("expected strength reduction of *8 to a shift")
+	}
+	if !strings.Contains(opt.Script(), "bvshl") {
+		t.Errorf("no shift in optimized constraint:\n%s", opt.Script())
+	}
+}
+
+func TestBooleanSimplification(t *testing.T) {
+	c := parseBV(t, `
+		(declare-fun p () Bool)
+		(assert (and p true (or p false p) (not (not p))))
+		(check-sat)`)
+	opt, _, err := Optimize(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(opt.Assertions) != 1 || opt.Assertions[0].String() != "p" {
+		t.Errorf("expected single assertion p, got:\n%s", opt.Script())
+	}
+}
+
+func TestComplementCollapse(t *testing.T) {
+	c := parseBV(t, `
+		(declare-fun p () Bool)
+		(assert (and p (not p)))
+		(check-sat)`)
+	opt, _, err := Optimize(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Assertions[0].Op != smt.OpFalse {
+		t.Errorf("p ∧ ¬p should collapse to false:\n%s", opt.Script())
+	}
+}
+
+func TestTrueAssertionsDropped(t *testing.T) {
+	c := parseBV(t, `
+		(declare-fun x () (_ BitVec 8))
+		(assert (bvule x x))
+		(assert (bvslt x (_ bv5 8)))
+		(check-sat)`)
+	opt, _, err := Optimize(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(opt.Assertions) != 1 {
+		t.Errorf("tautological assertion not dropped: %d assertions", len(opt.Assertions))
+	}
+}
+
+// TestEquisatisfiability: optimization preserves the truth value of every
+// assertion under random assignments.
+func TestEquisatisfiability(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	ops := []smt.Op{smt.OpBVAdd, smt.OpBVSub, smt.OpBVMul, smt.OpBVAnd, smt.OpBVOr, smt.OpBVXor, smt.OpBVNeg, smt.OpBVNot}
+	cmps := []smt.Op{smt.OpEq, smt.OpBVSLt, smt.OpBVULe, smt.OpBVSGe}
+	const w = 6
+	for iter := 0; iter < 300; iter++ {
+		c := smt.NewConstraint("QF_BV")
+		b := c.Builder
+		x := c.MustDeclare("x", smt.BitVecSort(w))
+		y := c.MustDeclare("y", smt.BitVecSort(w))
+		var build func(d int) *smt.Term
+		build = func(d int) *smt.Term {
+			if d == 0 || rng.Intn(3) == 0 {
+				switch rng.Intn(4) {
+				case 0:
+					return x
+				case 1:
+					return y
+				case 2:
+					return b.BV(big.NewInt(0), w)
+				default:
+					return b.BV(big.NewInt(int64(rng.Intn(1<<w))), w)
+				}
+			}
+			op := ops[rng.Intn(len(ops))]
+			if op == smt.OpBVNeg || op == smt.OpBVNot {
+				return b.MustApply(op, build(d-1))
+			}
+			return b.MustApply(op, build(d-1), build(d-1))
+		}
+		for k := 0; k < 1+rng.Intn(2); k++ {
+			c.MustAssert(b.MustApply(cmps[rng.Intn(len(cmps))], build(2), build(2)))
+		}
+		opt, _, err := Optimize(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 16; trial++ {
+			asg := eval.Assignment{
+				"x": eval.BVValue(bv.NewInt64(w, int64(rng.Intn(1<<w)))),
+				"y": eval.BVValue(bv.NewInt64(w, int64(rng.Intn(1<<w)))),
+			}
+			want, err := eval.Constraint(c, asg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := eval.Constraint(opt, asg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("optimization changed semantics at %v:\noriginal:\n%s\noptimized:\n%s",
+					asg, c.Script(), opt.Script())
+			}
+		}
+	}
+}
+
+func TestFPConstantFolding(t *testing.T) {
+	c := parseBV(t, `
+		(declare-fun f () (_ FloatingPoint 5 11))
+		(assert (fp.lt f (fp.add RNE (fp #b0 #b01111 #b0000000000) (fp #b0 #b01111 #b0000000000))))
+		(check-sat)`)
+	_, stats, err := Optimize(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Folded == 0 {
+		t.Error("1.0 + 1.0 should fold")
+	}
+}
+
+func TestNodesShrink(t *testing.T) {
+	c := parseBV(t, `
+		(declare-fun x () (_ BitVec 10))
+		(assert (= (bvadd x (_ bv1 10) (_ bv2 10) (_ bv3 10) (_ bv0 10))
+		           (bvmul (_ bv2 10) (_ bv3 10))))
+		(check-sat)`)
+	opt, stats, err := Optimize(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.NodesAfter >= stats.NodesBefore {
+		t.Errorf("nodes %d → %d; expected shrink:\n%s", stats.NodesBefore, stats.NodesAfter, opt.Script())
+	}
+}

@@ -1,0 +1,54 @@
+package smt
+
+import (
+	"fmt"
+	"math/big"
+
+	"staub/internal/fp"
+)
+
+// FPFormat returns the fp.Format corresponding to a Float sort.
+func FPFormat(s Sort) fp.Format {
+	if s.Kind != KindFloat {
+		panic(fmt.Sprintf("smt: FPFormat on %v", s))
+	}
+	return fp.Format{EB: s.EB, SB: s.SB}
+}
+
+// NewFPConstFromBits builds the floating-point constant term of the given
+// sort from a raw bit pattern, classifying NaN and infinities and recording
+// the exact rational value of finite patterns.
+func NewFPConstFromBits(b *Builder, sort Sort, bits *big.Int) (*Term, error) {
+	if sort.Kind != KindFloat {
+		return nil, fmt.Errorf("smt: NewFPConstFromBits with sort %v", sort)
+	}
+	v := fp.FromBits(FPFormat(sort), bits)
+	switch {
+	case v.IsNaN():
+		return b.FPSpecial(sort, FPNaN), nil
+	case v.IsInf(1):
+		return b.FPSpecial(sort, FPPlusInf), nil
+	case v.IsInf(-1):
+		return b.FPSpecial(sort, FPMinusInf), nil
+	}
+	r, _ := v.Rat()
+	return b.FP(sort, v.Bits(), r), nil
+}
+
+// FPValueOf returns the fp.Value of a floating-point constant term.
+func FPValueOf(t *Term) fp.Value {
+	if t.Op != OpFPConst {
+		panic("smt: FPValueOf on non-FP constant")
+	}
+	f := FPFormat(t.Sort)
+	switch t.Class {
+	case FPNaN:
+		return f.NaN()
+	case FPPlusInf:
+		return f.Inf(false)
+	case FPMinusInf:
+		return f.Inf(true)
+	default:
+		return fp.FromBits(f, t.IntVal)
+	}
+}

@@ -1,0 +1,41 @@
+package smt
+
+import "testing"
+
+// FuzzParseScript exercises the parser for robustness: any input must
+// either parse or return an error — never panic — and parsed constraints
+// must print to scripts that reparse to the same shape.
+func FuzzParseScript(f *testing.F) {
+	seeds := []string{
+		"",
+		"(check-sat)",
+		"(set-logic QF_NIA)(declare-fun x () Int)(assert (= (* x x) 49))(check-sat)",
+		"(declare-fun u () Real)(assert (< u 0.125))(check-sat)",
+		"(declare-fun v () (_ BitVec 12))(assert (bvslt v (_ bv855 12)))(check-sat)",
+		"(declare-fun f () (_ FloatingPoint 5 11))(assert (fp.lt f (fp #b0 #b01111 #b0000000000)))(check-sat)",
+		"(declare-fun x () Int)(assert (let ((y (+ x 1))) (> y 0)))(check-sat)",
+		"(assert (= 1 2))",
+		"(declare-fun p () Bool)(assert (ite p p (not p)))",
+		"((((",
+		"(assert |unterminated",
+		"(assert #b)",
+		"(declare-fun x () Int)(assert (- 1 2 3))",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := ParseScript(src)
+		if err != nil || c == nil {
+			return
+		}
+		out := c.Script()
+		c2, err := ParseScript(out)
+		if err != nil {
+			t.Fatalf("printed script does not reparse: %v\ninput: %q\nprinted:\n%s", err, src, out)
+		}
+		if got, want := len(c2.Assertions), len(c.Assertions); got != want {
+			t.Fatalf("assertion count changed on round trip: %d → %d", want, got)
+		}
+	})
+}

@@ -1,0 +1,42 @@
+package smt
+
+import "math/big"
+
+// CeilAbsBits returns the bit length of ceil(|r|): the number of binary
+// digits needed to represent the integer magnitude of r. Zero yields 0.
+func CeilAbsBits(r *big.Rat) int {
+	abs := new(big.Rat).Abs(r)
+	// ceil(num/den) = (num + den - 1) / den for positive values.
+	num := new(big.Int).Set(abs.Num())
+	den := abs.Denom()
+	num.Add(num, new(big.Int).Sub(den, big.NewInt(1)))
+	num.Quo(num, den)
+	return num.BitLen()
+}
+
+// DigBits returns the paper's dig(c): the minimum number of binary
+// significant digits d such that 2^d * c is an integer, and ok=false when
+// no finite d exists (the denominator has an odd factor). For integers it
+// returns 0.
+func DigBits(r *big.Rat) (d int, ok bool) {
+	den := new(big.Int).Set(r.Denom())
+	if den.Cmp(big.NewInt(1)) == 0 {
+		return 0, true
+	}
+	// Count and strip factors of two.
+	two := big.NewInt(2)
+	zero := new(big.Int)
+	rem := new(big.Int)
+	for {
+		q, m := new(big.Int).QuoRem(den, two, rem)
+		if m.Cmp(zero) != 0 {
+			break
+		}
+		den = q
+		d++
+	}
+	if den.Cmp(big.NewInt(1)) != 0 {
+		return 0, false // odd factor: not a dyadic rational
+	}
+	return d, true
+}

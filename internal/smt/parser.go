@@ -1,0 +1,497 @@
+package smt
+
+import (
+	"fmt"
+	"math/big"
+	"strings"
+
+	"staub/internal/sexpr"
+)
+
+// ParseScript parses a complete SMT-LIB v2 script into a Constraint. The
+// supported command set covers what solver benchmark files use: set-logic,
+// set-info, set-option, declare-fun (zero arity), declare-const,
+// define-fun (zero arity, used as a macro), assert, check-sat, get-model,
+// get-value, exit. Unsupported commands yield an error.
+func ParseScript(src string) (*Constraint, error) {
+	nodes, err := sexpr.ParseAll(src)
+	if err != nil {
+		return nil, err
+	}
+	c := NewConstraint("")
+	p := &scriptParser{c: c, defs: map[string]*Term{}}
+	for _, n := range nodes {
+		if err := p.command(n); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+type scriptParser struct {
+	c    *Constraint
+	defs map[string]*Term // zero-arity define-fun macros
+}
+
+func (p *scriptParser) command(n *sexpr.Node) error {
+	if n.Kind != sexpr.KindList || n.Len() == 0 {
+		return fmt.Errorf("smt: %d:%d: expected command list", n.Line, n.Col)
+	}
+	switch n.Head() {
+	case "set-logic":
+		if n.Len() != 2 || n.Items[1].Kind != sexpr.KindSymbol {
+			return fmt.Errorf("smt: malformed set-logic")
+		}
+		p.c.Logic = n.Items[1].Text
+		return nil
+	case "set-info", "set-option", "check-sat", "get-model", "get-value", "exit", "get-info":
+		return nil
+	case "declare-fun":
+		if n.Len() != 4 {
+			return fmt.Errorf("smt: malformed declare-fun")
+		}
+		if n.Items[2].Kind != sexpr.KindList || n.Items[2].Len() != 0 {
+			return fmt.Errorf("smt: declare-fun with arguments is not supported")
+		}
+		s, err := p.sort(n.Items[3])
+		if err != nil {
+			return err
+		}
+		_, err = p.c.Declare(n.Items[1].Text, s)
+		return err
+	case "declare-const":
+		if n.Len() != 3 {
+			return fmt.Errorf("smt: malformed declare-const")
+		}
+		s, err := p.sort(n.Items[2])
+		if err != nil {
+			return err
+		}
+		_, err = p.c.Declare(n.Items[1].Text, s)
+		return err
+	case "define-fun":
+		if n.Len() != 5 {
+			return fmt.Errorf("smt: malformed define-fun")
+		}
+		if n.Items[2].Kind != sexpr.KindList || n.Items[2].Len() != 0 {
+			return fmt.Errorf("smt: define-fun with parameters is not supported")
+		}
+		body, err := p.term(n.Items[4], nil)
+		if err != nil {
+			return err
+		}
+		want, err := p.sort(n.Items[3])
+		if err != nil {
+			return err
+		}
+		body, err = p.coerceTo(body, want)
+		if err != nil {
+			return fmt.Errorf("smt: define-fun %s: %v", n.Items[1].Text, err)
+		}
+		p.defs[n.Items[1].Text] = body
+		return nil
+	case "assert":
+		if n.Len() != 2 {
+			return fmt.Errorf("smt: malformed assert")
+		}
+		t, err := p.term(n.Items[1], nil)
+		if err != nil {
+			return err
+		}
+		return p.c.Assert(t)
+	case "push", "pop":
+		return fmt.Errorf("smt: incremental commands (push/pop) are not supported")
+	default:
+		return fmt.Errorf("smt: %d:%d: unsupported command %q", n.Line, n.Col, n.Head())
+	}
+}
+
+func (p *scriptParser) sort(n *sexpr.Node) (Sort, error) {
+	if n.Kind == sexpr.KindSymbol {
+		switch n.Text {
+		case "Bool":
+			return BoolSort, nil
+		case "Int":
+			return IntSort, nil
+		case "Real":
+			return RealSort, nil
+		case "Float16":
+			return Float16Sort, nil
+		case "Float32":
+			return Float32Sort, nil
+		case "Float64":
+			return Float64Sort, nil
+		}
+		return Sort{}, fmt.Errorf("smt: unknown sort %q", n.Text)
+	}
+	// (_ BitVec n) or (_ FloatingPoint eb sb)
+	if n.Kind == sexpr.KindList && n.Len() >= 3 && n.Items[0].IsSymbol("_") {
+		switch n.Items[1].Text {
+		case "BitVec":
+			w, err := atoiNode(n.Items[2])
+			if err != nil {
+				return Sort{}, err
+			}
+			if w < 1 || w > 1<<16 {
+				return Sort{}, fmt.Errorf("smt: invalid bitvector width %d", w)
+			}
+			return BitVecSort(w), nil
+		case "FloatingPoint":
+			if n.Len() != 4 {
+				return Sort{}, fmt.Errorf("smt: malformed FloatingPoint sort")
+			}
+			eb, err := atoiNode(n.Items[2])
+			if err != nil {
+				return Sort{}, err
+			}
+			sb, err := atoiNode(n.Items[3])
+			if err != nil {
+				return Sort{}, err
+			}
+			if eb < 2 || eb > 30 || sb < 2 || sb > 1<<12 {
+				return Sort{}, fmt.Errorf("smt: invalid FloatingPoint sort (%d, %d)", eb, sb)
+			}
+			return FloatSort(eb, sb), nil
+		}
+	}
+	return Sort{}, fmt.Errorf("smt: unsupported sort %s", n)
+}
+
+func atoiNode(n *sexpr.Node) (int, error) {
+	if n.Kind != sexpr.KindNumeral {
+		return 0, fmt.Errorf("smt: expected numeral, got %s", n)
+	}
+	v := 0
+	for _, c := range n.Text {
+		v = v*10 + int(c-'0')
+		if v > 1<<24 {
+			return 0, fmt.Errorf("smt: numeral %s too large", n.Text)
+		}
+	}
+	return v, nil
+}
+
+// opBySymbol maps SMT-LIB operator spellings to Ops. "-" is resolved by
+// arity at the application site.
+var opBySymbol = map[string]Op{
+	"not": OpNot, "and": OpAnd, "or": OpOr, "xor": OpXor, "=>": OpImplies, "-": OpSub,
+	"=": OpEq, "distinct": OpDistinct, "ite": OpIte,
+	"+": OpAdd, "*": OpMul, "/": OpDiv, "div": OpIntDiv, "mod": OpMod,
+	"abs": OpAbs, "<=": OpLe, "<": OpLt, ">=": OpGe, ">": OpGt,
+	"to_real": OpToReal, "to_int": OpToInt,
+	"bvneg": OpBVNeg, "bvadd": OpBVAdd, "bvsub": OpBVSub, "bvmul": OpBVMul,
+	"bvsdiv": OpBVSDiv, "bvsrem": OpBVSRem, "bvsmod": OpBVSMod,
+	"bvand": OpBVAnd, "bvor": OpBVOr, "bvxor": OpBVXor, "bvnot": OpBVNot,
+	"bvshl": OpBVShl, "bvlshr": OpBVLshr, "bvashr": OpBVAshr,
+	"bvudiv": OpBVUDiv, "bvurem": OpBVURem,
+	"bvsle": OpBVSLe, "bvslt": OpBVSLt, "bvsge": OpBVSGe, "bvsgt": OpBVSGt,
+	"bvule": OpBVULe, "bvult": OpBVULt, "bvuge": OpBVUGe, "bvugt": OpBVUGt,
+	"bvnego": OpBVNegO, "bvsaddo": OpBVSAddO, "bvssubo": OpBVSSubO,
+	"bvsmulo": OpBVSMulO, "bvsdivo": OpBVSDivO,
+	"fp.neg": OpFPNeg, "fp.abs": OpFPAbs,
+	"fp.add": OpFPAdd, "fp.sub": OpFPSub, "fp.mul": OpFPMul, "fp.div": OpFPDiv,
+	"fp.leq": OpFPLe, "fp.lt": OpFPLt, "fp.geq": OpFPGe, "fp.gt": OpFPGt,
+	"fp.eq": OpFPEq, "fp.isNaN": OpFPIsNaN, "fp.isInfinite": OpFPIsInf,
+}
+
+// letScope is a linked list of let bindings.
+type letScope struct {
+	name   string
+	value  *Term
+	parent *letScope
+}
+
+func (s *letScope) lookup(name string) (*Term, bool) {
+	for sc := s; sc != nil; sc = sc.parent {
+		if sc.name == name {
+			return sc.value, true
+		}
+	}
+	return nil, false
+}
+
+func (p *scriptParser) term(n *sexpr.Node, scope *letScope) (*Term, error) {
+	b := p.c.Builder
+	switch n.Kind {
+	case sexpr.KindNumeral:
+		v, ok := new(big.Int).SetString(n.Text, 10)
+		if !ok {
+			return nil, fmt.Errorf("smt: bad numeral %q", n.Text)
+		}
+		return b.IntBig(v), nil
+	case sexpr.KindDecimal:
+		r, ok := new(big.Rat).SetString(n.Text)
+		if !ok {
+			return nil, fmt.Errorf("smt: bad decimal %q", n.Text)
+		}
+		return b.RealRat(r), nil
+	case sexpr.KindHex:
+		digits := strings.TrimPrefix(n.Text, "#x")
+		v, ok := new(big.Int).SetString(digits, 16)
+		if !ok {
+			return nil, fmt.Errorf("smt: bad hex literal %q", n.Text)
+		}
+		return b.BV(v, 4*len(digits)), nil
+	case sexpr.KindBinary:
+		digits := strings.TrimPrefix(n.Text, "#b")
+		v, ok := new(big.Int).SetString(digits, 2)
+		if !ok {
+			return nil, fmt.Errorf("smt: bad binary literal %q", n.Text)
+		}
+		return b.BV(v, len(digits)), nil
+	case sexpr.KindSymbol:
+		switch n.Text {
+		case "true":
+			return b.True(), nil
+		case "false":
+			return b.False(), nil
+		}
+		if t, ok := scope.lookup(n.Text); ok {
+			return t, nil
+		}
+		if t, ok := p.defs[n.Text]; ok {
+			return t, nil
+		}
+		if v, ok := b.LookupVar(n.Text); ok {
+			return v, nil
+		}
+		return nil, fmt.Errorf("smt: %d:%d: undeclared symbol %q", n.Line, n.Col, n.Text)
+	case sexpr.KindList:
+		return p.application(n, scope)
+	default:
+		return nil, fmt.Errorf("smt: %d:%d: unexpected token %s", n.Line, n.Col, n)
+	}
+}
+
+func (p *scriptParser) application(n *sexpr.Node, scope *letScope) (*Term, error) {
+	b := p.c.Builder
+	if n.Len() == 0 {
+		return nil, fmt.Errorf("smt: %d:%d: empty application", n.Line, n.Col)
+	}
+	head := n.Items[0]
+
+	// (_ bvN width) indexed bitvector literal.
+	if head.IsSymbol("_") {
+		return p.indexedLiteral(n)
+	}
+
+	// (let ((x e) ...) body)
+	if head.IsSymbol("let") {
+		if n.Len() != 3 || n.Items[1].Kind != sexpr.KindList {
+			return nil, fmt.Errorf("smt: malformed let")
+		}
+		inner := scope
+		for _, binding := range n.Items[1].Items {
+			if binding.Kind != sexpr.KindList || binding.Len() != 2 || binding.Items[0].Kind != sexpr.KindSymbol {
+				return nil, fmt.Errorf("smt: malformed let binding")
+			}
+			// SMT-LIB let is parallel: all values are evaluated in the
+			// outer scope.
+			v, err := p.term(binding.Items[1], scope)
+			if err != nil {
+				return nil, err
+			}
+			inner = &letScope{name: binding.Items[0].Text, value: v, parent: inner}
+		}
+		return p.term(n.Items[2], inner)
+	}
+
+	// ((fp ...)) literal: (fp #b.. #b.. #b..)
+	if head.IsSymbol("fp") {
+		return p.fpLiteral(n)
+	}
+
+	// ((_ to_fp eb sb) RNE term) conversions and similar indexed heads.
+	if head.Kind == sexpr.KindList && head.Head() == "_" {
+		return p.indexedApplication(n, scope)
+	}
+
+	if head.Kind != sexpr.KindSymbol {
+		return nil, fmt.Errorf("smt: %d:%d: unsupported application head %s", n.Line, n.Col, head)
+	}
+
+	name := head.Text
+	operands := n.Items[1:]
+	// Floating-point arithmetic takes a rounding-mode first argument; we
+	// support RNE (round nearest, ties to even), the mode the translation
+	// uses and the printer emits.
+	switch name {
+	case "fp.add", "fp.sub", "fp.mul", "fp.div":
+		if len(operands) > 0 && operands[0].Kind == sexpr.KindSymbol {
+			switch operands[0].Text {
+			case "RNE", "roundNearestTiesToEven":
+				operands = operands[1:]
+			case "RNA", "RTP", "RTN", "RTZ":
+				return nil, fmt.Errorf("smt: %d:%d: only the RNE rounding mode is supported", n.Line, n.Col)
+			}
+		}
+	}
+
+	args := make([]*Term, 0, len(operands))
+	for _, a := range operands {
+		t, err := p.term(a, scope)
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, t)
+	}
+	op, ok := opBySymbol[name]
+	if !ok {
+		return nil, fmt.Errorf("smt: %d:%d: unknown operator %q", n.Line, n.Col, name)
+	}
+	if name == "-" && len(args) == 1 {
+		op = OpNeg
+		// Fold negated literals so (- 5) is the constant -5, matching
+		// how SMT-LIB treats negative numerals.
+		switch args[0].Op {
+		case OpIntConst:
+			return b.IntBig(new(big.Int).Neg(args[0].IntVal)), nil
+		case OpRealConst:
+			return b.RealRat(new(big.Rat).Neg(args[0].RatVal)), nil
+		}
+	} else if name == "-" {
+		op = OpSub
+	}
+	args = p.coerceNumerals(op, args)
+	if op == OpSub && len(args) > 2 {
+		// Left-associate n-ary subtraction.
+		t := args[0]
+		var err error
+		for _, a := range args[1:] {
+			t, err = b.Apply(OpSub, t, a)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return t, nil
+	}
+	t, err := b.Apply(op, args...)
+	if err != nil {
+		return nil, fmt.Errorf("smt: %d:%d: %v", n.Line, n.Col, err)
+	}
+	return t, nil
+}
+
+// coerceNumerals converts integer constants to real constants when an
+// arithmetic or comparison application mixes them with real-sorted
+// arguments, matching the SMT-LIB treatment of numerals in real logics.
+func (p *scriptParser) coerceNumerals(op Op, args []*Term) []*Term {
+	switch op {
+	case OpAdd, OpSub, OpMul, OpDiv, OpNeg, OpLe, OpLt, OpGe, OpGt, OpEq, OpDistinct, OpIte:
+	default:
+		return args
+	}
+	anyReal := op == OpDiv
+	for _, a := range args {
+		if a.Sort.Kind == KindReal {
+			anyReal = true
+			break
+		}
+	}
+	if !anyReal {
+		return args
+	}
+	out := make([]*Term, len(args))
+	for i, a := range args {
+		if a.Op == OpIntConst {
+			out[i] = p.c.Builder.RealRat(new(big.Rat).SetInt(a.IntVal))
+		} else {
+			out[i] = a
+		}
+	}
+	return out
+}
+
+func (p *scriptParser) coerceTo(t *Term, want Sort) (*Term, error) {
+	if t.Sort == want {
+		return t, nil
+	}
+	if t.Op == OpIntConst && want.Kind == KindReal {
+		return p.c.Builder.RealRat(new(big.Rat).SetInt(t.IntVal)), nil
+	}
+	return nil, fmt.Errorf("sort mismatch: have %v, want %v", t.Sort, want)
+}
+
+func (p *scriptParser) indexedLiteral(n *sexpr.Node) (*Term, error) {
+	if n.Len() != 3 || n.Items[1].Kind != sexpr.KindSymbol {
+		return nil, fmt.Errorf("smt: %d:%d: malformed indexed literal", n.Line, n.Col)
+	}
+	sym := n.Items[1].Text
+	switch {
+	case strings.HasPrefix(sym, "bv"):
+		v, ok := new(big.Int).SetString(sym[2:], 10)
+		if !ok {
+			return nil, fmt.Errorf("smt: bad bitvector literal %q", sym)
+		}
+		w, err := atoiNode(n.Items[2])
+		if err != nil {
+			return nil, err
+		}
+		if w < 1 || w > 1<<16 {
+			return nil, fmt.Errorf("smt: invalid bitvector literal width %d", w)
+		}
+		return p.c.Builder.BV(v, w), nil
+	case sym == "NaN" || sym == "+oo" || sym == "-oo":
+		if n.Len() != 4 {
+			return nil, fmt.Errorf("smt: malformed FP special literal")
+		}
+		eb, err := atoiNode(n.Items[2])
+		if err != nil {
+			return nil, err
+		}
+		sb, err := atoiNode(n.Items[3])
+		if err != nil {
+			return nil, err
+		}
+		class := FPNaN
+		if sym == "+oo" {
+			class = FPPlusInf
+		} else if sym == "-oo" {
+			class = FPMinusInf
+		}
+		return p.c.Builder.FPSpecial(FloatSort(eb, sb), class), nil
+	}
+	return nil, fmt.Errorf("smt: %d:%d: unsupported indexed literal %q", n.Line, n.Col, sym)
+}
+
+// fpLiteral parses (fp #b<sign> #b<exp> #b<mant>).
+func (p *scriptParser) fpLiteral(n *sexpr.Node) (*Term, error) {
+	if n.Len() != 4 {
+		return nil, fmt.Errorf("smt: malformed fp literal")
+	}
+	parts := make([]string, 3)
+	for i := 1; i <= 3; i++ {
+		it := n.Items[i]
+		switch it.Kind {
+		case sexpr.KindBinary:
+			parts[i-1] = strings.TrimPrefix(it.Text, "#b")
+		case sexpr.KindHex:
+			digits := strings.TrimPrefix(it.Text, "#x")
+			v, _ := new(big.Int).SetString(digits, 16)
+			parts[i-1] = fmt.Sprintf("%0*b", 4*len(digits), v)
+		default:
+			return nil, fmt.Errorf("smt: fp literal component must be binary or hex")
+		}
+	}
+	if len(parts[0]) != 1 {
+		return nil, fmt.Errorf("smt: fp literal sign must be one bit")
+	}
+	eb := len(parts[1])
+	sb := len(parts[2]) + 1
+	if eb < 2 || eb > 30 || sb < 2 || sb > 1<<12 {
+		return nil, fmt.Errorf("smt: fp literal implies invalid sort (%d, %d)", eb, sb)
+	}
+	bits, ok := new(big.Int).SetString(parts[0]+parts[1]+parts[2], 2)
+	if !ok {
+		return nil, fmt.Errorf("smt: bad fp literal bits")
+	}
+	return NewFPConstFromBits(p.c.Builder, FloatSort(eb, sb), bits)
+}
+
+func (p *scriptParser) indexedApplication(n *sexpr.Node, scope *letScope) (*Term, error) {
+	head := n.Items[0]
+	if head.Len() >= 2 && head.Items[1].IsSymbol("to_fp") {
+		return nil, fmt.Errorf("smt: %d:%d: to_fp conversions are not supported in input scripts", n.Line, n.Col)
+	}
+	return nil, fmt.Errorf("smt: %d:%d: unsupported indexed application %s", n.Line, n.Col, head)
+}

@@ -1,0 +1,138 @@
+package smt
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestAllOperatorsRoundTrip constructs one application of every
+// non-leaf operator, prints the constraint, and reparses it — auditing
+// that the printer's spellings and the parser's operator table agree for
+// the complete operator set.
+func TestAllOperatorsRoundTrip(t *testing.T) {
+	c := NewConstraint("")
+	b := c.Builder
+	i1 := c.MustDeclare("i1", IntSort)
+	i2 := c.MustDeclare("i2", IntSort)
+	r1 := c.MustDeclare("r1", RealSort)
+	r2 := c.MustDeclare("r2", RealSort)
+	v1 := c.MustDeclare("v1", BitVecSort(8))
+	v2 := c.MustDeclare("v2", BitVecSort(8))
+	f1 := c.MustDeclare("f1", FloatSort(5, 11))
+	f2 := c.MustDeclare("f2", FloatSort(5, 11))
+	p := c.MustDeclare("p", BoolSort)
+	q := c.MustDeclare("q", BoolSort)
+
+	// Boolean-result applications become assertions directly; value-sorted
+	// applications are wrapped in an equality with a variable of the sort.
+	apps := []*Term{
+		b.Not(p),
+		b.And(p, q),
+		b.Or(p, q),
+		b.MustApply(OpXor, p, q),
+		b.Implies(p, q),
+		b.Eq(i1, i2),
+		b.MustApply(OpDistinct, i1, i2),
+		b.MustApply(OpIte, p, q, p),
+		b.Le(i1, i2), b.Lt(i1, i2), b.Ge(i1, i2), b.Gt(i1, i2),
+		b.Le(r1, r2),
+		b.Eq(i1, b.Neg(i2)),
+		b.Eq(i1, b.Add(i1, i2)),
+		b.Eq(i1, b.Sub(i1, i2)),
+		b.Eq(i1, b.Mul(i1, i2)),
+		b.Eq(i1, b.MustApply(OpIntDiv, i1, i2)),
+		b.Eq(i1, b.MustApply(OpMod, i1, i2)),
+		b.Eq(i1, b.MustApply(OpAbs, i1)),
+		b.Eq(r1, b.MustApply(OpDiv, r1, r2)),
+		b.Eq(r1, b.MustApply(OpToReal, i1)),
+		b.Eq(i1, b.MustApply(OpToInt, r1)),
+	}
+	for _, op := range []Op{
+		OpBVNeg, OpBVNot,
+	} {
+		apps = append(apps, b.Eq(v1, b.MustApply(op, v2)))
+	}
+	for _, op := range []Op{
+		OpBVAdd, OpBVSub, OpBVMul, OpBVSDiv, OpBVSRem, OpBVSMod,
+		OpBVAnd, OpBVOr, OpBVXor, OpBVShl, OpBVLshr, OpBVAshr,
+		OpBVUDiv, OpBVURem,
+	} {
+		apps = append(apps, b.Eq(v1, b.MustApply(op, v1, v2)))
+	}
+	for _, op := range []Op{
+		OpBVSLe, OpBVSLt, OpBVSGe, OpBVSGt, OpBVULe, OpBVULt, OpBVUGe, OpBVUGt,
+		OpBVSAddO, OpBVSSubO, OpBVSMulO, OpBVSDivO,
+	} {
+		apps = append(apps, b.MustApply(op, v1, v2))
+	}
+	apps = append(apps, b.MustApply(OpBVNegO, v1))
+	for _, op := range []Op{OpFPNeg, OpFPAbs} {
+		apps = append(apps, b.Eq(f1, b.MustApply(op, f2)))
+	}
+	for _, op := range []Op{OpFPAdd, OpFPSub, OpFPMul, OpFPDiv} {
+		apps = append(apps, b.Eq(f1, b.MustApply(op, f1, f2)))
+	}
+	for _, op := range []Op{OpFPLe, OpFPLt, OpFPGe, OpFPGt, OpFPEq} {
+		apps = append(apps, b.MustApply(op, f1, f2))
+	}
+	apps = append(apps,
+		b.MustApply(OpFPIsNaN, f1),
+		b.MustApply(OpFPIsInf, f1),
+	)
+	for _, a := range apps {
+		c.MustAssert(a)
+	}
+
+	script := c.Script()
+	c2, err := ParseScript(script)
+	if err != nil {
+		t.Fatalf("reparse failed: %v\n%s", err, script)
+	}
+	if got, want := len(c2.Assertions), len(c.Assertions); got != want {
+		t.Fatalf("assertions after round trip: %d, want %d", got, want)
+	}
+	for i := range c.Assertions {
+		a, b := c.Assertions[i].String(), c2.Assertions[i].String()
+		if a != b {
+			t.Errorf("assertion %d changed: %s → %s", i, a, b)
+		}
+	}
+}
+
+// TestOpNamesComplete: every operator has a distinct printable name.
+func TestOpNamesComplete(t *testing.T) {
+	for op := OpInvalid + 1; op < opCount; op++ {
+		s := op.String()
+		if s == "<invalid-op>" {
+			t.Errorf("operator %d has no name", op)
+		}
+	}
+	// Leaf placeholders must not collide with real spellings.
+	seen := map[string]Op{}
+	for op := OpVar; op < opCount; op++ {
+		if op.IsLeaf() {
+			continue
+		}
+		name := op.String()
+		if name == "-" { // OpNeg/OpSub share the SMT-LIB spelling by design
+			continue
+		}
+		if prev, ok := seen[name]; ok {
+			t.Errorf("operators %v and %v share the spelling %q", prev, op, name)
+		}
+		seen[name] = op
+	}
+}
+
+func ExampleConstraint_Script() {
+	c := NewConstraint("QF_NIA")
+	b := c.Builder
+	x := c.MustDeclare("x", IntSort)
+	c.MustAssert(b.Eq(b.Mul(x, x), b.Int(49)))
+	fmt.Print(c.Script())
+	// Output:
+	// (set-logic QF_NIA)
+	// (declare-fun x () Int)
+	// (assert (= (* x x) 49))
+	// (check-sat)
+}

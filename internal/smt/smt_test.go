@@ -1,0 +1,310 @@
+package smt
+
+import (
+	"math/big"
+	"strings"
+	"testing"
+)
+
+func TestHashConsing(t *testing.T) {
+	b := NewBuilder()
+	x := b.MustVar("x", IntSort)
+	e1 := b.Add(x, b.Int(1))
+	e2 := b.Add(x, b.Int(1))
+	if e1 != e2 {
+		t.Error("identical terms are not pointer-equal")
+	}
+	e3 := b.Add(b.Int(1), x)
+	if e1 == e3 {
+		t.Error("argument order should distinguish terms")
+	}
+}
+
+func TestTypeChecking(t *testing.T) {
+	b := NewBuilder()
+	x := b.MustVar("x", IntSort)
+	r := b.MustVar("r", RealSort)
+	p := b.MustVar("p", BoolSort)
+
+	bad := []func() (*Term, error){
+		func() (*Term, error) { return b.Apply(OpAdd, x, r) },    // mixed sorts
+		func() (*Term, error) { return b.Apply(OpAdd, p, p) },    // bool arithmetic
+		func() (*Term, error) { return b.Apply(OpNot, x) },       // not on int
+		func() (*Term, error) { return b.Apply(OpDiv, x, x) },    // real div on ints
+		func() (*Term, error) { return b.Apply(OpAbs, r) },       // abs on real
+		func() (*Term, error) { return b.Apply(OpIte, x, x, x) }, // non-bool condition
+		func() (*Term, error) { return b.Apply(OpEq, x) },        // arity
+		func() (*Term, error) { return b.Apply(OpBVAdd, x, x) },  // bv op on ints
+		func() (*Term, error) { return b.Apply(OpFPAdd, r, r) },  // fp op on reals
+	}
+	for i, f := range bad {
+		if _, err := f(); err == nil {
+			t.Errorf("case %d: expected type error", i)
+		}
+	}
+
+	good := []func() (*Term, error){
+		func() (*Term, error) { return b.Apply(OpAdd, x, x, x) },
+		func() (*Term, error) { return b.Apply(OpIte, p, r, r) },
+		func() (*Term, error) { return b.Apply(OpEq, p, p) },
+		func() (*Term, error) { return b.Apply(OpToReal, x) },
+	}
+	for i, f := range good {
+		if _, err := f(); err != nil {
+			t.Errorf("case %d: unexpected error %v", i, err)
+		}
+	}
+}
+
+func TestVarRedeclare(t *testing.T) {
+	b := NewBuilder()
+	b.MustVar("x", IntSort)
+	if _, err := b.Var("x", RealSort); err == nil {
+		t.Error("expected redeclaration error")
+	}
+	if _, err := b.Var("x", IntSort); err != nil {
+		t.Errorf("same-sort redeclare should be fine: %v", err)
+	}
+}
+
+func TestParseScriptBasics(t *testing.T) {
+	c, err := ParseScript(`
+		(set-logic QF_NIA)
+		(set-info :source |test|)
+		(declare-fun x () Int)
+		(declare-const y Int)
+		(assert (= (+ (* x x) y) 10))
+		(assert (>= y (- 3)))
+		(check-sat)
+		(exit)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Logic != "QF_NIA" {
+		t.Errorf("Logic = %q", c.Logic)
+	}
+	if len(c.Vars) != 2 || len(c.Assertions) != 2 {
+		t.Fatalf("vars=%d assertions=%d", len(c.Vars), len(c.Assertions))
+	}
+}
+
+func TestParseLet(t *testing.T) {
+	c, err := ParseScript(`
+		(declare-fun x () Int)
+		(assert (let ((s (+ x 1)) (d (- x 1))) (= (* s d) 3)))
+		(check-sat)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (x+1)(x-1) = 3 → x² = 4.
+	if got := c.Assertions[0].String(); !strings.Contains(got, "(* (+ x 1) (- x 1))") {
+		t.Errorf("let expansion: %s", got)
+	}
+}
+
+func TestParseLetParallel(t *testing.T) {
+	// SMT-LIB let is parallel: inner x refers to the outer binding.
+	c, err := ParseScript(`
+		(declare-fun x () Int)
+		(assert (let ((x (+ x 1)) (y x)) (= x y)))
+		(check-sat)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := c.Assertions[0].String()
+	if s != "(= (+ x 1) x)" {
+		t.Errorf("parallel let: got %s", s)
+	}
+}
+
+func TestParseDefineFunMacro(t *testing.T) {
+	c, err := ParseScript(`
+		(declare-fun x () Int)
+		(define-fun limit () Int 100)
+		(assert (< x limit))
+		(check-sat)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := c.Assertions[0].String(); s != "(< x 100)" {
+		t.Errorf("macro expansion: %s", s)
+	}
+}
+
+func TestParseBitVecAndFloat(t *testing.T) {
+	c, err := ParseScript(`
+		(declare-fun v () (_ BitVec 12))
+		(declare-fun f () (_ FloatingPoint 5 11))
+		(assert (bvslt v (_ bv855 12)))
+		(assert (not (bvsmulo v v)))
+		(assert (fp.lt f (fp #b0 #b01111 #b0000000000)))
+		(check-sat)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Vars[0].Sort != BitVecSort(12) {
+		t.Errorf("v sort = %v", c.Vars[0].Sort)
+	}
+	if c.Vars[1].Sort != FloatSort(5, 11) {
+		t.Errorf("f sort = %v", c.Vars[1].Sort)
+	}
+	// The fp literal is 1.0.
+	var fpconst *Term
+	c.Assertions[2].Walk(func(t *Term) bool {
+		if t.Op == OpFPConst {
+			fpconst = t
+		}
+		return true
+	})
+	if fpconst == nil || fpconst.RatVal.Cmp(big.NewRat(1, 1)) != 0 {
+		t.Errorf("fp literal = %v, want 1", fpconst)
+	}
+}
+
+func TestNumeralCoercionInRealContext(t *testing.T) {
+	c, err := ParseScript(`
+		(declare-fun x () Real)
+		(assert (< x 2))
+		(assert (= (* 3 x) 1))
+		(check-sat)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range c.Assertions {
+		a.Walk(func(t *Term) bool {
+			if t.Op == OpIntConst {
+				t.IntVal.Int64() // reach the value to be sure it exists
+			}
+			if t.Op == OpIntConst {
+				// Should have been coerced.
+				panic("uncoerced integer constant in real context")
+			}
+			return true
+		})
+	}
+}
+
+func TestScriptRoundTrip(t *testing.T) {
+	src := `(set-logic QF_NIA)
+(declare-fun x () Int)
+(declare-fun y () Int)
+(assert (= (+ (* x x x) (* y y y)) 855))
+(assert (<= x 100))
+(check-sat)
+`
+	c, err := ParseScript(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := c.Script()
+	c2, err := ParseScript(out)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, out)
+	}
+	if c2.Script() != out {
+		t.Errorf("script not stable:\n%s\nvs\n%s", out, c2.Script())
+	}
+}
+
+func TestUnsupportedCommands(t *testing.T) {
+	for _, src := range []string{
+		"(push 1)",
+		"(pop 1)",
+		"(declare-fun f (Int) Int)",
+		"(frobnicate)",
+	} {
+		if _, err := ParseScript(src); err == nil {
+			t.Errorf("ParseScript(%q): expected error", src)
+		}
+	}
+}
+
+func TestLargestConstBits(t *testing.T) {
+	c, err := ParseScript(`
+		(declare-fun x () Int)
+		(assert (< x 855))
+		(assert (> x (- 7)))
+		(check-sat)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bits, ok := c.LargestConstBits()
+	if !ok || bits != 10 {
+		t.Errorf("LargestConstBits = %d, %t; want 10, true", bits, ok)
+	}
+}
+
+func TestCeilAbsBitsAndDig(t *testing.T) {
+	cases := []struct {
+		num, den int64
+		bits     int
+	}{
+		{0, 1, 0},
+		{1, 1, 1},
+		{855, 1, 10},
+		{-855, 1, 10},
+		{7, 2, 2}, // ceil(3.5) = 4 → 3 bits? no: 4 = 100b → 3 bits
+		{1, 3, 1}, // ceil(1/3) = 1
+	}
+	for _, tc := range cases {
+		got := CeilAbsBits(big.NewRat(tc.num, tc.den))
+		want := tc.bits
+		if tc.num == 7 && tc.den == 2 {
+			want = 3
+		}
+		if got != want {
+			t.Errorf("CeilAbsBits(%d/%d) = %d, want %d", tc.num, tc.den, got, want)
+		}
+	}
+	if d, ok := DigBits(big.NewRat(3, 8)); !ok || d != 3 {
+		t.Errorf("DigBits(3/8) = %d, %t; want 3, true", d, ok)
+	}
+	if d, ok := DigBits(big.NewRat(5, 1)); !ok || d != 0 {
+		t.Errorf("DigBits(5) = %d, %t; want 0, true", d, ok)
+	}
+	if _, ok := DigBits(big.NewRat(1, 3)); ok {
+		t.Error("DigBits(1/3) should report non-dyadic")
+	}
+}
+
+func TestTermSizeSharing(t *testing.T) {
+	b := NewBuilder()
+	x := b.MustVar("x", IntSort)
+	sq := b.Mul(x, x)
+	// sq has 2 nodes; (sq + sq) shares them: 3 distinct nodes total.
+	sum := b.Add(sq, sq)
+	if sum.Size() != 3 {
+		t.Errorf("Size() = %d, want 3 (shared DAG)", sum.Size())
+	}
+}
+
+func TestBVSigned(t *testing.T) {
+	b := NewBuilder()
+	v := b.BV(big.NewInt(-3), 8)
+	if v.IntVal.Int64() != 253 {
+		t.Errorf("unsigned bits = %d, want 253", v.IntVal.Int64())
+	}
+	if v.BVSigned().Int64() != -3 {
+		t.Errorf("BVSigned = %d, want -3", v.BVSigned().Int64())
+	}
+}
+
+func TestNegativeLiteralFolding(t *testing.T) {
+	c, err := ParseScript(`
+		(declare-fun x () Int)
+		(assert (= x (- 5)))
+		(check-sat)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var found bool
+	c.Assertions[0].Walk(func(t *Term) bool {
+		if t.Op == OpIntConst && t.IntVal.Int64() == -5 {
+			found = true
+		}
+		return true
+	})
+	if !found {
+		t.Errorf("(- 5) should fold to the constant -5: %s", c.Assertions[0])
+	}
+}

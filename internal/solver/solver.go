@@ -1,0 +1,227 @@
+// Package solver is the façade over every decision engine in the
+// repository. It dispatches a constraint by the sorts it uses — bitvector
+// and boolean constraints to the bit-blasting CDCL pipeline, floating-point
+// constraints to the bounded FP search, integer and real constraints to the
+// unbounded engines — under a single deadline/interrupt regime.
+//
+// Two solver profiles are provided, Prima and Secunda, with different
+// search schedules. They stand in for the paper's two external solvers (Z3
+// and CVC5): the evaluation tables compare STAUB's effect under both to
+// show the speedup is not solver-specific.
+package solver
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"staub/internal/bitblast"
+	"staub/internal/eval"
+	"staub/internal/fpsolver"
+	"staub/internal/intsolver"
+	"staub/internal/realsolver"
+	"staub/internal/sat"
+	"staub/internal/smt"
+	"staub/internal/status"
+)
+
+// Profile selects a solver configuration.
+type Profile int
+
+// Profiles.
+const (
+	// Prima is the default profile (the paper's Z3 column).
+	Prima Profile = iota
+	// Secunda uses a different deepening schedule and budgets (the
+	// paper's CVC5 column).
+	Secunda
+)
+
+func (p Profile) String() string {
+	if p == Secunda {
+		return "secunda"
+	}
+	return "prima"
+}
+
+// Options configures a solve call.
+type Options struct {
+	// Deadline aborts solving when passed (zero: none).
+	Deadline time.Time
+	// Interrupt aborts solving when set (nil: none).
+	Interrupt *atomic.Bool
+	// Profile selects the engine configuration.
+	Profile Profile
+	// Seed perturbs randomized components.
+	Seed int64
+}
+
+// Result is a completed solve.
+type Result struct {
+	Status  status.Status
+	Model   eval.Assignment
+	Elapsed time.Duration
+	// TimedOut reports whether the deadline/interrupt/budget fired.
+	TimedOut bool
+	// Engine names the engine that ran.
+	Engine string
+}
+
+// Kind classifies a constraint by the theory of its variables.
+type Kind int
+
+// Constraint kinds.
+const (
+	KindGround Kind = iota // no variables
+	KindBool               // boolean variables only
+	KindBV                 // bitvector (and boolean) variables
+	KindFP                 // floating-point variables
+	KindInt                // integer (and boolean) variables
+	KindReal               // real (and boolean) variables
+	KindMixed              // unsupported mixtures
+)
+
+// ClassifyConstraint inspects variable sorts.
+func ClassifyConstraint(c *smt.Constraint) Kind {
+	var hasBool, hasBV, hasFP, hasInt, hasReal bool
+	for _, v := range c.Vars {
+		switch v.Sort.Kind {
+		case smt.KindBool:
+			hasBool = true
+		case smt.KindBitVec:
+			hasBV = true
+		case smt.KindFloat:
+			hasFP = true
+		case smt.KindInt:
+			hasInt = true
+		case smt.KindReal:
+			hasReal = true
+		}
+	}
+	count := 0
+	for _, b := range []bool{hasBV, hasFP, hasInt, hasReal} {
+		if b {
+			count++
+		}
+	}
+	switch {
+	case count > 1:
+		return KindMixed
+	case hasBV:
+		return KindBV
+	case hasFP:
+		return KindFP
+	case hasInt:
+		return KindInt
+	case hasReal:
+		return KindReal
+	case hasBool:
+		return KindBool
+	default:
+		return KindGround
+	}
+}
+
+// Solve decides c under the given options.
+func Solve(c *smt.Constraint, o Options) Result {
+	start := time.Now()
+	res := solveDispatch(c, o)
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+func solveDispatch(c *smt.Constraint, o Options) Result {
+	switch ClassifyConstraint(c) {
+	case KindGround:
+		ok, err := eval.Constraint(c, eval.Assignment{})
+		if err != nil {
+			return Result{Status: status.Unknown, Engine: "ground"}
+		}
+		st := status.Unsat
+		var m eval.Assignment
+		if ok {
+			st = status.Sat
+			m = eval.Assignment{}
+		}
+		return Result{Status: st, Model: m, Engine: "ground"}
+
+	case KindBool, KindBV:
+		st, model, err := bitblast.Solve(c, func(s *sat.Solver) {
+			s.Deadline = o.Deadline
+			if o.Interrupt != nil {
+				s.SetInterrupt(o.Interrupt)
+			}
+		})
+		if err != nil {
+			return Result{Status: status.Unknown, Engine: "bitblast"}
+		}
+		out := Result{Engine: "bitblast"}
+		switch st {
+		case sat.Sat:
+			out.Status, out.Model = status.Sat, model
+		case sat.Unsat:
+			out.Status = status.Unsat
+		default:
+			out.Status = status.Unknown
+			out.TimedOut = true
+		}
+		return out
+
+	case KindFP:
+		p := fpsolver.Params{Deadline: o.Deadline, Interrupt: o.Interrupt, Seed: o.Seed}
+		if o.Profile == Secunda {
+			p.SearchIters = 120000
+			p.ExhaustiveLimit = 1 << 22
+		}
+		st, model, stats := fpsolver.Solve(c, p)
+		return Result{Status: st, Model: model, TimedOut: stats.TimedOut, Engine: "fpsearch"}
+
+	case KindInt:
+		p := intsolver.Params{Deadline: o.Deadline, Interrupt: o.Interrupt}
+		if o.Profile == Secunda {
+			p.RadiusFactor = 3
+			p.MaxBranchDepth = 400
+			p.MaxDNFCases = 128
+			p.NodeBudget = 6_000_000
+		}
+		st, model, stats := intsolver.Solve(c, p)
+		return Result{Status: st, Model: model, TimedOut: stats.TimedOut, Engine: "intsolver"}
+
+	case KindReal:
+		p := realsolver.Params{Deadline: o.Deadline, Interrupt: o.Interrupt}
+		if o.Profile == Secunda {
+			p.MinWidth = 16
+			p.MaxRadius = 1 << 18
+			p.MaxDNFCases = 128
+		}
+		st, model, stats := realsolver.Solve(c, p)
+		return Result{Status: st, Model: model, TimedOut: stats.TimedOut, Engine: "realsolver"}
+
+	default:
+		return Result{Status: status.Unknown, Engine: "unsupported"}
+	}
+}
+
+// SolveTimeout is a convenience wrapping Solve with a duration budget.
+func SolveTimeout(c *smt.Constraint, d time.Duration, profile Profile) Result {
+	return Solve(c, Options{Deadline: time.Now().Add(d), Profile: profile})
+}
+
+// VerifyModel checks a model against a constraint with the exact
+// evaluator; errors (for example division by zero under the model) count
+// as non-satisfaction.
+func VerifyModel(c *smt.Constraint, m eval.Assignment) bool {
+	ok, err := eval.Constraint(c, m)
+	return err == nil && ok
+}
+
+// FormatModel renders a model deterministically for logs and examples.
+func FormatModel(c *smt.Constraint, m eval.Assignment) string {
+	out := ""
+	for _, name := range c.SortedVarNames() {
+		if v, ok := m[name]; ok {
+			out += fmt.Sprintf("%s = %s\n", name, v)
+		}
+	}
+	return out
+}

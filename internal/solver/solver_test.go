@@ -1,0 +1,132 @@
+package solver
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"staub/internal/smt"
+	"staub/internal/status"
+)
+
+func parse(t *testing.T, src string) *smt.Constraint {
+	t.Helper()
+	c, err := smt.ParseScript(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestDispatchByKind(t *testing.T) {
+	cases := []struct {
+		name   string
+		src    string
+		engine string
+		want   status.Status
+	}{
+		{"int", `(declare-fun x () Int)(assert (> x 3))(check-sat)`, "intsolver", status.Sat},
+		{"real", `(declare-fun x () Real)(assert (> x 0.5))(check-sat)`, "realsolver", status.Sat},
+		{"bv", `(declare-fun v () (_ BitVec 8))(assert (bvsgt v (_ bv3 8)))(check-sat)`, "bitblast", status.Sat},
+		{"fp", `(declare-fun f () (_ FloatingPoint 4 6))(assert (fp.gt f (fp #b0 #b0111 #b00000)))(check-sat)`, "fpsearch", status.Sat},
+		{"ground-sat", `(assert (= 1 1))(check-sat)`, "ground", status.Sat},
+		{"ground-unsat", `(assert (= 1 2))(check-sat)`, "ground", status.Unsat},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := parse(t, tc.src)
+			r := SolveTimeout(c, 5*time.Second, Prima)
+			if r.Engine != tc.engine {
+				t.Errorf("engine = %q, want %q", r.Engine, tc.engine)
+			}
+			if r.Status != tc.want {
+				t.Errorf("status = %v, want %v", r.Status, tc.want)
+			}
+			if r.Status == status.Sat && !VerifyModel(c, r.Model) {
+				t.Error("model fails verification")
+			}
+		})
+	}
+}
+
+func TestClassifyConstraint(t *testing.T) {
+	mixed := smt.NewConstraint("")
+	mixed.MustDeclare("i", smt.IntSort)
+	mixed.MustDeclare("r", smt.RealSort)
+	if got := ClassifyConstraint(mixed); got != KindMixed {
+		t.Errorf("mixed = %v", got)
+	}
+	boolOnly := smt.NewConstraint("")
+	boolOnly.MustDeclare("p", smt.BoolSort)
+	if got := ClassifyConstraint(boolOnly); got != KindBool {
+		t.Errorf("bool = %v", got)
+	}
+}
+
+func TestBoolConstraintViaSAT(t *testing.T) {
+	c := parse(t, `
+		(declare-fun p () Bool)
+		(declare-fun q () Bool)
+		(assert (or p q))
+		(assert (not p))
+		(check-sat)`)
+	r := SolveTimeout(c, 5*time.Second, Prima)
+	if r.Status != status.Sat {
+		t.Fatalf("status = %v", r.Status)
+	}
+	if !r.Model["q"].Bool || r.Model["p"].Bool {
+		t.Errorf("model = %v, want p=false q=true", r.Model)
+	}
+}
+
+func TestInterruptStopsSolve(t *testing.T) {
+	c := parse(t, `
+		(declare-fun x () Int)
+		(declare-fun y () Int)
+		(declare-fun z () Int)
+		(assert (= (+ (* x x x) (* y y y) (* z z z)) 999983))
+		(check-sat)`)
+	var flag atomic.Bool
+	done := make(chan Result, 1)
+	go func() {
+		done <- Solve(c, Options{Deadline: time.Now().Add(time.Minute), Interrupt: &flag})
+	}()
+	time.Sleep(30 * time.Millisecond)
+	flag.Store(true)
+	select {
+	case r := <-done:
+		if r.Status == status.Unsat {
+			t.Errorf("interrupted solve returned unsat")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("interrupt not honored within 10s")
+	}
+}
+
+func TestProfilesBothWork(t *testing.T) {
+	c := parse(t, `(declare-fun x () Int)(assert (= (* x x) 64))(check-sat)`)
+	for _, p := range []Profile{Prima, Secunda} {
+		r := SolveTimeout(c, 5*time.Second, p)
+		if r.Status != status.Sat {
+			t.Errorf("%v: status = %v", p, r.Status)
+		}
+	}
+}
+
+func TestFormatModelDeterministic(t *testing.T) {
+	c := parse(t, `
+		(declare-fun b () Int)
+		(declare-fun a () Int)
+		(assert (= a 1))
+		(assert (= b 2))
+		(check-sat)`)
+	r := SolveTimeout(c, 5*time.Second, Prima)
+	if r.Status != status.Sat {
+		t.Fatal(r.Status)
+	}
+	got := FormatModel(c, r.Model)
+	want := "a = 1\nb = 2\n"
+	if got != want {
+		t.Errorf("FormatModel = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,28 @@
+// Package status defines the three-valued solve outcome shared by every
+// solver engine in the repository.
+package status
+
+// Status is a solver verdict.
+type Status int
+
+// Verdicts.
+const (
+	// Unknown means the engine could not decide within its budget or the
+	// constraint falls outside its fragment.
+	Unknown Status = iota
+	// Sat means a model was found.
+	Sat
+	// Unsat means unsatisfiability was proved.
+	Unsat
+)
+
+func (s Status) String() string {
+	switch s {
+	case Sat:
+		return "sat"
+	case Unsat:
+		return "unsat"
+	default:
+		return "unknown"
+	}
+}

@@ -1,0 +1,216 @@
+package termination
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"time"
+
+	"staub/internal/core"
+	"staub/internal/solver"
+	"staub/internal/status"
+)
+
+// GeneratePrograms produces n single-loop programs mirroring the SV-COMP
+// termination corpus the paper uses: mostly linear terminating loops, some
+// non-terminating ones, and a fraction with nonlinear updates or guards
+// whose counterexample queries are QF_NIA.
+func GeneratePrograms(n int, seed int64) []*Program {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*Program, 0, n)
+	for i := 0; i < n; i++ {
+		switch {
+		case i%5 == 4:
+			out = append(out, genNonlinear(rng, i))
+		case i%7 == 6:
+			out = append(out, genNonTerminating(rng, i))
+		default:
+			out = append(out, genLinear(rng, i))
+		}
+	}
+	return out
+}
+
+// genLinear builds a terminating loop: a positive-coefficient counter
+// decreases toward a bound.
+func genLinear(rng *rand.Rand, idx int) *Program {
+	p := &Program{Name: fmt.Sprintf("lin-%03d", idx)}
+	dec := int64(rng.Intn(4) + 1)
+	p.Guards = append(p.Guards, Cond{Rel: ">", L: VarExpr("x"), R: ConstExpr(int64(rng.Intn(20)))})
+	p.Body = append(p.Body, Assign{Var: "x", Expr: BinExpr('-', VarExpr("x"), ConstExpr(dec))})
+	// An auxiliary variable that grows, tempting wrong candidates.
+	if rng.Intn(2) == 0 {
+		p.Guards = append(p.Guards, Cond{Rel: "<", L: VarExpr("y"), R: BinExpr('+', VarExpr("x"), ConstExpr(100))})
+		p.Body = append(p.Body, Assign{Var: "y", Expr: BinExpr('+', VarExpr("y"), ConstExpr(int64(rng.Intn(3)+1)))})
+	}
+	return p
+}
+
+// genNonTerminating builds a loop with no linear ranking function (the
+// counter oscillates or grows), so every candidate is rejected.
+func genNonTerminating(rng *rand.Rand, idx int) *Program {
+	p := &Program{Name: fmt.Sprintf("nonterm-%03d", idx)}
+	p.Guards = append(p.Guards, Cond{Rel: ">", L: VarExpr("x"), R: ConstExpr(0)})
+	p.Body = append(p.Body, Assign{Var: "x", Expr: BinExpr('+', VarExpr("x"), ConstExpr(int64(rng.Intn(3)+1)))})
+	return p
+}
+
+// genNonlinear builds a loop whose guard contains a quadratic invariant
+// with cross terms plus a multi-variable sum bound — the shape whose
+// counterexample queries are slow for enumeration-based unbounded solving
+// but fast after theory arbitrage. Candidate-rejection queries (the sat
+// ones) are therefore the client's arbitrage wins, while queries for valid
+// candidates are nonlinear-unsat and burn the budget on both legs, giving
+// the paper's pessimistic mostly-unsat profile.
+func genNonlinear(rng *rand.Rand, idx int) *Program {
+	p := &Program{Name: fmt.Sprintf("nonlin-%03d", idx)}
+	// Planted state on the guard surface.
+	a0 := int64(rng.Intn(8) + 12)
+	b0 := int64(rng.Intn(8) + 12)
+	c0 := a0*a0 + b0*b0 + a0*b0
+	quad := BinExpr('+',
+		BinExpr('+', BinExpr('*', VarExpr("a"), VarExpr("a")), BinExpr('*', VarExpr("b"), VarExpr("b"))),
+		BinExpr('*', VarExpr("a"), VarExpr("b")))
+	p.Guards = append(p.Guards,
+		Cond{Rel: "==", L: quad, R: ConstExpr(c0)},
+		Cond{Rel: ">", L: BinExpr('+', VarExpr("a"), VarExpr("b")), R: ConstExpr(a0 + b0 - 2)},
+	)
+	p.Body = append(p.Body,
+		Assign{Var: "a", Expr: BinExpr('-', VarExpr("a"), ConstExpr(int64(rng.Intn(2)+1)))},
+		Assign{Var: "b", Expr: BinExpr('+', VarExpr("b"), ConstExpr(int64(rng.Intn(2)+1)))},
+	)
+	return p
+}
+
+// ExperimentOptions configures the Figure 8 experiment.
+type ExperimentOptions struct {
+	// Programs is the corpus size (the paper's 97).
+	Programs int
+	// Seed drives program generation.
+	Seed int64
+	// Timeout is the per-query budget.
+	Timeout time.Duration
+	// Profile selects the solver profile (default Prima, the paper's Z3).
+	Profile solver.Profile
+}
+
+// ExperimentResult is the Figure 8 summary.
+type ExperimentResult struct {
+	Programs      int
+	ProvedPlain   int
+	ProvedStaub   int
+	VerifiedCases int
+	Tractability  int
+	VerifiedSpeed float64
+	OverallSpeed  float64
+	PlainTime     time.Duration
+	StaubTime     time.Duration
+}
+
+// Print renders the summary in the layout of Figure 8.
+func (r ExperimentResult) Print(w io.Writer) {
+	fmt.Fprintln(w, "Figure 8. Results for applying STAUB to the termination-prover client analysis.")
+	fmt.Fprintf(w, "%-34s %d\n", "Benchmarks", r.Programs)
+	fmt.Fprintf(w, "%-34s %d\n", "Verified cases", r.VerifiedCases)
+	fmt.Fprintf(w, "%-34s %d\n", "Tractability improvements", r.Tractability)
+	fmt.Fprintf(w, "%-34s %.2fx\n", "Mean speedup for verified cases", r.VerifiedSpeed)
+	fmt.Fprintf(w, "%-34s %.3fx\n", "Overall mean speedup", r.OverallSpeed)
+	fmt.Fprintf(w, "%-34s %v / %v\n", "Total prover time (plain/STAUB)",
+		r.PlainTime.Round(time.Millisecond), r.StaubTime.Round(time.Millisecond))
+}
+
+// RunExperiment proves termination for the generated corpus twice — once
+// with the plain unbounded solver and once with the STAUB portfolio — and
+// reports the Figure 8 statistics. Per-query speedups are measured with
+// both legs run on the same queries.
+func RunExperiment(o ExperimentOptions) (ExperimentResult, error) {
+	if o.Programs == 0 {
+		o.Programs = 97
+	}
+	if o.Timeout == 0 {
+		o.Timeout = 1500 * time.Millisecond
+	}
+	progs := GeneratePrograms(o.Programs, o.Seed)
+	res := ExperimentResult{Programs: len(progs)}
+
+	var speedups []float64
+	var verifiedSpeedups []float64
+	for _, p := range progs {
+		// Discharge the same query sequence once, measuring both legs,
+		// so the comparison is paired.
+		plainProved := false
+		staubProved := false
+		for _, f := range Candidates(p) {
+			if plainProved && staubProved {
+				break
+			}
+			q, err := CounterexampleQuery(p, f)
+			if err != nil {
+				return res, err
+			}
+			pre := solver.SolveTimeout(q, o.Timeout, o.Profile)
+			tPre := pre.Elapsed
+			if pre.Status == status.Unknown {
+				tPre = o.Timeout
+			}
+			pl := core.RunPipeline(q, core.Config{Timeout: o.Timeout, Profile: o.Profile}, nil)
+
+			tFinal := tPre
+			if pl.Outcome == core.OutcomeVerified && pl.Total < tPre {
+				tFinal = pl.Total
+			}
+			if !plainProved {
+				res.PlainTime += tPre
+			}
+			if !staubProved {
+				res.StaubTime += tFinal
+			}
+			alpha := float64(tPre) / float64(maxDur(tFinal, time.Microsecond))
+			speedups = append(speedups, alpha)
+			if pl.Outcome == core.OutcomeVerified {
+				res.VerifiedCases++
+				verifiedSpeedups = append(verifiedSpeedups, alpha)
+				if pre.Status == status.Unknown {
+					res.Tractability++
+				}
+			}
+			if pre.Status == status.Unsat && !plainProved {
+				plainProved = true
+				res.ProvedPlain++
+			}
+			staubVerdict := pre.Status
+			if pl.Outcome == core.OutcomeVerified {
+				staubVerdict = status.Sat
+			}
+			if staubVerdict == status.Unsat && !staubProved {
+				staubProved = true
+				res.ProvedStaub++
+			}
+		}
+	}
+	res.VerifiedSpeed = geoMean(verifiedSpeedups)
+	res.OverallSpeed = geoMean(speedups)
+	return res, nil
+}
+
+func maxDur(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func geoMean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 1
+	}
+	sum := 0.0
+	for _, v := range vals {
+		if v <= 0 {
+			v = 1e-9
+		}
+		sum += math.Log(v)
+	}
+	return math.Exp(sum / float64(len(vals)))
+}

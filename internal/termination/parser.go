@@ -1,0 +1,233 @@
+package termination
+
+import (
+	"fmt"
+	"math/big"
+	"strings"
+	"unicode"
+)
+
+// Parse reads a single-loop program in the concrete syntax
+//
+//	while (x > 0 && y >= x) { x := x - 1; y := y + 2*x; }
+//
+// Expressions support +, -, * with the usual precedence and parentheses;
+// conditions support <, <=, >, >=, ==, !=.
+func Parse(src string) (*Program, error) {
+	p := &progParser{src: src}
+	p.skipSpace()
+	if !p.eat("while") {
+		return nil, p.errf("expected 'while'")
+	}
+	p.skipSpace()
+	if !p.eatByte('(') {
+		return nil, p.errf("expected '('")
+	}
+	prog := &Program{}
+	for {
+		cond, err := p.cond()
+		if err != nil {
+			return nil, err
+		}
+		prog.Guards = append(prog.Guards, cond)
+		p.skipSpace()
+		if p.eat("&&") {
+			continue
+		}
+		break
+	}
+	if !p.eatByte(')') {
+		return nil, p.errf("expected ')' after guard")
+	}
+	p.skipSpace()
+	if !p.eatByte('{') {
+		return nil, p.errf("expected '{'")
+	}
+	for {
+		p.skipSpace()
+		if p.eatByte('}') {
+			break
+		}
+		name := p.ident()
+		if name == "" {
+			return nil, p.errf("expected assignment target")
+		}
+		p.skipSpace()
+		if !p.eat(":=") {
+			return nil, p.errf("expected ':='")
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		prog.Body = append(prog.Body, Assign{Var: name, Expr: e})
+		p.skipSpace()
+		if !p.eatByte(';') {
+			return nil, p.errf("expected ';'")
+		}
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, p.errf("trailing input")
+	}
+	return prog, nil
+}
+
+type progParser struct {
+	src string
+	pos int
+}
+
+func (p *progParser) errf(format string, args ...any) error {
+	return fmt.Errorf("termination: parse error at offset %d: %s", p.pos, fmt.Sprintf(format, args...))
+}
+
+func (p *progParser) skipSpace() {
+	for p.pos < len(p.src) && unicode.IsSpace(rune(p.src[p.pos])) {
+		p.pos++
+	}
+}
+
+func (p *progParser) eat(s string) bool {
+	p.skipSpace()
+	if strings.HasPrefix(p.src[p.pos:], s) {
+		p.pos += len(s)
+		return true
+	}
+	return false
+}
+
+func (p *progParser) eatByte(c byte) bool {
+	p.skipSpace()
+	if p.pos < len(p.src) && p.src[p.pos] == c {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *progParser) ident() string {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := rune(p.src[p.pos])
+		if unicode.IsLetter(c) || c == '_' || (p.pos > start && unicode.IsDigit(c)) {
+			p.pos++
+		} else {
+			break
+		}
+	}
+	return p.src[start:p.pos]
+}
+
+func (p *progParser) cond() (Cond, error) {
+	l, err := p.expr()
+	if err != nil {
+		return Cond{}, err
+	}
+	p.skipSpace()
+	var rel string
+	for _, r := range []string{"<=", ">=", "==", "!=", "<", ">"} {
+		if p.eat(r) {
+			rel = r
+			break
+		}
+	}
+	if rel == "" {
+		return Cond{}, p.errf("expected comparison operator")
+	}
+	r, err := p.expr()
+	if err != nil {
+		return Cond{}, err
+	}
+	return Cond{Rel: rel, L: l, R: r}, nil
+}
+
+// expr parses sums of products.
+func (p *progParser) expr() (*Expr, error) {
+	e, err := p.term()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skipSpace()
+		if p.eatByte('+') {
+			r, err := p.term()
+			if err != nil {
+				return nil, err
+			}
+			e = BinExpr('+', e, r)
+		} else if p.peekMinus() {
+			p.pos++ // '-'
+			r, err := p.term()
+			if err != nil {
+				return nil, err
+			}
+			e = BinExpr('-', e, r)
+		} else {
+			return e, nil
+		}
+	}
+}
+
+// peekMinus distinguishes binary minus from a negative literal already
+// consumed inside term.
+func (p *progParser) peekMinus() bool {
+	p.skipSpace()
+	return p.pos < len(p.src) && p.src[p.pos] == '-'
+}
+
+func (p *progParser) term() (*Expr, error) {
+	e, err := p.factor()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skipSpace()
+		if p.eatByte('*') {
+			r, err := p.factor()
+			if err != nil {
+				return nil, err
+			}
+			e = BinExpr('*', e, r)
+		} else {
+			return e, nil
+		}
+	}
+}
+
+func (p *progParser) factor() (*Expr, error) {
+	p.skipSpace()
+	if p.eatByte('(') {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if !p.eatByte(')') {
+			return nil, p.errf("expected ')'")
+		}
+		return e, nil
+	}
+	if p.pos < len(p.src) && (p.src[p.pos] == '-' || unicode.IsDigit(rune(p.src[p.pos]))) {
+		start := p.pos
+		if p.src[p.pos] == '-' {
+			p.pos++
+		}
+		for p.pos < len(p.src) && unicode.IsDigit(rune(p.src[p.pos])) {
+			p.pos++
+		}
+		if p.pos == start || (p.pos == start+1 && p.src[start] == '-') {
+			return nil, p.errf("expected number")
+		}
+		v, ok := new(big.Int).SetString(p.src[start:p.pos], 10)
+		if !ok {
+			return nil, p.errf("bad number %q", p.src[start:p.pos])
+		}
+		return &Expr{Const: v}, nil
+	}
+	name := p.ident()
+	if name == "" {
+		return nil, p.errf("expected expression")
+	}
+	return VarExpr(name), nil
+}

@@ -1,0 +1,280 @@
+// Package termination implements the client analysis of the paper's RQ3:
+// a termination prover in the style of Ultimate Automizer, scoped to
+// single-loop integer programs. The prover enumerates candidate linear
+// ranking functions and discharges each candidate with an SMT query that
+// searches for a counterexample state; a query answered "unsat" certifies
+// the candidate. Most queries are unsatisfiable — the pessimistic workload
+// profile the paper highlights — and the satisfiable ones (rejecting a bad
+// candidate) are where STAUB's theory arbitrage speeds the client up.
+package termination
+
+import (
+	"fmt"
+	"math/big"
+	"strings"
+
+	"staub/internal/smt"
+)
+
+// Expr is a side-effect-free integer expression in the while language:
+// either a constant, a variable, or a binary operation.
+type Expr struct {
+	Const *big.Int
+	Var   string
+	Op    byte // '+', '-', '*'
+	L, R  *Expr
+}
+
+// ConstExpr returns a constant expression.
+func ConstExpr(v int64) *Expr { return &Expr{Const: big.NewInt(v)} }
+
+// VarExpr returns a variable reference.
+func VarExpr(name string) *Expr { return &Expr{Var: name} }
+
+// BinExpr returns l op r.
+func BinExpr(op byte, l, r *Expr) *Expr { return &Expr{Op: op, L: l, R: r} }
+
+func (e *Expr) String() string {
+	switch {
+	case e.Const != nil:
+		return e.Const.String()
+	case e.Var != "":
+		return e.Var
+	default:
+		return fmt.Sprintf("(%s %c %s)", e.L, e.Op, e.R)
+	}
+}
+
+// Term translates the expression into an SMT term over the given variable
+// mapping.
+func (e *Expr) Term(b *smt.Builder, vars map[string]*smt.Term) (*smt.Term, error) {
+	switch {
+	case e.Const != nil:
+		return b.IntBig(e.Const), nil
+	case e.Var != "":
+		v, ok := vars[e.Var]
+		if !ok {
+			return nil, fmt.Errorf("termination: unknown variable %q", e.Var)
+		}
+		return v, nil
+	default:
+		l, err := e.L.Term(b, vars)
+		if err != nil {
+			return nil, err
+		}
+		r, err := e.R.Term(b, vars)
+		if err != nil {
+			return nil, err
+		}
+		switch e.Op {
+		case '+':
+			return b.Add(l, r), nil
+		case '-':
+			return b.Sub(l, r), nil
+		case '*':
+			return b.Mul(l, r), nil
+		default:
+			return nil, fmt.Errorf("termination: unknown operator %q", e.Op)
+		}
+	}
+}
+
+// Vars appends the variables referenced by e to set.
+func (e *Expr) Vars(set map[string]bool) {
+	switch {
+	case e.Const != nil:
+	case e.Var != "":
+		set[e.Var] = true
+	default:
+		e.L.Vars(set)
+		e.R.Vars(set)
+	}
+}
+
+// Cond is a comparison guard: L relOp R with relOp in {"<", "<=", ">",
+// ">=", "==", "!="}.
+type Cond struct {
+	Rel  string
+	L, R *Expr
+}
+
+func (c Cond) String() string { return fmt.Sprintf("%s %s %s", c.L, c.Rel, c.R) }
+
+// Term translates the condition into a boolean SMT term.
+func (c Cond) Term(b *smt.Builder, vars map[string]*smt.Term) (*smt.Term, error) {
+	l, err := c.L.Term(b, vars)
+	if err != nil {
+		return nil, err
+	}
+	r, err := c.R.Term(b, vars)
+	if err != nil {
+		return nil, err
+	}
+	switch c.Rel {
+	case "<":
+		return b.Lt(l, r), nil
+	case "<=":
+		return b.Le(l, r), nil
+	case ">":
+		return b.Gt(l, r), nil
+	case ">=":
+		return b.Ge(l, r), nil
+	case "==":
+		return b.Eq(l, r), nil
+	case "!=":
+		return b.Not(b.Eq(l, r)), nil
+	default:
+		return nil, fmt.Errorf("termination: unknown relation %q", c.Rel)
+	}
+}
+
+// Assign is a simultaneous assignment executed on each loop iteration.
+type Assign struct {
+	Var  string
+	Expr *Expr
+}
+
+// Program is a single-loop integer program:
+//
+//	while (Guard_1 && Guard_2 && ...) { x1 := e1; x2 := e2; ... }
+//
+// Assignments within a loop body are simultaneous (all right-hand sides
+// read the pre-iteration state), matching the transition-relation view a
+// termination prover extracts.
+type Program struct {
+	Name   string
+	Guards []Cond
+	Body   []Assign
+}
+
+// Vars returns the sorted set of variables the program mentions.
+func (p *Program) Vars() []string {
+	set := map[string]bool{}
+	for _, g := range p.Guards {
+		g.L.Vars(set)
+		g.R.Vars(set)
+	}
+	for _, a := range p.Body {
+		set[a.Var] = true
+		a.Expr.Vars(set)
+	}
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sortStrings(out)
+	return out
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func (p *Program) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "while (")
+	for i, g := range p.Guards {
+		if i > 0 {
+			b.WriteString(" && ")
+		}
+		b.WriteString(g.String())
+	}
+	b.WriteString(") {\n")
+	for _, a := range p.Body {
+		fmt.Fprintf(&b, "  %s := %s;\n", a.Var, a.Expr)
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+// Step executes one loop iteration on the state, returning false if the
+// guard fails (loop exits). Used by tests and the interpreter example.
+func (p *Program) Step(state map[string]*big.Int) (bool, error) {
+	for _, g := range p.Guards {
+		ok, err := evalCond(g, state)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	next := make(map[string]*big.Int, len(state))
+	for k, v := range state {
+		next[k] = v
+	}
+	for _, a := range p.Body {
+		v, err := evalExpr(a.Expr, state)
+		if err != nil {
+			return false, err
+		}
+		next[a.Var] = v
+	}
+	for k, v := range next {
+		state[k] = v
+	}
+	return true, nil
+}
+
+func evalExpr(e *Expr, state map[string]*big.Int) (*big.Int, error) {
+	switch {
+	case e.Const != nil:
+		return e.Const, nil
+	case e.Var != "":
+		v, ok := state[e.Var]
+		if !ok {
+			return nil, fmt.Errorf("termination: unbound variable %q", e.Var)
+		}
+		return v, nil
+	default:
+		l, err := evalExpr(e.L, state)
+		if err != nil {
+			return nil, err
+		}
+		r, err := evalExpr(e.R, state)
+		if err != nil {
+			return nil, err
+		}
+		out := new(big.Int)
+		switch e.Op {
+		case '+':
+			out.Add(l, r)
+		case '-':
+			out.Sub(l, r)
+		case '*':
+			out.Mul(l, r)
+		}
+		return out, nil
+	}
+}
+
+func evalCond(c Cond, state map[string]*big.Int) (bool, error) {
+	l, err := evalExpr(c.L, state)
+	if err != nil {
+		return false, err
+	}
+	r, err := evalExpr(c.R, state)
+	if err != nil {
+		return false, err
+	}
+	cmp := l.Cmp(r)
+	switch c.Rel {
+	case "<":
+		return cmp < 0, nil
+	case "<=":
+		return cmp <= 0, nil
+	case ">":
+		return cmp > 0, nil
+	case ">=":
+		return cmp >= 0, nil
+	case "==":
+		return cmp == 0, nil
+	case "!=":
+		return cmp != 0, nil
+	}
+	return false, fmt.Errorf("termination: unknown relation %q", c.Rel)
+}

@@ -1,0 +1,194 @@
+package termination
+
+import (
+	"fmt"
+	"time"
+
+	"staub/internal/core"
+	"staub/internal/smt"
+	"staub/internal/solver"
+	"staub/internal/status"
+)
+
+// Ranking is a candidate linear ranking function c0 + Σ ci*xi.
+type Ranking struct {
+	Const  int64
+	Coeffs map[string]int64
+}
+
+func (r Ranking) String() string {
+	s := fmt.Sprintf("%d", r.Const)
+	vars := make([]string, 0, len(r.Coeffs))
+	for v := range r.Coeffs {
+		vars = append(vars, v)
+	}
+	sortStrings(vars)
+	for _, v := range vars {
+		s += fmt.Sprintf(" + %d*%s", r.Coeffs[v], v)
+	}
+	return s
+}
+
+// term builds the SMT term for the ranking over the given variable map.
+func (r Ranking) term(b *smt.Builder, vars map[string]*smt.Term) *smt.Term {
+	out := b.Int(r.Const)
+	names := make([]string, 0, len(r.Coeffs))
+	for v := range r.Coeffs {
+		names = append(names, v)
+	}
+	sortStrings(names)
+	for _, v := range names {
+		c := r.Coeffs[v]
+		if c == 0 {
+			continue
+		}
+		out = b.Add(out, b.Mul(b.Int(c), vars[v]))
+	}
+	return out
+}
+
+// Candidates enumerates ranking-function templates for the program:
+// single variables, pairwise differences and sums, and guard left-hand
+// sides, each with a small constant offset.
+func Candidates(p *Program) []Ranking {
+	vars := p.Vars()
+	var out []Ranking
+	add := func(coeffs map[string]int64, consts ...int64) {
+		for _, c := range consts {
+			out = append(out, Ranking{Const: c, Coeffs: coeffs})
+		}
+	}
+	for _, v := range vars {
+		add(map[string]int64{v: 1}, 0, 1)
+		add(map[string]int64{v: -1}, 0, 100)
+	}
+	for i := 0; i < len(vars); i++ {
+		for j := i + 1; j < len(vars); j++ {
+			add(map[string]int64{vars[i]: 1, vars[j]: -1}, 0, 1)
+			add(map[string]int64{vars[i]: -1, vars[j]: 1}, 0, 1)
+			add(map[string]int64{vars[i]: 1, vars[j]: 1}, 0)
+		}
+	}
+	return out
+}
+
+// CounterexampleQuery builds the SMT constraint asking for a state x that
+// satisfies the loop guard and whose successor x' violates the ranking
+// conditions (boundedness f(x) >= 0 and strict decrease f(x) - f(x') >= 1).
+// The query is unsatisfiable exactly when f certifies termination of the
+// loop (for linear-update programs; nonlinear updates make the query a
+// QF_NIA constraint).
+func CounterexampleQuery(p *Program, f Ranking) (*smt.Constraint, error) {
+	c := smt.NewConstraint("QF_NIA")
+	b := c.Builder
+	pre := map[string]*smt.Term{}
+	for _, v := range p.Vars() {
+		t, err := c.Declare(v, smt.IntSort)
+		if err != nil {
+			return nil, err
+		}
+		pre[v] = t
+	}
+	// Guard holds in the pre-state.
+	for _, g := range p.Guards {
+		gt, err := g.Term(b, pre)
+		if err != nil {
+			return nil, err
+		}
+		c.MustAssert(gt)
+	}
+	// Post-state terms: substitute updates (simultaneous assignment).
+	post := map[string]*smt.Term{}
+	for v, t := range pre {
+		post[v] = t
+	}
+	for _, a := range p.Body {
+		t, err := a.Expr.Term(b, pre)
+		if err != nil {
+			return nil, err
+		}
+		post[a.Var] = t
+	}
+	fPre := f.term(b, pre)
+	fPost := f.term(b, post)
+	// Violation: f(x) < 0 OR f(x) - f(x') < 1.
+	c.MustAssert(b.Or(
+		b.Lt(fPre, b.Int(0)),
+		b.Lt(b.Sub(fPre, fPost), b.Int(1)),
+	))
+	return c, nil
+}
+
+// SolveFunc discharges one SMT query, reporting the verdict and the time
+// spent. Distinct implementations (plain solver vs. STAUB portfolio) are
+// compared by the experiment.
+type SolveFunc func(c *smt.Constraint) (status.Status, time.Duration)
+
+// PlainSolve returns a SolveFunc using the unmodified unbounded solver.
+func PlainSolve(timeout time.Duration, profile solver.Profile) SolveFunc {
+	return func(c *smt.Constraint) (status.Status, time.Duration) {
+		r := solver.SolveTimeout(c, timeout, profile)
+		if r.Status == status.Unknown {
+			return r.Status, timeout
+		}
+		return r.Status, r.Elapsed
+	}
+}
+
+// StaubSolve returns a SolveFunc using the STAUB portfolio: the better of
+// the pipeline and the plain solver, with the paper's accounting (revert
+// costs nothing extra on the second core).
+func StaubSolve(timeout time.Duration, profile solver.Profile) SolveFunc {
+	return func(c *smt.Constraint) (status.Status, time.Duration) {
+		pres := solver.SolveTimeout(c, timeout, profile)
+		pre := pres.Elapsed
+		if pres.Status == status.Unknown {
+			pre = timeout
+		}
+		p := core.RunPipeline(c, core.Config{Timeout: timeout, Profile: profile}, nil)
+		if p.Outcome == core.OutcomeVerified && p.Total < pre {
+			return status.Sat, p.Total
+		}
+		return pres.Status, pre
+	}
+}
+
+// ProofResult reports a termination-proving attempt.
+type ProofResult struct {
+	// Proved reports whether some candidate ranking function was
+	// certified.
+	Proved bool
+	// Ranking is the certified function when Proved.
+	Ranking Ranking
+	// Queries counts SMT queries issued.
+	Queries int
+	// SatQueries counts queries that found a counterexample (rejected a
+	// candidate).
+	SatQueries int
+	// Time is the total solving time across queries.
+	Time time.Duration
+}
+
+// Prove attempts to prove termination of p by enumerating candidate
+// ranking functions and discharging each with solve.
+func Prove(p *Program, solve SolveFunc) (ProofResult, error) {
+	var res ProofResult
+	for _, f := range Candidates(p) {
+		q, err := CounterexampleQuery(p, f)
+		if err != nil {
+			return res, err
+		}
+		st, d := solve(q)
+		res.Queries++
+		res.Time += d
+		switch st {
+		case status.Unsat:
+			res.Proved = true
+			res.Ranking = f
+			return res, nil
+		case status.Sat:
+			res.SatQueries++
+		}
+	}
+	return res, nil
+}

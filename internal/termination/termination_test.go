@@ -1,0 +1,202 @@
+package termination
+
+import (
+	"math/big"
+	"testing"
+	"time"
+
+	"staub/internal/solver"
+	"staub/internal/status"
+)
+
+func mustParse(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return p
+}
+
+func TestParseProgram(t *testing.T) {
+	p := mustParse(t, `while (x > 0 && y >= x) { x := x - 1; y := y + 2*x; }`)
+	if len(p.Guards) != 2 || len(p.Body) != 2 {
+		t.Fatalf("guards=%d body=%d", len(p.Guards), len(p.Body))
+	}
+	vars := p.Vars()
+	if len(vars) != 2 || vars[0] != "x" || vars[1] != "y" {
+		t.Errorf("Vars = %v", vars)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		`while x > 0 { x := x - 1; }`,       // missing parens
+		`while (x > 0) { x = x - 1; }`,      // wrong assign
+		`while (x > 0) { x := x - 1 }`,      // missing semicolon
+		`while (x ~ 0) { x := x - 1; }`,     // bad relation
+		`while (x > 0) { x := x - 1; } end`, // trailing
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): expected error", src)
+		}
+	}
+}
+
+func TestInterpreterStep(t *testing.T) {
+	p := mustParse(t, `while (x > 0) { x := x - 2; y := y + x; }`)
+	state := map[string]*big.Int{"x": big.NewInt(4), "y": big.NewInt(0)}
+	steps := 0
+	for {
+		ok, err := p.Step(state)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		steps++
+		if steps > 100 {
+			t.Fatal("program did not terminate")
+		}
+	}
+	if steps != 2 {
+		t.Errorf("steps = %d, want 2", steps)
+	}
+	// Assignments are simultaneous: after first step x=2, y=0+4=4? No:
+	// y := y + x uses the PRE-state x=4 → y=4. Second step: x=0, y=4+2=6.
+	if state["x"].Int64() != 0 || state["y"].Int64() != 6 {
+		t.Errorf("final state = %v, want x=0 y=6", state)
+	}
+}
+
+func TestCounterexampleQueryShape(t *testing.T) {
+	p := mustParse(t, `while (x > 0) { x := x - 1; }`)
+	f := Ranking{Coeffs: map[string]int64{"x": 1}}
+	q, err := CounterexampleQuery(p, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// f = x is a valid ranking function: the query must be unsat.
+	r := solver.SolveTimeout(q, 5*time.Second, solver.Prima)
+	if r.Status != status.Unsat {
+		t.Fatalf("query for valid ranking = %v, want unsat\n%s", r.Status, q.Script())
+	}
+	// f = -x is invalid: sat (any x > 0 is a counterexample).
+	bad := Ranking{Coeffs: map[string]int64{"x": -1}}
+	q2, err := CounterexampleQuery(p, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := solver.SolveTimeout(q2, 5*time.Second, solver.Prima)
+	if r2.Status != status.Sat {
+		t.Fatalf("query for invalid ranking = %v, want sat", r2.Status)
+	}
+}
+
+func TestProveCountdown(t *testing.T) {
+	p := mustParse(t, `while (x > 0) { x := x - 1; }`)
+	res, err := Prove(p, PlainSolve(5*time.Second, solver.Prima))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Proved {
+		t.Fatalf("countdown not proved (%d queries)", res.Queries)
+	}
+}
+
+func TestProveRace(t *testing.T) {
+	p := mustParse(t, `while (x > y) { x := x - 1; y := y + 1; }`)
+	res, err := Prove(p, PlainSolve(5*time.Second, solver.Prima))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Proved {
+		t.Fatal("x-y race not proved")
+	}
+}
+
+func TestNonTerminatingNotProved(t *testing.T) {
+	p := mustParse(t, `while (x > 0) { x := x + 1; }`)
+	res, err := Prove(p, PlainSolve(2*time.Second, solver.Prima))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Proved {
+		t.Fatalf("non-terminating program proved with f = %v", res.Ranking)
+	}
+	if res.SatQueries == 0 {
+		t.Error("expected rejected candidates")
+	}
+}
+
+// TestProvedProgramsTerminateEmpirically: every program the prover
+// certifies must terminate when interpreted from sampled initial states.
+func TestProvedProgramsTerminateEmpirically(t *testing.T) {
+	progs := GeneratePrograms(25, 99)
+	solve := PlainSolve(2*time.Second, solver.Prima)
+	for _, p := range progs {
+		res, err := Prove(p, solve)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Proved {
+			continue
+		}
+		for _, x0 := range []int64{0, 1, 7, 50} {
+			state := map[string]*big.Int{}
+			for _, v := range p.Vars() {
+				state[v] = big.NewInt(x0)
+			}
+			for steps := 0; ; steps++ {
+				ok, err := p.Step(state)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !ok {
+					break
+				}
+				if steps > 2_000_000 {
+					t.Fatalf("%s: certified with f=%v but ran 2M steps from %d", p.Name, res.Ranking, x0)
+				}
+			}
+		}
+	}
+}
+
+func TestStaubSolveAgreesWithPlain(t *testing.T) {
+	p := mustParse(t, `while (x * x > 4 && x > 0) { x := x - 2; }`)
+	plain := PlainSolve(5*time.Second, solver.Prima)
+	staub := StaubSolve(5*time.Second, solver.Prima)
+	cands := Candidates(p)
+	if len(cands) > 6 {
+		cands = cands[:6]
+	}
+	for _, f := range cands {
+		q, err := CounterexampleQuery(p, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s1, _ := plain(q)
+		s2, _ := staub(q)
+		if s1 != status.Unknown && s2 != status.Unknown && s1 != s2 {
+			t.Errorf("f=%v: plain=%v staub=%v", f, s1, s2)
+		}
+	}
+}
+
+func TestExperimentSmall(t *testing.T) {
+	res, err := RunExperiment(ExperimentOptions{Programs: 8, Seed: 3, Timeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Programs != 8 {
+		t.Errorf("Programs = %d", res.Programs)
+	}
+	if res.OverallSpeed < 1.0 {
+		t.Errorf("overall speedup %.3f < 1 violates the portfolio invariant", res.OverallSpeed)
+	}
+	if res.ProvedStaub < res.ProvedPlain {
+		t.Errorf("STAUB-backed prover proved fewer programs (%d < %d)", res.ProvedStaub, res.ProvedPlain)
+	}
+}

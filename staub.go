@@ -1,0 +1,141 @@
+// Package staub is the public API of STAUB, a reproduction of "SMT Theory
+// Arbitrage: Approximating Unbounded Constraints using Bounded Theories"
+// (Mikek & Zhang, PLDI 2024).
+//
+// STAUB speeds up SMT solving for the unbounded theories of integers and
+// real numbers by translating constraints into the bounded theories of
+// bitvectors and floating-point numbers, whose decision procedures are
+// cheaper. Bounds are inferred by an abstract interpretation over bit
+// widths (integers) and (magnitude, precision) pairs (reals); because the
+// inferred bounds underapproximate, every satisfiable answer is verified
+// against the original constraint, and a portfolio run guarantees no
+// constraint is ever slowed down.
+//
+// # Quick start
+//
+//	c, err := staub.ParseScript(src)          // SMT-LIB input
+//	res := staub.RunPipeline(c, staub.Config{})
+//	if res.Outcome == staub.OutcomeVerified { // verified model of c
+//	    fmt.Println(res.Model)
+//	}
+//
+// RunPortfolio races the pipeline against the unmodified unbounded solver
+// and returns the first definitive answer, which is the configuration the
+// paper evaluates.
+//
+// The implementation is self-contained: it includes SMT-LIB parsing, the
+// abstract interpretation, the translation, a CDCL SAT solver with a
+// bit-blaster for the bitvector output, a parameterized IEEE-754
+// softfloat engine, exact simplex / branch-and-bound / interval solvers
+// for the unbounded side, a SLOT-style bounded-constraint optimizer, and
+// the full experiment harness behind the cmd/staub-bench tool.
+package staub
+
+import (
+	"time"
+
+	"staub/internal/absint"
+	"staub/internal/core"
+	"staub/internal/eval"
+	"staub/internal/slot"
+	"staub/internal/smt"
+	"staub/internal/solver"
+	"staub/internal/status"
+	"staub/internal/translate"
+)
+
+// Re-exported core types. The aliases expose the stable public surface
+// while the implementation lives in internal packages.
+type (
+	// Constraint is a parsed SMT problem.
+	Constraint = smt.Constraint
+	// Config controls the STAUB pipeline: timeout, fixed-width ablation,
+	// SLOT optimization, solver profile, iterative bound refinement
+	// (RefineRounds) and per-variable range hints (RangeHints).
+	Config = core.Config
+	// PipelineResult is a completed pipeline run.
+	PipelineResult = core.PipelineResult
+	// PortfolioResult is the outcome of racing STAUB against the
+	// unmodified solver.
+	PortfolioResult = core.PortfolioResult
+	// Outcome classifies how a pipeline run ended.
+	Outcome = core.Outcome
+	// Status is the three-valued solver verdict.
+	Status = status.Status
+	// Assignment maps variable names to values.
+	Assignment = eval.Assignment
+	// Limits bounds the sorts bound inference may select.
+	Limits = absint.Limits
+	// SolverProfile selects one of the two built-in solver
+	// configurations.
+	SolverProfile = solver.Profile
+)
+
+// Pipeline outcomes (see Figure 6 of the paper).
+const (
+	OutcomeVerified           = core.OutcomeVerified
+	OutcomeBoundedUnsat       = core.OutcomeBoundedUnsat
+	OutcomeSemanticDifference = core.OutcomeSemanticDifference
+	OutcomeBoundedUnknown     = core.OutcomeBoundedUnknown
+	OutcomeTransformFailed    = core.OutcomeTransformFailed
+)
+
+// Solver verdicts.
+const (
+	Unknown = status.Unknown
+	Sat     = status.Sat
+	Unsat   = status.Unsat
+)
+
+// Solver profiles.
+const (
+	Prima   = solver.Prima
+	Secunda = solver.Secunda
+)
+
+// ParseScript parses an SMT-LIB v2 script into a Constraint.
+func ParseScript(src string) (*Constraint, error) { return smt.ParseScript(src) }
+
+// RunPipeline executes the STAUB pipeline (infer bounds → translate →
+// solve bounded → verify) on c. It never reports Unsat: an unsatisfiable
+// bounded constraint is indistinguishable from insufficient bounds, so the
+// pipeline reverts (Section 4.4 of the paper).
+func RunPipeline(c *Constraint, cfg Config) PipelineResult {
+	return core.RunPipeline(c, cfg, nil)
+}
+
+// RunPortfolio races the pipeline against the unmodified solver on two
+// goroutines and returns the first definitive verdict.
+func RunPortfolio(c *Constraint, cfg Config) PortfolioResult {
+	return core.RunPortfolio(c, cfg)
+}
+
+// Transform runs only bound inference and translation, returning the
+// bounded constraint (the paper's Figure 1b) without solving it. The
+// second result is the raw inferred root width.
+func Transform(c *Constraint, cfg Config) (*translate.Result, int, error) {
+	return core.Transform(c, cfg)
+}
+
+// OptimizeBounded applies the SLOT compiler-optimization passes to a
+// bounded (bitvector / floating-point) constraint.
+func OptimizeBounded(c *Constraint) (*Constraint, slot.Stats, error) {
+	opt, stats, err := slot.Optimize(c)
+	return opt, stats, err
+}
+
+// SolveDirect decides c with the appropriate engine for its theory (the
+// unmodified-solver leg of the portfolio). A zero cfg.Timeout uses the
+// pipeline default of two seconds.
+func SolveDirect(c *Constraint, cfg Config) (Status, Assignment) {
+	timeout := cfg.Timeout
+	if timeout == 0 {
+		timeout = 2 * time.Second
+	}
+	r := solver.SolveTimeout(c, timeout, cfg.Profile)
+	return r.Status, r.Model
+}
+
+// VerifyModel checks a candidate model against a constraint with exact
+// big-number evaluation.
+func VerifyModel(c *Constraint, m Assignment) bool { return solver.VerifyModel(c, m) }

@@ -1,0 +1,12 @@
+; A quadratic with cross terms whose solutions are forced large by the
+; multi-variable sum bounds: slow for enumeration-style unbounded solving,
+; fast after theory arbitrage. Planted solution a=17, b=19, c=14, d=15.
+(set-logic QF_NIA)
+(declare-fun a () Int)
+(declare-fun b () Int)
+(declare-fun c () Int)
+(declare-fun d () Int)
+(assert (= (+ (* a a) (* b b) (* c c) (* d d) (* a b) (* c d)) 1604))
+(assert (> (+ a b) 30))
+(assert (> (+ c d) 25))
+(check-sat)

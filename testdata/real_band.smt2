@@ -1,0 +1,6 @@
+; A real-arithmetic constraint: x slightly above 1.5 with x^2 below 4.
+(set-logic QF_NRA)
+(declare-fun x () Real)
+(assert (> x 1.5))
+(assert (< (* x x) 4.0))
+(check-sat)

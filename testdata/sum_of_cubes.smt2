@@ -1,0 +1,8 @@
+; The paper's Figure 1a example (QF_NIA/20220315-MathProblems/STC_0855):
+; can three integer cubes sum to 855? Satisfiable, e.g. x=7, y=8, z=0.
+(set-logic QF_NIA)
+(declare-fun x () Int)
+(declare-fun y () Int)
+(declare-fun z () Int)
+(assert (= (+ (* x x x) (* y y y) (* z z z)) 855))
+(check-sat)
