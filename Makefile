@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: check vet build test race fuzz bench
+
+# check is the CI gate: static checks, build, the full suite under the
+# race detector, and a short fuzz pass over the SMT-LIB parser.
+check: vet build race fuzz
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzParseScript -fuzztime=5s ./internal/smt
+
+bench:
+	$(GO) test -bench=. -benchmem

@@ -8,6 +8,7 @@
 package staub_test
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"testing"
@@ -44,7 +45,7 @@ func BenchmarkTable1(b *testing.B) {
 // (Table 2) on the reduced corpus.
 func BenchmarkTable2(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		records, err := harness.Run(benchOptions())
+		records, err := harness.Run(context.Background(), benchOptions())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -57,7 +58,7 @@ func BenchmarkTable2(b *testing.B) {
 func BenchmarkTable3(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		o := benchOptions()
-		records, err := harness.Run(o)
+		records, err := harness.Run(context.Background(), o)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -72,7 +73,7 @@ func BenchmarkAblationWidth(b *testing.B) {
 		o := benchOptions()
 		o.Modes = []harness.Mode{harness.ModeStaub, harness.ModeFixed8, harness.ModeFixed16}
 		o.Profiles = []solver.Profile{solver.Prima}
-		records, err := harness.Run(o)
+		records, err := harness.Run(context.Background(), o)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -85,7 +86,7 @@ func BenchmarkFigure2(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		o := benchOptions()
 		o.Counts = map[string]int{"QF_NIA": 8, "QF_LIA": 6, "QF_NRA": 4, "QF_LRA": 2}
-		points, err := harness.Figure2(o, []int{8, 12, 16, 24, 32})
+		points, err := harness.Figure2(context.Background(), o, []int{8, 12, 16, 24, 32})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -99,7 +100,7 @@ func BenchmarkFigure7(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		o := benchOptions()
 		o.Modes = []harness.Mode{harness.ModeStaub}
-		records, err := harness.Run(o)
+		records, err := harness.Run(context.Background(), o)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,6 +1,10 @@
 // Command staub-bench regenerates the tables and figures of the paper's
 // evaluation section on the synthetic benchmark corpora.
 //
+// All measurements run through the parallel solve engine under
+// deterministic virtual time: the output of every experiment is a pure
+// function of -seed, -scale and -timeout, identical for any -jobs value.
+//
 // Usage:
 //
 //	staub-bench [flags] <experiment>
@@ -22,16 +26,20 @@
 //	-timeout D    per-solve budget (default 1.5s; the paper's 300s scaled)
 //	-seed N       benchmark generation seed (default 42)
 //	-scale F      scale instance counts by F (default 1.0)
-//	-v            progress output on stderr
+//	-jobs N       parallel solve workers (default 0 = GOMAXPROCS)
+//	-v            progress and cache statistics on stderr
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"time"
 
+	"staub/internal/engine"
 	"staub/internal/harness"
 	"staub/internal/termination"
 )
@@ -41,7 +49,8 @@ func main() {
 		timeout = flag.Duration("timeout", 1500*time.Millisecond, "per-solve budget")
 		seed    = flag.Int64("seed", 42, "benchmark generation seed")
 		scale   = flag.Float64("scale", 1.0, "instance count scale factor")
-		verbose = flag.Bool("v", false, "progress output on stderr")
+		jobs    = flag.Int("jobs", 0, "parallel solve workers (0 = GOMAXPROCS)")
+		verbose = flag.Bool("v", false, "progress and cache statistics on stderr")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -49,13 +58,28 @@ func main() {
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	// One solve cache for the whole invocation: `all` regenerates the
+	// same suites for several experiments, and identical (constraint,
+	// config) jobs are solved exactly once.
+	cache := engine.NewCache()
 	opts := harness.Options{
 		Timeout: *timeout,
 		Seed:    *seed,
 		Counts:  scaledCounts(*scale),
+		Jobs:    *jobs,
+		Cache:   cache,
 	}
 	if *verbose {
 		opts.Progress = os.Stderr
+	}
+	reportCache := func(stage string) {
+		if *verbose {
+			hits, misses := cache.Stats()
+			fmt.Fprintf(os.Stderr, "staub-bench: %s: cache %d hits / %d misses\n", stage, hits, misses)
+		}
 	}
 
 	exp := flag.Arg(0)
@@ -64,7 +88,7 @@ func main() {
 	case "table1":
 		harness.Table1(w)
 	case "table2", "table3", "fig7", "ablation":
-		records := runAll(opts)
+		records := runAll(ctx, opts)
 		switch exp {
 		case "table2":
 			harness.Table2(w, records)
@@ -77,12 +101,14 @@ func main() {
 			fmt.Fprintln(w)
 			harness.Table3(w, records, opts.Timeout)
 		}
+		reportCache(exp)
 	case "fig2":
-		points, err := harness.Figure2(opts, nil)
+		points, err := harness.Figure2(ctx, opts, nil)
 		if err != nil {
 			fatal(err)
 		}
 		harness.Figure2Print(w, points)
+		reportCache(exp)
 	case "fig8":
 		runFig8(w, opts)
 	case "reduce":
@@ -94,13 +120,15 @@ func main() {
 	case "all":
 		harness.Table1(w)
 		fmt.Fprintln(w)
-		points, err := harness.Figure2(opts, nil)
+		points, err := harness.Figure2(ctx, opts, nil)
 		if err != nil {
 			fatal(err)
 		}
 		harness.Figure2Print(w, points)
+		reportCache("fig2")
 		fmt.Fprintln(w)
-		records := runAll(opts)
+		records := runAll(ctx, opts)
+		reportCache("tables")
 		harness.Table2(w, records)
 		fmt.Fprintln(w)
 		harness.Table3(w, records, opts.Timeout)
@@ -116,8 +144,8 @@ func main() {
 	}
 }
 
-func runAll(opts harness.Options) map[string][]harness.Record {
-	records, err := harness.Run(opts)
+func runAll(ctx context.Context, opts harness.Options) map[string][]harness.Record {
+	records, err := harness.Run(ctx, opts)
 	if err != nil {
 		fatal(err)
 	}

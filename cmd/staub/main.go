@@ -4,9 +4,13 @@
 // bounded theory of bitvectors or floating-point numbers, solves it, and
 // verifies the model against the original (reverting on failure).
 //
+// With several input files, the constraints are solved as a batch across
+// the parallel engine's worker pool; verdicts print in argument order.
+// Ctrl-C cancels the solve cleanly in either mode.
+//
 // Usage:
 //
-//	staub [flags] constraint.smt2
+//	staub [flags] constraint.smt2 [more.smt2 ...]
 //
 // Flags:
 //
@@ -16,18 +20,22 @@
 //	-slot            apply SLOT compiler optimizations to the bounded form
 //	-portfolio       race STAUB against the unmodified solver (two cores)
 //	-solver NAME     solver profile: prima (default) or secunda
-//	-stats           print inference and translation statistics
+//	-jobs N          batch solve workers (default 0 = GOMAXPROCS)
+//	-stats           print inference, translation and cache statistics
 //	-dimacs          print the CNF of the bit-blasted bounded constraint
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"staub/internal/bitblast"
 	"staub/internal/core"
+	"staub/internal/engine"
 	"staub/internal/sat"
 	"staub/internal/slot"
 	"staub/internal/smt"
@@ -43,23 +51,19 @@ func main() {
 		useSlot   = flag.Bool("slot", false, "apply SLOT optimizations to the bounded constraint")
 		portfolio = flag.Bool("portfolio", false, "race STAUB against the unmodified solver")
 		profile   = flag.String("solver", "prima", "solver profile: prima or secunda")
-		stats     = flag.Bool("stats", false, "print inference and translation statistics")
+		jobs      = flag.Int("jobs", 0, "batch solve workers (0 = GOMAXPROCS)")
+		stats     = flag.Bool("stats", false, "print inference, translation and cache statistics")
 		dimacs    = flag.Bool("dimacs", false, "print the CNF of the bit-blasted bounded constraint and exit")
 	)
 	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: staub [flags] constraint.smt2")
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: staub [flags] constraint.smt2 [more.smt2 ...]")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
-	src, err := os.ReadFile(flag.Arg(0))
-	if err != nil {
-		fatal(err)
-	}
-	c, err := smt.ParseScript(string(src))
-	if err != nil {
-		fatal(err)
-	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	prof := solver.Prima
 	if *profile == "secunda" {
 		prof = solver.Secunda
@@ -70,6 +74,15 @@ func main() {
 		UseSLOT:    *useSlot,
 		Profile:    prof,
 	}
+
+	if flag.NArg() > 1 {
+		if *emit || *dimacs {
+			fatal(fmt.Errorf("-emit and -dimacs take a single input file"))
+		}
+		os.Exit(runBatch(ctx, flag.Args(), cfg, *portfolio, *jobs, *stats))
+	}
+
+	c := parseFile(flag.Arg(0))
 
 	if *dimacs {
 		tr, _, err := core.Transform(c, cfg)
@@ -112,7 +125,7 @@ func main() {
 	}
 
 	if *portfolio {
-		res := core.RunPortfolio(c, cfg)
+		res := core.RunPortfolio(ctx, c, cfg)
 		fmt.Println(res.Status)
 		if res.Status == status.Sat {
 			fmt.Print(solver.FormatModel(c, res.Model))
@@ -127,7 +140,7 @@ func main() {
 		return
 	}
 
-	res := core.RunPipeline(c, cfg, nil)
+	res := core.RunPipeline(ctx, c, cfg, nil)
 	if *stats {
 		fmt.Fprintf(os.Stderr, "; pipeline: %v\n", res)
 	}
@@ -139,7 +152,7 @@ func main() {
 		// STAUB alone concludes nothing on revert; fall back to the
 		// original solver within the remaining budget.
 		fmt.Fprintf(os.Stderr, "; STAUB reverted (%v); solving original constraint\n", res.Outcome)
-		orig := solver.SolveTimeout(c, *timeout, prof)
+		orig := solver.SolveTimeout(ctx, c, *timeout, prof)
 		fmt.Println(orig.Status)
 		if orig.Status == status.Sat {
 			fmt.Print(solver.FormatModel(c, orig.Model))
@@ -148,6 +161,60 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// runBatch solves every input file through the engine's worker pool with
+// the portfolio semantics per constraint, printing one verdict line per
+// file in argument order. It returns the process exit code: 1 if any
+// constraint stayed unknown.
+func runBatch(ctx context.Context, files []string, cfg core.Config, usePortfolio bool, jobs int, stats bool) int {
+	constraints := make([]*smt.Constraint, len(files))
+	jobList := make([]engine.Job, len(files))
+	for i, name := range files {
+		constraints[i] = parseFile(name)
+		if usePortfolio {
+			jobList[i] = engine.Job{Kind: engine.KindPortfolio, Constraint: constraints[i], Config: cfg}
+		} else {
+			jobList[i] = engine.Job{Kind: engine.KindPipeline, Constraint: constraints[i], Config: cfg}
+		}
+	}
+	cache := engine.NewCache()
+	eng := engine.New(jobs, cache)
+	results := eng.Run(ctx, jobList)
+
+	exit := 0
+	for i, res := range results {
+		var st status.Status
+		switch {
+		case usePortfolio:
+			st = res.Portfolio.Status
+		case res.Pipeline.Outcome == core.OutcomeVerified:
+			st = status.Sat
+		default:
+			st = status.Unknown // reverted; batch mode does not re-solve
+		}
+		fmt.Printf("%s: %s\n", files[i], st)
+		if st == status.Unknown {
+			exit = 1
+		}
+	}
+	if stats {
+		hits, misses := cache.Stats()
+		fmt.Fprintf(os.Stderr, "; %d workers, cache %d hits / %d misses\n", eng.Workers(), hits, misses)
+	}
+	return exit
+}
+
+func parseFile(name string) *smt.Constraint {
+	src, err := os.ReadFile(name)
+	if err != nil {
+		fatal(err)
+	}
+	c, err := smt.ParseScript(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	return c
 }
 
 func fatal(err error) {

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -48,7 +49,7 @@ func main() {
 	fmt.Print(tr.Bounded.Script())
 
 	// Step 3+4: bounded solving and verification.
-	res := core.RunPipeline(c, cfg, nil)
+	res := core.RunPipeline(context.Background(), c, cfg, nil)
 	fmt.Printf("\nPipeline outcome: %v\n", res)
 	if res.Outcome != core.OutcomeVerified {
 		log.Fatalf("expected a verified model, got %v", res.Outcome)
@@ -57,7 +58,7 @@ func main() {
 	fmt.Print(solver.FormatModel(c, res.Model))
 
 	// Compare with solving the unbounded original directly.
-	direct := solver.SolveTimeout(c, 30*time.Second, solver.Prima)
+	direct := solver.SolveTimeout(context.Background(), c, 30*time.Second, solver.Prima)
 	fmt.Printf("\nDirect unbounded solve: %v in %v\n", direct.Status, direct.Elapsed.Round(time.Millisecond))
 	fmt.Printf("STAUB pipeline total:   %v (trans %v + solve %v + check %v)\n",
 		res.Total.Round(time.Millisecond), res.TTrans.Round(time.Millisecond),

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -58,14 +59,14 @@ func main() {
 	fmt.Print(opt.Script())
 
 	// Compare bounded solving with and without SLOT.
-	plain := solver.SolveTimeout(tr.Bounded, 20*time.Second, solver.Prima)
-	slotted := solver.SolveTimeout(opt, 20*time.Second, solver.Prima)
+	plain := solver.SolveTimeout(context.Background(), tr.Bounded, 20*time.Second, solver.Prima)
+	slotted := solver.SolveTimeout(context.Background(), opt, 20*time.Second, solver.Prima)
 	fmt.Printf("\nBounded solve without SLOT: %v in %v\n", plain.Status, plain.Elapsed.Round(time.Microsecond))
 	fmt.Printf("Bounded solve with SLOT:    %v in %v\n", slotted.Status, slotted.Elapsed.Round(time.Microsecond))
 
 	// End-to-end pipeline with SLOT enabled, verified against the
 	// original unbounded constraint.
-	res := core.RunPipeline(c, core.Config{Timeout: 20 * time.Second, UseSLOT: true}, nil)
+	res := core.RunPipeline(context.Background(), c, core.Config{Timeout: 20 * time.Second, UseSLOT: true}, nil)
 	fmt.Printf("\nFull STAUB+SLOT pipeline: %v\n", res)
 	if res.Status == status.Sat {
 		fmt.Println("Verified model of the original constraint:")

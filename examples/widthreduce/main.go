@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -51,6 +52,6 @@ func main() {
 	if budget < 500*time.Millisecond {
 		budget = 500 * time.Millisecond
 	}
-	direct := solver.SolveTimeout(c, budget, solver.Prima)
+	direct := solver.SolveTimeout(context.Background(), c, budget, solver.Prima)
 	fmt.Printf("\nDirect 40-bit solve within %v: %v\n", budget.Round(time.Millisecond), direct.Status)
 }

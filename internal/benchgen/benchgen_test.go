@@ -1,6 +1,7 @@
 package benchgen
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -89,7 +90,7 @@ func TestPlantedInstancesAreSat(t *testing.T) {
 			if !inst.PlantedSat {
 				continue
 			}
-			r := solver.SolveTimeout(inst.Constraint, 3*time.Second, solver.Prima)
+			r := solver.SolveTimeout(context.Background(), inst.Constraint, 3*time.Second, solver.Prima)
 			if r.Status == status.Unsat {
 				t.Errorf("%s: planted-sat instance proved unsat:\n%s", inst.Name, inst.Constraint.Script())
 			}
@@ -120,7 +121,7 @@ func TestUnsatFamiliesNeverSat(t *testing.T) {
 			if !unsatFamilies[inst.Family] {
 				continue
 			}
-			r := solver.SolveTimeout(inst.Constraint, 2*time.Second, solver.Prima)
+			r := solver.SolveTimeout(context.Background(), inst.Constraint, 2*time.Second, solver.Prima)
 			if r.Status == status.Sat {
 				t.Errorf("%s (%s): unsat-by-construction instance solved sat:\n%s",
 					inst.Name, inst.Family, inst.Constraint.Script())

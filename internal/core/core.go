@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -48,6 +49,13 @@ type Config struct {
 	RefineRounds int
 	// Seed perturbs randomized engines.
 	Seed int64
+	// Deterministic switches the pipeline to virtual-time accounting: the
+	// bounded solve runs under a work budget derived from Timeout instead
+	// of a wall-clock deadline (the clock is kept only as a generous
+	// backstop), and every reported duration is a deterministic function
+	// of work done — identical across runs, machines and worker counts.
+	// The experiment harness measures in this mode.
+	Deterministic bool
 }
 
 func (c Config) withDefaults() Config {
@@ -184,14 +192,30 @@ func FixedFPSort(width int) smt.Sort {
 	}
 }
 
+// backstopDeadline bounds the wall-clock time of a deterministic run: work
+// budgets terminate the search deterministically, and the clock is kept
+// only as a generous safety net against pathological slowdowns (a fired
+// backstop sacrifices determinism to keep the process live).
+func backstopDeadline(timeout time.Duration) time.Time {
+	backstop := 10 * timeout
+	if backstop < 30*time.Second {
+		backstop = 30 * time.Second
+	}
+	return time.Now().Add(backstop)
+}
+
 // RunPipeline executes the STAUB pipeline on c: transform, solve bounded,
-// verify. The optional interrupt aborts the bounded solve (used by the
-// portfolio). With Config.RefineRounds set, a bounded-unsat outcome
-// triggers width-doubling retries within the same deadline (Section 6.2).
-func RunPipeline(c *smt.Constraint, cfg Config, interrupt *atomic.Bool) PipelineResult {
+// verify. The context cancels the run early; the optional interrupt aborts
+// the bounded solve (used by the portfolio). With Config.RefineRounds set,
+// a bounded-unsat outcome triggers width-doubling retries within the same
+// deadline (Section 6.2).
+func RunPipeline(ctx context.Context, c *smt.Constraint, cfg Config, interrupt *atomic.Bool) PipelineResult {
 	cfg = cfg.withDefaults()
 	deadline := time.Now().Add(cfg.Timeout)
-	res := runPipelineOnce(c, cfg, deadline, interrupt)
+	if cfg.Deterministic {
+		deadline = backstopDeadline(cfg.Timeout)
+	}
+	res := runPipelineOnce(ctx, c, cfg, deadline, interrupt)
 	if cfg.RefineRounds <= 0 || cfg.FixedWidth > 0 {
 		return res
 	}
@@ -206,12 +230,20 @@ func RunPipeline(c *smt.Constraint, cfg Config, interrupt *atomic.Bool) Pipeline
 			break
 		}
 		width *= 2
-		if width > maxWidth || !time.Now().Before(deadline) {
+		if width > maxWidth {
+			break
+		}
+		// Out of budget: virtual in deterministic mode, wall otherwise.
+		if cfg.Deterministic {
+			if res.Total >= cfg.Timeout {
+				break
+			}
+		} else if !time.Now().Before(deadline) {
 			break
 		}
 		retryCfg := cfg
 		retryCfg.FixedWidth = width
-		retry := runPipelineOnce(c, retryCfg, deadline, interrupt)
+		retry := runPipelineOnce(ctx, c, retryCfg, deadline, interrupt)
 		// Accumulate the cost of earlier rounds so measurements stay
 		// honest about total work.
 		retry.TTrans += res.TTrans
@@ -225,16 +257,20 @@ func RunPipeline(c *smt.Constraint, cfg Config, interrupt *atomic.Bool) Pipeline
 }
 
 // runPipelineOnce is a single transform-solve-verify round.
-func runPipelineOnce(c *smt.Constraint, cfg Config, deadline time.Time, interrupt *atomic.Bool) PipelineResult {
+func runPipelineOnce(ctx context.Context, c *smt.Constraint, cfg Config, deadline time.Time, interrupt *atomic.Bool) PipelineResult {
 	t0 := time.Now()
 	tr, root, err := Transform(c, cfg)
 	if err != nil {
-		return PipelineResult{
+		res := PipelineResult{
 			Outcome: OutcomeTransformFailed,
 			Status:  status.Unknown,
 			TTrans:  time.Since(t0),
-			Total:   time.Since(t0),
 		}
+		if cfg.Deterministic {
+			res.TTrans = solver.VirtualDuration(int64(c.NumNodes()))
+		}
+		res.Total = res.TTrans
+		return res
 	}
 	bounded := tr.Bounded
 	res := PipelineResult{
@@ -250,16 +286,41 @@ func runPipelineOnce(c *smt.Constraint, cfg Config, deadline time.Time, interrup
 		}
 	}
 	res.Bounded = bounded
-	res.TTrans = time.Since(t0)
+	// Transformation cost: one work unit per term node visited (original
+	// inference plus the emitted bounded form) in deterministic mode.
+	transWork := int64(c.NumNodes() + bounded.NumNodes())
+	if cfg.Deterministic {
+		res.TTrans = solver.VirtualDuration(transWork)
+	} else {
+		res.TTrans = time.Since(t0)
+	}
 
-	t1 := time.Now()
-	sres := solver.Solve(bounded, solver.Options{
+	opts := solver.Options{
+		Ctx:       ctx,
 		Deadline:  deadline,
 		Interrupt: interrupt,
 		Profile:   cfg.Profile,
 		Seed:      cfg.Seed,
-	})
-	res.TPost = time.Since(t1)
+	}
+	var solveBudget int64
+	if cfg.Deterministic {
+		solveBudget = solver.WorkBudgetFor(cfg.Timeout) - transWork
+		if solveBudget < 1 {
+			solveBudget = 1
+		}
+		opts.WorkBudget = solveBudget
+	}
+	t1 := time.Now()
+	sres := solver.Solve(bounded, opts)
+	if cfg.Deterministic {
+		work := sres.Work
+		if sres.TimedOut || work > solveBudget {
+			work = solveBudget
+		}
+		res.TPost = solver.VirtualDuration(work)
+	} else {
+		res.TPost = time.Since(t1)
+	}
 
 	switch sres.Status {
 	case status.Unsat:
@@ -275,7 +336,11 @@ func runPipelineOnce(c *smt.Constraint, cfg Config, deadline time.Time, interrup
 		if err == nil {
 			verified = solver.VerifyModel(c, model)
 		}
-		res.TCheck = time.Since(t2)
+		if cfg.Deterministic {
+			res.TCheck = solver.VirtualDuration(int64(c.NumNodes()))
+		} else {
+			res.TCheck = time.Since(t2)
+		}
 		if verified {
 			res.Outcome = OutcomeVerified
 			res.Status = status.Sat
@@ -306,8 +371,8 @@ type PortfolioResult struct {
 // RunPortfolio races the original constraint (unbounded solver) against
 // the STAUB pipeline on two goroutines, following the paper's portfolio
 // methodology [68]: the first definitive answer wins and cancels the
-// other leg.
-func RunPortfolio(c *smt.Constraint, cfg Config) PortfolioResult {
+// other leg. Cancelling the context aborts both legs.
+func RunPortfolio(ctx context.Context, c *smt.Constraint, cfg Config) PortfolioResult {
 	cfg = cfg.withDefaults()
 	start := time.Now()
 
@@ -323,19 +388,26 @@ func RunPortfolio(c *smt.Constraint, cfg Config) PortfolioResult {
 	var wg sync.WaitGroup
 	wg.Add(2)
 
+	origDeadline := time.Now().Add(cfg.Timeout)
+	origOpts := solver.Options{
+		Ctx:       ctx,
+		Deadline:  origDeadline,
+		Interrupt: &cancelOrig,
+		Profile:   cfg.Profile,
+		Seed:      cfg.Seed,
+	}
+	if cfg.Deterministic {
+		origOpts.Deadline = backstopDeadline(cfg.Timeout)
+		origOpts.WorkBudget = solver.WorkBudgetFor(cfg.Timeout)
+	}
 	go func() {
 		defer wg.Done()
-		r := solver.Solve(c, solver.Options{
-			Deadline:  time.Now().Add(cfg.Timeout),
-			Interrupt: &cancelOrig,
-			Profile:   cfg.Profile,
-			Seed:      cfg.Seed,
-		})
+		r := solver.Solve(c, origOpts)
 		results <- leg{status: r.Status, model: r.Model, ok: r.Status != status.Unknown}
 	}()
 	go func() {
 		defer wg.Done()
-		p := RunPipeline(c, cfg, &cancelStaub)
+		p := RunPipeline(ctx, c, cfg, &cancelStaub)
 		// Only a verified sat is definitive for the original constraint.
 		results <- leg{fromStaub: true, status: p.Status, model: p.Model, pipeline: p, ok: p.Status == status.Sat}
 	}()

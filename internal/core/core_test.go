@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/big"
 	"testing"
 	"time"
@@ -29,7 +30,9 @@ func parse(t *testing.T, src string) *smt.Constraint {
 
 func TestPipelineSumOfCubes(t *testing.T) {
 	c := parse(t, sumOfCubes)
-	res := RunPipeline(c, Config{Timeout: 10 * time.Second}, nil)
+	// Deterministic: the verdict must not depend on machine speed (the
+	// race detector slows the search well past a wall-clock budget).
+	res := RunPipeline(context.Background(), c, Config{Timeout: 10 * time.Second, Deterministic: true}, nil)
 	if res.Outcome != OutcomeVerified {
 		t.Fatalf("outcome = %v, want verified", res.Outcome)
 	}
@@ -58,7 +61,7 @@ func TestPipelineRevertsOnUnsatBounded(t *testing.T) {
 		(declare-fun x () Int)
 		(assert (= (* x x) 7))
 		(check-sat)`)
-	res := RunPipeline(c, Config{Timeout: 5 * time.Second}, nil)
+	res := RunPipeline(context.Background(), c, Config{Timeout: 5 * time.Second}, nil)
 	if res.Outcome != OutcomeBoundedUnsat {
 		t.Fatalf("outcome = %v, want bounded-unsat", res.Outcome)
 	}
@@ -73,7 +76,7 @@ func TestPipelineRealConstraint(t *testing.T) {
 		(assert (> x 1.5))
 		(assert (< (* x x) 4.0))
 		(check-sat)`)
-	res := RunPipeline(c, Config{Timeout: 10 * time.Second}, nil)
+	res := RunPipeline(context.Background(), c, Config{Timeout: 10 * time.Second}, nil)
 	if res.Outcome != OutcomeVerified {
 		t.Fatalf("outcome = %v, want verified (%v)", res.Outcome, res)
 	}
@@ -93,7 +96,7 @@ func TestPipelineFixedWidthTooSmall(t *testing.T) {
 	// the pipeline must NOT report a wrong sat for a value that fails
 	// verification.
 	c := parse(t, sumOfCubes)
-	res := RunPipeline(c, Config{Timeout: 5 * time.Second, FixedWidth: 8}, nil)
+	res := RunPipeline(context.Background(), c, Config{Timeout: 5 * time.Second, FixedWidth: 8}, nil)
 	if res.Outcome == OutcomeVerified {
 		// A verified model is acceptable only if genuinely correct.
 		sum := new(big.Int)
@@ -117,7 +120,7 @@ func TestPipelineWithSLOT(t *testing.T) {
 		(declare-fun x () Int)
 		(assert (= (+ (* x 4) 0 2 2) 24))
 		(check-sat)`)
-	res := RunPipeline(c, Config{Timeout: 5 * time.Second, UseSLOT: true}, nil)
+	res := RunPipeline(context.Background(), c, Config{Timeout: 5 * time.Second, UseSLOT: true}, nil)
 	if res.Outcome != OutcomeVerified {
 		t.Fatalf("outcome = %v, want verified", res.Outcome)
 	}
@@ -142,11 +145,11 @@ func TestBoundRefinementRescuesTightWidths(t *testing.T) {
 		(assert (= (- (* x x) (* y y)) 201))
 		(assert (> x 90))
 		(check-sat)`)
-	plain := RunPipeline(c, Config{Timeout: 20 * time.Second}, nil)
+	plain := RunPipeline(context.Background(), c, Config{Timeout: 20 * time.Second, Deterministic: true}, nil)
 	if plain.Outcome != OutcomeBoundedUnsat {
 		t.Fatalf("without refinement: outcome = %v, want bounded-unsat", plain.Outcome)
 	}
-	refined := RunPipeline(c, Config{Timeout: 30 * time.Second, RefineRounds: 2}, nil)
+	refined := RunPipeline(context.Background(), c, Config{Timeout: 30 * time.Second, Deterministic: true, RefineRounds: 2}, nil)
 	if refined.Outcome != OutcomeVerified {
 		t.Fatalf("with refinement: outcome = %v, want verified (width %d, rounds %d)",
 			refined.Outcome, refined.Width, refined.Refined)
@@ -175,7 +178,7 @@ func TestPortfolioAgreesWithDirectSolve(t *testing.T) {
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			c := parse(t, tc.src)
-			res := RunPortfolio(c, Config{Timeout: 5 * time.Second})
+			res := RunPortfolio(context.Background(), c, Config{Timeout: 5 * time.Second})
 			if res.Status != tc.want {
 				t.Fatalf("portfolio status = %v, want %v", res.Status, tc.want)
 			}
@@ -201,7 +204,7 @@ func TestPortfolioWinComesFromSTAUBLeg(t *testing.T) {
 		(assert (> (+ a b) 30))
 		(assert (> (+ c d) 25))
 		(check-sat)`)
-	res := RunPortfolio(c, Config{Timeout: 20 * time.Second})
+	res := RunPortfolio(context.Background(), c, Config{Timeout: 20 * time.Second, Deterministic: true})
 	if res.Status != status.Sat {
 		t.Fatalf("status = %v", res.Status)
 	}
@@ -238,7 +241,7 @@ func TestRangeHintsPipelineStillVerifies(t *testing.T) {
 		t.Errorf("hinted translation has %d assertions, plain has %d; expected extra range assertions",
 			len(hinted.Bounded.Assertions), len(plain.Bounded.Assertions))
 	}
-	res := RunPipeline(parse(t, src), Config{Timeout: 10 * time.Second, RangeHints: true}, nil)
+	res := RunPipeline(context.Background(), parse(t, src), Config{Timeout: 10 * time.Second, RangeHints: true}, nil)
 	if res.Outcome != OutcomeVerified {
 		t.Fatalf("outcome = %v, want verified", res.Outcome)
 	}
@@ -294,7 +297,7 @@ func TestTransformFailedOnMixedTheories(t *testing.T) {
 	c := smt.NewConstraint("")
 	c.MustDeclare("i", smt.IntSort)
 	c.MustDeclare("r", smt.RealSort)
-	res := RunPipeline(c, Config{Timeout: time.Second}, nil)
+	res := RunPipeline(context.Background(), c, Config{Timeout: time.Second}, nil)
 	if res.Outcome != OutcomeTransformFailed {
 		t.Errorf("outcome = %v, want transform-failed", res.Outcome)
 	}
@@ -319,7 +322,7 @@ func TestPipelineSpeedsUpHardNonlinear(t *testing.T) {
 		(assert (> (+ c d) 25))
 		(check-sat)`)
 
-	pipe := RunPipeline(c, Config{Timeout: 20 * time.Second}, nil)
+	pipe := RunPipeline(context.Background(), c, Config{Timeout: 20 * time.Second, Deterministic: true}, nil)
 	if pipe.Outcome != OutcomeVerified {
 		t.Fatalf("pipeline outcome = %v, want verified", pipe.Outcome)
 	}
@@ -328,12 +331,19 @@ func TestPipelineSpeedsUpHardNonlinear(t *testing.T) {
 	if budget < 100*time.Millisecond {
 		budget = 100 * time.Millisecond
 	}
-	orig := solver.SolveTimeout(c, budget, solver.Prima)
+	// Give the unbounded leg the same deterministic accounting so the
+	// comparison is machine-independent.
+	orig := solver.Solve(c, solver.Options{
+		Ctx:        context.Background(),
+		Deadline:   time.Now().Add(time.Hour),
+		WorkBudget: solver.WorkBudgetFor(budget),
+		Profile:    solver.Prima,
+	})
 	if orig.Status == status.Unknown {
 		t.Logf("arbitrage win: original timed out within %v; STAUB finished in %v", budget, pipe.Total)
 		return
 	}
-	if orig.Elapsed <= pipe.Total {
-		t.Errorf("expected STAUB (%v) to beat the unbounded solver (%v)", pipe.Total, orig.Elapsed)
+	if origTime := solver.VirtualDuration(orig.Work); origTime <= pipe.Total {
+		t.Errorf("expected STAUB (%v) to beat the unbounded solver (%v)", pipe.Total, origTime)
 	}
 }

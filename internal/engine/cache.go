@@ -1,0 +1,95 @@
+package engine
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// Key returns the job's content address: a hash of the canonical SMT-LIB
+// script of the constraint plus every configuration knob that can change
+// the verdict or the reported cost. Two jobs with equal keys are
+// interchangeable, so the cache may serve one's result for the other.
+func (j Job) Key() string {
+	h := sha256.New()
+	io.WriteString(h, j.Constraint.Script())
+	switch j.Kind {
+	case KindSolve:
+		fmt.Fprintf(h, "|solve|p=%d|t=%d|s=%d|det=%t",
+			j.Profile, j.Timeout, j.Seed, j.Deterministic)
+	default:
+		c := j.Config
+		fmt.Fprintf(h, "|kind=%d|w=%d|t=%d|p=%d|slot=%t|hints=%t|refine=%d|s=%d|det=%t|lim=%d,%d,%d,%d",
+			j.Kind, c.FixedWidth, c.Timeout, c.Profile, c.UseSLOT, c.RangeHints,
+			c.RefineRounds, c.Seed, c.Deterministic,
+			c.Limits.MinWidth, c.Limits.MaxWidth, c.Limits.MaxSig, c.Limits.MaxPrec)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Cache is a content-addressed solve cache with in-flight deduplication:
+// the first request for a key computes, every concurrent or later request
+// for the same key waits for (or reads) that result. It is safe for
+// concurrent use and may be shared across engines and batches — staub-bench
+// shares one across all experiments of an `all` run, so a suite regenerated
+// for a later table never re-solves an instance an earlier one measured.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+	hits    atomic.Int64
+	misses  atomic.Int64
+}
+
+type cacheEntry struct {
+	done chan struct{} // closed once res is valid
+	res  Result
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	return &Cache{entries: map[string]*cacheEntry{}}
+}
+
+// do returns the cached result for key, or computes it with f. The second
+// return of f reports whether the result may be memoized (false for runs
+// cut short by cancellation). do's own second return reports a cache hit.
+func (c *Cache) do(key string, f func() (Result, bool)) (Result, bool) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.mu.Unlock()
+		<-e.done
+		c.hits.Add(1)
+		return e.res, true
+	}
+	e := &cacheEntry{done: make(chan struct{})}
+	c.entries[key] = e
+	c.mu.Unlock()
+
+	res, keep := f()
+	e.res = res
+	if !keep {
+		c.mu.Lock()
+		delete(c.entries, key)
+		c.mu.Unlock()
+	}
+	close(e.done)
+	c.misses.Add(1)
+	return res, false
+}
+
+// Stats reports cache effectiveness: hits counts requests served without a
+// fresh solve (including joins on in-flight identical jobs), misses counts
+// solves actually run.
+func (c *Cache) Stats() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+// Len reports the number of memoized results.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -1,0 +1,100 @@
+package engine_test
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"staub/internal/engine"
+	"staub/internal/harness"
+)
+
+// diffOptions is a small but cross-logic suite: every logic contributes,
+// both profiles run, and the mode list exercises inference and the fixed
+// ablation.
+func diffOptions() harness.Options {
+	return harness.Options{
+		Timeout: 40 * time.Millisecond,
+		Seed:    11,
+		Counts:  map[string]int{"QF_NIA": 3, "QF_LIA": 3, "QF_NRA": 2, "QF_LRA": 2},
+		Modes:   []harness.Mode{harness.ModeStaub, harness.ModeFixed8},
+	}
+}
+
+// TestParallelMatchesSequential is the differential test of the tentpole:
+// the parallel engine (8 workers, shared cache) must produce exactly the
+// Records — and therefore byte-identical rendered tables — of the plain
+// sequential path.
+func TestParallelMatchesSequential(t *testing.T) {
+	ctx := context.Background()
+	o := diffOptions()
+
+	seq, err := harness.RunSequential(ctx, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	par := o
+	par.Jobs = 8
+	par.Cache = engine.NewCache()
+	got, err := harness.Run(ctx, par)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(got) != len(seq) {
+		t.Fatalf("logic groups: parallel %d, sequential %d", len(got), len(seq))
+	}
+	for logic, seqRecs := range seq {
+		gotRecs := got[logic]
+		if len(gotRecs) != len(seqRecs) {
+			t.Fatalf("%s: %d records parallel vs %d sequential", logic, len(gotRecs), len(seqRecs))
+		}
+		for i := range seqRecs {
+			compareRecord(t, logic, gotRecs[i], seqRecs[i], o.Modes)
+		}
+	}
+
+	// The rendered artifacts must agree byte for byte.
+	for _, render := range []struct {
+		name string
+		fn   func(w *bytes.Buffer, recs map[string][]harness.Record)
+	}{
+		{"table2", func(w *bytes.Buffer, r map[string][]harness.Record) { harness.Table2(w, r) }},
+		{"table3", func(w *bytes.Buffer, r map[string][]harness.Record) { harness.Table3(w, r, o.Timeout) }},
+		{"fig7csv", func(w *bytes.Buffer, r map[string][]harness.Record) { harness.Figure7CSV(w, r) }},
+	} {
+		var a, b bytes.Buffer
+		render.fn(&a, got)
+		render.fn(&b, seq)
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Errorf("%s differs between parallel and sequential runs:\n--- parallel ---\n%s--- sequential ---\n%s",
+				render.name, a.String(), b.String())
+		}
+	}
+}
+
+func compareRecord(t *testing.T, logic string, got, want harness.Record, modes []harness.Mode) {
+	t.Helper()
+	if got.Inst.Name != want.Inst.Name || got.Profile != want.Profile {
+		t.Errorf("%s: record identity mismatch: %s/%v vs %s/%v",
+			logic, got.Inst.Name, got.Profile, want.Inst.Name, want.Profile)
+		return
+	}
+	id := logic + "/" + want.Inst.Name + "/" + want.Profile.String()
+	if got.TPre != want.TPre || got.PreStatus != want.PreStatus {
+		t.Errorf("%s: pre-solve mismatch: %v/%v vs %v/%v",
+			id, got.TPre, got.PreStatus, want.TPre, want.PreStatus)
+	}
+	for _, m := range modes {
+		g, w := got.Modes[m], want.Modes[m]
+		if g != w {
+			t.Errorf("%s mode %v: %+v vs %+v", id, m, g, w)
+		}
+		if got.FinalTime(m) != want.FinalTime(m) || got.Alpha(m) != want.Alpha(m) {
+			t.Errorf("%s mode %v: FinalTime/Alpha mismatch: %v/%g vs %v/%g",
+				id, m, got.FinalTime(m), got.Alpha(m), want.FinalTime(m), want.Alpha(m))
+		}
+	}
+}

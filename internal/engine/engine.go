@@ -1,0 +1,210 @@
+// Package engine is the batch execution spine of the repository: a bounded
+// worker pool that schedules solve jobs across GOMAXPROCS-derived workers
+// with context cancellation and per-job wall-clock backstops, aggregates
+// results in submission order (so downstream tables and CSVs are identical
+// regardless of completion order), and deduplicates work through an
+// optional content-addressed solve cache (see Cache).
+//
+// The experiment harness, staub-bench and the staub CLI all route their
+// solving through this package; a Job is one (constraint, configuration)
+// solve and carries everything needed to reproduce it deterministically.
+package engine
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"staub/internal/core"
+	"staub/internal/smt"
+	"staub/internal/solver"
+	"staub/internal/status"
+)
+
+// Kind selects what a job runs.
+type Kind int
+
+// Job kinds.
+const (
+	// KindSolve decides the constraint directly with the unbounded solver
+	// (the harness's "pre" leg and the CLI's fallback).
+	KindSolve Kind = iota
+	// KindPipeline runs the full STAUB pipeline on the constraint.
+	KindPipeline
+	// KindPortfolio races the pipeline against the unmodified solver.
+	KindPortfolio
+)
+
+// Job is one schedulable solve task.
+type Job struct {
+	Kind       Kind
+	Constraint *smt.Constraint
+	// Profile, Timeout, Seed and Deterministic configure KindSolve jobs;
+	// pipeline and portfolio jobs take them from Config instead.
+	Profile       solver.Profile
+	Timeout       time.Duration
+	Seed          int64
+	Deterministic bool
+	// Config drives KindPipeline and KindPortfolio jobs.
+	Config core.Config
+}
+
+// Result is a completed job, with exactly one of the payload fields set
+// according to the job kind.
+type Result struct {
+	Solve     solver.Result
+	Pipeline  core.PipelineResult
+	Portfolio core.PortfolioResult
+	// CacheHit reports that the result came from the solve cache (or from
+	// joining an identical in-flight job) rather than a fresh solve.
+	CacheHit bool
+}
+
+// timeout returns the job's effective time budget.
+func (j Job) timeout() time.Duration {
+	if j.Kind == KindSolve {
+		return j.Timeout
+	}
+	if j.Config.Timeout > 0 {
+		return j.Config.Timeout
+	}
+	return 2 * time.Second // core.Config's default
+}
+
+// ExecuteJob runs a single job to completion with no pool and no cache —
+// the sequential oracle the worker pool is tested against. The context
+// cancels the solve early.
+func ExecuteJob(ctx context.Context, j Job) Result {
+	switch j.Kind {
+	case KindPipeline:
+		return Result{Pipeline: core.RunPipeline(ctx, j.Constraint, j.Config, nil)}
+	case KindPortfolio:
+		return Result{Portfolio: core.RunPortfolio(ctx, j.Constraint, j.Config)}
+	default:
+		opts := solver.Options{Ctx: ctx, Profile: j.Profile, Seed: j.Seed}
+		if j.Deterministic {
+			opts.WorkBudget = solver.WorkBudgetFor(j.Timeout)
+			opts.Deadline = backstopDeadline(j.Timeout)
+		} else {
+			opts.Deadline = time.Now().Add(j.Timeout)
+		}
+		return Result{Solve: solver.Solve(j.Constraint, opts)}
+	}
+}
+
+// backstopDeadline mirrors core's: deterministic jobs terminate on their
+// work budget, and the wall clock is only a generous safety net.
+func backstopDeadline(timeout time.Duration) time.Time {
+	backstop := 10 * timeout
+	if backstop < 30*time.Second {
+		backstop = 30 * time.Second
+	}
+	return time.Now().Add(backstop)
+}
+
+// Engine is a reusable worker pool over solve jobs.
+type Engine struct {
+	workers int
+	cache   *Cache
+	// OnProgress, when non-nil, is called after each job completes with
+	// the number of completed jobs and the batch size. Calls may come from
+	// any worker goroutine but are serialized.
+	OnProgress func(done, total int)
+	progressMu sync.Mutex
+}
+
+// New returns an engine with the given worker count (≤ 0 selects
+// GOMAXPROCS) and optional shared solve cache (nil disables caching).
+func New(workers int, cache *Cache) *Engine {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{workers: workers, cache: cache}
+}
+
+// Workers reports the pool size.
+func (e *Engine) Workers() int { return e.workers }
+
+// Cache returns the engine's solve cache (nil when caching is disabled).
+func (e *Engine) Cache() *Cache { return e.cache }
+
+// Run executes the batch and returns results indexed exactly like jobs,
+// independent of completion order. Cancelling the context stops feeding
+// new jobs and interrupts the ones in flight; their slots report an
+// unknown, timed-out solve. Run always waits for its workers to exit
+// before returning, so no goroutines are leaked.
+func (e *Engine) Run(ctx context.Context, jobs []Job) []Result {
+	results := make([]Result, len(jobs))
+	if len(jobs) == 0 {
+		return results
+	}
+	workers := e.workers
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	feed := make(chan int)
+	executed := make([]bool, len(jobs))
+	var done atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range feed {
+				results[i] = e.runOne(ctx, jobs[i])
+				executed[i] = true
+				n := int(done.Add(1))
+				if e.OnProgress != nil {
+					e.progressMu.Lock()
+					e.OnProgress(n, len(jobs))
+					e.progressMu.Unlock()
+				}
+			}
+		}()
+	}
+feeding:
+	for i := range jobs {
+		select {
+		case feed <- i:
+		case <-ctx.Done():
+			break feeding
+		}
+	}
+	close(feed)
+	wg.Wait()
+	// Mark slots the cancellation left unexecuted so callers can
+	// distinguish them from real verdicts.
+	for i := range results {
+		if !executed[i] {
+			results[i] = cancelledResult()
+		}
+	}
+	return results
+}
+
+func cancelledResult() Result {
+	return Result{Solve: solver.Result{Status: status.Unknown, TimedOut: true, Work: 1, Engine: "cancelled"}}
+}
+
+// runOne executes one job under its per-job deadline, consulting the
+// cache when one is configured.
+func (e *Engine) runOne(ctx context.Context, j Job) Result {
+	if ctx.Err() != nil {
+		return cancelledResult()
+	}
+	jctx, cancel := context.WithDeadline(ctx, backstopDeadline(j.timeout()))
+	defer cancel()
+	if e.cache == nil {
+		return ExecuteJob(jctx, j)
+	}
+	res, hit := e.cache.do(j.Key(), func() (Result, bool) {
+		r := ExecuteJob(jctx, j)
+		// Don't memoize work that was cut short by cancellation: a later
+		// batch must be able to solve it for real.
+		return r, jctx.Err() == nil
+	})
+	res.CacheHit = hit
+	return res
+}

@@ -31,6 +31,9 @@ type Params struct {
 	ExhaustiveLimit float64
 	// SearchIters bounds local-search steps (default 50000).
 	SearchIters int
+	// NodeBudget bounds total search nodes — a deterministic work budget
+	// that, unlike Deadline, is identical across runs (0: unlimited).
+	NodeBudget int64
 	// Seed drives the local search.
 	Seed int64
 }
@@ -68,6 +71,10 @@ func (s *solver) checkBudget() bool {
 		return false
 	}
 	s.nodes++
+	if s.params.NodeBudget > 0 && s.nodes > s.params.NodeBudget {
+		s.timedOut = true
+		return false
+	}
 	if s.nodes%512 == 0 {
 		if !s.params.Deadline.IsZero() && time.Now().After(s.params.Deadline) {
 			s.timedOut = true

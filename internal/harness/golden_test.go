@@ -1,0 +1,85 @@
+package harness
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files from the current output")
+
+// goldenOptions pins a tiny fixed-seed suite. Because the harness runs in
+// deterministic virtual time, the rendered tables are a pure function of
+// these options and can be committed byte for byte.
+func goldenOptions() Options {
+	return Options{
+		Timeout: 800 * time.Millisecond,
+		Seed:    42,
+		Counts:  map[string]int{"QF_NIA": 8, "QF_LIA": 4, "QF_NRA": 2, "QF_LRA": 2},
+	}
+}
+
+var goldenOnce struct {
+	sync.Once
+	records map[string][]Record
+	err     error
+}
+
+func goldenRecords(t *testing.T) map[string][]Record {
+	t.Helper()
+	goldenOnce.Do(func() {
+		goldenOnce.records, goldenOnce.err = Run(context.Background(), goldenOptions())
+	})
+	if goldenOnce.err != nil {
+		t.Fatal(goldenOnce.err)
+	}
+	return goldenOnce.records
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", "golden", name)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/harness -run Golden -update` to create it)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden file:\n--- got ---\n%s--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestGoldenTable2(t *testing.T) {
+	var buf bytes.Buffer
+	Table2(&buf, goldenRecords(t))
+	checkGolden(t, "table2.txt", buf.Bytes())
+}
+
+func TestGoldenTable3(t *testing.T) {
+	var buf bytes.Buffer
+	Table3(&buf, goldenRecords(t), goldenOptions().Timeout)
+	checkGolden(t, "table3.txt", buf.Bytes())
+}
+
+func TestGoldenFigure2(t *testing.T) {
+	points, err := Figure2(context.Background(), goldenOptions(), []int{8, 16, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	Figure2Print(&buf, points)
+	checkGolden(t, "fig2.txt", buf.Bytes())
+}

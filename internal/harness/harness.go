@@ -14,6 +14,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -21,6 +22,7 @@ import (
 
 	"staub/internal/benchgen"
 	"staub/internal/core"
+	"staub/internal/engine"
 	"staub/internal/solver"
 	"staub/internal/status"
 )
@@ -71,6 +73,11 @@ type Options struct {
 	Modes []Mode
 	// Progress, when non-nil, receives one line per measured instance.
 	Progress io.Writer
+	// Jobs is the solve worker count (0 selects GOMAXPROCS).
+	Jobs int
+	// Cache, when non-nil, memoizes solves across runs and experiments;
+	// identical (constraint, configuration) jobs are solved once.
+	Cache *engine.Cache
 }
 
 func (o Options) withDefaults() Options {
@@ -126,13 +133,15 @@ func (r Record) FinalTime(m Mode) time.Duration {
 	return min(r.TPre, mr.Total)
 }
 
-// Alpha returns the speedup ratio T_pre / T_final for the mode.
+// Alpha returns the speedup ratio T_pre / T_final for the mode. The
+// denominator is floored at one nanosecond — the same 1e-9 floor GeoMean
+// applies — so degenerate final times cannot produce infinities.
 func (r Record) Alpha(m Mode) float64 {
-	final := r.FinalTime(m)
-	if final <= 0 {
-		final = time.Microsecond
+	final := r.FinalTime(m).Seconds()
+	if final < 1e-9 {
+		final = 1e-9
 	}
-	return float64(r.TPre) / float64(final)
+	return r.TPre.Seconds() / final
 }
 
 // Tractability reports whether the mode turned an original timeout into a
@@ -142,11 +151,44 @@ func (r Record) Tractability(m Mode) bool {
 	return ok && r.PreStatus == status.Unknown && mr.Verified
 }
 
-// Run measures every instance of every requested logic under every
-// profile and returns the records grouped by logic.
-func Run(o Options) (map[string][]Record, error) {
-	o = o.withDefaults()
-	out := map[string][]Record{}
+// plan lays out one experiment run as a flat job list plus the bookkeeping
+// to reduce engine results back into Records in a deterministic order
+// (logic → profile → instance, exactly the submission order).
+type plan struct {
+	jobs    []engine.Job
+	entries []planEntry
+	opts    Options
+}
+
+// planEntry maps one Record onto its job indices.
+type planEntry struct {
+	logic   string
+	inst    benchgen.Instance
+	profile solver.Profile
+	pre     int
+	modes   map[Mode]int
+}
+
+// modeConfig is the pipeline configuration measured for a mode. All
+// harness measurements run in deterministic virtual-time mode, so records
+// and tables are a pure function of the benchmark seed.
+func modeConfig(m Mode, profile solver.Profile, timeout time.Duration) core.Config {
+	cfg := core.Config{Timeout: timeout, Profile: profile, Deterministic: true}
+	switch m {
+	case ModeFixed8:
+		cfg.FixedWidth = 8
+	case ModeFixed16:
+		cfg.FixedWidth = 16
+	case ModeSlot:
+		cfg.UseSLOT = true
+	}
+	return cfg
+}
+
+// buildPlan generates the suites and produces one pre-solve job plus one
+// pipeline job per requested mode for every (instance, profile) pair.
+func buildPlan(o Options) (*plan, error) {
+	p := &plan{opts: o}
 	for _, logic := range benchgen.Logics() {
 		n := o.Counts[logic]
 		if n == 0 {
@@ -158,57 +200,111 @@ func Run(o Options) (map[string][]Record, error) {
 		}
 		for _, profile := range o.Profiles {
 			for _, inst := range insts {
-				rec := measure(inst, profile, o)
-				out[logic] = append(out[logic], rec)
-				if o.Progress != nil {
-					fmt.Fprintf(o.Progress, "%s %s/%s pre=%v(%v) staub=%v\n",
-						logic, profile, inst.Name, rec.PreStatus,
-						rec.TPre.Round(time.Millisecond),
-						rec.Modes[ModeStaub].Outcome)
+				e := planEntry{
+					logic: logic, inst: inst, profile: profile,
+					pre:   len(p.jobs),
+					modes: map[Mode]int{},
 				}
+				p.jobs = append(p.jobs, engine.Job{
+					Kind:          engine.KindSolve,
+					Constraint:    inst.Constraint,
+					Profile:       profile,
+					Timeout:       o.Timeout,
+					Deterministic: true,
+				})
+				for _, m := range o.Modes {
+					e.modes[m] = len(p.jobs)
+					p.jobs = append(p.jobs, engine.Job{
+						Kind:       engine.KindPipeline,
+						Constraint: inst.Constraint,
+						Config:     modeConfig(m, profile, o.Timeout),
+					})
+				}
+				p.entries = append(p.entries, e)
 			}
 		}
 	}
-	return out, nil
+	return p, nil
 }
 
-func measure(inst benchgen.Instance, profile solver.Profile, o Options) Record {
-	rec := Record{
-		Inst:    inst,
-		Profile: profile,
-		Modes:   map[Mode]ModeResult{},
+// reduce folds job results back into Records grouped by logic, in plan
+// order — byte-identical tables regardless of completion order.
+func (p *plan) reduce(results []engine.Result) map[string][]Record {
+	o := p.opts
+	out := map[string][]Record{}
+	for _, e := range p.entries {
+		rec := Record{
+			Inst:    e.inst,
+			Profile: e.profile,
+			Modes:   map[Mode]ModeResult{},
+		}
+		pre := results[e.pre].Solve
+		rec.PreStatus = pre.Status
+		if pre.Status == status.Unknown {
+			rec.TPre = o.Timeout
+		} else {
+			rec.TPre = solver.VirtualDuration(pre.Work)
+		}
+		for m, idx := range e.modes {
+			pl := results[idx].Pipeline
+			total := pl.Total
+			if total > o.Timeout {
+				total = o.Timeout
+			}
+			rec.Modes[m] = ModeResult{
+				Outcome:  pl.Outcome,
+				Total:    total,
+				Width:    pl.Width,
+				Verified: pl.Outcome == core.OutcomeVerified,
+			}
+		}
+		out[e.logic] = append(out[e.logic], rec)
+		if o.Progress != nil {
+			fmt.Fprintf(o.Progress, "%s %s/%s pre=%v(%v) staub=%v\n",
+				e.logic, e.profile, e.inst.Name, rec.PreStatus,
+				rec.TPre.Round(time.Millisecond),
+				rec.Modes[ModeStaub].Outcome)
+		}
 	}
-	pre := solver.SolveTimeout(inst.Constraint, o.Timeout, profile)
-	rec.PreStatus = pre.Status
-	if pre.Status == status.Unknown {
-		rec.TPre = o.Timeout
-	} else {
-		rec.TPre = pre.Elapsed
-	}
+	return out
+}
 
-	for _, m := range o.Modes {
-		cfg := core.Config{Timeout: o.Timeout, Profile: profile}
-		switch m {
-		case ModeFixed8:
-			cfg.FixedWidth = 8
-		case ModeFixed16:
-			cfg.FixedWidth = 16
-		case ModeSlot:
-			cfg.UseSLOT = true
-		}
-		p := core.RunPipeline(inst.Constraint, cfg, nil)
-		total := p.Total
-		if total > o.Timeout {
-			total = o.Timeout
-		}
-		rec.Modes[m] = ModeResult{
-			Outcome:  p.Outcome,
-			Total:    total,
-			Width:    p.Width,
-			Verified: p.Outcome == core.OutcomeVerified,
-		}
+// Run measures every instance of every requested logic under every
+// profile and returns the records grouped by logic. Jobs are scheduled
+// across Options.Jobs workers through the engine; cancelling the context
+// aborts the run. Measurements use deterministic virtual time, so the
+// records are identical for any worker count.
+func Run(ctx context.Context, o Options) (map[string][]Record, error) {
+	o = o.withDefaults()
+	p, err := buildPlan(o)
+	if err != nil {
+		return nil, err
 	}
-	return rec
+	eng := engine.New(o.Jobs, o.Cache)
+	results := eng.Run(ctx, p.jobs)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return p.reduce(results), nil
+}
+
+// RunSequential measures the same plan as Run on a single goroutine with
+// no worker pool and no cache — the oracle the engine's differential test
+// compares against.
+func RunSequential(ctx context.Context, o Options) (map[string][]Record, error) {
+	o = o.withDefaults()
+	p, err := buildPlan(o)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]engine.Result, len(p.jobs))
+	for i, job := range p.jobs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		results[i] = engine.ExecuteJob(ctx, job)
+	}
+	return p.reduce(results), nil
 }
 
 // GeoMean returns the geometric mean of the values (1.0 for empty input).

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -22,7 +23,7 @@ func smallOptions() Options {
 }
 
 func TestRunProducesRecords(t *testing.T) {
-	records, err := Run(smallOptions())
+	records, err := Run(context.Background(), smallOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +51,7 @@ func TestRunProducesRecords(t *testing.T) {
 // "no constraint gets slower" guarantee (Figure 7: nothing above the
 // diagonal).
 func TestPortfolioInvariant(t *testing.T) {
-	records, err := Run(smallOptions())
+	records, err := Run(context.Background(), smallOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +95,7 @@ func TestTable1Output(t *testing.T) {
 func TestTable2And3Render(t *testing.T) {
 	o := smallOptions()
 	o.Modes = []Mode{ModeStaub, ModeFixed8, ModeFixed16, ModeSlot}
-	records, err := Run(o)
+	records, err := Run(context.Background(), o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +130,7 @@ func TestTable2And3Render(t *testing.T) {
 }
 
 func TestFigure7CSV(t *testing.T) {
-	records, err := Run(smallOptions())
+	records, err := Run(context.Background(), smallOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +158,7 @@ func TestFigure2SweepSmall(t *testing.T) {
 		Seed:    5,
 		Counts:  map[string]int{"QF_NIA": 6, "QF_LIA": 4, "QF_NRA": 2, "QF_LRA": 2},
 	}
-	points, err := Figure2(o, []int{8, 16, 32})
+	points, err := Figure2(context.Background(), o, []int{8, 16, 32})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -50,7 +51,7 @@ func ReductionExperiment(o Options, widths []int) ([]ReductionRow, error) {
 			wide := tr.Bounded
 			row.Count++
 
-			pre := solver.SolveTimeout(wide, o.Timeout, solver.Prima)
+			pre := solver.SolveTimeout(context.Background(), wide, o.Timeout, solver.Prima)
 			tPre := pre.Elapsed
 			if pre.Status == status.Unknown {
 				tPre = o.Timeout

@@ -1,0 +1,90 @@
+package harness
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"staub/internal/core"
+	"staub/internal/status"
+)
+
+func TestGeoMeanEdgeCases(t *testing.T) {
+	if got := GeoMean(nil); got != 1 {
+		t.Errorf("GeoMean(nil) = %g, want 1", got)
+	}
+	if got := GeoMean([]float64{}); got != 1 {
+		t.Errorf("GeoMean(empty) = %g, want 1", got)
+	}
+	// Zero and negative inputs are floored at 1e-9 rather than producing
+	// -Inf logs.
+	for _, vals := range [][]float64{{0}, {-3}, {0, 0}} {
+		got := GeoMean(vals)
+		if math.IsNaN(got) || math.IsInf(got, 0) {
+			t.Errorf("GeoMean(%v) = %g, want finite", vals, got)
+		}
+		if math.Abs(got-1e-9) > 1e-15 {
+			t.Errorf("GeoMean(%v) = %g, want 1e-9 (floor)", vals, got)
+		}
+	}
+	got := GeoMean([]float64{2, 8})
+	if math.Abs(got-4) > 1e-12 {
+		t.Errorf("GeoMean(2,8) = %g, want 4", got)
+	}
+	// A zero mixed into positive values uses the floor, not a crash.
+	mixed := GeoMean([]float64{1, 0})
+	want := math.Sqrt(1e-9)
+	if math.Abs(mixed-want) > 1e-12 {
+		t.Errorf("GeoMean(1,0) = %g, want %g", mixed, want)
+	}
+}
+
+func TestGeoMeanDurationsEdgeCases(t *testing.T) {
+	if got := GeoMeanDurations(nil); got != 1 {
+		t.Errorf("GeoMeanDurations(nil) = %g, want 1", got)
+	}
+	got := GeoMeanDurations([]time.Duration{time.Second, 4 * time.Second})
+	if math.Abs(got-2) > 1e-9 {
+		t.Errorf("GeoMeanDurations(1s,4s) = %g, want 2", got)
+	}
+	// Zero and negative durations hit the same 1e-9 floor as GeoMean.
+	for _, ds := range [][]time.Duration{{0}, {-time.Second}} {
+		got := GeoMeanDurations(ds)
+		if math.IsNaN(got) || math.IsInf(got, 0) || math.Abs(got-1e-9) > 1e-15 {
+			t.Errorf("GeoMeanDurations(%v) = %g, want 1e-9", ds, got)
+		}
+	}
+}
+
+// TestAlphaFloor: Alpha clamps its denominator at 1e-9 seconds — the same
+// floor GeoMean applies — so a degenerate (zero) final time yields a large
+// finite ratio instead of +Inf.
+func TestAlphaFloor(t *testing.T) {
+	r := Record{
+		TPre:      time.Second,
+		PreStatus: status.Sat,
+		Modes: map[Mode]ModeResult{
+			ModeStaub: {Outcome: core.OutcomeVerified, Total: 0, Verified: true},
+		},
+	}
+	got := r.Alpha(ModeStaub)
+	if math.IsInf(got, 0) || math.IsNaN(got) {
+		t.Fatalf("Alpha with zero final time = %g, want finite", got)
+	}
+	if math.Abs(got-1e9) > 1 {
+		t.Errorf("Alpha = %g, want 1e9 (1s / 1ns floor)", got)
+	}
+
+	// Zero TPre with a zero final time is 0/floor = 0, not NaN.
+	r.TPre = 0
+	if got := r.Alpha(ModeStaub); got != 0 {
+		t.Errorf("Alpha with zero TPre = %g, want 0", got)
+	}
+
+	// An unverified mode falls back to TPre/TPre = 1.
+	r.TPre = time.Second
+	r.Modes[ModeFixed8] = ModeResult{Outcome: core.OutcomeBoundedUnknown, Total: time.Millisecond}
+	if got := r.Alpha(ModeFixed8); math.Abs(got-1) > 1e-12 {
+		t.Errorf("Alpha of unverified mode = %g, want 1", got)
+	}
+}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -9,9 +10,16 @@ import (
 
 	"staub/internal/benchgen"
 	"staub/internal/core"
+	"staub/internal/engine"
 	"staub/internal/solver"
 	"staub/internal/status"
 )
+
+// allModes is the fixed presentation/aggregation order of the modes.
+// Iterating Record.Modes through it (instead of ranging over the map)
+// keeps floating-point accumulation order — and therefore rendered tables
+// — identical across runs.
+var allModes = []Mode{ModeStaub, ModeFixed8, ModeFixed16, ModeSlot}
 
 // Table1 prints the paper's Table 1: the decidability/boundedness summary
 // for the four unbounded logics. The facts are theoretical (Papadimitriou
@@ -150,7 +158,10 @@ func Table3Rows(records map[string][]Record, timeout time.Duration) []Table3Row 
 						continue
 					}
 					row.Count++
-					for m := range r.Modes {
+					for _, m := range allModes {
+						if _, ok := r.Modes[m]; !ok {
+							continue
+						}
 						alpha := r.Alpha(m)
 						perModeAll[m] = append(perModeAll[m], alpha)
 						if r.Modes[m].Verified {
@@ -271,13 +282,23 @@ type Figure2Point struct {
 // Figure2 runs the naive fixed-width sweep of Figure 2: for each logic and
 // width, transform every instance at that width, solve the bounded form
 // directly, and compare both cost (2a) and verdict (2b) against the
-// unbounded original.
-func Figure2(o Options, widths []int) ([]Figure2Point, error) {
+// unbounded original. Like Run, it schedules all solves through the
+// engine under deterministic virtual time.
+func Figure2(ctx context.Context, o Options, widths []int) ([]Figure2Point, error) {
 	o = o.withDefaults()
 	if len(widths) == 0 {
 		widths = []int{8, 12, 16, 24, 32, 48, 64}
 	}
-	var out []Figure2Point
+	// Job layout per logic: one oracle pre-solve per instance, then one
+	// pipeline job per (width, instance).
+	type logicPlan struct {
+		logic  string
+		insts  []benchgen.Instance
+		oracle []int         // instance → job index
+		pipe   map[int][]int // width → instance → job index
+	}
+	var jobs []engine.Job
+	var plans []logicPlan
 	for _, logic := range benchgen.Logics() {
 		n := o.Counts[logic]
 		if n == 0 {
@@ -287,19 +308,51 @@ func Figure2(o Options, widths []int) ([]Figure2Point, error) {
 		if err != nil {
 			return nil, err
 		}
+		lp := logicPlan{logic: logic, insts: insts, pipe: map[int][]int{}}
+		for _, inst := range insts {
+			lp.oracle = append(lp.oracle, len(jobs))
+			jobs = append(jobs, engine.Job{
+				Kind:          engine.KindSolve,
+				Constraint:    inst.Constraint,
+				Profile:       solver.Prima,
+				Timeout:       o.Timeout,
+				Deterministic: true,
+			})
+		}
+		for _, width := range widths {
+			for _, inst := range insts {
+				lp.pipe[width] = append(lp.pipe[width], len(jobs))
+				jobs = append(jobs, engine.Job{
+					Kind:       engine.KindPipeline,
+					Constraint: inst.Constraint,
+					Config: core.Config{
+						Timeout:       o.Timeout,
+						FixedWidth:    width,
+						Deterministic: true,
+					},
+				})
+			}
+		}
+		plans = append(plans, lp)
+	}
+	results := engine.New(o.Jobs, o.Cache).Run(ctx, jobs)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	var out []Figure2Point
+	for _, lp := range plans {
+		insts := lp.insts
 		// Unbounded oracle verdicts.
 		oracle := make([]status.Status, len(insts))
-		for i, inst := range insts {
-			oracle[i] = solver.SolveTimeout(inst.Constraint, o.Timeout, solver.Prima).Status
+		for i := range insts {
+			oracle[i] = results[lp.oracle[i]].Solve.Status
 		}
 		times := map[int][]time.Duration{}
 		changed := map[int][2]int{} // width → (changed, comparable)
 		for _, width := range widths {
-			for i, inst := range insts {
-				p := core.RunPipeline(inst.Constraint, core.Config{
-					Timeout:    o.Timeout,
-					FixedWidth: width,
-				}, nil)
+			for i := range insts {
+				p := results[lp.pipe[width][i]].Pipeline
 				total := p.Total
 				if total > o.Timeout {
 					total = o.Timeout
@@ -337,7 +390,7 @@ func Figure2(o Options, widths []int) ([]Figure2Point, error) {
 			base = 1e-9
 		}
 		for _, width := range widths {
-			pt := Figure2Point{Logic: logic, Width: width}
+			pt := Figure2Point{Logic: lp.logic, Width: width}
 			pt.RelTime = GeoMeanDurations(times[width]) / base
 			if c := changed[width]; c[1] > 0 {
 				pt.ChangedPct = 100 * float64(c[0]) / float64(c[1])

@@ -2,6 +2,7 @@ package poly
 
 import (
 	"fmt"
+	"sort"
 
 	"staub/internal/smt"
 )
@@ -243,7 +244,9 @@ func SplitNe(c Case, maxCases int) ([]Case, error) {
 	return out, nil
 }
 
-// Vars returns the distinct variables over all atoms in the case.
+// Vars returns the distinct variables over all atoms in the case, sorted:
+// the solvers branch in slice order, so the order must not depend on map
+// iteration.
 func (c Case) Vars() []string {
 	set := map[string]bool{}
 	for _, a := range c {
@@ -255,6 +258,7 @@ func (c Case) Vars() []string {
 	for v := range set {
 		out = append(out, v)
 	}
+	sort.Strings(out)
 	return out
 }
 

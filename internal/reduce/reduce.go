@@ -11,6 +11,7 @@
 package reduce
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -349,7 +350,7 @@ func RunPipeline(c *smt.Constraint, timeout time.Duration, profile solver.Profil
 	if err != nil {
 		return done(OutcomeUnknown, status.Unknown, nil, declared, w)
 	}
-	res := solver.SolveTimeout(r.Reduced, timeout-time.Since(start), profile)
+	res := solver.SolveTimeout(context.Background(), r.Reduced, timeout-time.Since(start), profile)
 	switch res.Status {
 	case status.Unsat:
 		return done(OutcomeNarrowUnsat, status.Unknown, nil, r.FromWidth, w)

@@ -1,6 +1,7 @@
 package reduce
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -145,7 +146,7 @@ func TestReduceSpeedsUpWideConstraint(t *testing.T) {
 	if budget < 200*time.Millisecond {
 		budget = 200 * time.Millisecond
 	}
-	direct := solver.SolveTimeout(c2, budget, solver.Prima)
+	direct := solver.SolveTimeout(context.Background(), c2, budget, solver.Prima)
 	if direct.Status == status.Unknown {
 		t.Logf("reduction win: direct 40-bit solve timed out in %v; reduced pipeline took %v (%d→%d bits)",
 			budget, res.Total, res.FromWidth, res.ToWidth)

@@ -126,9 +126,14 @@ type Solver struct {
 	RandomFreq float64
 
 	// Budget controls.
-	Deadline    time.Time    // zero means none
-	ConflictCap int64        // 0 means unlimited
-	interrupted *atomic.Bool // optional external interrupt
+	Deadline time.Time // zero means none
+	// ConflictCap bounds total conflicts; 0 means unlimited.
+	ConflictCap int64
+	// PropagationCap bounds total propagations — a deterministic work
+	// budget that, unlike Deadline, gives identical outcomes across runs
+	// and machines. 0 means unlimited.
+	PropagationCap int64
+	interrupted    *atomic.Bool // optional external interrupt
 
 	Stats Stats
 
@@ -484,6 +489,9 @@ func (s *Solver) exhausted() bool {
 	if s.ConflictCap > 0 && s.Stats.Conflicts >= s.ConflictCap {
 		return true
 	}
+	if s.PropagationCap > 0 && s.Stats.Propagations >= s.PropagationCap {
+		return true
+	}
 	if !s.Deadline.IsZero() && time.Now().After(s.Deadline) {
 		return true
 	}
@@ -533,7 +541,11 @@ func (s *Solver) search(conflictBudget int64) Status {
 			}
 			continue
 		}
-		// Decide.
+		// Decide. Re-check budgets periodically on conflict-free stretches,
+		// where the conflicts%256 check above never fires.
+		if s.Stats.Decisions%1024 == 0 && s.exhausted() {
+			return Unknown
+		}
 		v := s.pickBranchVar()
 		if v < 0 {
 			return Sat

@@ -110,14 +110,22 @@ func (s *Solver) AddAtom(a poly.Atom) error {
 	s.atoms = append(s.atoms, a)
 
 	// Build the row Σ c_i x_i; the constant moves to the bound side.
+	// Monomials are visited in sorted order: variable indices are assigned
+	// on first sight, and Bland's rule pivots by index, so the iteration
+	// order here must not depend on map order.
 	constPart := a.P.ConstPart()
-	row := map[int]*big.Rat{}
-	for m, c := range a.P {
+	monos := make([]string, 0, len(a.P))
+	for m := range a.P {
 		if m == "" {
 			continue
 		}
-		vi := s.varIndex(string(m))
-		row[vi] = new(big.Rat).Set(c)
+		monos = append(monos, string(m))
+	}
+	sort.Strings(monos)
+	row := map[int]*big.Rat{}
+	for _, m := range monos {
+		vi := s.varIndex(m)
+		row[vi] = new(big.Rat).Set(a.P[poly.Monomial(m)])
 	}
 
 	// Single-variable atoms tighten bounds directly.

@@ -1,10 +1,16 @@
 package smt
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 // FuzzParseScript exercises the parser for robustness: any input must
 // either parse or return an error — never panic — and parsed constraints
-// must print to scripts that reparse to the same shape.
+// must print to scripts that reparse to the same shape. Seeds combine
+// inline edge cases with the repository's real SMT-LIB corpus under
+// testdata/.
 func FuzzParseScript(f *testing.F) {
 	seeds := []string{
 		"",
@@ -23,6 +29,20 @@ func FuzzParseScript(f *testing.F) {
 	}
 	for _, s := range seeds {
 		f.Add(s)
+	}
+	scripts, err := filepath.Glob(filepath.Join("..", "..", "testdata", "*.smt2"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	if len(scripts) == 0 {
+		f.Fatal("no *.smt2 seed corpus found under testdata/")
+	}
+	for _, path := range scripts {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(src))
 	}
 	f.Fuzz(func(t *testing.T, src string) {
 		c, err := ParseScript(src)

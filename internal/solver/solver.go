@@ -11,6 +11,7 @@
 package solver
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 	"time"
@@ -46,10 +47,17 @@ func (p Profile) String() string {
 
 // Options configures a solve call.
 type Options struct {
+	// Ctx, when non-nil, aborts solving on cancellation or deadline
+	// expiry (in addition to Deadline/Interrupt below).
+	Ctx context.Context
 	// Deadline aborts solving when passed (zero: none).
 	Deadline time.Time
 	// Interrupt aborts solving when set (nil: none).
 	Interrupt *atomic.Bool
+	// WorkBudget, when positive, bounds solving by a deterministic count
+	// of elementary search steps instead of the wall clock (see work.go).
+	// Deadline then acts only as a backstop.
+	WorkBudget int64
 	// Profile selects the engine configuration.
 	Profile Profile
 	// Seed perturbs randomized components.
@@ -61,6 +69,9 @@ type Result struct {
 	Status  status.Status
 	Model   eval.Assignment
 	Elapsed time.Duration
+	// Work is the deterministic search effort in work units (≥ 1); it is
+	// the same across runs for the same constraint and options.
+	Work int64
 	// TimedOut reports whether the deadline/interrupt/budget fired.
 	TimedOut bool
 	// Engine names the engine that ran.
@@ -125,9 +136,36 @@ func ClassifyConstraint(c *smt.Constraint) Kind {
 // Solve decides c under the given options.
 func Solve(c *smt.Constraint, o Options) Result {
 	start := time.Now()
+	if o.Ctx != nil {
+		if err := o.Ctx.Err(); err != nil {
+			return Result{Status: status.Unknown, TimedOut: true, Work: 1, Engine: "cancelled"}
+		}
+		if o.Interrupt == nil {
+			o.Interrupt = new(atomic.Bool)
+		}
+		stop := watchContext(o.Ctx, o.Interrupt)
+		defer stop()
+	}
 	res := solveDispatch(c, o)
 	res.Elapsed = time.Since(start)
+	if res.Work < 1 {
+		res.Work = 1
+	}
 	return res
+}
+
+// watchContext forwards a context cancellation to an interrupt flag that
+// every engine polls; the returned func releases the watcher.
+func watchContext(ctx context.Context, flag *atomic.Bool) func() {
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			flag.Store(true)
+		case <-done:
+		}
+	}()
+	return func() { close(done) }
 }
 
 func solveDispatch(c *smt.Constraint, o Options) Result {
@@ -135,7 +173,7 @@ func solveDispatch(c *smt.Constraint, o Options) Result {
 	case KindGround:
 		ok, err := eval.Constraint(c, eval.Assignment{})
 		if err != nil {
-			return Result{Status: status.Unknown, Engine: "ground"}
+			return Result{Status: status.Unknown, Work: int64(c.NumNodes()), Engine: "ground"}
 		}
 		st := status.Unsat
 		var m eval.Assignment
@@ -143,19 +181,28 @@ func solveDispatch(c *smt.Constraint, o Options) Result {
 			st = status.Sat
 			m = eval.Assignment{}
 		}
-		return Result{Status: st, Model: m, Engine: "ground"}
+		return Result{Status: st, Model: m, Work: int64(c.NumNodes()), Engine: "ground"}
 
 	case KindBool, KindBV:
+		var sref *sat.Solver
 		st, model, err := bitblast.Solve(c, func(s *sat.Solver) {
+			sref = s
 			s.Deadline = o.Deadline
+			if o.WorkBudget > 0 {
+				s.PropagationCap = o.WorkBudget * satWorkScale
+			}
 			if o.Interrupt != nil {
 				s.SetInterrupt(o.Interrupt)
 			}
 		})
-		if err != nil {
-			return Result{Status: status.Unknown, Engine: "bitblast"}
-		}
 		out := Result{Engine: "bitblast"}
+		if sref != nil {
+			out.Work = sref.Stats.Propagations / satWorkScale
+		}
+		if err != nil {
+			out.Status = status.Unknown
+			return out
+		}
 		switch st {
 		case sat.Sat:
 			out.Status, out.Model = status.Sat, model
@@ -173,8 +220,14 @@ func solveDispatch(c *smt.Constraint, o Options) Result {
 			p.SearchIters = 120000
 			p.ExhaustiveLimit = 1 << 22
 		}
+		if o.WorkBudget > 0 {
+			p.NodeBudget = o.WorkBudget / fpWorkCost
+			if p.NodeBudget < 1 {
+				p.NodeBudget = 1
+			}
+		}
 		st, model, stats := fpsolver.Solve(c, p)
-		return Result{Status: st, Model: model, TimedOut: stats.TimedOut, Engine: "fpsearch"}
+		return Result{Status: st, Model: model, Work: stats.Nodes * fpWorkCost, TimedOut: stats.TimedOut, Engine: "fpsearch"}
 
 	case KindInt:
 		p := intsolver.Params{Deadline: o.Deadline, Interrupt: o.Interrupt}
@@ -184,8 +237,11 @@ func solveDispatch(c *smt.Constraint, o Options) Result {
 			p.MaxDNFCases = 128
 			p.NodeBudget = 6_000_000
 		}
+		if o.WorkBudget > 0 && (p.NodeBudget == 0 || o.WorkBudget < p.NodeBudget) {
+			p.NodeBudget = o.WorkBudget
+		}
 		st, model, stats := intsolver.Solve(c, p)
-		return Result{Status: st, Model: model, TimedOut: stats.TimedOut, Engine: "intsolver"}
+		return Result{Status: st, Model: model, Work: stats.Nodes, TimedOut: stats.TimedOut, Engine: "intsolver"}
 
 	case KindReal:
 		p := realsolver.Params{Deadline: o.Deadline, Interrupt: o.Interrupt}
@@ -194,17 +250,21 @@ func solveDispatch(c *smt.Constraint, o Options) Result {
 			p.MaxRadius = 1 << 18
 			p.MaxDNFCases = 128
 		}
+		if o.WorkBudget > 0 && (p.NodeBudget == 0 || o.WorkBudget < p.NodeBudget) {
+			p.NodeBudget = o.WorkBudget
+		}
 		st, model, stats := realsolver.Solve(c, p)
-		return Result{Status: st, Model: model, TimedOut: stats.TimedOut, Engine: "realsolver"}
+		return Result{Status: st, Model: model, Work: stats.Nodes, TimedOut: stats.TimedOut, Engine: "realsolver"}
 
 	default:
 		return Result{Status: status.Unknown, Engine: "unsupported"}
 	}
 }
 
-// SolveTimeout is a convenience wrapping Solve with a duration budget.
-func SolveTimeout(c *smt.Constraint, d time.Duration, profile Profile) Result {
-	return Solve(c, Options{Deadline: time.Now().Add(d), Profile: profile})
+// SolveTimeout is a convenience wrapping Solve with a duration budget. The
+// context aborts the solve early when cancelled.
+func SolveTimeout(ctx context.Context, c *smt.Constraint, d time.Duration, profile Profile) Result {
+	return Solve(c, Options{Ctx: ctx, Deadline: time.Now().Add(d), Profile: profile})
 }
 
 // VerifyModel checks a model against a constraint with the exact

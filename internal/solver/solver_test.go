@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"context"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -35,7 +36,7 @@ func TestDispatchByKind(t *testing.T) {
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			c := parse(t, tc.src)
-			r := SolveTimeout(c, 5*time.Second, Prima)
+			r := SolveTimeout(context.Background(), c, 5*time.Second, Prima)
 			if r.Engine != tc.engine {
 				t.Errorf("engine = %q, want %q", r.Engine, tc.engine)
 			}
@@ -70,7 +71,7 @@ func TestBoolConstraintViaSAT(t *testing.T) {
 		(assert (or p q))
 		(assert (not p))
 		(check-sat)`)
-	r := SolveTimeout(c, 5*time.Second, Prima)
+	r := SolveTimeout(context.Background(), c, 5*time.Second, Prima)
 	if r.Status != status.Sat {
 		t.Fatalf("status = %v", r.Status)
 	}
@@ -106,7 +107,7 @@ func TestInterruptStopsSolve(t *testing.T) {
 func TestProfilesBothWork(t *testing.T) {
 	c := parse(t, `(declare-fun x () Int)(assert (= (* x x) 64))(check-sat)`)
 	for _, p := range []Profile{Prima, Secunda} {
-		r := SolveTimeout(c, 5*time.Second, p)
+		r := SolveTimeout(context.Background(), c, 5*time.Second, p)
 		if r.Status != status.Sat {
 			t.Errorf("%v: status = %v", p, r.Status)
 		}
@@ -120,7 +121,7 @@ func TestFormatModelDeterministic(t *testing.T) {
 		(assert (= a 1))
 		(assert (= b 2))
 		(check-sat)`)
-	r := SolveTimeout(c, 5*time.Second, Prima)
+	r := SolveTimeout(context.Background(), c, 5*time.Second, Prima)
 	if r.Status != status.Sat {
 		t.Fatal(r.Status)
 	}

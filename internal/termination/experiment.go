@@ -1,6 +1,7 @@
 package termination
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -149,12 +150,12 @@ func RunExperiment(o ExperimentOptions) (ExperimentResult, error) {
 			if err != nil {
 				return res, err
 			}
-			pre := solver.SolveTimeout(q, o.Timeout, o.Profile)
+			pre := solver.SolveTimeout(context.Background(), q, o.Timeout, o.Profile)
 			tPre := pre.Elapsed
 			if pre.Status == status.Unknown {
 				tPre = o.Timeout
 			}
-			pl := core.RunPipeline(q, core.Config{Timeout: o.Timeout, Profile: o.Profile}, nil)
+			pl := core.RunPipeline(context.Background(), q, core.Config{Timeout: o.Timeout, Profile: o.Profile}, nil)
 
 			tFinal := tPre
 			if pl.Outcome == core.OutcomeVerified && pl.Total < tPre {

@@ -1,6 +1,7 @@
 package termination
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -127,7 +128,7 @@ type SolveFunc func(c *smt.Constraint) (status.Status, time.Duration)
 // PlainSolve returns a SolveFunc using the unmodified unbounded solver.
 func PlainSolve(timeout time.Duration, profile solver.Profile) SolveFunc {
 	return func(c *smt.Constraint) (status.Status, time.Duration) {
-		r := solver.SolveTimeout(c, timeout, profile)
+		r := solver.SolveTimeout(context.Background(), c, timeout, profile)
 		if r.Status == status.Unknown {
 			return r.Status, timeout
 		}
@@ -140,12 +141,12 @@ func PlainSolve(timeout time.Duration, profile solver.Profile) SolveFunc {
 // costs nothing extra on the second core).
 func StaubSolve(timeout time.Duration, profile solver.Profile) SolveFunc {
 	return func(c *smt.Constraint) (status.Status, time.Duration) {
-		pres := solver.SolveTimeout(c, timeout, profile)
+		pres := solver.SolveTimeout(context.Background(), c, timeout, profile)
 		pre := pres.Elapsed
 		if pres.Status == status.Unknown {
 			pre = timeout
 		}
-		p := core.RunPipeline(c, core.Config{Timeout: timeout, Profile: profile}, nil)
+		p := core.RunPipeline(context.Background(), c, core.Config{Timeout: timeout, Profile: profile}, nil)
 		if p.Outcome == core.OutcomeVerified && p.Total < pre {
 			return status.Sat, p.Total
 		}

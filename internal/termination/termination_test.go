@@ -1,6 +1,7 @@
 package termination
 
 import (
+	"context"
 	"math/big"
 	"testing"
 	"time"
@@ -78,7 +79,7 @@ func TestCounterexampleQueryShape(t *testing.T) {
 		t.Fatal(err)
 	}
 	// f = x is a valid ranking function: the query must be unsat.
-	r := solver.SolveTimeout(q, 5*time.Second, solver.Prima)
+	r := solver.SolveTimeout(context.Background(), q, 5*time.Second, solver.Prima)
 	if r.Status != status.Unsat {
 		t.Fatalf("query for valid ranking = %v, want unsat\n%s", r.Status, q.Script())
 	}
@@ -88,7 +89,7 @@ func TestCounterexampleQueryShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2 := solver.SolveTimeout(q2, 5*time.Second, solver.Prima)
+	r2 := solver.SolveTimeout(context.Background(), q2, 5*time.Second, solver.Prima)
 	if r2.Status != status.Sat {
 		t.Fatalf("query for invalid ranking = %v, want sat", r2.Status)
 	}

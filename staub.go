@@ -32,6 +32,7 @@
 package staub
 
 import (
+	"context"
 	"time"
 
 	"staub/internal/absint"
@@ -101,13 +102,25 @@ func ParseScript(src string) (*Constraint, error) { return smt.ParseScript(src) 
 // bounded constraint is indistinguishable from insufficient bounds, so the
 // pipeline reverts (Section 4.4 of the paper).
 func RunPipeline(c *Constraint, cfg Config) PipelineResult {
-	return core.RunPipeline(c, cfg, nil)
+	return core.RunPipeline(context.Background(), c, cfg, nil)
+}
+
+// RunPipelineCtx is RunPipeline with a caller context: cancelling it
+// aborts the bounded solve.
+func RunPipelineCtx(ctx context.Context, c *Constraint, cfg Config) PipelineResult {
+	return core.RunPipeline(ctx, c, cfg, nil)
 }
 
 // RunPortfolio races the pipeline against the unmodified solver on two
 // goroutines and returns the first definitive verdict.
 func RunPortfolio(c *Constraint, cfg Config) PortfolioResult {
-	return core.RunPortfolio(c, cfg)
+	return core.RunPortfolio(context.Background(), c, cfg)
+}
+
+// RunPortfolioCtx is RunPortfolio with a caller context: cancelling it
+// aborts both legs of the race.
+func RunPortfolioCtx(ctx context.Context, c *Constraint, cfg Config) PortfolioResult {
+	return core.RunPortfolio(ctx, c, cfg)
 }
 
 // Transform runs only bound inference and translation, returning the
@@ -132,7 +145,7 @@ func SolveDirect(c *Constraint, cfg Config) (Status, Assignment) {
 	if timeout == 0 {
 		timeout = 2 * time.Second
 	}
-	r := solver.SolveTimeout(c, timeout, cfg.Profile)
+	r := solver.SolveTimeout(context.Background(), c, timeout, cfg.Profile)
 	return r.Status, r.Model
 }
 
