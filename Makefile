@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: check vet build test race fuzz bench
+.PHONY: check vet build test race fuzz bench serve-smoke
 
 # check is the CI gate: static checks, build, the full suite under the
-# race detector, and a short fuzz pass over the SMT-LIB parser.
-check: vet build race fuzz
+# race detector, short fuzz passes over the SMT-LIB parser and the server
+# request decoder, and an end-to-end smoke of the staub-serve binary.
+check: vet build race fuzz serve-smoke
 
 vet:
 	$(GO) vet ./...
@@ -20,6 +21,13 @@ race:
 
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzParseScript -fuzztime=5s ./internal/smt
+	$(GO) test -run='^$$' -fuzz=FuzzDecodeSolveRequest -fuzztime=5s ./internal/server
+
+# serve-smoke boots the real staub-serve on a random port, solves a
+# testdata constraint over HTTP, scrapes /metrics, and asserts a clean
+# drain on SIGTERM.
+serve-smoke:
+	$(GO) run ./scripts/servesmoke
 
 bench:
 	$(GO) test -bench=. -benchmem

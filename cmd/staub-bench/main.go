@@ -28,6 +28,7 @@
 //	-scale F      scale instance counts by F (default 1.0)
 //	-jobs N       parallel solve workers (default 0 = GOMAXPROCS)
 //	-v            progress and cache statistics on stderr
+//	-version      print the build string and exit
 package main
 
 import (
@@ -39,8 +40,10 @@ import (
 	"os/signal"
 	"time"
 
+	"staub/internal/buildinfo"
 	"staub/internal/engine"
 	"staub/internal/harness"
+	"staub/internal/metrics"
 	"staub/internal/termination"
 )
 
@@ -51,8 +54,13 @@ func main() {
 		scale   = flag.Float64("scale", 1.0, "instance count scale factor")
 		jobs    = flag.Int("jobs", 0, "parallel solve workers (0 = GOMAXPROCS)")
 		verbose = flag.Bool("v", false, "progress and cache statistics on stderr")
+		version = flag.Bool("version", false, "print the build string and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("staub-bench"))
+		return
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: staub-bench [flags] table1|table2|table3|fig2|fig7|fig8|ablation|reduce|all")
 		flag.PrintDefaults()
@@ -63,8 +71,12 @@ func main() {
 
 	// One solve cache for the whole invocation: `all` regenerates the
 	// same suites for several experiments, and identical (constraint,
-	// config) jobs are solved exactly once.
+	// config) jobs are solved exactly once. Its counters live in the same
+	// metrics registry staub-serve scrapes, so CLI and server share one
+	// instrumentation layer.
 	cache := engine.NewCache()
+	reg := metrics.NewRegistry()
+	cache.Register(reg)
 	opts := harness.Options{
 		Timeout: *timeout,
 		Seed:    *seed,
@@ -77,8 +89,9 @@ func main() {
 	}
 	reportCache := func(stage string) {
 		if *verbose {
-			hits, misses := cache.Stats()
-			fmt.Fprintf(os.Stderr, "staub-bench: %s: cache %d hits / %d misses\n", stage, hits, misses)
+			snap := reg.Snapshot()
+			fmt.Fprintf(os.Stderr, "staub-bench: %s: cache %d hits / %d misses\n",
+				stage, snap["staub_cache_hits_total"], snap["staub_cache_misses_total"])
 		}
 	}
 

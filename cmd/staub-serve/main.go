@@ -1,0 +1,121 @@
+// Command staub-serve runs STAUB as a networked solve service: a JSON
+// HTTP API over the shared parallel engine and solve cache, with
+// admission control, per-request deadlines, metrics, and graceful
+// shutdown. See internal/server for the endpoint semantics.
+//
+// Usage:
+//
+//	staub-serve [flags]
+//
+// Flags:
+//
+//	-addr HOST:PORT  listen address (default 127.0.0.1:8080; port 0 picks one)
+//	-jobs N          concurrent solves (default 0 = GOMAXPROCS)
+//	-queue N         admission queue depth beyond running solves (default 64)
+//	-timeout D       default per-solve budget (default 2s)
+//	-max-timeout D   largest budget a request may ask for (default 30s)
+//	-max-body N      request body size limit in bytes (default 1 MiB)
+//	-max-batch N     constraints allowed per /v1/batch request (default 64)
+//	-drain D         grace period for in-flight requests on shutdown (default 30s)
+//	-version         print the build string and exit
+//
+// Shutdown: the first SIGINT/SIGTERM stops accepting work (healthz turns
+// 503) and drains in-flight requests for up to -drain; a second signal
+// cancels the remaining solves immediately.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"staub/internal/buildinfo"
+	"staub/internal/server"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:8080", "listen address")
+		jobs        = flag.Int("jobs", 0, "concurrent solves (0 = GOMAXPROCS)")
+		queue       = flag.Int("queue", 64, "admission queue depth beyond running solves")
+		timeout     = flag.Duration("timeout", 2*time.Second, "default per-solve budget")
+		maxTimeout  = flag.Duration("max-timeout", 30*time.Second, "largest per-solve budget a request may ask for")
+		maxBody     = flag.Int64("max-body", 1<<20, "request body size limit in bytes")
+		maxBatch    = flag.Int("max-batch", 64, "constraints allowed per /v1/batch request")
+		drain       = flag.Duration("drain", 30*time.Second, "grace period for in-flight requests on shutdown")
+		showVersion = flag.Bool("version", false, "print the build string and exit")
+	)
+	flag.Parse()
+	if *showVersion {
+		fmt.Println(buildinfo.String("staub-serve"))
+		return
+	}
+
+	logger := log.New(os.Stderr, "staub-serve: ", log.LstdFlags|log.Lmsgprefix)
+	srv := server.New(server.Config{
+		Workers:         *jobs,
+		QueueDepth:      *queue,
+		DefaultTimeout:  *timeout,
+		MaxTimeout:      *maxTimeout,
+		MaxRequestBytes: *maxBody,
+		MaxBatch:        *maxBatch,
+		Version:         buildinfo.String("staub-serve"),
+		Log:             logger,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	// The smoke test and port-0 users parse this line for the bound port.
+	logger.Printf("listening on http://%s (%d workers, queue %d)",
+		ln.Addr(), srv.Engine().Workers(), *queue)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+
+	select {
+	case err := <-serveErr:
+		logger.Fatal(err)
+	case sig := <-sigs:
+		logger.Printf("received %v: draining (in-flight solves get %v; signal again to cancel them)", sig, *drain)
+	}
+
+	srv.BeginDrain()
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	shutdownDone := make(chan error, 1)
+	go func() { shutdownDone <- httpSrv.Shutdown(drainCtx) }()
+
+	select {
+	case sig := <-sigs:
+		logger.Printf("received %v: cancelling in-flight solves", sig)
+		srv.Abort()
+		if err := <-shutdownDone; err != nil && !errors.Is(err, context.Canceled) {
+			httpSrv.Close()
+		}
+	case err := <-shutdownDone:
+		if err != nil {
+			srv.Abort()
+			httpSrv.Close()
+			logger.Printf("drain expired: %v", err)
+			os.Exit(1)
+		}
+	}
+	logger.Printf("drained cleanly")
+}

@@ -23,6 +23,7 @@
 //	-jobs N          batch solve workers (default 0 = GOMAXPROCS)
 //	-stats           print inference, translation and cache statistics
 //	-dimacs          print the CNF of the bit-blasted bounded constraint
+//	-version         print the build string and exit
 package main
 
 import (
@@ -34,6 +35,7 @@ import (
 	"time"
 
 	"staub/internal/bitblast"
+	"staub/internal/buildinfo"
 	"staub/internal/core"
 	"staub/internal/engine"
 	"staub/internal/sat"
@@ -54,8 +56,13 @@ func main() {
 		jobs      = flag.Int("jobs", 0, "batch solve workers (0 = GOMAXPROCS)")
 		stats     = flag.Bool("stats", false, "print inference, translation and cache statistics")
 		dimacs    = flag.Bool("dimacs", false, "print the CNF of the bit-blasted bounded constraint and exit")
+		version   = flag.Bool("version", false, "print the build string and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("staub"))
+		return
+	}
 	if flag.NArg() < 1 {
 		fmt.Fprintln(os.Stderr, "usage: staub [flags] constraint.smt2 [more.smt2 ...]")
 		flag.PrintDefaults()

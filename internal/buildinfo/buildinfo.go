@@ -1,0 +1,33 @@
+// Package buildinfo renders the build identification string printed by
+// the -version flag of every binary in this module, so a deployed staub,
+// staub-bench or staub-serve can be matched to the source that built it.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// String returns "<binary> <module version> (<vcs revision>) <go version>
+// <os>/<arch>"; fields that the build did not stamp are omitted or shown
+// as (devel).
+func String(binary string) string {
+	version := "(devel)"
+	revision := ""
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+			version = bi.Main.Version
+		}
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" && len(s.Value) >= 12 {
+				revision = s.Value[:12]
+			}
+		}
+	}
+	out := fmt.Sprintf("%s %s", binary, version)
+	if revision != "" {
+		out += fmt.Sprintf(" (%s)", revision)
+	}
+	return fmt.Sprintf("%s %s %s/%s", out, runtime.Version(), runtime.GOOS, runtime.GOARCH)
+}

@@ -1,0 +1,16 @@
+package buildinfo
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestString(t *testing.T) {
+	got := String("staub-serve")
+	for _, want := range []string{"staub-serve ", runtime.Version(), runtime.GOOS + "/" + runtime.GOARCH} {
+		if !strings.Contains(got, want) {
+			t.Errorf("String() = %q, missing %q", got, want)
+		}
+	}
+}

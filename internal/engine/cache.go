@@ -6,7 +6,8 @@ import (
 	"fmt"
 	"io"
 	"sync"
-	"sync/atomic"
+
+	"staub/internal/metrics"
 )
 
 // Key returns the job's content address: a hash of the canonical SMT-LIB
@@ -39,8 +40,8 @@ func (j Job) Key() string {
 type Cache struct {
 	mu      sync.Mutex
 	entries map[string]*cacheEntry
-	hits    atomic.Int64
-	misses  atomic.Int64
+	hits    metrics.Counter
+	misses  metrics.Counter
 }
 
 type cacheEntry struct {
@@ -61,7 +62,7 @@ func (c *Cache) do(key string, f func() (Result, bool)) (Result, bool) {
 	if e, ok := c.entries[key]; ok {
 		c.mu.Unlock()
 		<-e.done
-		c.hits.Add(1)
+		c.hits.Inc()
 		return e.res, true
 	}
 	e := &cacheEntry{done: make(chan struct{})}
@@ -76,7 +77,7 @@ func (c *Cache) do(key string, f func() (Result, bool)) (Result, bool) {
 		c.mu.Unlock()
 	}
 	close(e.done)
-	c.misses.Add(1)
+	c.misses.Inc()
 	return res, false
 }
 
@@ -84,7 +85,14 @@ func (c *Cache) do(key string, f func() (Result, bool)) (Result, bool) {
 // fresh solve (including joins on in-flight identical jobs), misses counts
 // solves actually run.
 func (c *Cache) Stats() (hits, misses int64) {
-	return c.hits.Load(), c.misses.Load()
+	return c.hits.Value(), c.misses.Value()
+}
+
+// Register exposes the cache's hit/miss counters through reg, so a server
+// or CLI scraping the registry reads the same counters Stats reports.
+func (c *Cache) Register(reg *metrics.Registry) {
+	reg.RegisterCounter("staub_cache_hits_total", nil, &c.hits)
+	reg.RegisterCounter("staub_cache_misses_total", nil, &c.misses)
 }
 
 // Len reports the number of memoized results.

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"staub/internal/core"
+	"staub/internal/metrics"
 	"staub/internal/smt"
 	"staub/internal/solver"
 	"staub/internal/status"
@@ -106,8 +107,9 @@ func backstopDeadline(timeout time.Duration) time.Time {
 
 // Engine is a reusable worker pool over solve jobs.
 type Engine struct {
-	workers int
-	cache   *Cache
+	workers  int
+	cache    *Cache
+	inFlight metrics.Gauge // jobs currently executing (batch or single)
 	// OnProgress, when non-nil, is called after each job completes with
 	// the number of completed jobs and the batch size. Calls may come from
 	// any worker goroutine but are serialized.
@@ -129,6 +131,26 @@ func (e *Engine) Workers() int { return e.workers }
 
 // Cache returns the engine's solve cache (nil when caching is disabled).
 func (e *Engine) Cache() *Cache { return e.cache }
+
+// InFlight reports the number of jobs currently executing.
+func (e *Engine) InFlight() int64 { return e.inFlight.Value() }
+
+// Register exposes the engine's in-flight gauge (and its cache's
+// counters, when caching is enabled) through reg.
+func (e *Engine) Register(reg *metrics.Registry) {
+	reg.RegisterGauge("staub_engine_inflight", nil, &e.inFlight)
+	if e.cache != nil {
+		e.cache.Register(reg)
+	}
+}
+
+// Solve executes one job through the engine's cache and in-flight
+// accounting without batch scheduling — the hook point for callers that
+// manage their own concurrency, such as the staub-serve request handlers.
+// The context's deadline (plus the engine's backstop) bounds the solve.
+func (e *Engine) Solve(ctx context.Context, j Job) Result {
+	return e.runOne(ctx, j)
+}
 
 // Run executes the batch and returns results indexed exactly like jobs,
 // independent of completion order. Cancelling the context stops feeding
@@ -194,6 +216,8 @@ func (e *Engine) runOne(ctx context.Context, j Job) Result {
 	if ctx.Err() != nil {
 		return cancelledResult()
 	}
+	e.inFlight.Inc()
+	defer e.inFlight.Dec()
 	jctx, cancel := context.WithDeadline(ctx, backstopDeadline(j.timeout()))
 	defer cancel()
 	if e.cache == nil {

@@ -9,6 +9,7 @@ import (
 
 	"staub/internal/benchgen"
 	"staub/internal/core"
+	"staub/internal/metrics"
 	"staub/internal/engine"
 	"staub/internal/smt"
 	"staub/internal/solver"
@@ -285,4 +286,46 @@ func settleGoroutines(t *testing.T, base int) {
 	n := runtime.Stack(buf, true)
 	t.Fatalf("goroutines did not settle: %d now vs %d before\n%s",
 		runtime.NumGoroutine(), base, buf[:n])
+}
+
+// TestSolveSingleJobHook: Engine.Solve must behave like ExecuteJob, hit
+// the cache on a repeat, and expose its counters through a registry.
+func TestSolveSingleJobHook(t *testing.T) {
+	c := parse(t, `(set-logic QF_NIA)
+(declare-fun x () Int)
+(assert (= (* x x) 49))
+(check-sat)`)
+	job := engine.Job{
+		Kind:       engine.KindPipeline,
+		Constraint: c,
+		Config:     core.Config{Timeout: 2 * time.Second, Deterministic: true},
+	}
+	eng := engine.New(2, engine.NewCache())
+	reg := metrics.NewRegistry()
+	eng.Register(reg)
+
+	first := eng.Solve(context.Background(), job)
+	if first.CacheHit {
+		t.Error("first solve reported a cache hit")
+	}
+	second := eng.Solve(context.Background(), job)
+	if !second.CacheHit {
+		t.Error("second identical solve missed the cache")
+	}
+	if first.Pipeline.Outcome != second.Pipeline.Outcome {
+		t.Errorf("cached outcome differs: %v vs %v", first.Pipeline.Outcome, second.Pipeline.Outcome)
+	}
+	snap := reg.Snapshot()
+	if snap["staub_cache_hits_total"] != int64(1) || snap["staub_cache_misses_total"] != int64(1) {
+		t.Errorf("registry cache counters = %v, want 1 hit / 1 miss", snap)
+	}
+	if hits, misses := eng.Cache().Stats(); hits != 1 || misses != 1 {
+		t.Errorf("Stats() = %d/%d, want 1/1", hits, misses)
+	}
+	if snap["staub_engine_inflight"] != int64(0) {
+		t.Errorf("inflight gauge = %v after solves, want 0", snap["staub_engine_inflight"])
+	}
+	if eng.InFlight() != 0 {
+		t.Errorf("InFlight() = %d, want 0", eng.InFlight())
+	}
 }

@@ -1,0 +1,50 @@
+package server
+
+import (
+	"net/url"
+	"testing"
+)
+
+// FuzzDecodeSolveRequest throws arbitrary bytes, content types and query
+// strings at the request decoder. The decoder must never panic, and any
+// request it accepts must satisfy the knob invariants the handlers rely
+// on (non-empty constraint, known mode/profile, non-negative timeout).
+func FuzzDecodeSolveRequest(f *testing.F) {
+	f.Add(`{"constraint":"(check-sat)","mode":"pipeline","timeout_ms":100}`, "application/json", "")
+	f.Add(`{"constraint":"(assert true)","profile":"secunda","slot":true}`, "application/json", "mode=solve")
+	f.Add("(set-logic QF_NIA)\n(assert (= x 1))", "text/plain", "timeout=5s&width=8")
+	f.Add(`{"constraint": 7}`, "application/json", "")
+	f.Add(`{`, "application/json", "")
+	f.Add(`{}{}`, "application/json", "")
+	f.Add("", "", "profile=prima")
+	f.Add(`  {"constraint":"x"}`, "text/plain", "slot=1") // JSON sniffing on non-JSON content type
+	f.Fuzz(func(t *testing.T, body, contentType, rawQuery string) {
+		query, err := url.ParseQuery(rawQuery)
+		if err != nil {
+			return
+		}
+		req, err := decodeSolveRequest(contentType, []byte(body), query)
+		if err != nil {
+			return
+		}
+		if req.Constraint == "" {
+			t.Fatalf("accepted request with empty constraint: %+v", req)
+		}
+		switch req.Mode {
+		case "", "pipeline", "portfolio", "solve":
+		default:
+			t.Fatalf("accepted unknown mode %q", req.Mode)
+		}
+		switch req.Profile {
+		case "", "prima", "secunda":
+		default:
+			t.Fatalf("accepted unknown profile %q", req.Profile)
+		}
+		if req.TimeoutMS < 0 {
+			t.Fatalf("accepted negative timeout %d", req.TimeoutMS)
+		}
+		if req.Width < 0 {
+			t.Fatalf("accepted negative width %d", req.Width)
+		}
+	})
+}

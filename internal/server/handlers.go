@@ -1,0 +1,476 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"staub/internal/core"
+	"staub/internal/engine"
+	"staub/internal/eval"
+	"staub/internal/smt"
+	"staub/internal/solver"
+	"staub/internal/status"
+)
+
+// SolveRequest is the decoded body of POST /v1/solve. The constraint is
+// an SMT-LIB 2 script; the remaining knobs mirror the staub CLI flags.
+// Query parameters (mode, profile, timeout, width, slot) override the
+// body fields, so curl users can post a raw .smt2 file and steer the
+// solve from the URL.
+type SolveRequest struct {
+	Constraint string `json:"constraint"`
+	// Mode is pipeline (default), portfolio, or solve (the unmodified
+	// unbounded solver, the paper's baseline).
+	Mode string `json:"mode,omitempty"`
+	// Profile is prima (default) or secunda.
+	Profile string `json:"profile,omitempty"`
+	// TimeoutMS is the per-solve budget in milliseconds (0: server
+	// default; values above the server cap are clamped).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Width forces a fixed bit width (0: infer via abstract
+	// interpretation).
+	Width int `json:"width,omitempty"`
+	// SLOT applies the SLOT optimization passes to the bounded form.
+	SLOT bool `json:"slot,omitempty"`
+	// Deterministic switches the solve to virtual-time accounting: the
+	// budget is a deterministic work count instead of a wall-clock
+	// deadline, so the verdict and reported cost are identical across
+	// runs and machines (the experiment harness's measurement mode).
+	Deterministic bool `json:"deterministic,omitempty"`
+}
+
+// BatchRequest is the decoded body of POST /v1/batch: the shared knobs of
+// SolveRequest applied to every constraint.
+type BatchRequest struct {
+	Constraints   []string `json:"constraints"`
+	Mode          string   `json:"mode,omitempty"`
+	Profile       string   `json:"profile,omitempty"`
+	TimeoutMS     int64    `json:"timeout_ms,omitempty"`
+	Width         int      `json:"width,omitempty"`
+	SLOT          bool     `json:"slot,omitempty"`
+	Deterministic bool     `json:"deterministic,omitempty"`
+}
+
+// CostSplit is the paper's per-solve cost decomposition.
+type CostSplit struct {
+	TransMS float64 `json:"t_trans_ms"`
+	PostMS  float64 `json:"t_post_ms"`
+	CheckMS float64 `json:"t_check_ms"`
+	TotalMS float64 `json:"t_total_ms"`
+}
+
+// SolveResponse is one solved constraint.
+type SolveResponse struct {
+	ID     string `json:"id"`
+	Status string `json:"status"`
+	// Outcome is the Figure 6 classification for pipeline/portfolio
+	// solves, or "unbounded-<status>" for mode=solve.
+	Outcome   string            `json:"outcome,omitempty"`
+	Model     map[string]string `json:"model,omitempty"`
+	CacheHit  bool              `json:"cache_hit"`
+	TimedOut  bool              `json:"timed_out,omitempty"`
+	FromSTAUB bool              `json:"from_staub,omitempty"`
+	Width     int               `json:"width,omitempty"`
+	Refined   int               `json:"refined,omitempty"`
+	Cost      CostSplit         `json:"cost"`
+	ElapsedMS float64           `json:"elapsed_ms"`
+}
+
+// BatchResponse carries batch results in submission order.
+type BatchResponse struct {
+	ID      string          `json:"id"`
+	Count   int             `json:"count"`
+	Results []SolveResponse `json:"results"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// decodeSolveRequest parses a /v1/solve body plus query parameters into a
+// SolveRequest. A JSON content type (or a body that looks like a JSON
+// object) selects the JSON form; anything else is taken as a raw SMT-LIB
+// script, which keeps `curl --data-binary @file.smt2` one-linable.
+func decodeSolveRequest(contentType string, body []byte, query url.Values) (SolveRequest, error) {
+	var req SolveRequest
+	trimmed := strings.TrimSpace(string(body))
+	if strings.Contains(contentType, "json") || strings.HasPrefix(trimmed, "{") {
+		dec := json.NewDecoder(strings.NewReader(trimmed))
+		if err := dec.Decode(&req); err != nil {
+			return req, fmt.Errorf("invalid JSON body: %w", err)
+		}
+		if dec.More() {
+			return req, errors.New("invalid JSON body: trailing data")
+		}
+	} else {
+		req.Constraint = string(body)
+	}
+	if err := applyQuery(&req.Mode, &req.Profile, &req.TimeoutMS, &req.Width, &req.SLOT, &req.Deterministic, query); err != nil {
+		return req, err
+	}
+	return req, validateKnobs(req.Constraint == "", req.Mode, req.Profile, req.TimeoutMS, req.Width)
+}
+
+// decodeBatchRequest parses a /v1/batch body (always JSON) plus query
+// parameters.
+func decodeBatchRequest(body []byte, query url.Values) (BatchRequest, error) {
+	var req BatchRequest
+	dec := json.NewDecoder(strings.NewReader(string(body)))
+	if err := dec.Decode(&req); err != nil {
+		return req, fmt.Errorf("invalid JSON body: %w", err)
+	}
+	if dec.More() {
+		return req, errors.New("invalid JSON body: trailing data")
+	}
+	if err := applyQuery(&req.Mode, &req.Profile, &req.TimeoutMS, &req.Width, &req.SLOT, &req.Deterministic, query); err != nil {
+		return req, err
+	}
+	return req, validateKnobs(len(req.Constraints) == 0, req.Mode, req.Profile, req.TimeoutMS, req.Width)
+}
+
+// applyQuery overlays URL query parameters onto decoded body fields.
+func applyQuery(mode, profile *string, timeoutMS *int64, width *int, slot, deterministic *bool, query url.Values) error {
+	if v := query.Get("mode"); v != "" {
+		*mode = v
+	}
+	if v := query.Get("profile"); v != "" {
+		*profile = v
+	}
+	if v := query.Get("timeout"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			return fmt.Errorf("invalid timeout parameter %q: %v", v, err)
+		}
+		*timeoutMS = d.Milliseconds()
+	}
+	if v := query.Get("width"); v != "" {
+		if _, err := fmt.Sscanf(v, "%d", width); err != nil {
+			return fmt.Errorf("invalid width parameter %q", v)
+		}
+	}
+	if v := query.Get("slot"); v != "" {
+		*slot = v == "1" || v == "true"
+	}
+	if v := query.Get("deterministic"); v != "" {
+		*deterministic = v == "1" || v == "true"
+	}
+	return nil
+}
+
+// validateKnobs rejects out-of-range request knobs before any solving.
+func validateKnobs(emptyConstraint bool, mode, profile string, timeoutMS int64, width int) error {
+	if emptyConstraint {
+		return errors.New("empty constraint")
+	}
+	switch mode {
+	case "", "pipeline", "portfolio", "solve":
+	default:
+		return fmt.Errorf("unknown mode %q (want pipeline, portfolio or solve)", mode)
+	}
+	switch profile {
+	case "", "prima", "secunda":
+	default:
+		return fmt.Errorf("unknown profile %q (want prima or secunda)", profile)
+	}
+	if timeoutMS < 0 {
+		return fmt.Errorf("negative timeout_ms %d", timeoutMS)
+	}
+	if width < 0 || width > 1<<16 {
+		return fmt.Errorf("width %d out of range", width)
+	}
+	return nil
+}
+
+// timeout clamps the requested budget into (0, MaxTimeout].
+func (s *Server) timeout(timeoutMS int64) time.Duration {
+	d := time.Duration(timeoutMS) * time.Millisecond
+	if d <= 0 {
+		d = s.cfg.DefaultTimeout
+	}
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	return d
+}
+
+// wallBudget is the request-context deadline for a solve budget. A
+// deterministic solve terminates on its virtual work budget, so its wall
+// deadline is only a generous backstop (mirroring the engine's own
+// convention); a wall-clock solve gets the budget itself.
+func wallBudget(timeout time.Duration, deterministic bool) time.Duration {
+	if !deterministic {
+		return timeout
+	}
+	backstop := 10 * timeout
+	if backstop < 30*time.Second {
+		backstop = 30 * time.Second
+	}
+	return backstop
+}
+
+// buildJob compiles request knobs and a parsed constraint into an engine
+// job.
+func buildJob(c *smt.Constraint, mode, profile string, timeout time.Duration, width int, slot, deterministic bool) engine.Job {
+	prof := solver.Prima
+	if profile == "secunda" {
+		prof = solver.Secunda
+	}
+	if mode == "solve" {
+		return engine.Job{
+			Kind:          engine.KindSolve,
+			Constraint:    c,
+			Profile:       prof,
+			Timeout:       timeout,
+			Deterministic: deterministic,
+		}
+	}
+	kind := engine.KindPipeline
+	if mode == "portfolio" {
+		kind = engine.KindPortfolio
+	}
+	return engine.Job{
+		Kind:       kind,
+		Constraint: c,
+		Config: core.Config{
+			Timeout:       timeout,
+			Profile:       prof,
+			FixedWidth:    width,
+			UseSLOT:       slot,
+			Deterministic: deterministic,
+		},
+	}
+}
+
+// buildResponse classifies an engine result into the wire format and
+// bumps the per-outcome counter.
+func (s *Server) buildResponse(id string, j engine.Job, res engine.Result, elapsed time.Duration) SolveResponse {
+	out := SolveResponse{ID: id, CacheHit: res.CacheHit, ElapsedMS: ms(elapsed)}
+	switch j.Kind {
+	case engine.KindSolve:
+		out.Status = res.Solve.Status.String()
+		out.Outcome = "unbounded-" + out.Status
+		out.TimedOut = res.Solve.TimedOut
+		if res.Solve.Status == status.Sat {
+			out.Model = modelMap(res.Solve.Model)
+		}
+	case engine.KindPortfolio:
+		p := res.Portfolio
+		out.Status = p.Status.String()
+		out.Outcome = p.Pipeline.Outcome.String()
+		out.FromSTAUB = p.FromSTAUB
+		out.Width = p.Pipeline.Width
+		out.Refined = p.Pipeline.Refined
+		out.Cost = costSplit(p.Pipeline)
+		if p.Status == status.Sat {
+			out.Model = modelMap(p.Model)
+		}
+	default:
+		p := res.Pipeline
+		out.Status = p.Status.String()
+		out.Outcome = p.Outcome.String()
+		out.TimedOut = p.Outcome == core.OutcomeBoundedUnknown
+		out.Width = p.Width
+		out.Refined = p.Refined
+		out.Cost = costSplit(p)
+		if p.Status == status.Sat {
+			out.Model = modelMap(p.Model)
+		}
+	}
+	s.solves(out.Outcome).Inc()
+	return out
+}
+
+func costSplit(p core.PipelineResult) CostSplit {
+	return CostSplit{
+		TransMS: ms(p.TTrans),
+		PostMS:  ms(p.TPost),
+		CheckMS: ms(p.TCheck),
+		TotalMS: ms(p.Total),
+	}
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// modelMap renders a verified assignment for the wire.
+func modelMap(m eval.Assignment) map[string]string {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make(map[string]string, len(m))
+	for name, v := range m {
+		out[name] = v.String()
+	}
+	return out
+}
+
+// writeJSON writes v as the response body with the given code.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// readBody reads the request body under the configured size limit.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes))
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds %d bytes", s.cfg.MaxRequestBytes)
+		} else {
+			writeError(w, http.StatusBadRequest, "reading body: %v", err)
+		}
+		return nil, false
+	}
+	return body, true
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	body, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	req, err := decodeSolveRequest(r.Header.Get("Content-Type"), body, r.URL.Query())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	c, err := smt.ParseScript(req.Constraint)
+	if err != nil {
+		// Parser errors carry the line:column position of the defect.
+		writeError(w, http.StatusBadRequest, "parsing constraint: %v", err)
+		return
+	}
+	timeout := s.timeout(req.TimeoutMS)
+	job := buildJob(c, req.Mode, req.Profile, timeout, req.Width, req.SLOT, req.Deterministic)
+	if !s.admit(1) {
+		w.Header().Set("Retry-After", retryAfter(timeout))
+		writeError(w, http.StatusTooManyRequests,
+			"saturated: %d solves admitted (limit %d)", s.Admitted(), s.limit)
+		return
+	}
+	ctx, cancel := s.solveCtx(r, wallBudget(timeout, req.Deterministic))
+	defer cancel()
+	t0 := time.Now()
+	res, ran := s.runJob(ctx, job)
+	if !ran {
+		writeError(w, http.StatusGatewayTimeout, "deadline exceeded while queued")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.buildResponse(requestID(r.Context()), job, res, time.Since(t0)))
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	body, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	req, err := decodeBatchRequest(body, r.URL.Query())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if len(req.Constraints) > s.cfg.MaxBatch {
+		writeError(w, http.StatusBadRequest,
+			"batch of %d exceeds limit %d", len(req.Constraints), s.cfg.MaxBatch)
+		return
+	}
+	constraints := make([]*smt.Constraint, len(req.Constraints))
+	for i, src := range req.Constraints {
+		c, err := smt.ParseScript(src)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "parsing constraint %d: %v", i, err)
+			return
+		}
+		constraints[i] = c
+	}
+	timeout := s.timeout(req.TimeoutMS)
+	n := int64(len(constraints))
+	// All-or-nothing admission keeps a partially admitted batch from
+	// occupying capacity while its rejected remainder fails the request.
+	if !s.admit(n) {
+		w.Header().Set("Retry-After", retryAfter(timeout))
+		writeError(w, http.StatusTooManyRequests,
+			"saturated: batch of %d does not fit (admitted %d, limit %d)", n, s.Admitted(), s.limit)
+		return
+	}
+	ctx, cancel := s.solveCtx(r, wallBudget(timeout, req.Deterministic))
+	defer cancel()
+	id := requestID(r.Context())
+	out := BatchResponse{ID: id, Count: len(constraints), Results: make([]SolveResponse, len(constraints))}
+	done := make(chan int, len(constraints))
+	for i := range constraints {
+		go func(i int) {
+			defer func() { done <- i }()
+			job := buildJob(constraints[i], req.Mode, req.Profile, timeout, req.Width, req.SLOT, req.Deterministic)
+			jt0 := time.Now()
+			res, ran := s.runJob(ctx, job)
+			if !ran {
+				out.Results[i] = SolveResponse{
+					ID:      fmt.Sprintf("%s/%d", id, i),
+					Status:  status.Unknown.String(),
+					Outcome: "queued-past-deadline",
+				}
+				return
+			}
+			out.Results[i] = s.buildResponse(fmt.Sprintf("%s/%d", id, i), job, res, time.Since(jt0))
+		}(i)
+	}
+	for range constraints {
+		<-done
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{
+			"status": "draining", "version": s.cfg.Version,
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{
+		"status": "ok", "version": s.cfg.Version,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.reg.WriteText(w)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"uptime_seconds": time.Since(s.start).Seconds(),
+		"workers":        s.eng.Workers(),
+		"queue_capacity": s.cfg.QueueDepth,
+		"admitted":       s.Admitted(),
+		"in_flight":      s.eng.InFlight(),
+		"draining":       s.Draining(),
+		"version":        s.cfg.Version,
+		"metrics":        s.reg.Snapshot(),
+	})
+}
+
+// retryAfter suggests when a rejected client should try again: roughly
+// one solve budget, rounded up to a whole second.
+func retryAfter(timeout time.Duration) string {
+	secs := int(timeout.Seconds() + 0.999)
+	if secs < 1 {
+		secs = 1
+	}
+	return fmt.Sprint(secs)
+}

@@ -1,0 +1,274 @@
+// Package server exposes the STAUB solve pipeline as a long-running HTTP
+// JSON service. Every request is routed through one shared engine (worker
+// semantics, solve cache, in-flight accounting) so concurrent clients
+// deduplicate identical work, and every response is classified with the
+// paper's outcome taxonomy (Figure 6) and cost split (TTrans/TPost/TCheck).
+//
+// Production behaviors live here rather than in the binary so they are
+// testable with httptest:
+//
+//   - Admission control: at most Workers solves run concurrently and at
+//     most QueueDepth more may wait; a request beyond that is rejected
+//     immediately with 429 and a Retry-After hint instead of queuing
+//     unboundedly (fail fast under overload).
+//   - Deadlines: the per-request time budget is carried by the request
+//     context through the queue and into the engine, so a request that
+//     waited out its budget in the queue never starts solving.
+//   - Observability: a metrics.Registry collects solve outcomes, cache
+//     effectiveness, queue depth, in-flight and latency, exposed as a text
+//     exposition (GET /metrics) and a JSON snapshot (GET /stats); every
+//     request gets an ID and a structured log line.
+//   - Graceful shutdown: BeginDrain flips /healthz to 503 so load
+//     balancers stop sending traffic, http.Server.Shutdown drains
+//     in-flight requests, and Abort cancels stragglers' solve contexts.
+//
+// Endpoints: POST /v1/solve, POST /v1/batch, GET /healthz, GET /metrics,
+// GET /stats.
+package server
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"staub/internal/engine"
+	"staub/internal/metrics"
+)
+
+// Config configures a Server. The zero value is usable: every field has a
+// production default.
+type Config struct {
+	// Workers bounds concurrent solves (≤ 0 selects GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds requests waiting for a solve slot beyond the
+	// Workers already running; the queue full, requests are rejected with
+	// 429 (default 64).
+	QueueDepth int
+	// MaxRequestBytes bounds request bodies (default 1 MiB).
+	MaxRequestBytes int64
+	// DefaultTimeout is the per-solve budget when the request names none
+	// (default 2s, core.Config's default).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps the budget a request may ask for (default 30s).
+	MaxTimeout time.Duration
+	// MaxBatch bounds the constraints of one /v1/batch request
+	// (default 64).
+	MaxBatch int
+	// Version is reported by /healthz and the X-Staub-Version header.
+	Version string
+	// Log receives one structured line per request (nil: standard logger).
+	Log *log.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.MaxRequestBytes <= 0 {
+		c.MaxRequestBytes = 1 << 20
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 2 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 30 * time.Second
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.Log == nil {
+		c.Log = log.Default()
+	}
+	return c
+}
+
+// Server is the solve service. Create with New, serve s.Handler().
+type Server struct {
+	cfg   Config
+	eng   *engine.Engine
+	reg   *metrics.Registry
+	start time.Time
+
+	// Admission control: admitted counts requests that passed admission
+	// (waiting + solving) and may not exceed limit; slots bounds the
+	// solving subset to the engine's worker count.
+	admitted atomic.Int64
+	limit    int64
+	slots    chan struct{}
+
+	queued   metrics.Gauge // admitted requests waiting for a slot
+	rejected *metrics.Counter
+	solves   func(outcome string) *metrics.Counter
+	latency  *metrics.Histogram
+	requests func(path string, code int) *metrics.Counter
+
+	reqID    atomic.Int64
+	draining atomic.Bool
+
+	// hardCtx is cancelled by Abort to interrupt in-flight solves during
+	// a forced shutdown.
+	hardCtx    context.Context
+	hardCancel context.CancelFunc
+
+	mux *http.ServeMux
+}
+
+// New returns a ready Server with its own engine, solve cache and metrics
+// registry.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	eng := engine.New(cfg.Workers, engine.NewCache())
+	reg := metrics.NewRegistry()
+	eng.Register(reg)
+
+	s := &Server{
+		cfg:   cfg,
+		eng:   eng,
+		reg:   reg,
+		start: time.Now(),
+		limit: int64(eng.Workers() + cfg.QueueDepth),
+		slots: make(chan struct{}, eng.Workers()),
+	}
+	s.hardCtx, s.hardCancel = context.WithCancel(context.Background())
+
+	reg.RegisterGauge("staub_queue_depth", nil, &s.queued)
+	s.rejected = reg.Counter("staub_rejected_total", nil)
+	s.latency = reg.Histogram("staub_solve_latency_seconds")
+	s.solves = func(outcome string) *metrics.Counter {
+		return reg.Counter("staub_solves_total", metrics.Labels{"outcome": outcome})
+	}
+	s.requests = func(path string, code int) *metrics.Counter {
+		return reg.Counter("staub_http_requests_total",
+			metrics.Labels{"path": path, "code": fmt.Sprint(code)})
+	}
+
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	return s
+}
+
+// Handler returns the server's HTTP handler with request-ID assignment
+// and per-request logging wrapped around the routes.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := fmt.Sprintf("r%06d", s.reqID.Add(1))
+		w.Header().Set("X-Request-Id", id)
+		if s.cfg.Version != "" {
+			w.Header().Set("X-Staub-Version", s.cfg.Version)
+		}
+		rw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		r = r.WithContext(context.WithValue(r.Context(), reqIDKey{}, id))
+		t0 := time.Now()
+		s.mux.ServeHTTP(rw, r)
+		s.requests(r.URL.Path, rw.code).Inc()
+		s.cfg.Log.Printf("id=%s method=%s path=%s code=%d bytes=%d dur=%s",
+			id, r.Method, r.URL.Path, rw.code, rw.bytes, time.Since(t0).Round(time.Microsecond))
+	})
+}
+
+// Registry exposes the server's metrics registry (tests and embedders).
+func (s *Server) Registry() *metrics.Registry { return s.reg }
+
+// Engine exposes the server's engine (tests and embedders).
+func (s *Server) Engine() *engine.Engine { return s.eng }
+
+// Admitted reports requests currently past admission (waiting + solving).
+func (s *Server) Admitted() int64 { return s.admitted.Load() }
+
+// BeginDrain marks the server draining: /healthz turns 503 so load
+// balancers take the instance out of rotation. Already-accepted requests
+// keep running; pair with http.Server.Shutdown to drain them.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain was called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Abort cancels the solve context of every in-flight request — the
+// second-signal hard stop after a drain has waited long enough.
+func (s *Server) Abort() { s.hardCancel() }
+
+// admit reserves n units of queue+solve capacity, failing fast (no
+// blocking) when the service is saturated.
+func (s *Server) admit(n int64) bool {
+	for {
+		cur := s.admitted.Load()
+		if cur+n > s.limit {
+			s.rejected.Inc()
+			return false
+		}
+		if s.admitted.CompareAndSwap(cur, cur+n) {
+			return true
+		}
+	}
+}
+
+// release returns n units of admitted capacity.
+func (s *Server) release(n int64) { s.admitted.Add(-n) }
+
+// runJob takes one admitted job through the queue and the engine. The
+// caller must have admitted it; runJob releases the admission slot. The
+// bool reports whether the job ran (false: the deadline fired while the
+// job was still queued).
+func (s *Server) runJob(ctx context.Context, j engine.Job) (engine.Result, bool) {
+	defer s.release(1)
+	s.queued.Inc()
+	select {
+	case s.slots <- struct{}{}:
+		s.queued.Dec()
+	case <-ctx.Done():
+		s.queued.Dec()
+		return engine.Result{}, false
+	}
+	defer func() { <-s.slots }()
+	t0 := time.Now()
+	res := s.eng.Solve(ctx, j)
+	s.latency.Observe(time.Since(t0))
+	return res, true
+}
+
+type reqIDKey struct{}
+
+// requestID returns the ID the Handler wrapper assigned.
+func requestID(ctx context.Context) string {
+	id, _ := ctx.Value(reqIDKey{}).(string)
+	return id
+}
+
+// solveCtx derives the per-request solve context: the client deadline on
+// top of the request context, with a hard-stop hook so Abort interrupts
+// the solve even while http.Server.Shutdown is still waiting for the
+// handler.
+func (s *Server) solveCtx(r *http.Request, timeout time.Duration) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	stop := context.AfterFunc(s.hardCtx, cancel)
+	return ctx, func() { stop(); cancel() }
+}
+
+// statusWriter records the response code and size for the request log.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	bytes int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}

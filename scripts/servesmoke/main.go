@@ -1,0 +1,156 @@
+// Command servesmoke is the `make serve-smoke` gate: it builds the real
+// staub-serve binary, boots it on a random port, solves an NIA instance
+// from testdata/ over HTTP, scrapes /metrics for the per-outcome and
+// cache counters, and asserts a clean drain on SIGTERM. Everything is
+// stdlib (no curl), so the gate runs anywhere the Go toolchain does.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"syscall"
+	"time"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "serve-smoke: FAIL:", err)
+		os.Exit(1)
+	}
+	fmt.Println("serve-smoke: ok")
+}
+
+func run() error {
+	tmp, err := os.MkdirTemp("", "servesmoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+
+	bin := filepath.Join(tmp, "staub-serve")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/staub-serve")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		return fmt.Errorf("building staub-serve: %w", err)
+	}
+
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-timeout", "10s")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		return err
+	}
+	if err := cmd.Start(); err != nil {
+		return err
+	}
+	defer cmd.Process.Kill()
+
+	// The first log line announces the bound address; keep draining the
+	// rest so the child never blocks on a full pipe, and keep the tail
+	// for the drain assertion.
+	lines := make(chan string, 64)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+		close(lines)
+	}()
+	baseURL, err := awaitListening(lines)
+	if err != nil {
+		return err
+	}
+
+	script, err := os.ReadFile("testdata/sum_of_cubes.smt2")
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(baseURL+"/v1/solve?timeout=10s", "text/plain", strings.NewReader(string(script)))
+	if err != nil {
+		return fmt.Errorf("POST /v1/solve: %w", err)
+	}
+	var solve struct {
+		Status  string            `json:"status"`
+		Outcome string            `json:"outcome"`
+		Model   map[string]string `json:"model"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&solve); err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || solve.Status != "sat" || solve.Outcome != "verified" {
+		return fmt.Errorf("solve = code %d status %q outcome %q, want 200/sat/verified",
+			resp.StatusCode, solve.Status, solve.Outcome)
+	}
+	if len(solve.Model) == 0 {
+		return fmt.Errorf("verified solve returned no model")
+	}
+
+	mresp, err := http.Get(baseURL + "/metrics")
+	if err != nil {
+		return fmt.Errorf("GET /metrics: %w", err)
+	}
+	body, err := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if err != nil {
+		return err
+	}
+	text := string(body)
+	for _, want := range []string{
+		`staub_solves_total{outcome="verified"} 1`,
+		"staub_cache_misses_total 1",
+		"staub_solve_latency_seconds_count 1",
+	} {
+		if !strings.Contains(text, want) {
+			return fmt.Errorf("/metrics missing %q in:\n%s", want, text)
+		}
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	var tail []string
+	for line := range lines {
+		tail = append(tail, line)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			return fmt.Errorf("staub-serve exited uncleanly after SIGTERM: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		return fmt.Errorf("staub-serve did not exit within 30s of SIGTERM")
+	}
+	if !strings.Contains(strings.Join(tail, "\n"), "drained cleanly") {
+		return fmt.Errorf("missing 'drained cleanly' in shutdown log:\n%s", strings.Join(tail, "\n"))
+	}
+	return nil
+}
+
+var listenRe = regexp.MustCompile(`listening on (http://[^ ]+)`)
+
+func awaitListening(lines <-chan string) (string, error) {
+	deadline := time.After(30 * time.Second)
+	for {
+		select {
+		case line, ok := <-lines:
+			if !ok {
+				return "", fmt.Errorf("staub-serve exited before announcing its address")
+			}
+			if m := listenRe.FindStringSubmatch(line); m != nil {
+				return m[1], nil
+			}
+		case <-deadline:
+			return "", fmt.Errorf("no 'listening on' line within 30s")
+		}
+	}
+}
