@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: check vet build test race fuzz bench serve-smoke
+.PHONY: check vet build test race fuzz differential bench serve-smoke
 
 # check is the CI gate: static checks, build, the full suite under the
 # race detector, short fuzz passes over the SMT-LIB parser and the server
-# request decoder, and an end-to-end smoke of the staub-serve binary.
-check: vet build race fuzz serve-smoke
+# request decoder, the incremental-vs-fresh refinement differential under
+# -race, and an end-to-end smoke of the staub-serve binary.
+check: vet build race fuzz differential serve-smoke
 
 vet:
 	$(GO) vet ./...
@@ -23,6 +24,13 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzParseScript -fuzztime=5s ./internal/smt
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeSolveRequest -fuzztime=5s ./internal/server
 
+# differential pins the incremental refinement session to the fresh
+# per-round reference: same statuses, same widths, across the corpus and
+# randomized constraints, under the race detector.
+differential:
+	$(GO) test -race -count=1 -run 'TestRefinementDifferentialIncrementalVsFresh' ./internal/core
+	$(GO) test -race -count=1 -run 'TestSessionMatchesFresh' ./internal/bitblast
+
 # serve-smoke boots the real staub-serve on a random port, solves a
 # testdata constraint over HTTP, scrapes /metrics, and asserts a clean
 # drain on SIGTERM.
@@ -31,3 +39,4 @@ serve-smoke:
 
 bench:
 	$(GO) test -bench=. -benchmem
+	$(GO) run ./scripts/refinebench -out BENCH_3.json

@@ -220,6 +220,49 @@ func BenchmarkSlotOptimize(b *testing.B) {
 	}
 }
 
+// benchRefine solves the §6.2 refinement corpus end to end under
+// deterministic virtual time, with the given refinement loop, and reports
+// the total bounded-solve work units as a custom metric alongside ns/op
+// and allocs/op.
+func benchRefine(b *testing.B, fresh bool) {
+	insts := harness.RefinementCorpus()
+	parsed := make([]*staub.Constraint, len(insts))
+	for i, inst := range insts {
+		c, err := staub.ParseScript(inst.Src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		parsed[i] = c
+	}
+	cfg := staub.Config{
+		Timeout:       1500 * time.Millisecond,
+		Deterministic: true,
+		RefineRounds:  3,
+		FreshRefine:   fresh,
+	}
+	b.ResetTimer()
+	var work int64
+	for i := 0; i < b.N; i++ {
+		work = 0
+		for _, c := range parsed {
+			res := staub.RunPipeline(c, cfg)
+			if res.Status == staub.Unsat {
+				b.Fatal("pipeline must never report unsat")
+			}
+			work += res.SolveWork
+		}
+	}
+	b.ReportMetric(float64(work), "work-units")
+}
+
+// BenchmarkRefineFresh measures the reference refinement loop that
+// rebuilds the pipeline from scratch every width-doubling round.
+func BenchmarkRefineFresh(b *testing.B) { benchRefine(b, true) }
+
+// BenchmarkRefineIncremental measures the incremental refinement loop
+// (persistent assumption-based session; see internal/bitblast.Session).
+func BenchmarkRefineIncremental(b *testing.B) { benchRefine(b, false) }
+
 // BenchmarkGenerateSuite measures benchmark-corpus generation.
 func BenchmarkGenerateSuite(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -19,7 +19,8 @@
 //	fig8      termination-prover client analysis
 //	ablation  width-inference ablation summary (subset of table3)
 //	reduce    §6.4 extension: width reduction of wide bitvector corpora
-//	all       every experiment in order (excluding reduce)
+//	refine    §6.2 refinement: incremental session vs fresh per-round loop
+//	all       every experiment in order (excluding reduce and refine)
 //
 // Flags:
 //
@@ -41,6 +42,7 @@ import (
 	"time"
 
 	"staub/internal/buildinfo"
+	"staub/internal/core"
 	"staub/internal/engine"
 	"staub/internal/harness"
 	"staub/internal/metrics"
@@ -62,7 +64,7 @@ func main() {
 		return
 	}
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: staub-bench [flags] table1|table2|table3|fig2|fig7|fig8|ablation|reduce|all")
+		fmt.Fprintln(os.Stderr, "usage: staub-bench [flags] table1|table2|table3|fig2|fig7|fig8|ablation|reduce|refine|all")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
@@ -77,6 +79,7 @@ func main() {
 	cache := engine.NewCache()
 	reg := metrics.NewRegistry()
 	cache.Register(reg)
+	core.RegisterRefineMetrics(reg)
 	opts := harness.Options{
 		Timeout: *timeout,
 		Seed:    *seed,
@@ -92,6 +95,14 @@ func main() {
 			snap := reg.Snapshot()
 			fmt.Fprintf(os.Stderr, "staub-bench: %s: cache %d hits / %d misses\n",
 				stage, snap["staub_cache_hits_total"], snap["staub_cache_misses_total"])
+			if snap["staub_refine_sessions_total"].(int64) > 0 {
+				fmt.Fprintf(os.Stderr, "staub-bench: %s: refine %d sessions / %d rounds, %d clauses retained, gates %d hit / %d miss, %d work units\n",
+					stage,
+					snap["staub_refine_sessions_total"], snap["staub_refine_rounds_total"],
+					snap["staub_refine_clauses_retained_total"],
+					snap["staub_refine_gate_hits_total"], snap["staub_refine_gate_misses_total"],
+					snap["staub_refine_work_units_total"])
+			}
 		}
 	}
 
@@ -130,6 +141,13 @@ func main() {
 			fatal(err)
 		}
 		harness.ReductionPrint(w, rows)
+	case "refine":
+		rows, err := harness.RefinementExperiment(ctx, opts)
+		if err != nil {
+			fatal(err)
+		}
+		harness.RefinementPrint(w, rows)
+		reportCache(exp)
 	case "all":
 		harness.Table1(w)
 		fmt.Fprintln(w)

@@ -17,6 +17,7 @@
 //	-max-body N      request body size limit in bytes (default 1 MiB)
 //	-max-batch N     constraints allowed per /v1/batch request (default 64)
 //	-drain D         grace period for in-flight requests on shutdown (default 30s)
+//	-pprof           expose net/http/pprof profiling under /debug/pprof/ (default off)
 //	-version         print the build string and exit
 //
 // Shutdown: the first SIGINT/SIGTERM stops accepting work (healthz turns
@@ -32,6 +33,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -51,6 +53,7 @@ func main() {
 		maxBody     = flag.Int64("max-body", 1<<20, "request body size limit in bytes")
 		maxBatch    = flag.Int("max-batch", 64, "constraints allowed per /v1/batch request")
 		drain       = flag.Duration("drain", 30*time.Second, "grace period for in-flight requests on shutdown")
+		pprofOn     = flag.Bool("pprof", false, "expose net/http/pprof profiling under /debug/pprof/")
 		showVersion = flag.Bool("version", false, "print the build string and exit")
 	)
 	flag.Parse()
@@ -71,12 +74,29 @@ func main() {
 		Log:             logger,
 	})
 
+	handler := srv.Handler()
+	if *pprofOn {
+		// Route the profiling endpoints explicitly instead of relying on
+		// http.DefaultServeMux, so they exist only behind the flag. They
+		// bypass the request-ID/logging wrapper: profile downloads stream
+		// for seconds and would only clutter the access log.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", handler)
+		handler = mux
+		logger.Printf("pprof profiling enabled at /debug/pprof/")
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		logger.Fatal(err)
 	}
 	httpSrv := &http.Server{
-		Handler:           srv.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	// The smoke test and port-0 users parse this line for the bound port.

@@ -30,6 +30,28 @@ type Blaster struct {
 	// bvsmulo overflow guard and the bvmul it protects share one
 	// multiplier circuit.
 	prods map[[2]*smt.Term][]sat.Lit
+	// sess, when non-nil, makes this blaster one round of an incremental
+	// Session: constraint variables resolve to the session's persistent
+	// bit vectors, assertion clauses are guarded by the round's activation
+	// literal, and gates are memoized in the session's structural cache.
+	sess *Session
+}
+
+// gateOp tags entries of the structural gate cache.
+type gateOp uint8
+
+const (
+	gateAnd gateOp = iota
+	gateXor
+	gateMux
+)
+
+// gateKey identifies a gate by kind and operand literals. Binary gates
+// canonicalize their commutative operands and leave c at -1 (an invalid
+// literal, so it cannot collide with a mux selector).
+type gateKey struct {
+	op      gateOp
+	a, b, c sat.Lit
 }
 
 // New creates a blaster that encodes into the given solver.
@@ -48,19 +70,18 @@ func New(s *sat.Solver) *Blaster {
 
 func (b *Blaster) fLit() sat.Lit { return b.tLit.Not() }
 
-// Encode adds the CNF encoding of every assertion in c to the solver.
+// Encode adds the CNF encoding of every assertion in c to the solver. In
+// session mode, constraint variables resolve to the session's persistent
+// per-name bit vectors (extended with fresh high bits when the width
+// grew) and every assertion clause carries the round's activation guard.
 func (b *Blaster) Encode(c *smt.Constraint) error {
 	b.c = c
 	for _, v := range c.Vars {
 		switch v.Sort.Kind {
 		case smt.KindBool:
-			b.bools[v] = b.fresh()
+			b.bools[v] = b.varBool(v)
 		case smt.KindBitVec:
-			vec := make([]sat.Lit, v.Sort.Width)
-			for i := range vec {
-				vec[i] = b.fresh()
-			}
-			b.bits[v] = vec
+			b.bits[v] = b.varVec(v)
 		default:
 			return fmt.Errorf("bitblast: unsupported variable sort %v", v.Sort)
 		}
@@ -70,9 +91,59 @@ func (b *Blaster) Encode(c *smt.Constraint) error {
 		if err != nil {
 			return err
 		}
-		b.s.AddClause(l)
+		b.assert(l)
 	}
 	return nil
+}
+
+// varBool returns the literal for a boolean constraint variable, reusing
+// the session's persistent literal for the name when in session mode.
+func (b *Blaster) varBool(v *smt.Term) sat.Lit {
+	if b.sess == nil {
+		return b.fresh()
+	}
+	if l, ok := b.sess.varBools[v.Name]; ok {
+		b.sess.stats.VarsReused++
+		return l
+	}
+	l := b.fresh()
+	b.sess.varBools[v.Name] = l
+	return l
+}
+
+// varVec returns the bit vector for a bitvector constraint variable. In
+// session mode the low bits are the persistent literals earlier rounds
+// used for the same name; only bits beyond the previously encoded width
+// are freshly allocated.
+func (b *Blaster) varVec(v *smt.Term) []sat.Lit {
+	w := v.Sort.Width
+	if b.sess == nil {
+		vec := make([]sat.Lit, w)
+		for i := range vec {
+			vec[i] = b.fresh()
+		}
+		return vec
+	}
+	vec := b.sess.varBits[v.Name]
+	if n := min(len(vec), w); n > 0 {
+		b.sess.stats.VarsReused += int64(n)
+	}
+	for len(vec) < w {
+		vec = append(vec, b.fresh())
+	}
+	b.sess.varBits[v.Name] = vec
+	return vec[:w:w]
+}
+
+// assert adds a top-level assertion clause. Assertion clauses encode the
+// current round's bounded semantics, which a wider later round relaxes,
+// so in session mode they carry the activation guard and die with it.
+func (b *Blaster) assert(l sat.Lit) {
+	if b.sess != nil {
+		b.s.AddClause(b.sess.act.Not(), l)
+		return
+	}
+	b.s.AddClause(l)
 }
 
 // Solve is a convenience: build a solver, encode, solve, and extract a
@@ -144,6 +215,19 @@ func (b *Blaster) and2(x, y sat.Lit) sat.Lit {
 	case x == y.Not():
 		return b.fLit()
 	}
+	if b.sess != nil {
+		if x > y {
+			x, y = y, x
+		}
+		return b.sess.gate(gateKey{gateAnd, x, y, -1}, func() sat.Lit { return b.mkAnd(x, y) })
+	}
+	return b.mkAnd(x, y)
+}
+
+// mkAnd emits the Tseitin definition of a fresh AND output. The three
+// clauses define the fresh literal in terms of its operands, so they are
+// sound in every round of a session and are never guarded.
+func (b *Blaster) mkAnd(x, y sat.Lit) sat.Lit {
 	o := b.fresh()
 	b.s.AddClause(o.Not(), x)
 	b.s.AddClause(o.Not(), y)
@@ -170,6 +254,18 @@ func (b *Blaster) xor2(x, y sat.Lit) sat.Lit {
 	case x == y.Not():
 		return b.tLit
 	}
+	if b.sess != nil {
+		if x > y {
+			x, y = y, x
+		}
+		return b.sess.gate(gateKey{gateXor, x, y, -1}, func() sat.Lit { return b.mkXor(x, y) })
+	}
+	return b.mkXor(x, y)
+}
+
+// mkXor emits the Tseitin definition of a fresh XOR output (unguarded;
+// see mkAnd).
+func (b *Blaster) mkXor(x, y sat.Lit) sat.Lit {
 	o := b.fresh()
 	b.s.AddClause(o.Not(), x, y)
 	b.s.AddClause(o.Not(), x.Not(), y.Not())
@@ -190,6 +286,15 @@ func (b *Blaster) mux(s, x, y sat.Lit) sat.Lit {
 	case x == y:
 		return x
 	}
+	if b.sess != nil {
+		return b.sess.gate(gateKey{gateMux, s, x, y}, func() sat.Lit { return b.mkMux(s, x, y) })
+	}
+	return b.mkMux(s, x, y)
+}
+
+// mkMux emits the Tseitin definition of a fresh s?x:y output (unguarded;
+// see mkAnd).
+func (b *Blaster) mkMux(s, x, y sat.Lit) sat.Lit {
 	o := b.fresh()
 	b.s.AddClause(s.Not(), x.Not(), o)
 	b.s.AddClause(s.Not(), x, o.Not())

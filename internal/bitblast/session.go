@@ -1,0 +1,131 @@
+// Incremental encoding sessions for width refinement (§6.2 of the
+// paper). A Session keeps one sat.Solver and the structural parts of the
+// encoding alive across refinement rounds, so re-solving the same
+// constraint at a doubled width reuses — instead of rebuilds — everything
+// the rounds have in common:
+//
+//   - Constraint variables are persistent per name: the w low bits of a
+//     2w-bit round-N+1 vector are the very literals round N used, so the
+//     solver's saved phases and VSIDS activity keep steering the search.
+//   - Gates are structurally hashed (and2/xor2/mux memoized by operand
+//     literals): the low halves of adders, comparators and multipliers
+//     over shared bits encode once, in whichever round first needs them.
+//   - Gate definition clauses introduce only fresh output literals, so
+//     they are sound at every width and are added unguarded, permanently.
+//
+// What is NOT shared is each round's assertions: a round's top-level
+// clauses encode w-bit wraparound semantics and overflow guards that a
+// wider round deliberately relaxes. Every assertion clause therefore
+// carries the round's activation literal a_N (clause ¬a_N ∨ C), the
+// round solves under SolveAssuming(a_N), and starting round N+1 asserts
+// ¬a_N permanently, disabling round N's assertions and every learned
+// clause that depended on them (conflict analysis keeps ¬a_N in such
+// resolvents because a_N is a decision). Learned clauses derived purely
+// from shared structure survive with no guard and keep pruning.
+package bitblast
+
+import (
+	"staub/internal/eval"
+	"staub/internal/sat"
+	"staub/internal/smt"
+)
+
+// SessionStats counts what an incremental session reused and rebuilt.
+type SessionStats struct {
+	// Rounds is the number of Encode calls.
+	Rounds int
+	// GateHits and GateMisses count structural gate-cache lookups; a hit
+	// is a gate some earlier point of the session already encoded.
+	GateHits, GateMisses int64
+	// VarsReused counts constraint-variable bit literals resolved to an
+	// earlier round's literals instead of freshly allocated.
+	VarsReused int64
+	// ClausesRetained accumulates, over every round after the first, the
+	// number of clauses (problem + learned) carried into the round alive
+	// rather than re-derived from scratch.
+	ClausesRetained int64
+}
+
+// Session is an incremental bit-blasting session over one SAT solver.
+// Encode each refinement round's bounded constraint, then Solve; state
+// persists until the session is dropped.
+type Session struct {
+	s        *sat.Solver
+	tLit     sat.Lit
+	gates    map[gateKey]sat.Lit
+	varBits  map[string][]sat.Lit
+	varBools map[string]sat.Lit
+	act      sat.Lit // current round's activation literal
+	started  bool
+	cur      *Blaster
+	stats    SessionStats
+}
+
+// NewSession returns an incremental session encoding into s.
+func NewSession(s *sat.Solver) *Session {
+	se := &Session{
+		s:        s,
+		gates:    map[gateKey]sat.Lit{},
+		varBits:  map[string][]sat.Lit{},
+		varBools: map[string]sat.Lit{},
+	}
+	se.tLit = sat.PosLit(s.NewVar())
+	s.AddClause(se.tLit)
+	return se
+}
+
+// Solver returns the underlying SAT solver (for budget and interrupt
+// configuration).
+func (se *Session) Solver() *sat.Solver { return se.s }
+
+// Stats reports reuse counters accumulated so far.
+func (se *Session) Stats() SessionStats { return se.stats }
+
+// gate memoizes one structural gate: a cache hit returns the literal an
+// earlier encoding produced (its definition clauses are already in the
+// solver); a miss runs mk and remembers the output.
+func (se *Session) gate(k gateKey, mk func() sat.Lit) sat.Lit {
+	if o, ok := se.gates[k]; ok {
+		se.stats.GateHits++
+		return o
+	}
+	o := mk()
+	se.gates[k] = o
+	se.stats.GateMisses++
+	return o
+}
+
+// Encode starts a new round: the previous round (if any) is retired by
+// permanently falsifying its activation literal and sweeping the clauses
+// that died with it, then c is encoded under a fresh activation literal.
+func (se *Session) Encode(c *smt.Constraint) error {
+	if se.started {
+		se.s.AddClause(se.act.Not())
+		se.s.Simplify()
+		se.stats.ClausesRetained += int64(se.s.NumClauses() + se.s.NumLearnts())
+	}
+	se.act = sat.PosLit(se.s.NewVar())
+	se.started = true
+	se.stats.Rounds++
+	b := &Blaster{
+		s:     se.s,
+		bits:  map[*smt.Term][]sat.Lit{},
+		bools: map[*smt.Term]sat.Lit{},
+		prods: map[[2]*smt.Term][]sat.Lit{},
+		tLit:  se.tLit,
+		sess:  se,
+	}
+	se.cur = b
+	return b.Encode(c)
+}
+
+// Solve decides the current round's constraint under its activation
+// assumption.
+func (se *Session) Solve() sat.Status {
+	return se.s.SolveAssuming(se.act)
+}
+
+// Model extracts the current round's model after a Sat result.
+func (se *Session) Model() eval.Assignment {
+	return se.cur.Model()
+}

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"staub/internal/absint"
+	"staub/internal/bitblast"
 	"staub/internal/eval"
 	"staub/internal/slot"
 	"staub/internal/smt"
@@ -47,6 +48,11 @@ type Config struct {
 	// this many times within the same overall timeout. Zero disables
 	// refinement (the paper's evaluated configuration).
 	RefineRounds int
+	// FreshRefine forces refinement rounds to rebuild the whole pipeline
+	// from scratch each round, instead of reusing one incremental
+	// bit-blasting session across rounds. The fresh loop is the reference
+	// semantics; it exists for differential testing and benchmarking.
+	FreshRefine bool
 	// Seed perturbs randomized engines.
 	Seed int64
 	// Deterministic switches the pipeline to virtual-time accounting: the
@@ -128,6 +134,16 @@ type PipelineResult struct {
 	// Refined counts bound-refinement rounds taken (Section 6.2); the
 	// reported Width is the final round's width.
 	Refined int
+	// Incremental reports that refinement ran on a persistent incremental
+	// bit-blasting session instead of fresh per-round pipelines.
+	Incremental bool
+	// SolveWork is the total bounded-solve work in deterministic work
+	// units, summed across refinement rounds. In the incremental loop each
+	// round charges only its own new propagations.
+	SolveWork int64
+	// Reuse carries the incremental session's reuse counters (only
+	// meaningful when Incremental is set).
+	Reuse bitblast.SessionStats
 	// Slot reports optimizer statistics when UseSLOT was set.
 	Slot slot.Stats
 	// Bounded is the transformed constraint (for inspection/emission).
@@ -215,10 +231,25 @@ func RunPipeline(ctx context.Context, c *smt.Constraint, cfg Config, interrupt *
 	if cfg.Deterministic {
 		deadline = backstopDeadline(cfg.Timeout)
 	}
-	res := runPipelineOnce(ctx, c, cfg, deadline, interrupt)
 	if cfg.RefineRounds <= 0 || cfg.FixedWidth > 0 {
-		return res
+		return runPipelineOnce(ctx, c, cfg, deadline, interrupt)
 	}
+	// Refinement only ever doubles bitvector widths, so the incremental
+	// session applies exactly to the integer→BV fragment; everything else
+	// (and the FreshRefine reference mode) takes the fresh per-round loop.
+	if !cfg.FreshRefine {
+		if kind, err := translate.Classify(c); err == nil && kind == translate.KindIntToBV {
+			return runRefineIncremental(ctx, c, cfg, deadline, interrupt)
+		}
+	}
+	return runRefineFresh(ctx, c, cfg, deadline, interrupt)
+}
+
+// runRefineFresh is the reference refinement loop: every round rebuilds
+// the full transform-solve-verify pipeline from scratch at the doubled
+// width.
+func runRefineFresh(ctx context.Context, c *smt.Constraint, cfg Config, deadline time.Time, interrupt *atomic.Bool) PipelineResult {
+	res := runPipelineOnce(ctx, c, cfg, deadline, interrupt)
 	limits := cfg.Limits
 	maxWidth := limits.MaxWidth
 	if maxWidth == 0 {
@@ -250,6 +281,7 @@ func RunPipeline(ctx context.Context, c *smt.Constraint, cfg Config, interrupt *
 		retry.TPost += res.TPost
 		retry.TCheck += res.TCheck
 		retry.Total += res.Total
+		retry.SolveWork += res.SolveWork
 		retry.Refined = round
 		res = retry
 	}
@@ -317,8 +349,10 @@ func runPipelineOnce(ctx context.Context, c *smt.Constraint, cfg Config, deadlin
 		if sres.TimedOut || work > solveBudget {
 			work = solveBudget
 		}
+		res.SolveWork = work
 		res.TPost = solver.VirtualDuration(work)
 	} else {
+		res.SolveWork = sres.Work
 		res.TPost = time.Since(t1)
 	}
 

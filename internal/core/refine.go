@@ -1,0 +1,208 @@
+package core
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+
+	"staub/internal/absint"
+	"staub/internal/metrics"
+	"staub/internal/slot"
+	"staub/internal/smt"
+	"staub/internal/solver"
+	"staub/internal/status"
+	"staub/internal/translate"
+)
+
+// Package-level refinement counters, exported to /metrics and
+// `staub-bench -v` through RegisterRefineMetrics. They accumulate across
+// every incremental refinement session in the process.
+var (
+	refineSessions        metrics.Counter
+	refineRounds          metrics.Counter
+	refineClausesRetained metrics.Counter
+	refineGateHits        metrics.Counter
+	refineGateMisses      metrics.Counter
+	refineVarsReused      metrics.Counter
+	refineWorkUnits       metrics.Counter
+)
+
+// RegisterRefineMetrics exposes the incremental-refinement counters
+// through reg.
+func RegisterRefineMetrics(reg *metrics.Registry) {
+	reg.RegisterCounter("staub_refine_sessions_total", nil, &refineSessions)
+	reg.RegisterCounter("staub_refine_rounds_total", nil, &refineRounds)
+	reg.RegisterCounter("staub_refine_clauses_retained_total", nil, &refineClausesRetained)
+	reg.RegisterCounter("staub_refine_gate_hits_total", nil, &refineGateHits)
+	reg.RegisterCounter("staub_refine_gate_misses_total", nil, &refineGateMisses)
+	reg.RegisterCounter("staub_refine_vars_reused_total", nil, &refineVarsReused)
+	reg.RegisterCounter("staub_refine_work_units_total", nil, &refineWorkUnits)
+}
+
+// RefineMetricsSnapshot reports the current refinement counter values
+// (sessions, rounds, clauses retained, gate hits/misses, vars reused,
+// solve work units) for CLI summaries.
+func RefineMetricsSnapshot() map[string]int64 {
+	return map[string]int64{
+		"sessions":         refineSessions.Value(),
+		"rounds":           refineRounds.Value(),
+		"clauses_retained": refineClausesRetained.Value(),
+		"gate_hits":        refineGateHits.Value(),
+		"gate_misses":      refineGateMisses.Value(),
+		"vars_reused":      refineVarsReused.Value(),
+		"work_units":       refineWorkUnits.Value(),
+	}
+}
+
+// runRefineIncremental is the incremental refinement loop for integer→BV
+// constraints: one bit-blasting session (and one SAT solver) lives across
+// every width-doubling round, so each round re-encodes only what widening
+// added and each solve starts from the learned clauses, variable
+// activities and saved phases of the rounds before it. Bound inference is
+// width-independent and runs once, up front. The deterministic cost model
+// charges each round only the round's own new propagations.
+//
+// Round semantics mirror runRefineFresh exactly: round 0 translates at
+// the inferred width with optional range hints; retries translate at the
+// doubled fixed width without hints, each under the same per-round budget
+// the fresh loop would get.
+func runRefineIncremental(ctx context.Context, c *smt.Constraint, cfg Config, deadline time.Time, interrupt *atomic.Bool) PipelineResult {
+	// Memoized inference: abstract interpretation sees the original
+	// constraint only, so its results hold for every round.
+	x := absint.DefaultIntX(c)
+	inf := absint.InferIntWith(c, x, absint.SemPractical)
+	width := absint.SelectBVWidth(inf.Root, cfg.Limits)
+	var hints map[string]int
+	if cfg.RangeHints {
+		hints = absint.InferIntPerVar(c, x)
+	}
+	maxWidth := cfg.Limits.MaxWidth
+	if maxWidth == 0 {
+		maxWidth = 64
+	}
+
+	sess := solver.NewBVSession()
+	refineSessions.Inc()
+	res := PipelineResult{InferredRoot: inf.Root, Incremental: true}
+	for round := 0; ; round++ {
+		refineRounds.Inc()
+		t0 := time.Now()
+		var (
+			tr  *translate.Result
+			err error
+		)
+		if round == 0 {
+			tr, err = translate.IntToBVWithHints(c, width, hints)
+		} else {
+			tr, err = translate.IntToBV(c, width)
+		}
+		if err != nil {
+			tt := time.Since(t0)
+			if cfg.Deterministic {
+				tt = solver.VirtualDuration(int64(c.NumNodes()))
+			}
+			res.Outcome = OutcomeTransformFailed
+			res.Status = status.Unknown
+			res.TTrans += tt
+			res.Total += tt
+			res.Refined = round
+			return res
+		}
+		bounded := tr.Bounded
+		if cfg.UseSLOT {
+			if opt, stats, err := slot.Optimize(bounded); err == nil {
+				bounded = opt
+				res.Slot = stats
+			}
+		}
+		res.Width = tr.Width
+		res.Bounded = bounded
+		transWork := int64(c.NumNodes() + bounded.NumNodes())
+		if cfg.Deterministic {
+			res.TTrans += solver.VirtualDuration(transWork)
+		} else {
+			res.TTrans += time.Since(t0)
+		}
+
+		opts := solver.Options{
+			Ctx:       ctx,
+			Deadline:  deadline,
+			Interrupt: interrupt,
+			Profile:   cfg.Profile,
+			Seed:      cfg.Seed,
+		}
+		var solveBudget int64
+		if cfg.Deterministic {
+			solveBudget = solver.WorkBudgetFor(cfg.Timeout) - transWork
+			if solveBudget < 1 {
+				solveBudget = 1
+			}
+			opts.WorkBudget = solveBudget
+		}
+		t1 := time.Now()
+		sres := sess.SolveRound(bounded, opts)
+		work := sres.Work
+		if cfg.Deterministic {
+			if sres.TimedOut || work > solveBudget {
+				work = solveBudget
+			}
+			res.TPost += solver.VirtualDuration(work)
+		} else {
+			res.TPost += time.Since(t1)
+		}
+		res.SolveWork += work
+		refineWorkUnits.Add(work)
+		res.Refined = round
+
+		switch sres.Status {
+		case status.Sat:
+			t2 := time.Now()
+			model, merr := tr.ModelBack(sres.Model)
+			verified := merr == nil && solver.VerifyModel(c, model)
+			if cfg.Deterministic {
+				res.TCheck += solver.VirtualDuration(int64(c.NumNodes()))
+			} else {
+				res.TCheck += time.Since(t2)
+			}
+			if verified {
+				res.Outcome = OutcomeVerified
+				res.Status = status.Sat
+				res.Model = model
+			} else {
+				res.Outcome = OutcomeSemanticDifference
+				res.Status = status.Unknown
+			}
+		case status.Unsat:
+			res.Outcome = OutcomeBoundedUnsat
+			res.Status = status.Unknown
+		default:
+			res.Outcome = OutcomeBoundedUnknown
+			res.Status = status.Unknown
+		}
+		res.Total = res.TTrans + res.TPost + res.TCheck
+		res.Reuse = sess.Stats()
+
+		if res.Outcome != OutcomeBoundedUnsat || round >= cfg.RefineRounds {
+			break
+		}
+		next := width * 2
+		if width == 0 || next > maxWidth {
+			break
+		}
+		// Out of budget: virtual in deterministic mode, wall otherwise.
+		if cfg.Deterministic {
+			if res.Total >= cfg.Timeout {
+				break
+			}
+		} else if !time.Now().Before(deadline) {
+			break
+		}
+		width = next
+	}
+	st := res.Reuse
+	refineClausesRetained.Add(st.ClausesRetained)
+	refineGateHits.Add(st.GateHits)
+	refineGateMisses.Add(st.GateMisses)
+	refineVarsReused.Add(st.VarsReused)
+	return res
+}

@@ -23,9 +23,9 @@ func (j Job) Key() string {
 			j.Profile, j.Timeout, j.Seed, j.Deterministic)
 	default:
 		c := j.Config
-		fmt.Fprintf(h, "|kind=%d|w=%d|t=%d|p=%d|slot=%t|hints=%t|refine=%d|s=%d|det=%t|lim=%d,%d,%d,%d",
+		fmt.Fprintf(h, "|kind=%d|w=%d|t=%d|p=%d|slot=%t|hints=%t|refine=%d|fresh=%t|s=%d|det=%t|lim=%d,%d,%d,%d",
 			j.Kind, c.FixedWidth, c.Timeout, c.Profile, c.UseSLOT, c.RangeHints,
-			c.RefineRounds, c.Seed, c.Deterministic,
+			c.RefineRounds, c.FreshRefine, c.Seed, c.Deterministic,
 			c.Limits.MinWidth, c.Limits.MaxWidth, c.Limits.MaxSig, c.Limits.MaxPrec)
 	}
 	return hex.EncodeToString(h.Sum(nil))

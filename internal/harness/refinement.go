@@ -1,0 +1,163 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"staub/internal/core"
+	"staub/internal/engine"
+	"staub/internal/smt"
+)
+
+// RefinementInstance is one named SMT-LIB script of the refinement
+// corpus.
+type RefinementInstance struct {
+	Name, Src string
+}
+
+// RefinementCorpus returns the purpose-built §6.2 corpus: integer
+// constraints whose abstract-interpretation width (driven by small
+// literal constants) undershoots the width their solutions or unsat
+// proofs need, so solving them exercises one or more width-doubling
+// rounds. A couple of round-zero instances anchor the no-refinement
+// baseline. Callers get a copy and may reorder freely.
+func RefinementCorpus() []RefinementInstance {
+	return append([]RefinementInstance(nil), refinementCorpus...)
+}
+
+var refinementCorpus = []RefinementInstance{
+	{"square-diff-201", `
+		(declare-fun x () Int)
+		(declare-fun y () Int)
+		(assert (= (- (* x x) (* y y)) 201))
+		(assert (> x 90))
+		(check-sat)`},
+	{"legendre-2023", `
+		(declare-fun x () Int)
+		(declare-fun y () Int)
+		(declare-fun z () Int)
+		(assert (= (+ (* x x) (* y y) (* z z)) 2023))
+		(check-sat)`},
+	{"two-square-mod4", `
+		(declare-fun x () Int)
+		(declare-fun y () Int)
+		(assert (= (+ (* x x) (* y y)) 1000003))
+		(check-sat)`},
+	{"unsat-square-7", `
+		(declare-fun x () Int)
+		(assert (= (* x x) 7))
+		(check-sat)`},
+	{"unsat-mod4", `
+		(declare-fun x () Int)
+		(declare-fun y () Int)
+		(assert (= (* x x) (+ (* 4 y) 3)))
+		(assert (> y 0))
+		(check-sat)`},
+	{"cubes-855", `
+		(declare-fun x () Int)
+		(declare-fun y () Int)
+		(declare-fun z () Int)
+		(assert (= (+ (* x x x) (* y y y) (* z z z)) 855))
+		(check-sat)`},
+}
+
+// RefinementRow compares incremental and fresh refinement on one corpus
+// instance.
+type RefinementRow struct {
+	Name string
+	// Outcome and FreshOutcome are the two loops' outcomes. They may
+	// legitimately differ when the fresh loop exhausts its work budget on
+	// a round the incremental session finishes (bounded-unknown vs
+	// bounded-unsat) — that difference is the measured speedup showing up
+	// as a tractability gain.
+	Outcome, FreshOutcome core.Outcome
+	// StatusAgree reports that both loops reached the same final status
+	// (the soundness-relevant verdict: sat / unknown).
+	StatusAgree bool
+	// Rounds is the refinement rounds taken; Width the final width.
+	Rounds, Width int
+	// IncWork and FreshWork are the total deterministic solver work units
+	// of the incremental and fresh loops.
+	IncWork, FreshWork int64
+	// ClausesRetained and GateHitPct report the incremental session's
+	// cross-round reuse.
+	ClausesRetained int64
+	GateHitPct      float64
+}
+
+// RefinementExperiment runs the refinement corpus through both loops —
+// the incremental session and the fresh per-round reference — under
+// deterministic virtual time and reports per-instance work, agreement
+// and reuse. Jobs are scheduled through the engine like every other
+// experiment.
+func RefinementExperiment(ctx context.Context, o Options) ([]RefinementRow, error) {
+	o = o.withDefaults()
+	var jobs []engine.Job
+	for _, inst := range refinementCorpus {
+		c, err := smt.ParseScript(inst.Src)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", inst.Name, err)
+		}
+		cfg := core.Config{
+			Timeout:       o.Timeout,
+			RefineRounds:  3,
+			Seed:          o.Seed,
+			Deterministic: true,
+		}
+		jobs = append(jobs, engine.Job{Kind: engine.KindPipeline, Constraint: c, Config: cfg})
+		fresh := cfg
+		fresh.FreshRefine = true
+		jobs = append(jobs, engine.Job{Kind: engine.KindPipeline, Constraint: c, Config: fresh})
+	}
+	results := engine.New(o.Jobs, o.Cache).Run(ctx, jobs)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	rows := make([]RefinementRow, 0, len(refinementCorpus))
+	for i, inst := range refinementCorpus {
+		inc := results[2*i].Pipeline
+		fresh := results[2*i+1].Pipeline
+		row := RefinementRow{
+			Name:            inst.Name,
+			Outcome:         inc.Outcome,
+			FreshOutcome:    fresh.Outcome,
+			StatusAgree:     inc.Status == fresh.Status,
+			Rounds:          inc.Refined,
+			Width:           inc.Width,
+			IncWork:         inc.SolveWork,
+			FreshWork:       fresh.SolveWork,
+			ClausesRetained: inc.Reuse.ClausesRetained,
+		}
+		if lookups := inc.Reuse.GateHits + inc.Reuse.GateMisses; lookups > 0 {
+			row.GateHitPct = 100 * float64(inc.Reuse.GateHits) / float64(lookups)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RefinementPrint renders the refinement comparison, ending with the
+// corpus-total work saving of the incremental loop.
+func RefinementPrint(w io.Writer, rows []RefinementRow) {
+	fmt.Fprintln(w, "Incremental refinement (§6.2): assumption-based session vs. fresh per-round pipelines.")
+	fmt.Fprintf(w, "%-16s %-16s %-16s %6s %6s %6s %10s %10s %7s %10s %8s\n",
+		"instance", "inc-outcome", "fresh-outcome", "agree", "rounds", "width",
+		"inc-work", "fresh-work", "saved", "retained", "gate-hit%")
+	var incTotal, freshTotal int64
+	for _, r := range rows {
+		saved := 1.0
+		if r.IncWork > 0 {
+			saved = float64(r.FreshWork) / float64(r.IncWork)
+		}
+		fmt.Fprintf(w, "%-16s %-16s %-16s %6t %6d %6d %10d %10d %6.2fx %10d %8.1f\n",
+			r.Name, r.Outcome, r.FreshOutcome, r.StatusAgree, r.Rounds, r.Width,
+			r.IncWork, r.FreshWork, saved, r.ClausesRetained, r.GateHitPct)
+		incTotal += r.IncWork
+		freshTotal += r.FreshWork
+	}
+	if incTotal > 0 {
+		fmt.Fprintf(w, "total: incremental %d vs fresh %d work units (%.2fx saved)\n",
+			incTotal, freshTotal, float64(freshTotal)/float64(incTotal))
+	}
+}

@@ -1,0 +1,49 @@
+package harness
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRefinementExperiment runs the §6.2 refinement comparison at the
+// staub-bench default budget and pins the properties the table reports:
+// one row per corpus instance, status agreement between the incremental
+// and fresh loops, and a corpus-total work saving from reuse.
+func TestRefinementExperiment(t *testing.T) {
+	rows, err := RefinementExperiment(context.Background(), Options{
+		Timeout: 1500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus := RefinementCorpus()
+	if len(rows) != len(corpus) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(corpus))
+	}
+	var incTotal, freshTotal int64
+	for i, r := range rows {
+		if r.Name != corpus[i].Name {
+			t.Errorf("row %d: name %q, want %q", i, r.Name, corpus[i].Name)
+		}
+		if !r.StatusAgree {
+			t.Errorf("%s: incremental and fresh loops disagree on status (%v vs %v)",
+				r.Name, r.Outcome, r.FreshOutcome)
+		}
+		incTotal += r.IncWork
+		freshTotal += r.FreshWork
+	}
+	if incTotal <= 0 || freshTotal <= incTotal {
+		t.Errorf("no corpus-total work saving: incremental %d vs fresh %d", incTotal, freshTotal)
+	}
+
+	var buf strings.Builder
+	RefinementPrint(&buf, rows)
+	out := buf.String()
+	for _, want := range []string{"instance", "square-diff-201", "total: incremental"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -94,9 +94,11 @@ type Stats struct {
 	Learned      int64
 }
 
-// Solver is a single-use CDCL SAT solver: construct, add clauses, call
-// Solve once (repeated Solve calls are permitted and resume with learned
-// clauses retained, supporting incremental use under assumptions).
+// Solver is an incremental CDCL SAT solver: construct, add clauses, call
+// Solve or SolveAssuming, then freely interleave further AddClause/NewVar
+// calls with later solves. Learned clauses, VSIDS activity and saved
+// phases are retained across calls, so repeated solves resume where the
+// previous search left off rather than starting from scratch.
 type Solver struct {
 	clauses []*clause
 	learnts []*clause
@@ -139,6 +141,13 @@ type Solver struct {
 
 	seen     []bool
 	analyzeT []Lit
+
+	// assumptions holds the literals of the current SolveAssuming call;
+	// each occupies its own decision level below all search decisions.
+	assumptions []Lit
+	// failed is the subset of assumptions responsible for the last
+	// assumption-level Unsat (see FailedAssumptions).
+	failed []Lit
 }
 
 // New returns an empty solver.
@@ -163,6 +172,90 @@ func (s *Solver) SetInterrupt(flag *atomic.Bool) { s.interrupted = flag }
 // NumVars returns the number of variables created.
 func (s *Solver) NumVars() int { return len(s.vars) }
 
+// NumClauses returns the number of problem clauses currently attached
+// (unit clauses become level-0 assignments and are not counted).
+func (s *Solver) NumClauses() int { return len(s.clauses) }
+
+// NumLearnts returns the number of learned clauses currently retained.
+func (s *Solver) NumLearnts() int { return len(s.learnts) }
+
+// Simplify sweeps the clause database at decision level 0: clauses
+// satisfied by a level-0 assignment are removed and literals falsified at
+// level 0 are stripped. Incremental sessions call this after permanently
+// falsifying a retired round's activation literal, which turns that
+// round's guarded clauses into level-0-satisfied garbage; sweeping them
+// keeps later rounds from paying propagation cost for dead state.
+func (s *Solver) Simplify() {
+	if !s.ok {
+		return
+	}
+	s.backtrack(0)
+	if s.propagate() != nil {
+		s.ok = false
+		return
+	}
+	// Level-0 assignments are permanent facts; their reason clauses are
+	// never consulted again and must not dangle after removal below.
+	for _, l := range s.trail {
+		s.vars[l.Var()].reason = nil
+	}
+	sweep := func(cs []*clause) []*clause {
+		kept := cs[:0]
+		for _, c := range cs {
+			lits := c.lits[:0]
+			satisfied := false
+			for _, l := range c.lits {
+				switch s.litValue(l) {
+				case lTrue:
+					satisfied = true
+				case lFalse:
+					continue
+				default:
+					lits = append(lits, l)
+				}
+				if satisfied {
+					break
+				}
+			}
+			if satisfied {
+				continue
+			}
+			c.lits = lits
+			switch len(lits) {
+			case 0:
+				s.ok = false
+			case 1:
+				if !s.enqueue(lits[0], nil) {
+					s.ok = false
+				}
+			default:
+				kept = append(kept, c)
+			}
+		}
+		return kept
+	}
+	s.clauses = sweep(s.clauses)
+	s.learnts = sweep(s.learnts)
+	// Rebuild watches over the surviving clauses before propagating any
+	// units the sweep enqueued: the old watcher lists still reference
+	// removed and stripped clauses.
+	for i := range s.watches {
+		s.watches[i] = s.watches[i][:0]
+	}
+	if !s.ok {
+		return
+	}
+	for _, c := range s.clauses {
+		s.attach(c)
+	}
+	for _, c := range s.learnts {
+		s.attach(c)
+	}
+	if s.propagate() != nil {
+		s.ok = false
+	}
+}
+
 // NewVar creates a new variable and returns its index.
 func (s *Solver) NewVar() int {
 	v := len(s.vars)
@@ -175,17 +268,21 @@ func (s *Solver) NewVar() int {
 }
 
 // AddClause adds a clause over existing variables. It returns false if the
-// solver is already known unsatisfiable at the top level.
+// solver is already known unsatisfiable at the top level. The solver
+// backtracks to decision level 0 first, so clauses may be added between
+// solves without the previous model's assignment leaking into the
+// level-0 simplification below.
 func (s *Solver) AddClause(lits ...Lit) bool {
 	if !s.ok {
 		return false
 	}
+	s.backtrack(0)
 	// Simplify: drop duplicate and false literals, detect tautologies.
 	out := lits[:0:0]
 	for _, l := range lits {
 		switch s.litValue(l) {
 		case lTrue:
-			return true // already satisfied at level 0 (only level 0 here)
+			return true // already satisfied at level 0
 		case lFalse:
 			continue
 		}
@@ -466,9 +563,23 @@ func luby(i int64) int64 {
 
 // Solve runs the CDCL loop and returns the outcome.
 func (s *Solver) Solve() Status {
+	return s.SolveAssuming()
+}
+
+// SolveAssuming solves under the given assumption literals: each is
+// enqueued at its own decision level below all search decisions, so an
+// Unsat verdict means "unsatisfiable under these assumptions" unless the
+// formula is unsatisfiable outright. After such an Unsat,
+// FailedAssumptions reports the subset of assumptions the refutation
+// used. Clause, activity and phase state persist across calls, which is
+// what makes repeated solves over a growing clause database cheap.
+func (s *Solver) SolveAssuming(assumptions ...Lit) Status {
 	if !s.ok {
 		return Unsat
 	}
+	s.backtrack(0)
+	s.assumptions = append(s.assumptions[:0], assumptions...)
+	s.failed = s.failed[:0]
 	var restartN int64
 	for {
 		restartN++
@@ -483,6 +594,46 @@ func (s *Solver) Solve() Status {
 		s.Stats.Restarts++
 		s.backtrack(0)
 	}
+}
+
+// FailedAssumptions returns the subset of the assumptions passed to the
+// last SolveAssuming call that an Unsat verdict depended on (the final
+// conflict clause, in assumption polarity). It is empty after Sat,
+// Unknown, or an Unsat that holds without any assumptions.
+func (s *Solver) FailedAssumptions() []Lit {
+	out := make([]Lit, len(s.failed))
+	copy(out, s.failed)
+	return out
+}
+
+// analyzeFinal computes the failed-assumption core after assumption p was
+// found false: the subset of earlier assumptions whose propagations
+// falsified it. All decisions on the trail are assumption decisions when
+// this runs, so every reason-less seen literal is itself an assumption.
+func (s *Solver) analyzeFinal(p Lit) {
+	s.failed = append(s.failed[:0], p)
+	if s.decisionLevel() == 0 {
+		return
+	}
+	s.seen[p.Var()] = true
+	for i := len(s.trail) - 1; i >= s.trailLim[0]; i-- {
+		l := s.trail[i]
+		v := l.Var()
+		if !s.seen[v] {
+			continue
+		}
+		if r := s.vars[v].reason; r != nil {
+			for _, q := range r.lits {
+				if s.vars[q.Var()].level > 0 {
+					s.seen[q.Var()] = true
+				}
+			}
+		} else {
+			s.failed = append(s.failed, l)
+		}
+		s.seen[v] = false
+	}
+	s.seen[p.Var()] = false
 }
 
 func (s *Solver) exhausted() bool {
@@ -545,6 +696,25 @@ func (s *Solver) search(conflictBudget int64) Status {
 		// where the conflicts%256 check above never fires.
 		if s.Stats.Decisions%1024 == 0 && s.exhausted() {
 			return Unknown
+		}
+		// Establish pending assumptions before any search decision; each
+		// occupies its own decision level so conflict analysis never
+		// resolves an assumption away and restarts re-enqueue them here.
+		if lvl := s.decisionLevel(); lvl < len(s.assumptions) {
+			p := s.assumptions[lvl]
+			switch s.litValue(p) {
+			case lTrue:
+				// Already implied: open an empty level to keep the
+				// level↔assumption correspondence.
+				s.trailLim = append(s.trailLim, len(s.trail))
+			case lFalse:
+				s.analyzeFinal(p)
+				return Unsat
+			default:
+				s.trailLim = append(s.trailLim, len(s.trail))
+				s.enqueue(p, nil)
+			}
+			continue
 		}
 		v := s.pickBranchVar()
 		if v < 0 {

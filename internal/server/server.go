@@ -35,6 +35,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"staub/internal/core"
 	"staub/internal/engine"
 	"staub/internal/metrics"
 )
@@ -127,6 +128,7 @@ func New(cfg Config) *Server {
 	eng := engine.New(cfg.Workers, engine.NewCache())
 	reg := metrics.NewRegistry()
 	eng.Register(reg)
+	core.RegisterRefineMetrics(reg)
 
 	s := &Server{
 		cfg:   cfg,
@@ -231,6 +233,13 @@ func (s *Server) runJob(ctx context.Context, j engine.Job) (engine.Result, bool)
 		return engine.Result{}, false
 	}
 	defer func() { <-s.slots }()
+	// A slot and the cancellation can become ready together (e.g. Abort
+	// interrupts the slot holder while this request is queued); the select
+	// then picks either branch. Re-check so a cancelled request never
+	// counts as having run.
+	if ctx.Err() != nil {
+		return engine.Result{}, false
+	}
 	t0 := time.Now()
 	res := s.eng.Solve(ctx, j)
 	s.latency.Observe(time.Since(t0))

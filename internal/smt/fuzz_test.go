@@ -26,6 +26,7 @@ func FuzzParseScript(f *testing.F) {
 		"(assert |unterminated",
 		"(assert #b)",
 		"(declare-fun x () Int)(assert (- 1 2 3))",
+		"(declare-fun x () Int)(declare-fun y () Int)(assert (= (- (* x x) (* y y)) 201))(assert (> x 90))(check-sat)",
 	}
 	for _, s := range seeds {
 		f.Add(s)

@@ -1,0 +1,81 @@
+// Incremental bitvector sessions: the façade the refinement loop uses to
+// keep one bit-blasting SAT solver alive across width-doubling rounds
+// instead of rebuilding the pipeline from scratch each round.
+package solver
+
+import (
+	"sync/atomic"
+
+	"staub/internal/bitblast"
+	"staub/internal/sat"
+	"staub/internal/smt"
+	"staub/internal/status"
+)
+
+// BVSession wraps a bitblast.Session behind the solver package's Result
+// and work-unit conventions. Each SolveRound encodes one refinement
+// round's bounded constraint into the shared solver; Result.Work charges
+// only the round's new propagations, so the deterministic virtual-time
+// cost model sees exactly the incremental work, not a re-count of state
+// carried over from earlier rounds.
+type BVSession struct {
+	sat  *sat.Solver
+	sess *bitblast.Session
+}
+
+// NewBVSession returns an empty incremental bitvector session.
+func NewBVSession() *BVSession {
+	s := sat.New()
+	return &BVSession{sat: s, sess: bitblast.NewSession(s)}
+}
+
+// Stats reports the underlying session's reuse counters.
+func (bs *BVSession) Stats() bitblast.SessionStats { return bs.sess.Stats() }
+
+// SolveRound encodes c as the next refinement round and decides it under
+// o's deadline/interrupt/budget regime. Only bitvector/boolean
+// constraints are supported (the caller dispatches other kinds to the
+// one-shot engines). o.WorkBudget bounds the round's own work; earlier
+// rounds' propagations are not double-charged against it.
+func (bs *BVSession) SolveRound(c *smt.Constraint, o Options) Result {
+	out := Result{Engine: "bitblast-incremental"}
+	if o.Ctx != nil {
+		if err := o.Ctx.Err(); err != nil {
+			out.Status, out.TimedOut, out.Work = status.Unknown, true, 1
+			return out
+		}
+		if o.Interrupt == nil {
+			o.Interrupt = new(atomic.Bool)
+		}
+		stop := watchContext(o.Ctx, o.Interrupt)
+		defer stop()
+	}
+	before := bs.sat.Stats.Propagations
+	bs.sat.Deadline = o.Deadline
+	if o.WorkBudget > 0 {
+		bs.sat.PropagationCap = before + o.WorkBudget*satWorkScale
+	} else {
+		bs.sat.PropagationCap = 0
+	}
+	if o.Interrupt != nil {
+		bs.sat.SetInterrupt(o.Interrupt)
+	}
+	work := func() int64 { return (bs.sat.Stats.Propagations - before) / satWorkScale }
+	if err := bs.sess.Encode(c); err != nil {
+		out.Status = status.Unknown
+		out.Work = max(work(), 1)
+		return out
+	}
+	st := bs.sess.Solve()
+	out.Work = max(work(), 1)
+	switch st {
+	case sat.Sat:
+		out.Status, out.Model = status.Sat, bs.sess.Model()
+	case sat.Unsat:
+		out.Status = status.Unsat
+	default:
+		out.Status = status.Unknown
+		out.TimedOut = true
+	}
+	return out
+}

@@ -1,0 +1,144 @@
+// Command refinebench compares the two §6.2 refinement loops — the fresh
+// per-round reference and the incremental assumption-based session — on
+// the harness refinement corpus, and writes the comparison as JSON
+// (BENCH_3.json at the repository root via `make bench`).
+//
+// Work units are deterministic virtual-time units, so the work columns
+// and the saved ratio are machine-independent; ns/op and allocs/op come
+// from a testing.Benchmark run of one full corpus pass per loop.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"staub/internal/core"
+	"staub/internal/harness"
+	"staub/internal/smt"
+)
+
+type loopStats struct {
+	NsPerOp     int64 `json:"ns_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	WorkUnits   int64 `json:"work_units"`
+}
+
+type instanceRow struct {
+	Name         string `json:"name"`
+	Status       string `json:"status"`
+	IncOutcome   string `json:"inc_outcome"`
+	FreshOutcome string `json:"fresh_outcome"`
+	Rounds       int    `json:"rounds"`
+	IncWork      int64  `json:"inc_work_units"`
+	FreshWork    int64  `json:"fresh_work_units"`
+}
+
+type report struct {
+	Benchmark         string        `json:"benchmark"`
+	TimeoutMS         int64         `json:"timeout_ms"`
+	RefineRounds      int           `json:"refine_rounds"`
+	Fresh             loopStats     `json:"fresh"`
+	Incremental       loopStats     `json:"incremental"`
+	WorkSavedRatio    float64       `json:"work_saved_ratio"`
+	StatusesIdentical bool          `json:"statuses_identical"`
+	ClausesRetained   int64         `json:"clauses_retained"`
+	GateHitRate       float64       `json:"gate_hit_rate"`
+	Instances         []instanceRow `json:"instances"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_3.json", "output file")
+	timeout := flag.Duration("timeout", 1500*time.Millisecond, "per-solve budget")
+	rounds := flag.Int("rounds", 3, "refinement rounds")
+	flag.Parse()
+
+	insts := harness.RefinementCorpus()
+	parsed := make([]*smt.Constraint, len(insts))
+	for i, inst := range insts {
+		c, err := smt.ParseScript(inst.Src)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", inst.Name, err))
+		}
+		parsed[i] = c
+	}
+	cfg := core.Config{Timeout: *timeout, Deterministic: true, RefineRounds: *rounds}
+	freshCfg := cfg
+	freshCfg.FreshRefine = true
+
+	rep := report{
+		Benchmark:         "refine-incremental-vs-fresh",
+		TimeoutMS:         timeout.Milliseconds(),
+		RefineRounds:      *rounds,
+		StatusesIdentical: true,
+	}
+	// Deterministic verdict/work pass: identical on every run and machine.
+	var gateHits, gateLookups int64
+	for i, inst := range insts {
+		inc := core.RunPipeline(context.Background(), parsed[i], cfg, nil)
+		fresh := core.RunPipeline(context.Background(), parsed[i], freshCfg, nil)
+		if inc.Status != fresh.Status {
+			rep.StatusesIdentical = false
+		}
+		rep.Incremental.WorkUnits += inc.SolveWork
+		rep.Fresh.WorkUnits += fresh.SolveWork
+		rep.ClausesRetained += inc.Reuse.ClausesRetained
+		gateHits += inc.Reuse.GateHits
+		gateLookups += inc.Reuse.GateHits + inc.Reuse.GateMisses
+		rep.Instances = append(rep.Instances, instanceRow{
+			Name:         inst.Name,
+			Status:       inc.Status.String(),
+			IncOutcome:   inc.Outcome.String(),
+			FreshOutcome: fresh.Outcome.String(),
+			Rounds:       inc.Refined,
+			IncWork:      inc.SolveWork,
+			FreshWork:    fresh.SolveWork,
+		})
+	}
+	if rep.Incremental.WorkUnits > 0 {
+		rep.WorkSavedRatio = round2(float64(rep.Fresh.WorkUnits) / float64(rep.Incremental.WorkUnits))
+	}
+	if gateLookups > 0 {
+		rep.GateHitRate = round2(float64(gateHits) / float64(gateLookups))
+	}
+
+	// Timing pass: one corpus sweep per op.
+	sweep := func(c core.Config) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, p := range parsed {
+					core.RunPipeline(context.Background(), p, c, nil)
+				}
+			}
+		}
+	}
+	fr := testing.Benchmark(sweep(freshCfg))
+	rep.Fresh.NsPerOp = fr.NsPerOp()
+	rep.Fresh.AllocsPerOp = fr.AllocsPerOp()
+	in := testing.Benchmark(sweep(cfg))
+	rep.Incremental.NsPerOp = in.NsPerOp()
+	rep.Incremental.AllocsPerOp = in.AllocsPerOp()
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("refinebench: %s: %d vs %d work units (%.2fx saved), statuses identical: %t\n",
+		*out, rep.Incremental.WorkUnits, rep.Fresh.WorkUnits, rep.WorkSavedRatio, rep.StatusesIdentical)
+}
+
+func round2(v float64) float64 { return float64(int64(v*100+0.5)) / 100 }
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "refinebench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,10 @@
+; Width-refinement instance: the literal 201 makes abstract
+; interpretation pick a narrow width, but the witness (x=101, y=100)
+; needs more bits, so solving this exercises the width-doubling
+; refinement loop (see internal/harness.RefinementCorpus).
+(set-logic QF_NIA)
+(declare-fun x () Int)
+(declare-fun y () Int)
+(assert (= (- (* x x) (* y y)) 201))
+(assert (> x 90))
+(check-sat)
