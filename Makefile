@@ -1,12 +1,16 @@
 GO ?= go
 
-.PHONY: check vet build test race fuzz differential bench serve-smoke
+.PHONY: check fmt vet build test race fuzz differential bench serve-smoke
 
 # check is the CI gate: static checks, build, the full suite under the
 # race detector, short fuzz passes over the SMT-LIB parser and the server
 # request decoder, the incremental-vs-fresh refinement differential under
 # -race, and an end-to-end smoke of the staub-serve binary.
-check: vet build race fuzz differential serve-smoke
+check: fmt vet build race fuzz differential serve-smoke
+
+# fmt fails if any file is not gofmt-clean, and prints the offenders.
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -40,3 +44,4 @@ serve-smoke:
 bench:
 	$(GO) test -bench=. -benchmem
 	$(GO) run ./scripts/refinebench -out BENCH_3.json
+	$(GO) run ./scripts/passbench -out BENCH_4.json

@@ -20,7 +20,8 @@
 //	ablation  width-inference ablation summary (subset of table3)
 //	reduce    §6.4 extension: width reduction of wide bitvector corpora
 //	refine    §6.2 refinement: incremental session vs fresh per-round loop
-//	all       every experiment in order (excluding reduce and refine)
+//	passes    per-stage pipeline profile from the pass-framework traces
+//	all       every experiment in order (excluding reduce, refine and passes)
 //
 // Flags:
 //
@@ -64,7 +65,7 @@ func main() {
 		return
 	}
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: staub-bench [flags] table1|table2|table3|fig2|fig7|fig8|ablation|reduce|refine|all")
+		fmt.Fprintln(os.Stderr, "usage: staub-bench [flags] table1|table2|table3|fig2|fig7|fig8|ablation|reduce|refine|passes|all")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
@@ -80,6 +81,7 @@ func main() {
 	reg := metrics.NewRegistry()
 	cache.Register(reg)
 	core.RegisterRefineMetrics(reg)
+	core.RegisterPassMetrics(reg)
 	opts := harness.Options{
 		Timeout: *timeout,
 		Seed:    *seed,
@@ -147,6 +149,13 @@ func main() {
 			fatal(err)
 		}
 		harness.RefinementPrint(w, rows)
+		reportCache(exp)
+	case "passes":
+		rows, err := harness.PassesExperiment(ctx, opts)
+		if err != nil {
+			fatal(err)
+		}
+		harness.PassesPrint(w, rows)
 		reportCache(exp)
 	case "all":
 		harness.Table1(w)

@@ -4,220 +4,76 @@
 // model verification), plus the two-core portfolio that races the pipeline
 // against an unmodified solver so no constraint ever gets slower
 // (Section 4.4).
+//
+// Since the staged-pass refactor the pipeline itself lives in
+// internal/pipeline: core is a thin assembly that re-exports the unified
+// Config/Outcome/Result taxonomy under its historical names and keeps the
+// portfolio, whose racing logic is orthogonal to the pass framework.
 package core
 
 import (
 	"context"
-	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
-	"staub/internal/absint"
-	"staub/internal/bitblast"
 	"staub/internal/eval"
-	"staub/internal/slot"
+	"staub/internal/metrics"
+	"staub/internal/pipeline"
 	"staub/internal/smt"
 	"staub/internal/solver"
 	"staub/internal/status"
 	"staub/internal/translate"
 )
 
-// Config controls a STAUB run.
-type Config struct {
-	// Limits bounds the sorts bound inference may select.
-	Limits absint.Limits
-	// FixedWidth, when positive, bypasses abstract interpretation and
-	// uses the given width for every constraint (the paper's fixed-width
-	// ablation).
-	FixedWidth int
-	// Timeout is the per-solve budget (default 2s).
-	Timeout time.Duration
-	// Profile selects the underlying solver profile.
-	Profile solver.Profile
-	// UseSLOT additionally optimizes the bounded constraint with the
-	// SLOT passes before solving (RQ2).
-	UseSLOT bool
-	// RangeHints adds per-variable range assertions from
-	// absint.InferIntPerVar to the translated constraint (the §6.2
-	// per-variable refinement realized without mixed-width operations).
-	RangeHints bool
-	// RefineRounds enables the iterative bound refinement of the paper's
-	// Section 6.2: when the bounded constraint is unsat (bounds possibly
-	// insufficient), the width is doubled and the pipeline retried up to
-	// this many times within the same overall timeout. Zero disables
-	// refinement (the paper's evaluated configuration).
-	RefineRounds int
-	// FreshRefine forces refinement rounds to rebuild the whole pipeline
-	// from scratch each round, instead of reusing one incremental
-	// bit-blasting session across rounds. The fresh loop is the reference
-	// semantics; it exists for differential testing and benchmarking.
-	FreshRefine bool
-	// Seed perturbs randomized engines.
-	Seed int64
-	// Deterministic switches the pipeline to virtual-time accounting: the
-	// bounded solve runs under a work budget derived from Timeout instead
-	// of a wall-clock deadline (the clock is kept only as a generous
-	// backstop), and every reported duration is a deterministic function
-	// of work done — identical across runs, machines and worker counts.
-	// The experiment harness measures in this mode.
-	Deterministic bool
-}
+// Config controls a STAUB run (alias of the pass framework's Config).
+type Config = pipeline.Config
 
-func (c Config) withDefaults() Config {
-	if c.Timeout == 0 {
-		c.Timeout = 2 * time.Second
-	}
-	return c
-}
+// Outcome classifies how the pipeline ended (Figure 6 of the paper);
+// alias of the unified pipeline taxonomy.
+type Outcome = pipeline.Outcome
 
-// Outcome classifies how the pipeline ended (Figure 6 of the paper).
-type Outcome int
-
-// Pipeline outcomes.
+// Figure 6 outcomes, re-exported from the unified taxonomy.
 const (
-	// OutcomeVerified: the bounded constraint was sat and its model,
-	// mapped back, satisfies the original — a definitive sat with speedup.
-	OutcomeVerified Outcome = iota
-	// OutcomeBoundedUnsat: the bounded constraint was unsat; insufficient
-	// bounds are indistinguishable from real unsatisfiability, so STAUB
-	// reverts to the original constraint.
-	OutcomeBoundedUnsat
-	// OutcomeSemanticDifference: the bounded model does not satisfy the
-	// original (overflow/rounding artifact); revert.
-	OutcomeSemanticDifference
-	// OutcomeBoundedUnknown: the bounded solve hit its budget; revert.
-	OutcomeBoundedUnknown
-	// OutcomeTransformFailed: the constraint is outside the supported
-	// fragment (mixed theories, unsupported operators); revert.
-	OutcomeTransformFailed
+	OutcomeVerified           = pipeline.OutcomeVerified
+	OutcomeBoundedUnsat       = pipeline.OutcomeBoundedUnsat
+	OutcomeSemanticDifference = pipeline.OutcomeSemanticDifference
+	OutcomeBoundedUnknown     = pipeline.OutcomeBoundedUnknown
+	OutcomeTransformFailed    = pipeline.OutcomeTransformFailed
 )
 
-func (o Outcome) String() string {
-	switch o {
-	case OutcomeVerified:
-		return "verified"
-	case OutcomeBoundedUnsat:
-		return "bounded-unsat"
-	case OutcomeSemanticDifference:
-		return "semantic-difference"
-	case OutcomeBoundedUnknown:
-		return "bounded-unknown"
-	default:
-		return "transform-failed"
-	}
-}
-
 // PipelineResult is a completed STAUB pipeline run (without the portfolio
-// leg).
-type PipelineResult struct {
-	// Outcome classifies the run.
-	Outcome Outcome
-	// Status is Sat when verified; Unknown otherwise (STAUB alone never
-	// concludes unsat).
-	Status status.Status
-	// Model is a verified model of the ORIGINAL constraint.
-	Model eval.Assignment
-	// TTrans, TPost and TCheck are the paper's cost components:
-	// translation (including inference and optional SLOT), bounded
-	// solving, and verification.
-	TTrans, TPost, TCheck time.Duration
-	// Total is TTrans + TPost + TCheck.
-	Total time.Duration
-	// Width is the bitvector width used (integer constraints).
-	Width int
-	// FPSort is the floating-point sort used (real constraints).
-	FPSort smt.Sort
-	// InferredRoot is the raw abstract-interpretation result before
-	// clamping (integer constraints).
-	InferredRoot int
-	// Refined counts bound-refinement rounds taken (Section 6.2); the
-	// reported Width is the final round's width.
-	Refined int
-	// Incremental reports that refinement ran on a persistent incremental
-	// bit-blasting session instead of fresh per-round pipelines.
-	Incremental bool
-	// SolveWork is the total bounded-solve work in deterministic work
-	// units, summed across refinement rounds. In the incremental loop each
-	// round charges only its own new propagations.
-	SolveWork int64
-	// Reuse carries the incremental session's reuse counters (only
-	// meaningful when Incremental is set).
-	Reuse bitblast.SessionStats
-	// Slot reports optimizer statistics when UseSLOT was set.
-	Slot slot.Stats
-	// Bounded is the transformed constraint (for inspection/emission).
-	Bounded *smt.Constraint
-}
+// leg); alias of the unified pipeline Result.
+type PipelineResult = pipeline.Result
 
 // Transform runs only the inference + translation steps (no solving).
 func Transform(c *smt.Constraint, cfg Config) (*translate.Result, int, error) {
-	cfg = cfg.withDefaults()
-	kind, err := translate.Classify(c)
-	if err != nil {
-		return nil, 0, err
-	}
-	if cfg.FixedWidth > 0 {
-		switch kind {
-		case translate.KindIntToBV:
-			r, err := translate.IntToBV(c, cfg.FixedWidth)
-			return r, cfg.FixedWidth, err
-		default:
-			r, err := translate.RealToFP(c, FixedFPSort(cfg.FixedWidth))
-			return r, cfg.FixedWidth, err
-		}
-	}
-	switch kind {
-	case translate.KindIntToBV:
-		x := absint.DefaultIntX(c)
-		inf := absint.InferIntWith(c, x, absint.SemPractical)
-		w := absint.SelectBVWidth(inf.Root, cfg.Limits)
-		var hints map[string]int
-		if cfg.RangeHints {
-			hints = absint.InferIntPerVar(c, x)
-		}
-		r, err := translate.IntToBVWithHints(c, w, hints)
-		return r, inf.Root, err
-	default:
-		x := absint.DefaultRealX(c)
-		inf := absint.InferReal(c, x)
-		s := absint.SelectFPSort(inf.Root, cfg.Limits)
-		r, err := translate.RealToFP(c, s)
-		return r, inf.Root.M + inf.Root.P, err
-	}
+	return pipeline.Transform(c, cfg)
 }
 
 // FixedFPSort maps a total bit width to a floating-point sort for the
 // fixed-width ablation (e.g. 16 → Float16).
 func FixedFPSort(width int) smt.Sort {
-	switch {
-	case width <= 8:
-		return smt.FloatSort(4, width-4+1)
-	case width == 16:
-		return smt.Float16Sort
-	case width == 32:
-		return smt.Float32Sort
-	case width == 64:
-		return smt.Float64Sort
-	default:
-		eb := 5
-		for (1<<(eb-1))-1 < width/2 {
-			eb++
-		}
-		return smt.FloatSort(eb, width-eb)
-	}
+	return pipeline.FixedFPSort(width)
 }
 
-// backstopDeadline bounds the wall-clock time of a deterministic run: work
-// budgets terminate the search deterministically, and the clock is kept
-// only as a generous safety net against pathological slowdowns (a fired
-// backstop sacrifices determinism to keep the process live).
-func backstopDeadline(timeout time.Duration) time.Time {
-	backstop := 10 * timeout
-	if backstop < 30*time.Second {
-		backstop = 30 * time.Second
-	}
-	return time.Now().Add(backstop)
+// RegisterRefineMetrics exposes the incremental-refinement counters
+// through reg.
+func RegisterRefineMetrics(reg *metrics.Registry) {
+	pipeline.RegisterRefineMetrics(reg)
+}
+
+// RegisterPassMetrics exposes the per-stage pipeline aggregates (runs,
+// work units, wall-time histograms, one series per pass) through reg.
+func RegisterPassMetrics(reg *metrics.Registry) {
+	pipeline.RegisterPassMetrics(reg)
+}
+
+// RefineMetricsSnapshot reports the current refinement counter values
+// (sessions, rounds, clauses retained, gate hits/misses, vars reused,
+// solve work units) for CLI summaries.
+func RefineMetricsSnapshot() map[string]int64 {
+	return pipeline.RefineMetricsSnapshot()
 }
 
 // RunPipeline executes the STAUB pipeline on c: transform, solve bounded,
@@ -226,166 +82,7 @@ func backstopDeadline(timeout time.Duration) time.Time {
 // a bounded-unsat outcome triggers width-doubling retries within the same
 // deadline (Section 6.2).
 func RunPipeline(ctx context.Context, c *smt.Constraint, cfg Config, interrupt *atomic.Bool) PipelineResult {
-	cfg = cfg.withDefaults()
-	deadline := time.Now().Add(cfg.Timeout)
-	if cfg.Deterministic {
-		deadline = backstopDeadline(cfg.Timeout)
-	}
-	if cfg.RefineRounds <= 0 || cfg.FixedWidth > 0 {
-		return runPipelineOnce(ctx, c, cfg, deadline, interrupt)
-	}
-	// Refinement only ever doubles bitvector widths, so the incremental
-	// session applies exactly to the integer→BV fragment; everything else
-	// (and the FreshRefine reference mode) takes the fresh per-round loop.
-	if !cfg.FreshRefine {
-		if kind, err := translate.Classify(c); err == nil && kind == translate.KindIntToBV {
-			return runRefineIncremental(ctx, c, cfg, deadline, interrupt)
-		}
-	}
-	return runRefineFresh(ctx, c, cfg, deadline, interrupt)
-}
-
-// runRefineFresh is the reference refinement loop: every round rebuilds
-// the full transform-solve-verify pipeline from scratch at the doubled
-// width.
-func runRefineFresh(ctx context.Context, c *smt.Constraint, cfg Config, deadline time.Time, interrupt *atomic.Bool) PipelineResult {
-	res := runPipelineOnce(ctx, c, cfg, deadline, interrupt)
-	limits := cfg.Limits
-	maxWidth := limits.MaxWidth
-	if maxWidth == 0 {
-		maxWidth = 64
-	}
-	width := res.Width
-	for round := 1; round <= cfg.RefineRounds; round++ {
-		if res.Outcome != OutcomeBoundedUnsat || width == 0 {
-			break
-		}
-		width *= 2
-		if width > maxWidth {
-			break
-		}
-		// Out of budget: virtual in deterministic mode, wall otherwise.
-		if cfg.Deterministic {
-			if res.Total >= cfg.Timeout {
-				break
-			}
-		} else if !time.Now().Before(deadline) {
-			break
-		}
-		retryCfg := cfg
-		retryCfg.FixedWidth = width
-		retry := runPipelineOnce(ctx, c, retryCfg, deadline, interrupt)
-		// Accumulate the cost of earlier rounds so measurements stay
-		// honest about total work.
-		retry.TTrans += res.TTrans
-		retry.TPost += res.TPost
-		retry.TCheck += res.TCheck
-		retry.Total += res.Total
-		retry.SolveWork += res.SolveWork
-		retry.Refined = round
-		res = retry
-	}
-	return res
-}
-
-// runPipelineOnce is a single transform-solve-verify round.
-func runPipelineOnce(ctx context.Context, c *smt.Constraint, cfg Config, deadline time.Time, interrupt *atomic.Bool) PipelineResult {
-	t0 := time.Now()
-	tr, root, err := Transform(c, cfg)
-	if err != nil {
-		res := PipelineResult{
-			Outcome: OutcomeTransformFailed,
-			Status:  status.Unknown,
-			TTrans:  time.Since(t0),
-		}
-		if cfg.Deterministic {
-			res.TTrans = solver.VirtualDuration(int64(c.NumNodes()))
-		}
-		res.Total = res.TTrans
-		return res
-	}
-	bounded := tr.Bounded
-	res := PipelineResult{
-		Width:        tr.Width,
-		FPSort:       tr.FPSort,
-		InferredRoot: root,
-	}
-	if cfg.UseSLOT {
-		opt, stats, err := slot.Optimize(bounded)
-		if err == nil {
-			bounded = opt
-			res.Slot = stats
-		}
-	}
-	res.Bounded = bounded
-	// Transformation cost: one work unit per term node visited (original
-	// inference plus the emitted bounded form) in deterministic mode.
-	transWork := int64(c.NumNodes() + bounded.NumNodes())
-	if cfg.Deterministic {
-		res.TTrans = solver.VirtualDuration(transWork)
-	} else {
-		res.TTrans = time.Since(t0)
-	}
-
-	opts := solver.Options{
-		Ctx:       ctx,
-		Deadline:  deadline,
-		Interrupt: interrupt,
-		Profile:   cfg.Profile,
-		Seed:      cfg.Seed,
-	}
-	var solveBudget int64
-	if cfg.Deterministic {
-		solveBudget = solver.WorkBudgetFor(cfg.Timeout) - transWork
-		if solveBudget < 1 {
-			solveBudget = 1
-		}
-		opts.WorkBudget = solveBudget
-	}
-	t1 := time.Now()
-	sres := solver.Solve(bounded, opts)
-	if cfg.Deterministic {
-		work := sres.Work
-		if sres.TimedOut || work > solveBudget {
-			work = solveBudget
-		}
-		res.SolveWork = work
-		res.TPost = solver.VirtualDuration(work)
-	} else {
-		res.SolveWork = sres.Work
-		res.TPost = time.Since(t1)
-	}
-
-	switch sres.Status {
-	case status.Unsat:
-		res.Outcome = OutcomeBoundedUnsat
-		res.Status = status.Unknown
-	case status.Unknown:
-		res.Outcome = OutcomeBoundedUnknown
-		res.Status = status.Unknown
-	case status.Sat:
-		t2 := time.Now()
-		model, err := tr.ModelBack(sres.Model)
-		verified := false
-		if err == nil {
-			verified = solver.VerifyModel(c, model)
-		}
-		if cfg.Deterministic {
-			res.TCheck = solver.VirtualDuration(int64(c.NumNodes()))
-		} else {
-			res.TCheck = time.Since(t2)
-		}
-		if verified {
-			res.Outcome = OutcomeVerified
-			res.Status = status.Sat
-			res.Model = model
-		} else {
-			res.Outcome = OutcomeSemanticDifference
-			res.Status = status.Unknown
-		}
-	}
-	res.Total = res.TTrans + res.TPost + res.TCheck
-	return res
+	return pipeline.Run(ctx, c, cfg, interrupt)
 }
 
 // PortfolioResult is the outcome of racing STAUB against the unmodified
@@ -407,7 +104,7 @@ type PortfolioResult struct {
 // methodology [68]: the first definitive answer wins and cancels the
 // other leg. Cancelling the context aborts both legs.
 func RunPortfolio(ctx context.Context, c *smt.Constraint, cfg Config) PortfolioResult {
-	cfg = cfg.withDefaults()
+	cfg = cfg.WithDefaults()
 	start := time.Now()
 
 	var cancelOrig, cancelStaub atomic.Bool
@@ -431,7 +128,7 @@ func RunPortfolio(ctx context.Context, c *smt.Constraint, cfg Config) PortfolioR
 		Seed:      cfg.Seed,
 	}
 	if cfg.Deterministic {
-		origOpts.Deadline = backstopDeadline(cfg.Timeout)
+		origOpts.Deadline = pipeline.BackstopDeadline(cfg.Timeout)
 		origOpts.WorkBudget = solver.WorkBudgetFor(cfg.Timeout)
 	}
 	go func() {
@@ -465,17 +162,4 @@ func RunPortfolio(ctx context.Context, c *smt.Constraint, cfg Config) PortfolioR
 	wg.Wait()
 	out.Elapsed = time.Since(start)
 	return out
-}
-
-// String summarizes a pipeline result for logs.
-func (r PipelineResult) String() string {
-	sort := ""
-	if r.Width > 0 {
-		sort = fmt.Sprintf("width=%d", r.Width)
-	} else if r.FPSort.Kind == smt.KindFloat {
-		sort = r.FPSort.String()
-	}
-	return fmt.Sprintf("%s %s trans=%v post=%v check=%v",
-		r.Outcome, sort, r.TTrans.Round(time.Microsecond),
-		r.TPost.Round(time.Microsecond), r.TCheck.Round(time.Microsecond))
 }

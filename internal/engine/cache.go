@@ -5,15 +5,20 @@ import (
 	"encoding/hex"
 	"fmt"
 	"io"
+	"strings"
 	"sync"
 
 	"staub/internal/metrics"
+	"staub/internal/pipeline"
 )
 
 // Key returns the job's content address: a hash of the canonical SMT-LIB
 // script of the constraint plus every configuration knob that can change
-// the verdict or the reported cost. Two jobs with equal keys are
-// interchangeable, so the cache may serve one's result for the other.
+// the verdict or the reported cost. Pipeline jobs additionally hash the
+// resolved pass list the configuration assembles (pipeline.Figure3PassNames),
+// so a future pass added to or removed from the chain changes the address
+// even if no knob does. Two jobs with equal keys are interchangeable, so
+// the cache may serve one's result for the other.
 func (j Job) Key() string {
 	h := sha256.New()
 	io.WriteString(h, j.Constraint.Script())
@@ -23,10 +28,11 @@ func (j Job) Key() string {
 			j.Profile, j.Timeout, j.Seed, j.Deterministic)
 	default:
 		c := j.Config
-		fmt.Fprintf(h, "|kind=%d|w=%d|t=%d|p=%d|slot=%t|hints=%t|refine=%d|fresh=%t|s=%d|det=%t|lim=%d,%d,%d,%d",
+		fmt.Fprintf(h, "|kind=%d|w=%d|t=%d|p=%d|slot=%t|hints=%t|refine=%d|fresh=%t|s=%d|det=%t|lim=%d,%d,%d,%d|trace=%t|passes=%s",
 			j.Kind, c.FixedWidth, c.Timeout, c.Profile, c.UseSLOT, c.RangeHints,
 			c.RefineRounds, c.FreshRefine, c.Seed, c.Deterministic,
-			c.Limits.MinWidth, c.Limits.MaxWidth, c.Limits.MaxSig, c.Limits.MaxPrec)
+			c.Limits.MinWidth, c.Limits.MaxWidth, c.Limits.MaxSig, c.Limits.MaxPrec,
+			c.Trace, strings.Join(pipeline.Figure3PassNames(c), ","))
 	}
 	return hex.EncodeToString(h.Sum(nil))
 }

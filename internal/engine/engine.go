@@ -19,6 +19,7 @@ import (
 
 	"staub/internal/core"
 	"staub/internal/metrics"
+	"staub/internal/pipeline"
 	"staub/internal/smt"
 	"staub/internal/solver"
 	"staub/internal/status"
@@ -87,22 +88,12 @@ func ExecuteJob(ctx context.Context, j Job) Result {
 		opts := solver.Options{Ctx: ctx, Profile: j.Profile, Seed: j.Seed}
 		if j.Deterministic {
 			opts.WorkBudget = solver.WorkBudgetFor(j.Timeout)
-			opts.Deadline = backstopDeadline(j.Timeout)
+			opts.Deadline = pipeline.BackstopDeadline(j.Timeout)
 		} else {
 			opts.Deadline = time.Now().Add(j.Timeout)
 		}
 		return Result{Solve: solver.Solve(j.Constraint, opts)}
 	}
-}
-
-// backstopDeadline mirrors core's: deterministic jobs terminate on their
-// work budget, and the wall clock is only a generous safety net.
-func backstopDeadline(timeout time.Duration) time.Time {
-	backstop := 10 * timeout
-	if backstop < 30*time.Second {
-		backstop = 30 * time.Second
-	}
-	return time.Now().Add(backstop)
 }
 
 // Engine is a reusable worker pool over solve jobs.
@@ -218,7 +209,7 @@ func (e *Engine) runOne(ctx context.Context, j Job) Result {
 	}
 	e.inFlight.Inc()
 	defer e.inFlight.Dec()
-	jctx, cancel := context.WithDeadline(ctx, backstopDeadline(j.timeout()))
+	jctx, cancel := context.WithDeadline(ctx, pipeline.BackstopDeadline(j.timeout()))
 	defer cancel()
 	if e.cache == nil {
 		return ExecuteJob(jctx, j)

@@ -9,8 +9,8 @@ import (
 
 	"staub/internal/benchgen"
 	"staub/internal/core"
-	"staub/internal/metrics"
 	"staub/internal/engine"
+	"staub/internal/metrics"
 	"staub/internal/smt"
 	"staub/internal/solver"
 )

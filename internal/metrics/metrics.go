@@ -205,6 +205,14 @@ func (r *Registry) RegisterGauge(name string, labels Labels, g *Gauge) {
 	r.series[name+labels.render()] = &series{name: name, labels: labels.render(), kind: kindGauge, g: g}
 }
 
+// RegisterHistogram adopts an existing histogram under name+labels; the
+// label set is merged into each rendered _bucket/_sum/_count series.
+func (r *Registry) RegisterHistogram(name string, labels Labels, h *Histogram) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.series[name+labels.render()] = &series{name: name, labels: labels.render(), kind: kindHistogram, h: h}
+}
+
 // sorted returns all series ordered by (name, labels) for deterministic
 // output.
 func (r *Registry) sorted() []*series {
@@ -253,7 +261,7 @@ func (r *Registry) WriteText(w io.Writer) error {
 		case kindGauge:
 			_, err = fmt.Fprintf(w, "%s%s %d\n", s.name, s.labels, s.g.Value())
 		case kindHistogram:
-			err = s.h.writeText(w, s.name)
+			err = s.h.writeText(w, s.name, s.labels)
 		}
 		if err != nil {
 			return err
@@ -262,17 +270,25 @@ func (r *Registry) WriteText(w io.Writer) error {
 	return nil
 }
 
-func (h *Histogram) writeText(w io.Writer, name string) error {
+func (h *Histogram) writeText(w io.Writer, name, labels string) error {
+	// The le label joins any series labels: {le="x"} alone, or
+	// {pass="slot",le="x"} when the series is labeled.
+	bucket := func(le string) string {
+		if labels == "" {
+			return fmt.Sprintf("{le=%q}", le)
+		}
+		return fmt.Sprintf("%s,le=%q}", labels[:len(labels)-1], le)
+	}
 	cum := int64(0)
 	for i, b := range h.bounds {
 		cum += h.counts[i].Load()
-		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatSeconds(b), cum); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, bucket(formatSeconds(b)), cum); err != nil {
 			return err
 		}
 	}
 	cum += h.counts[len(h.bounds)].Load()
-	_, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %g\n%s_count %d\n",
-		name, cum, name, h.Sum().Seconds(), name, h.Count())
+	_, err := fmt.Fprintf(w, "%s_bucket%s %d\n%s_sum%s %g\n%s_count%s %d\n",
+		name, bucket("+Inf"), cum, name, labels, h.Sum().Seconds(), name, labels, h.Count())
 	return err
 }
 

@@ -42,7 +42,7 @@ func TestHistogramBuckets(t *testing.T) {
 		t.Errorf("sum = %v, want %v", got, want)
 	}
 	var b strings.Builder
-	if err := h.writeText(&b, "m"); err != nil {
+	if err := h.writeText(&b, "m", ""); err != nil {
 		t.Fatal(err)
 	}
 	wantText := `m_bucket{le="0.001"} 2
@@ -142,5 +142,27 @@ func TestConcurrentUse(t *testing.T) {
 	}
 	if got := r.Histogram("h_seconds").Count(); got != 1600 {
 		t.Errorf("concurrent histogram count = %d, want 1600", got)
+	}
+}
+
+func TestLabeledHistogramExposition(t *testing.T) {
+	r := NewRegistry()
+	h := NewHistogram(time.Millisecond, 10*time.Millisecond)
+	r.RegisterHistogram("pass_seconds", Labels{"pass": "translate"}, h)
+	h.Observe(500 * time.Microsecond)
+	h.Observe(time.Second)
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`pass_seconds_bucket{pass="translate",le="0.001"} 1`,
+		`pass_seconds_bucket{pass="translate",le="+Inf"} 2`,
+		`pass_seconds_sum{pass="translate"} 1.0005`,
+		`pass_seconds_count{pass="translate"} 2`,
+	} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("missing %q in:\n%s", want, b.String())
+		}
 	}
 }

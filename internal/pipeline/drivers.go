@@ -1,0 +1,233 @@
+package pipeline
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+
+	"staub/internal/metrics"
+	"staub/internal/smt"
+	"staub/internal/solver"
+	"staub/internal/translate"
+)
+
+// Package-level refinement counters, exported to /metrics and
+// `staub-bench -v` through RegisterRefineMetrics. They accumulate across
+// every incremental refinement session in the process.
+var (
+	refineSessions        metrics.Counter
+	refineRounds          metrics.Counter
+	refineClausesRetained metrics.Counter
+	refineGateHits        metrics.Counter
+	refineGateMisses      metrics.Counter
+	refineVarsReused      metrics.Counter
+	refineWorkUnits       metrics.Counter
+)
+
+// RegisterRefineMetrics exposes the incremental-refinement counters
+// through reg.
+func RegisterRefineMetrics(reg *metrics.Registry) {
+	reg.RegisterCounter("staub_refine_sessions_total", nil, &refineSessions)
+	reg.RegisterCounter("staub_refine_rounds_total", nil, &refineRounds)
+	reg.RegisterCounter("staub_refine_clauses_retained_total", nil, &refineClausesRetained)
+	reg.RegisterCounter("staub_refine_gate_hits_total", nil, &refineGateHits)
+	reg.RegisterCounter("staub_refine_gate_misses_total", nil, &refineGateMisses)
+	reg.RegisterCounter("staub_refine_vars_reused_total", nil, &refineVarsReused)
+	reg.RegisterCounter("staub_refine_work_units_total", nil, &refineWorkUnits)
+}
+
+// RefineMetricsSnapshot reports the current refinement counter values
+// (sessions, rounds, clauses retained, gate hits/misses, vars reused,
+// solve work units) for CLI summaries.
+func RefineMetricsSnapshot() map[string]int64 {
+	return map[string]int64{
+		"sessions":         refineSessions.Value(),
+		"rounds":           refineRounds.Value(),
+		"clauses_retained": refineClausesRetained.Value(),
+		"gate_hits":        refineGateHits.Value(),
+		"gate_misses":      refineGateMisses.Value(),
+		"vars_reused":      refineVarsReused.Value(),
+		"work_units":       refineWorkUnits.Value(),
+	}
+}
+
+// BackstopDeadline bounds the wall-clock time of a deterministic run:
+// work budgets terminate the search deterministically, and the clock is
+// kept only as a generous safety net against pathological slowdowns (a
+// fired backstop sacrifices determinism to keep the process live).
+func BackstopDeadline(timeout time.Duration) time.Time {
+	backstop := 10 * timeout
+	if backstop < 30*time.Second {
+		backstop = 30 * time.Second
+	}
+	return time.Now().Add(backstop)
+}
+
+// Run executes the STAUB pipeline on c: transform, solve bounded, verify.
+// The context cancels the run early; the optional interrupt aborts the
+// bounded solve (used by the portfolio). With Config.RefineRounds set, a
+// bounded-unsat outcome triggers width-doubling retries within the same
+// deadline (Section 6.2).
+func Run(ctx context.Context, c *smt.Constraint, cfg Config, interrupt *atomic.Bool) Result {
+	cfg = cfg.WithDefaults()
+	deadline := time.Now().Add(cfg.Timeout)
+	if cfg.Deterministic {
+		deadline = BackstopDeadline(cfg.Timeout)
+	}
+	if cfg.RefineRounds <= 0 || cfg.FixedWidth > 0 {
+		return RunOnce(ctx, c, cfg, deadline, interrupt)
+	}
+	// Refinement only ever doubles bitvector widths, so the incremental
+	// session applies exactly to the integer→BV fragment; everything else
+	// (and the FreshRefine reference mode) takes the fresh per-round loop.
+	if !cfg.FreshRefine {
+		if kind, err := translate.Classify(c); err == nil && kind == translate.KindIntToBV {
+			return RunIncremental(ctx, c, cfg, deadline, interrupt)
+		}
+	}
+	return RunFresh(ctx, c, cfg, deadline, interrupt)
+}
+
+// RunOnce is a single transform-solve-verify round: the Figure 3 pipeline
+// assembled from the registry per Figure3PassNames.
+func RunOnce(ctx context.Context, c *smt.Constraint, cfg Config, deadline time.Time, interrupt *atomic.Bool) Result {
+	st := NewState(ctx, c, cfg, deadline, interrupt)
+	Exec(st, MustPasses(Figure3PassNames(st.Cfg)...))
+	res := st.Res
+	res.Total = res.TTrans + res.TPost + res.TCheck
+	return *res
+}
+
+// RunFresh is the reference refinement loop: every round rebuilds the
+// full transform-solve-verify pipeline from scratch at the doubled width.
+func RunFresh(ctx context.Context, c *smt.Constraint, cfg Config, deadline time.Time, interrupt *atomic.Bool) Result {
+	res := RunOnce(ctx, c, cfg, deadline, interrupt)
+	maxWidth := cfg.Limits.MaxWidth
+	if maxWidth == 0 {
+		maxWidth = 64
+	}
+	width := res.Width
+	for round := 1; round <= cfg.RefineRounds; round++ {
+		if res.Outcome != OutcomeBoundedUnsat || width == 0 {
+			break
+		}
+		width *= 2
+		if width > maxWidth {
+			break
+		}
+		// Out of budget: virtual in deterministic mode, wall otherwise.
+		if cfg.Deterministic {
+			if res.Total >= cfg.Timeout {
+				break
+			}
+		} else if !time.Now().Before(deadline) {
+			break
+		}
+		retryCfg := cfg
+		retryCfg.FixedWidth = width
+		retry := RunOnce(ctx, c, retryCfg, deadline, interrupt)
+		// Accumulate the cost of earlier rounds so measurements stay
+		// honest about total work.
+		retry.TTrans += res.TTrans
+		retry.TPost += res.TPost
+		retry.TCheck += res.TCheck
+		retry.Total += res.Total
+		retry.SolveWork += res.SolveWork
+		retry.Refined = round
+		if cfg.Trace {
+			for i := range retry.Trace {
+				retry.Trace[i].Round = round
+			}
+			retry.Trace = append(res.Trace, retry.Trace...)
+		}
+		res = retry
+	}
+	return res
+}
+
+// RunIncremental is the incremental refinement loop for integer→BV
+// constraints: one bit-blasting session (and one SAT solver) lives across
+// every width-doubling round, so each round re-encodes only what widening
+// added and each solve starts from the learned clauses, variable
+// activities and saved phases of the rounds before it. Bound inference is
+// width-independent and runs once, up front. The deterministic cost model
+// charges each round only the round's own new propagations.
+//
+// Round semantics mirror RunFresh exactly: round 0 translates at the
+// inferred width with optional range hints; retries translate at the
+// doubled fixed width without hints, each under the same per-round budget
+// the fresh loop would get.
+func RunIncremental(ctx context.Context, c *smt.Constraint, cfg Config, deadline time.Time, interrupt *atomic.Bool) Result {
+	st := NewState(ctx, c, cfg, deadline, interrupt)
+	// Memoized inference: abstract interpretation sees the original
+	// constraint only, so its results hold for every round.
+	Exec(st, MustPasses(PassInferBounds, PassRangeHints))
+	res := st.Res
+	if res.Outcome == OutcomeTransformFailed {
+		// Unreachable in practice: Run only dispatches here after a
+		// successful classification.
+		res.Total = res.TTrans + res.TPost + res.TCheck
+		return *res
+	}
+	width := st.Width
+	maxWidth := cfg.Limits.MaxWidth
+	if maxWidth == 0 {
+		maxWidth = 64
+	}
+
+	st.Session = solver.NewBVSession()
+	refineSessions.Inc()
+	res.InferredRoot = st.Root
+	res.Incremental = true
+	roundPasses := MustPasses(PassTranslate, PassSlot, PassBoundedSolve, PassVerifyModel)
+	for round := 0; ; round++ {
+		refineRounds.Inc()
+		st.Round = round
+		st.T0 = time.Now()
+		st.Width = width
+		if round > 0 {
+			st.Hints = nil
+		}
+		workBefore := res.SolveWork
+		Exec(st, roundPasses)
+		refineWorkUnits.Add(res.SolveWork - workBefore)
+		res.Refined = round
+		res.Total = res.TTrans + res.TPost + res.TCheck
+		if res.Outcome == OutcomeTransformFailed {
+			// Mirror the pre-framework semantics: a failed widening round
+			// returns without flushing the session reuse counters.
+			return *res
+		}
+		res.Reuse = st.Session.Stats()
+
+		if res.Outcome != OutcomeBoundedUnsat || round >= cfg.RefineRounds {
+			break
+		}
+		next := width * 2
+		if width == 0 || next > maxWidth {
+			break
+		}
+		// Out of budget: virtual in deterministic mode, wall otherwise.
+		if cfg.Deterministic {
+			if res.Total >= cfg.Timeout {
+				break
+			}
+		} else if !time.Now().Before(deadline) {
+			break
+		}
+		width = next
+	}
+	reuse := res.Reuse
+	refineClausesRetained.Add(reuse.ClausesRetained)
+	refineGateHits.Add(reuse.GateHits)
+	refineGateMisses.Add(reuse.GateMisses)
+	refineVarsReused.Add(reuse.VarsReused)
+	return *res
+}
+
+// Transform runs only the inference + translation stages (no solving).
+func Transform(c *smt.Constraint, cfg Config) (*translate.Result, int, error) {
+	st := NewState(context.Background(), c, cfg, time.Time{}, nil)
+	Exec(st, MustPasses(PassInferBounds, PassRangeHints, PassTranslate))
+	return st.Translated, st.Root, st.Err
+}

@@ -1,0 +1,255 @@
+package pipeline
+
+import (
+	"fmt"
+	"time"
+
+	"staub/internal/absint"
+	"staub/internal/slot"
+	"staub/internal/smt"
+	"staub/internal/solver"
+	"staub/internal/status"
+	"staub/internal/translate"
+)
+
+func init() {
+	Register(Pass{Name: PassInferBounds, Doc: "classify the theory and select bounded sorts by abstract interpretation", Run: passInferBounds})
+	Register(Pass{Name: PassRangeHints, Doc: "infer per-variable ranges for hint assertions (§6.2)", Run: passRangeHints})
+	Register(Pass{Name: PassTranslate, Doc: "translate the unbounded constraint to the selected bounded sorts", Run: passTranslate})
+	Register(Pass{Name: PassSlot, Doc: "optimize the bounded constraint with the SLOT rewrite rules", Run: passSlot})
+	Register(Pass{Name: PassBoundedSolve, Doc: "solve the bounded constraint under the time/work budget", Run: passBoundedSolve})
+	Register(Pass{Name: PassVerifyModel, Doc: "map the bounded model back and verify it against the original", Run: passVerifyModel})
+}
+
+// failTransform ends a round as transform-failed, charging the time spent
+// since the round's T0 (one virtual work unit per original node in
+// deterministic mode).
+func failTransform(st *State, err error) Verdict {
+	tt := time.Since(st.T0)
+	if st.Cfg.Deterministic {
+		tt = solver.VirtualDuration(int64(st.Original.NumNodes()))
+	}
+	st.Res.Outcome = OutcomeTransformFailed
+	st.Res.Status = status.Unknown
+	st.Res.TTrans += tt
+	st.Err = err
+	st.SpanNote = err.Error()
+	return Stop
+}
+
+// passInferBounds classifies the constraint's theory and selects the
+// bounded sorts: the fixed-width ablation takes the configured width
+// directly; otherwise abstract interpretation infers the root bound and
+// the limits clamp it (Figure 3, step 1).
+func passInferBounds(st *State) Verdict {
+	c, cfg := st.Original, st.Cfg
+	kind, err := translate.Classify(c)
+	if err != nil {
+		return failTransform(st, err)
+	}
+	st.Kind = kind
+	st.SpanWork = int64(c.NumNodes())
+	if cfg.FixedWidth > 0 {
+		st.Root = cfg.FixedWidth
+		switch kind {
+		case translate.KindIntToBV:
+			st.Width = cfg.FixedWidth
+		default:
+			st.FPSort = FixedFPSort(cfg.FixedWidth)
+		}
+		st.SpanNote = fmt.Sprintf("fixed width=%d", cfg.FixedWidth)
+		return Continue
+	}
+	switch kind {
+	case translate.KindIntToBV:
+		st.IntX = absint.DefaultIntX(c)
+		inf := absint.InferIntWith(c, st.IntX, absint.SemPractical)
+		st.Width = absint.SelectBVWidth(inf.Root, cfg.Limits)
+		st.Root = inf.Root
+		st.SpanNote = fmt.Sprintf("width=%d root=%d", st.Width, st.Root)
+	default:
+		x := absint.DefaultRealX(c)
+		inf := absint.InferReal(c, x)
+		st.FPSort = absint.SelectFPSort(inf.Root, cfg.Limits)
+		st.Root = inf.Root.M + inf.Root.P
+		st.SpanNote = fmt.Sprintf("fpsort=%v root=%d", st.FPSort, st.Root)
+	}
+	return Continue
+}
+
+// passRangeHints infers per-variable ranges for translation hints. It is
+// a no-op outside the inferred integer→BV path.
+func passRangeHints(st *State) Verdict {
+	if !st.Cfg.RangeHints || st.Cfg.FixedWidth > 0 || st.Kind != translate.KindIntToBV {
+		st.SpanNote = "skipped"
+		return Continue
+	}
+	st.Hints = absint.InferIntPerVar(st.Original, st.IntX)
+	st.SpanWork = int64(st.Original.NumNodes())
+	st.SpanNote = fmt.Sprintf("%d hints", len(st.Hints))
+	return Continue
+}
+
+// passTranslate rewrites the constraint into the selected bounded sorts
+// (Figure 3, step 2).
+func passTranslate(st *State) Verdict {
+	var (
+		tr  *translate.Result
+		err error
+	)
+	switch st.Kind {
+	case translate.KindIntToBV:
+		tr, err = translate.IntToBVWithHints(st.Original, st.Width, st.Hints)
+	default:
+		tr, err = translate.RealToFP(st.Original, st.FPSort)
+	}
+	st.Translated = tr
+	if err != nil {
+		return failTransform(st, err)
+	}
+	st.Bounded = tr.Bounded
+	st.ModelBack = tr.ModelBack
+	st.Res.Width = tr.Width
+	st.Res.FPSort = tr.FPSort
+	st.Res.InferredRoot = st.Root
+	st.SpanWork = int64(tr.Bounded.NumNodes())
+	if st.Width > 0 {
+		st.SpanNote = fmt.Sprintf("width=%d", tr.Width)
+	} else {
+		st.SpanNote = tr.FPSort.String()
+	}
+	return Continue
+}
+
+// passSlot optimizes the bounded constraint with the SLOT rewrite rules.
+// Optimizer errors are ignored: the unoptimized form stays valid.
+func passSlot(st *State) Verdict {
+	if !st.Cfg.UseSLOT {
+		st.SpanNote = "skipped"
+		return Continue
+	}
+	opt, stats, err := slot.Optimize(st.Bounded)
+	if err != nil {
+		st.SpanNote = "error: " + err.Error()
+		return Continue
+	}
+	st.Bounded = opt
+	st.Res.Slot = stats
+	st.SpanWork = int64(stats.NodesBefore)
+	st.SpanNote = fmt.Sprintf("%d->%d nodes", stats.NodesBefore, stats.NodesAfter)
+	return Continue
+}
+
+// passBoundedSolve closes the round's translation accounting (one work
+// unit per original + bounded node in deterministic mode, wall clock
+// since T0 otherwise), then solves the bounded constraint under the
+// budget — a fresh solver, or the state's incremental session when one is
+// installed (Figure 3, step 3). Unsat and unknown end the chain with the
+// state's parameterized outcomes.
+func passBoundedSolve(st *State) Verdict {
+	cfg, res := st.Cfg, st.Res
+	res.Bounded = st.Bounded
+	transWork := int64(st.Original.NumNodes() + st.Bounded.NumNodes())
+	if cfg.Deterministic {
+		res.TTrans += solver.VirtualDuration(transWork)
+	} else {
+		res.TTrans += time.Since(st.T0)
+	}
+
+	opts := solver.Options{
+		Ctx:       st.Ctx,
+		Deadline:  st.Deadline,
+		Interrupt: st.Interrupt,
+		Profile:   cfg.Profile,
+		Seed:      cfg.Seed,
+	}
+	var solveBudget int64
+	if cfg.Deterministic {
+		solveBudget = solver.WorkBudgetFor(cfg.Timeout) - transWork
+		if solveBudget < 1 {
+			solveBudget = 1
+		}
+		opts.WorkBudget = solveBudget
+	}
+	t1 := time.Now()
+	var sres solver.Result
+	if st.Session != nil {
+		sres = st.Session.SolveRound(st.Bounded, opts)
+	} else {
+		sres = solver.Solve(st.Bounded, opts)
+	}
+	work := sres.Work
+	if cfg.Deterministic {
+		if sres.TimedOut || work > solveBudget {
+			work = solveBudget
+		}
+		res.TPost += solver.VirtualDuration(work)
+	} else {
+		res.TPost += time.Since(t1)
+	}
+	res.SolveWork += work
+	st.Solve = sres
+	st.SpanWork = work
+	st.SpanNote = sres.Status.String()
+
+	switch sres.Status {
+	case status.Sat:
+		return Continue
+	case status.Unsat:
+		res.Outcome = st.UnsatOutcome
+		res.Status = status.Unknown
+	default:
+		res.Outcome = st.UnknownOutcome
+		res.Status = status.Unknown
+	}
+	return Stop
+}
+
+// passVerifyModel maps the bounded model back to the original sorts and
+// checks it against the original constraint (Figure 3, step 4): a
+// verified model is a definitive sat, anything else is a semantic
+// difference.
+func passVerifyModel(st *State) Verdict {
+	cfg, res := st.Cfg, st.Res
+	t2 := time.Now()
+	model, err := st.ModelBack(st.Solve.Model)
+	verified := err == nil && solver.VerifyModel(st.Original, model)
+	if cfg.Deterministic {
+		res.TCheck += solver.VirtualDuration(int64(st.Original.NumNodes()))
+	} else {
+		res.TCheck += time.Since(t2)
+	}
+	st.SpanWork = int64(st.Original.NumNodes())
+	if verified {
+		res.Outcome = OutcomeVerified
+		res.Status = status.Sat
+		res.Model = model
+		st.SpanNote = "verified"
+	} else {
+		res.Outcome = OutcomeSemanticDifference
+		res.Status = status.Unknown
+		st.SpanNote = "semantic-difference"
+	}
+	return Stop
+}
+
+// FixedFPSort maps a total bit width to a floating-point sort for the
+// fixed-width ablation (e.g. 16 → Float16).
+func FixedFPSort(width int) smt.Sort {
+	switch {
+	case width <= 8:
+		return smt.FloatSort(4, width-4+1)
+	case width == 16:
+		return smt.Float16Sort
+	case width == 32:
+		return smt.Float32Sort
+	case width == 64:
+		return smt.Float64Sort
+	default:
+		eb := 5
+		for (1<<(eb-1))-1 < width/2 {
+			eb++
+		}
+		return smt.FloatSort(eb, width-eb)
+	}
+}

@@ -1,0 +1,302 @@
+// Package pipeline is the staged pass framework behind STAUB. Every stage
+// of the paper's Figure 3 pipeline (bound inference, range hints,
+// translation, SLOT optimization, bounded solving, model verification) and
+// of the §6.4 width-reduction pipeline is a named Pass with a uniform
+// signature over a shared State; internal/core and internal/reduce are
+// thin assemblies of those passes pulled from one registry. The framework
+// owns the run drivers (single pass chain, §6.2 fresh and incremental
+// refinement loops), the unified Outcome/Result taxonomy, and per-stage
+// observability: cheap aggregate metrics on every pass execution, plus an
+// ordered span trace per run when Config.Trace is set.
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"staub/internal/absint"
+	"staub/internal/eval"
+	"staub/internal/smt"
+	"staub/internal/solver"
+	"staub/internal/translate"
+)
+
+// Config controls a STAUB run.
+type Config struct {
+	// Limits bounds the sorts bound inference may select.
+	Limits absint.Limits
+	// FixedWidth, when positive, bypasses abstract interpretation and
+	// uses the given width for every constraint (the paper's fixed-width
+	// ablation).
+	FixedWidth int
+	// Timeout is the per-solve budget (default 2s).
+	Timeout time.Duration
+	// Profile selects the underlying solver profile.
+	Profile solver.Profile
+	// UseSLOT additionally optimizes the bounded constraint with the
+	// SLOT passes before solving (RQ2).
+	UseSLOT bool
+	// RangeHints adds per-variable range assertions from
+	// absint.InferIntPerVar to the translated constraint (the §6.2
+	// per-variable refinement realized without mixed-width operations).
+	RangeHints bool
+	// RefineRounds enables the iterative bound refinement of the paper's
+	// Section 6.2: when the bounded constraint is unsat (bounds possibly
+	// insufficient), the width is doubled and the pipeline retried up to
+	// this many times within the same overall timeout. Zero disables
+	// refinement (the paper's evaluated configuration).
+	RefineRounds int
+	// FreshRefine forces refinement rounds to rebuild the whole pipeline
+	// from scratch each round, instead of reusing one incremental
+	// bit-blasting session across rounds. The fresh loop is the reference
+	// semantics; it exists for differential testing and benchmarking.
+	FreshRefine bool
+	// Seed perturbs randomized engines.
+	Seed int64
+	// Deterministic switches the pipeline to virtual-time accounting: the
+	// bounded solve runs under a work budget derived from Timeout instead
+	// of a wall-clock deadline (the clock is kept only as a generous
+	// backstop), and every reported duration is a deterministic function
+	// of work done — identical across runs, machines and worker counts.
+	// The experiment harness measures in this mode.
+	Deterministic bool
+	// Trace records an ordered per-stage span list into Result.Trace.
+	// Off by default: the hot path pays only atomic aggregate counters.
+	Trace bool
+}
+
+// WithDefaults fills unset fields with their defaults.
+func (c Config) WithDefaults() Config {
+	if c.Timeout == 0 {
+		c.Timeout = 2 * time.Second
+	}
+	return c
+}
+
+// Verdict is a pass's control-flow decision.
+type Verdict int
+
+// Pass verdicts.
+const (
+	// Continue hands the state to the next pass in the chain.
+	Continue Verdict = iota
+	// Stop ends the chain; the state's Result is final.
+	Stop
+)
+
+// State is the shared blackboard a pass chain operates on. The drivers
+// seed it with the original constraint and run parameters; each pass reads
+// what earlier passes produced and writes what later passes need. Fields
+// not meaningful for a given assembly stay zero.
+type State struct {
+	// Ctx cancels the run early.
+	Ctx context.Context
+	// Cfg is the run configuration (defaults applied).
+	Cfg Config
+	// Original is the input constraint; passes never mutate it.
+	Original *smt.Constraint
+	// Deadline is the wall-clock cutoff for the bounded solve.
+	Deadline time.Time
+	// Interrupt aborts the bounded solve (used by the portfolio).
+	Interrupt *atomic.Bool
+	// Session, when set, makes bounded-solve use the persistent
+	// incremental bit-blasting session instead of a fresh solver.
+	Session *solver.BVSession
+
+	// T0 anchors wall-clock translation accounting for the current round.
+	T0 time.Time
+	// Round is the refinement round (0 for single-shot runs); recorded
+	// into spans.
+	Round int
+
+	// Kind classifies the original constraint (set by infer-bounds).
+	Kind translate.Kind
+	// Width is the bitvector width to translate at (integer constraints).
+	Width int
+	// FPSort is the floating-point sort to translate at (real
+	// constraints).
+	FPSort smt.Sort
+	// Root is the raw inference result before clamping (integer: root
+	// width; real: M+P; fixed-width runs: the fixed width).
+	Root int
+	// IntX is the memoized abstract-interpretation exponent for integer
+	// constraints (shared by infer-bounds and range-hints).
+	IntX int
+	// Hints are per-variable range hints for translation (nil: none).
+	Hints map[string]int
+
+	// Translated is the translation result (set by translate).
+	Translated *translate.Result
+	// Bounded is the constraint handed to the bounded solve; translate
+	// sets it and slot may replace it with an optimized form. The
+	// reduce-int2bv pass sets it to the width-reduced constraint.
+	Bounded *smt.Constraint
+	// ModelBack maps a bounded model back to the original sorts.
+	ModelBack func(eval.Assignment) (eval.Assignment, error)
+	// Solve is the bounded solver's result (set by bounded-solve).
+	Solve solver.Result
+
+	// UnsatOutcome and UnknownOutcome parameterize bounded-solve's
+	// classification: the STAUB assembly reports
+	// bounded-unsat/bounded-unknown, the reduce assembly
+	// narrow-unsat/unknown.
+	UnsatOutcome, UnknownOutcome Outcome
+
+	// Res accumulates the run's Result across passes and rounds.
+	Res *Result
+	// Err records a transform failure for callers that need the cause
+	// (Result carries only the outcome).
+	Err error
+
+	// SpanWork and SpanNote are scratch the running pass fills for its
+	// span/metrics record; Exec resets them before each pass.
+	SpanWork int64
+	// SpanNote is a short human-readable annotation for the span.
+	SpanNote string
+}
+
+// NewState returns a State ready for Exec, configured for the STAUB
+// outcome taxonomy (reassign UnsatOutcome/UnknownOutcome for other
+// assemblies).
+func NewState(ctx context.Context, c *smt.Constraint, cfg Config, deadline time.Time, interrupt *atomic.Bool) *State {
+	return &State{
+		Ctx:            ctx,
+		Cfg:            cfg.WithDefaults(),
+		Original:       c,
+		Deadline:       deadline,
+		Interrupt:      interrupt,
+		T0:             time.Now(),
+		UnsatOutcome:   OutcomeBoundedUnsat,
+		UnknownOutcome: OutcomeBoundedUnknown,
+		Res:            &Result{},
+	}
+}
+
+// Pass is one named pipeline stage.
+type Pass struct {
+	// Name identifies the pass in the registry, spans and metrics.
+	Name string
+	// Doc is a one-line description for docs and CLI listings.
+	Doc string
+	// Run advances the state and decides whether the chain continues.
+	Run func(*State) Verdict
+}
+
+// Standard pass names. Assemblies reference passes by name so the cache
+// key, the trace and the docs all speak the same vocabulary.
+const (
+	PassInferBounds   = "infer-bounds"
+	PassRangeHints    = "range-hints"
+	PassTranslate     = "translate"
+	PassSlot          = "slot"
+	PassReduceIntToBV = "reduce-int2bv"
+	PassBoundedSolve  = "bounded-solve"
+	PassVerifyModel   = "verify-model"
+)
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Pass{}
+	passAgg  = map[string]*passMetrics{}
+)
+
+// Register adds a pass to the registry. Registering a duplicate name
+// panics: pass names are global vocabulary. Packages contribute passes
+// from init (internal/reduce registers reduce-int2bv this way, keeping
+// the dependency pointing reduce→pipeline).
+func Register(p Pass) {
+	if p.Name == "" || p.Run == nil {
+		panic("pipeline: Register requires a name and a Run func")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[p.Name]; dup {
+		panic(fmt.Sprintf("pipeline: pass %q registered twice", p.Name))
+	}
+	registry[p.Name] = p
+	passAgg[p.Name] = newPassMetrics()
+}
+
+// Lookup returns the registered pass for name.
+func Lookup(name string) (Pass, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	p, ok := registry[name]
+	return p, ok
+}
+
+// Names lists all registered pass names, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MustPasses resolves names to passes, panicking on an unknown name
+// (assemblies are wired at compile time; a miss is a programming error).
+func MustPasses(names ...string) []Pass {
+	out := make([]Pass, len(names))
+	for i, name := range names {
+		p, ok := Lookup(name)
+		if !ok {
+			panic(fmt.Sprintf("pipeline: unknown pass %q", name))
+		}
+		out[i] = p
+	}
+	return out
+}
+
+// Exec runs the pass chain over st until a pass stops it or the chain
+// ends. Every pass execution updates the aggregate per-pass metrics; when
+// Cfg.Trace is set each execution also appends a Span to st.Res.Trace.
+func Exec(st *State, passes []Pass) {
+	for _, p := range passes {
+		if runPass(st, p) == Stop {
+			return
+		}
+	}
+}
+
+func runPass(st *State, p Pass) Verdict {
+	st.SpanWork, st.SpanNote = 0, ""
+	t0 := time.Now()
+	v := p.Run(st)
+	wall := time.Since(t0)
+	if m := aggFor(p.Name); m != nil {
+		m.runs.Inc()
+		m.work.Add(st.SpanWork)
+		m.seconds.Observe(wall)
+	}
+	if st.Cfg.Trace && st.Res != nil {
+		sp := Span{Pass: p.Name, Round: st.Round, Work: st.SpanWork, Wall: wall, Note: st.SpanNote}
+		if st.Cfg.Deterministic && st.SpanWork > 0 {
+			sp.Virtual = solver.VirtualDuration(st.SpanWork)
+		}
+		st.Res.Trace = append(st.Res.Trace, sp)
+	}
+	return v
+}
+
+// Figure3PassNames is the pass chain RunOnce assembles for cfg — the
+// Figure 3 pipeline with its optional stages resolved. Exposed so the
+// engine can derive cache keys from the actual pass list.
+func Figure3PassNames(cfg Config) []string {
+	names := []string{PassInferBounds}
+	if cfg.RangeHints && cfg.FixedWidth == 0 {
+		names = append(names, PassRangeHints)
+	}
+	names = append(names, PassTranslate)
+	if cfg.UseSLOT {
+		names = append(names, PassSlot)
+	}
+	return append(names, PassBoundedSolve, PassVerifyModel)
+}

@@ -1,0 +1,134 @@
+package pipeline
+
+import (
+	"fmt"
+	"time"
+
+	"staub/internal/bitblast"
+	"staub/internal/eval"
+	"staub/internal/slot"
+	"staub/internal/smt"
+	"staub/internal/status"
+)
+
+// Outcome classifies how a pipeline run ended. It unifies the Figure 6
+// taxonomy of the STAUB pipeline (verified, bounded-unsat,
+// semantic-difference, bounded-unknown, transform-failed) with the §6.4
+// width-reduction pipeline's outcomes (narrow-unsat, no-reduction,
+// unknown): both pipelines end the same three ways — a verified model, an
+// unsat approximation, or a revert — and differ only in how the unsat and
+// give-up cases are named.
+type Outcome int
+
+// Pipeline outcomes. String renderings are stable: tables, golden files
+// and the staub-serve wire format all print these names.
+const (
+	// OutcomeVerified: the bounded (or narrowed) constraint was sat and
+	// its model, mapped back, satisfies the original — a definitive sat.
+	OutcomeVerified Outcome = iota
+	// OutcomeBoundedUnsat: the bounded constraint was unsat; insufficient
+	// bounds are indistinguishable from real unsatisfiability, so STAUB
+	// reverts to the original constraint.
+	OutcomeBoundedUnsat
+	// OutcomeSemanticDifference: the bounded model does not satisfy the
+	// original (overflow/rounding artifact); revert.
+	OutcomeSemanticDifference
+	// OutcomeBoundedUnknown: the bounded solve hit its budget; revert.
+	OutcomeBoundedUnknown
+	// OutcomeTransformFailed: the constraint is outside the supported
+	// fragment (mixed theories, unsupported operators); revert.
+	OutcomeTransformFailed
+	// OutcomeNarrowUnsat: the width-reduced constraint was unsat; revert
+	// (the reduction pipeline's spelling of bounded-unsat).
+	OutcomeNarrowUnsat
+	// OutcomeNoReduction: width inference found no narrower width.
+	OutcomeNoReduction
+	// OutcomeUnknown: budget exhausted or unsupported input in the
+	// reduction pipeline; revert.
+	OutcomeUnknown
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeVerified:
+		return "verified"
+	case OutcomeBoundedUnsat:
+		return "bounded-unsat"
+	case OutcomeSemanticDifference:
+		return "semantic-difference"
+	case OutcomeBoundedUnknown:
+		return "bounded-unknown"
+	case OutcomeTransformFailed:
+		return "transform-failed"
+	case OutcomeNarrowUnsat:
+		return "narrow-unsat"
+	case OutcomeNoReduction:
+		return "no-reduction"
+	default:
+		return "unknown"
+	}
+}
+
+// Result is a completed pipeline run — the one result taxonomy shared by
+// the STAUB pipeline (core), the §6.2 refinement loops and the §6.4
+// width-reduction pipeline (reduce). Fields not meaningful for a given
+// assembly stay zero.
+type Result struct {
+	// Outcome classifies the run.
+	Outcome Outcome
+	// Status is Sat when verified; Unknown otherwise (an approximating
+	// pipeline alone never concludes unsat).
+	Status status.Status
+	// Model is a verified model of the ORIGINAL constraint.
+	Model eval.Assignment
+	// TTrans, TPost and TCheck are the paper's cost components:
+	// translation (including inference and optional SLOT), bounded
+	// solving, and verification.
+	TTrans, TPost, TCheck time.Duration
+	// Total is TTrans + TPost + TCheck for the STAUB assemblies, and the
+	// wall-clock run time for the reduction assembly.
+	Total time.Duration
+	// Width is the bitvector width used (integer constraints).
+	Width int
+	// FPSort is the floating-point sort used (real constraints).
+	FPSort smt.Sort
+	// InferredRoot is the raw abstract-interpretation result before
+	// clamping (integer constraints).
+	InferredRoot int
+	// Refined counts bound-refinement rounds taken (Section 6.2); the
+	// reported Width is the final round's width.
+	Refined int
+	// Incremental reports that refinement ran on a persistent incremental
+	// bit-blasting session instead of fresh per-round pipelines.
+	Incremental bool
+	// SolveWork is the total bounded-solve work in deterministic work
+	// units, summed across refinement rounds. In the incremental loop each
+	// round charges only its own new propagations.
+	SolveWork int64
+	// Reuse carries the incremental session's reuse counters (only
+	// meaningful when Incremental is set).
+	Reuse bitblast.SessionStats
+	// Slot reports optimizer statistics when UseSLOT was set.
+	Slot slot.Stats
+	// Bounded is the transformed constraint (for inspection/emission).
+	Bounded *smt.Constraint
+	// FromWidth and ToWidth record a §6.4 width reduction (reduce
+	// assembly only).
+	FromWidth, ToWidth int
+	// Trace is the ordered per-stage span list, recorded only when
+	// Config.Trace is set (the hot path records aggregate metrics only).
+	Trace []Span
+}
+
+// String summarizes a pipeline result for logs.
+func (r Result) String() string {
+	sort := ""
+	if r.Width > 0 {
+		sort = fmt.Sprintf("width=%d", r.Width)
+	} else if r.FPSort.Kind == smt.KindFloat {
+		sort = r.FPSort.String()
+	}
+	return fmt.Sprintf("%s %s trans=%v post=%v check=%v",
+		r.Outcome, sort, r.TTrans.Round(time.Microsecond),
+		r.TPost.Round(time.Microsecond), r.TCheck.Round(time.Microsecond))
+}

@@ -1,0 +1,86 @@
+package pipeline
+
+import (
+	"time"
+
+	"staub/internal/metrics"
+)
+
+// Span is one pass execution in a run's trace: which stage ran, in which
+// refinement round, how much deterministic work it charged, and how long
+// it took on the wall clock and (in deterministic mode) in virtual time.
+type Span struct {
+	// Pass is the stage name (PassInferBounds, ...).
+	Pass string
+	// Round is the refinement round the pass ran in (0 outside loops).
+	Round int
+	// Work is the stage's deterministic work units (0 when a stage does
+	// no budgeted work).
+	Work int64
+	// Wall is the measured wall-clock duration (non-deterministic).
+	Wall time.Duration
+	// Virtual is the deterministic virtual duration of Work (zero unless
+	// the run is deterministic and the stage charged work).
+	Virtual time.Duration
+	// Note is a short stage-specific annotation ("width=12", "sat", ...).
+	Note string
+}
+
+// passMetrics are the always-on per-pass aggregates: every pass execution
+// pays three atomic updates here whether or not tracing is enabled.
+type passMetrics struct {
+	runs    metrics.Counter
+	work    metrics.Counter
+	seconds *metrics.Histogram
+}
+
+// passLatencyBuckets resolve the sub-millisecond stages the default
+// solve-latency buckets would lump together.
+var passLatencyBuckets = []time.Duration{
+	10 * time.Microsecond, 100 * time.Microsecond,
+	time.Millisecond, 10 * time.Millisecond, 100 * time.Millisecond,
+	time.Second, 10 * time.Second,
+}
+
+func newPassMetrics() *passMetrics {
+	return &passMetrics{seconds: metrics.NewHistogram(passLatencyBuckets...)}
+}
+
+func aggFor(name string) *passMetrics {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return passAgg[name]
+}
+
+// RegisterPassMetrics exposes the per-pass aggregates through reg as
+// labeled series: staub_pass_runs_total{pass=...},
+// staub_pass_work_units_total{pass=...} and the
+// staub_pass_seconds{pass=...} wall-time histogram.
+func RegisterPassMetrics(reg *metrics.Registry) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	for name, m := range passAgg {
+		labels := metrics.Labels{"pass": name}
+		reg.RegisterCounter("staub_pass_runs_total", labels, &m.runs)
+		reg.RegisterCounter("staub_pass_work_units_total", labels, &m.work)
+		reg.RegisterHistogram("staub_pass_seconds", labels, m.seconds)
+	}
+}
+
+// PassMetricsSnapshot reports per-pass run and work totals, keyed by pass
+// name, for CLI summaries and tests.
+func PassMetricsSnapshot() map[string]PassTotals {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make(map[string]PassTotals, len(passAgg))
+	for name, m := range passAgg {
+		out[name] = PassTotals{Runs: m.runs.Value(), Work: m.work.Value()}
+	}
+	return out
+}
+
+// PassTotals are one pass's aggregate counters.
+type PassTotals struct {
+	Runs int64
+	Work int64
+}

@@ -17,6 +17,7 @@ import (
 
 	"staub/internal/bv"
 	"staub/internal/eval"
+	"staub/internal/pipeline"
 	"staub/internal/smt"
 	"staub/internal/solver"
 	"staub/internal/status"
@@ -283,58 +284,50 @@ func (r *Result) ModelBack(narrow eval.Assignment) (eval.Assignment, error) {
 	return out, nil
 }
 
-// Outcome classifies a reduction pipeline run.
-type Outcome int
+// Outcome classifies a reduction pipeline run; alias of the unified
+// pipeline taxonomy (the reduction outcomes are the unification's
+// narrow-unsat/no-reduction/unknown spellings).
+type Outcome = pipeline.Outcome
 
-// Outcomes.
+// Reduction outcomes, re-exported from the unified taxonomy.
 const (
 	// OutcomeVerified: the narrow model sign-extends to a model of the
 	// original constraint.
-	OutcomeVerified Outcome = iota
+	OutcomeVerified = pipeline.OutcomeVerified
 	// OutcomeNarrowUnsat: the narrow constraint is unsat; revert.
-	OutcomeNarrowUnsat
+	OutcomeNarrowUnsat = pipeline.OutcomeNarrowUnsat
 	// OutcomeSemanticDifference: the narrow model does not extend; revert.
-	OutcomeSemanticDifference
+	OutcomeSemanticDifference = pipeline.OutcomeSemanticDifference
 	// OutcomeUnknown: budget exhausted or unsupported; revert.
-	OutcomeUnknown
+	OutcomeUnknown = pipeline.OutcomeUnknown
 	// OutcomeNoReduction: inference found no narrower width.
-	OutcomeNoReduction
+	OutcomeNoReduction = pipeline.OutcomeNoReduction
 )
 
-func (o Outcome) String() string {
-	switch o {
-	case OutcomeVerified:
-		return "verified"
-	case OutcomeNarrowUnsat:
-		return "narrow-unsat"
-	case OutcomeSemanticDifference:
-		return "semantic-difference"
-	case OutcomeNoReduction:
-		return "no-reduction"
-	default:
-		return "unknown"
-	}
+// PipelineResult reports a reduction pipeline run; alias of the unified
+// pipeline Result (FromWidth/ToWidth record the reduction).
+type PipelineResult = pipeline.Result
+
+func init() {
+	pipeline.Register(pipeline.Pass{
+		Name: pipeline.PassReduceIntToBV,
+		Doc:  "re-express an already-bounded BV constraint at an inferred narrower width (§6.4)",
+		Run:  passReduce,
+	})
 }
 
-// PipelineResult reports a reduction pipeline run.
-type PipelineResult struct {
-	Outcome            Outcome
-	Status             status.Status
-	Model              eval.Assignment
-	FromWidth, ToWidth int
-	Total              time.Duration
-}
-
-// RunPipeline reduces, solves narrow, and verifies — the bounded-to-
-// narrower-bounded analogue of the STAUB pipeline.
-func RunPipeline(c *smt.Constraint, timeout time.Duration, profile solver.Profile) PipelineResult {
-	start := time.Now()
-	done := func(o Outcome, st status.Status, m eval.Assignment, from, to int) PipelineResult {
-		return PipelineResult{Outcome: o, Status: st, Model: m, FromWidth: from, ToWidth: to, Total: time.Since(start)}
-	}
+// passReduce infers a narrower width for an already-bounded bitvector
+// constraint and rebuilds it there, wiring the narrow form and its
+// sign-extending model map into the state for the shared bounded-solve
+// and verify-model passes.
+func passReduce(st *pipeline.State) pipeline.Verdict {
+	c, res := st.Original, st.Res
+	st.SpanWork = int64(c.NumNodes())
 	w := InferWidth(c)
 	if w == 0 {
-		return done(OutcomeUnknown, status.Unknown, nil, 0, 0)
+		res.Outcome, res.Status = pipeline.OutcomeUnknown, status.Unknown
+		st.SpanNote = "no bitvector width"
+		return pipeline.Stop
 	}
 	declared := 0
 	for _, v := range c.Vars {
@@ -344,25 +337,39 @@ func RunPipeline(c *smt.Constraint, timeout time.Duration, profile solver.Profil
 		}
 	}
 	if w >= declared {
-		return done(OutcomeNoReduction, status.Unknown, nil, declared, declared)
+		res.Outcome, res.Status = pipeline.OutcomeNoReduction, status.Unknown
+		res.FromWidth, res.ToWidth = declared, declared
+		st.SpanNote = fmt.Sprintf("inferred %d >= declared %d", w, declared)
+		return pipeline.Stop
 	}
 	r, err := Reduce(c, w)
 	if err != nil {
-		return done(OutcomeUnknown, status.Unknown, nil, declared, w)
+		res.Outcome, res.Status = pipeline.OutcomeUnknown, status.Unknown
+		res.FromWidth, res.ToWidth = declared, w
+		st.SpanNote = "error: " + err.Error()
+		return pipeline.Stop
 	}
-	res := solver.SolveTimeout(context.Background(), r.Reduced, timeout-time.Since(start), profile)
-	switch res.Status {
-	case status.Unsat:
-		return done(OutcomeNarrowUnsat, status.Unknown, nil, r.FromWidth, w)
-	case status.Unknown:
-		return done(OutcomeUnknown, status.Unknown, nil, r.FromWidth, w)
-	}
-	model, err := r.ModelBack(res.Model)
-	if err != nil {
-		return done(OutcomeSemanticDifference, status.Unknown, nil, r.FromWidth, w)
-	}
-	if ok, err := eval.Constraint(c, model); err != nil || !ok {
-		return done(OutcomeSemanticDifference, status.Unknown, nil, r.FromWidth, w)
-	}
-	return done(OutcomeVerified, status.Sat, model, r.FromWidth, w)
+	st.Bounded = r.Reduced
+	st.ModelBack = r.ModelBack
+	res.FromWidth, res.ToWidth = r.FromWidth, w
+	res.Width = w
+	st.SpanWork = int64(c.NumNodes() + r.Reduced.NumNodes())
+	st.SpanNote = fmt.Sprintf("%d->%d bits", r.FromWidth, w)
+	return pipeline.Continue
+}
+
+// RunPipeline reduces, solves narrow, and verifies — the bounded-to-
+// narrower-bounded analogue of the STAUB pipeline, assembled from the
+// shared pass registry with the reduction outcome spellings.
+func RunPipeline(c *smt.Constraint, timeout time.Duration, profile solver.Profile) PipelineResult {
+	start := time.Now()
+	st := pipeline.NewState(context.Background(), c,
+		pipeline.Config{Timeout: timeout, Profile: profile}, start.Add(timeout), nil)
+	st.UnsatOutcome = pipeline.OutcomeNarrowUnsat
+	st.UnknownOutcome = pipeline.OutcomeUnknown
+	pipeline.Exec(st, pipeline.MustPasses(
+		pipeline.PassReduceIntToBV, pipeline.PassBoundedSolve, pipeline.PassVerifyModel))
+	res := *st.Res
+	res.Total = time.Since(start)
+	return res
 }

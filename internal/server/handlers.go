@@ -43,6 +43,9 @@ type SolveRequest struct {
 	// deadline, so the verdict and reported cost are identical across
 	// runs and machines (the experiment harness's measurement mode).
 	Deterministic bool `json:"deterministic,omitempty"`
+	// Trace asks for the ordered per-stage span list of the pipeline run
+	// in the response (pipeline/portfolio modes; off by default).
+	Trace bool `json:"trace,omitempty"`
 }
 
 // BatchRequest is the decoded body of POST /v1/batch: the shared knobs of
@@ -55,6 +58,7 @@ type BatchRequest struct {
 	Width         int      `json:"width,omitempty"`
 	SLOT          bool     `json:"slot,omitempty"`
 	Deterministic bool     `json:"deterministic,omitempty"`
+	Trace         bool     `json:"trace,omitempty"`
 }
 
 // CostSplit is the paper's per-solve cost decomposition.
@@ -80,6 +84,19 @@ type SolveResponse struct {
 	Refined   int               `json:"refined,omitempty"`
 	Cost      CostSplit         `json:"cost"`
 	ElapsedMS float64           `json:"elapsed_ms"`
+	// Trace is the ordered per-stage span list of the pipeline run,
+	// present only when the request set trace.
+	Trace []TraceSpan `json:"trace,omitempty"`
+}
+
+// TraceSpan is one pipeline stage execution on the wire.
+type TraceSpan struct {
+	Pass      string  `json:"pass"`
+	Round     int     `json:"round,omitempty"`
+	WorkUnits int64   `json:"work_units,omitempty"`
+	WallMS    float64 `json:"wall_ms"`
+	VirtualMS float64 `json:"virtual_ms,omitempty"`
+	Note      string  `json:"note,omitempty"`
 }
 
 // BatchResponse carries batch results in submission order.
@@ -111,7 +128,7 @@ func decodeSolveRequest(contentType string, body []byte, query url.Values) (Solv
 	} else {
 		req.Constraint = string(body)
 	}
-	if err := applyQuery(&req.Mode, &req.Profile, &req.TimeoutMS, &req.Width, &req.SLOT, &req.Deterministic, query); err != nil {
+	if err := applyQuery(&req.Mode, &req.Profile, &req.TimeoutMS, &req.Width, &req.SLOT, &req.Deterministic, &req.Trace, query); err != nil {
 		return req, err
 	}
 	return req, validateKnobs(req.Constraint == "", req.Mode, req.Profile, req.TimeoutMS, req.Width)
@@ -128,14 +145,14 @@ func decodeBatchRequest(body []byte, query url.Values) (BatchRequest, error) {
 	if dec.More() {
 		return req, errors.New("invalid JSON body: trailing data")
 	}
-	if err := applyQuery(&req.Mode, &req.Profile, &req.TimeoutMS, &req.Width, &req.SLOT, &req.Deterministic, query); err != nil {
+	if err := applyQuery(&req.Mode, &req.Profile, &req.TimeoutMS, &req.Width, &req.SLOT, &req.Deterministic, &req.Trace, query); err != nil {
 		return req, err
 	}
 	return req, validateKnobs(len(req.Constraints) == 0, req.Mode, req.Profile, req.TimeoutMS, req.Width)
 }
 
 // applyQuery overlays URL query parameters onto decoded body fields.
-func applyQuery(mode, profile *string, timeoutMS *int64, width *int, slot, deterministic *bool, query url.Values) error {
+func applyQuery(mode, profile *string, timeoutMS *int64, width *int, slot, deterministic, trace *bool, query url.Values) error {
 	if v := query.Get("mode"); v != "" {
 		*mode = v
 	}
@@ -159,6 +176,9 @@ func applyQuery(mode, profile *string, timeoutMS *int64, width *int, slot, deter
 	}
 	if v := query.Get("deterministic"); v != "" {
 		*deterministic = v == "1" || v == "true"
+	}
+	if v := query.Get("trace"); v != "" {
+		*trace = v == "1" || v == "true"
 	}
 	return nil
 }
@@ -216,7 +236,7 @@ func wallBudget(timeout time.Duration, deterministic bool) time.Duration {
 
 // buildJob compiles request knobs and a parsed constraint into an engine
 // job.
-func buildJob(c *smt.Constraint, mode, profile string, timeout time.Duration, width int, slot, deterministic bool) engine.Job {
+func buildJob(c *smt.Constraint, mode, profile string, timeout time.Duration, width int, slot, deterministic, trace bool) engine.Job {
 	prof := solver.Prima
 	if profile == "secunda" {
 		prof = solver.Secunda
@@ -243,6 +263,7 @@ func buildJob(c *smt.Constraint, mode, profile string, timeout time.Duration, wi
 			FixedWidth:    width,
 			UseSLOT:       slot,
 			Deterministic: deterministic,
+			Trace:         trace,
 		},
 	}
 }
@@ -267,6 +288,7 @@ func (s *Server) buildResponse(id string, j engine.Job, res engine.Result, elaps
 		out.Width = p.Pipeline.Width
 		out.Refined = p.Pipeline.Refined
 		out.Cost = costSplit(p.Pipeline)
+		out.Trace = traceSpans(p.Pipeline)
 		if p.Status == status.Sat {
 			out.Model = modelMap(p.Model)
 		}
@@ -278,6 +300,7 @@ func (s *Server) buildResponse(id string, j engine.Job, res engine.Result, elaps
 		out.Width = p.Width
 		out.Refined = p.Refined
 		out.Cost = costSplit(p)
+		out.Trace = traceSpans(p)
 		if p.Status == status.Sat {
 			out.Model = modelMap(p.Model)
 		}
@@ -296,6 +319,26 @@ func costSplit(p core.PipelineResult) CostSplit {
 }
 
 func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// traceSpans renders a pipeline trace (empty unless the job asked for
+// tracing) for the wire.
+func traceSpans(p core.PipelineResult) []TraceSpan {
+	if len(p.Trace) == 0 {
+		return nil
+	}
+	out := make([]TraceSpan, len(p.Trace))
+	for i, sp := range p.Trace {
+		out[i] = TraceSpan{
+			Pass:      sp.Pass,
+			Round:     sp.Round,
+			WorkUnits: sp.Work,
+			WallMS:    ms(sp.Wall),
+			VirtualMS: ms(sp.Virtual),
+			Note:      sp.Note,
+		}
+	}
+	return out
+}
 
 // modelMap renders a verified assignment for the wire.
 func modelMap(m eval.Assignment) map[string]string {
@@ -355,7 +398,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	timeout := s.timeout(req.TimeoutMS)
-	job := buildJob(c, req.Mode, req.Profile, timeout, req.Width, req.SLOT, req.Deterministic)
+	job := buildJob(c, req.Mode, req.Profile, timeout, req.Width, req.SLOT, req.Deterministic, req.Trace)
 	if !s.admit(1) {
 		w.Header().Set("Retry-After", retryAfter(timeout))
 		writeError(w, http.StatusTooManyRequests,
@@ -415,7 +458,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	for i := range constraints {
 		go func(i int) {
 			defer func() { done <- i }()
-			job := buildJob(constraints[i], req.Mode, req.Profile, timeout, req.Width, req.SLOT, req.Deterministic)
+			job := buildJob(constraints[i], req.Mode, req.Profile, timeout, req.Width, req.SLOT, req.Deterministic, req.Trace)
 			jt0 := time.Now()
 			res, ran := s.runJob(ctx, job)
 			if !ran {

@@ -129,6 +129,7 @@ func New(cfg Config) *Server {
 	reg := metrics.NewRegistry()
 	eng.Register(reg)
 	core.RegisterRefineMetrics(reg)
+	core.RegisterPassMetrics(reg)
 
 	s := &Server{
 		cfg:   cfg,

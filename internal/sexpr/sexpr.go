@@ -158,12 +158,20 @@ func (e *SyntaxError) Error() string {
 	return fmt.Sprintf("sexpr: %d:%d: %s", e.Line, e.Col, e.Msg)
 }
 
+// MaxDepth bounds list nesting. The reader recurses per nesting level, so
+// without a bound an adversarial input of a few hundred kilobytes of '('
+// could exhaust the stack; at this limit the deepest legitimate scripts
+// pass with orders of magnitude to spare while the parser stays well
+// inside a goroutine stack.
+const MaxDepth = 10000
+
 // Parser reads a sequence of S-expressions from an input string.
 type Parser struct {
-	src  string
-	pos  int
-	line int
-	col  int
+	src   string
+	pos   int
+	line  int
+	col   int
+	depth int
 }
 
 // NewParser returns a parser over src.
@@ -240,6 +248,11 @@ func (p *Parser) parseNode() (*Node, error) {
 	c := p.peek()
 	switch {
 	case c == '(':
+		if p.depth >= MaxDepth {
+			return nil, p.errf("list nesting exceeds %d levels", MaxDepth)
+		}
+		p.depth++
+		defer func() { p.depth-- }()
 		p.advance()
 		n := &Node{Kind: KindList, Line: line, Col: col}
 		for {

@@ -152,3 +152,28 @@ func TestParserNextSequential(t *testing.T) {
 		t.Errorf("Next() yielded %d nodes, want 3", count)
 	}
 }
+
+func TestMaxDepth(t *testing.T) {
+	// One level under the limit parses; at the limit the reader refuses
+	// with a syntax error rather than exhausting the stack.
+	deepOK := strings.Repeat("(", MaxDepth-1) + "x" + strings.Repeat(")", MaxDepth-1)
+	if _, err := ParseAll(deepOK); err != nil {
+		t.Fatalf("nesting at MaxDepth-1 should parse, got %v", err)
+	}
+	tooDeep := strings.Repeat("(", MaxDepth+1) + "x" + strings.Repeat(")", MaxDepth+1)
+	if _, err := ParseAll(tooDeep); err == nil {
+		t.Fatal("nesting beyond MaxDepth should fail")
+	} else if !strings.Contains(err.Error(), "nesting exceeds") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	// The depth counter must unwind: the parser stays usable for a
+	// following shallow expression after a deep one.
+	p := NewParser(deepOK + " (a b)")
+	if _, err := p.Next(); err != nil {
+		t.Fatal(err)
+	}
+	n, err := p.Next()
+	if err != nil || n == nil || n.Len() != 2 {
+		t.Fatalf("shallow follow-up after deep nesting: node=%v err=%v", n, err)
+	}
+}

@@ -1,0 +1,131 @@
+package slot
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"staub/internal/bv"
+	"staub/internal/eval"
+	"staub/internal/smt"
+)
+
+// TestRewriteRules drives every identity, fold and strength-reduction rule
+// through Optimize one at a time: each case asserts via Stats that its rule
+// actually fired (a rewrite silently not firing would otherwise pass any
+// output check that the input also satisfies), optionally pins the rewritten
+// shape, and then checks the original and optimized constraints agree under
+// a batch of random models. Cases stay division-free so the random models
+// never hit partial operations.
+func TestRewriteRules(t *testing.T) {
+	const decls = `
+		(declare-fun p () Bool)
+		(declare-fun q () Bool)
+		(declare-fun x () (_ BitVec 8))
+		(declare-fun y () (_ BitVec 8))`
+	cases := []struct {
+		name string
+		src  string // assertion body (Bool sorted)
+		// which Stats counter must advance
+		fired func(Stats) bool
+		want  string // optional substring of the optimized script
+	}{
+		{"not-not", `(not (not p))`, identities, ""},
+		{"not-true", `(or q (not true))`, identities, ""},
+		{"not-false", `(not false)`, folded, ""}, // all-const: folding wins over the identity rule
+		{"and-true-dropped", `(and p true q)`, identities, "(and p q)"},
+		{"and-false-annihilates", `(or p (and q false))`, identities, ""},
+		{"and-flatten-dedup", `(and p (and p q))`, identities, "(and p q)"},
+		{"and-complement", `(or q (and p (not p)))`, identities, ""},
+		{"or-false-dropped", `(or p false q)`, identities, "(or p q)"},
+		{"or-true-annihilates", `(and q (or p true))`, identities, ""},
+		{"or-flatten-dedup", `(or p (or p q))`, identities, "(or p q)"},
+		{"or-complement", `(and q (or p (not p)))`, identities, ""},
+		{"ite-true", `(= x (ite true x y))`, identities, ""},
+		{"ite-false", `(= x (ite false y x))`, identities, ""},
+		{"ite-same-branches", `(= x (ite p y y))`, identities, "(= x y)"},
+		{"eq-self", `(or p (= x x))`, identities, ""},
+		{"bvule-self", `(or p (bvule x x))`, identities, ""},
+		{"bvsge-self", `(or p (bvsge x x))`, identities, ""},
+		{"bvslt-self", `(or p (not (bvslt x x)))`, identities, ""},
+		{"bvugt-self", `(or p (not (bvugt x x)))`, identities, ""},
+		{"add-zero", `(= x (bvadd y (_ bv0 8)))`, identities, "(= x y)"},
+		{"add-const-chain", `(= x (bvadd y (_ bv3 8) (_ bv4 8)))`, identities, "(_ bv7 8)"},
+		{"sub-self", `(= x (bvsub y y))`, identities, "(_ bv0 8)"},
+		{"sub-zero", `(= x (bvsub y (_ bv0 8)))`, identities, "(= x y)"},
+		{"mul-one", `(= x (bvmul y (_ bv1 8)))`, identities, "(= x y)"},
+		{"mul-zero", `(= x (bvmul y (_ bv0 8)))`, identities, "(_ bv0 8)"},
+		{"mul-const-chain", `(= x (bvmul y (_ bv3 8) (_ bv5 8)))`, identities, "(_ bv15 8)"},
+		{"xor-self", `(= x (bvxor y y))`, identities, "(_ bv0 8)"},
+		{"xor-zero-right", `(= x (bvxor y (_ bv0 8)))`, identities, "(= x y)"},
+		{"xor-zero-left", `(= x (bvxor (_ bv0 8) y))`, identities, "(= x y)"},
+		{"and-self", `(= x (bvand y y))`, identities, "(= x y)"},
+		{"and-zero", `(= x (bvand y (_ bv0 8)))`, identities, "(_ bv0 8)"},
+		{"or-self", `(= x (bvor y y))`, identities, "(= x y)"},
+		{"or-zero-right", `(= x (bvor y (_ bv0 8)))`, identities, "(= x y)"},
+		{"or-zero-left", `(= x (bvor (_ bv0 8) y))`, identities, "(= x y)"},
+		{"neg-neg", `(= x (bvneg (bvneg y)))`, identities, "(= x y)"},
+		{"shift-from-mul", `(= x (bvmul y (_ bv8 8)))`, reduced, "bvshl"},
+		{"fold-bv-arith", `(= x (bvadd (_ bv200 8) (_ bv100 8)))`, folded, "(_ bv44 8)"},
+		{"fold-bool", `(or p (bvult (_ bv3 8) (_ bv4 8)))`, folded, ""},
+		{"fold-int", `(and p (= (+ 2 3) 5))`, folded, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c, err := smt.ParseScript(decls + "(assert " + tc.src + ")(check-sat)")
+			if err != nil {
+				t.Fatal(err)
+			}
+			opt, stats, err := Optimize(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !tc.fired(stats) {
+				t.Errorf("expected rewrite did not fire: %+v", stats)
+			}
+			if tc.want != "" && !strings.Contains(opt.Script(), tc.want) {
+				t.Errorf("want %q in optimized script:\n%s", tc.want, opt.Script())
+			}
+			assertEquisat(t, c, opt)
+		})
+	}
+}
+
+func identities(s Stats) bool { return s.Identities > 0 }
+func reduced(s Stats) bool    { return s.Reduced > 0 }
+func folded(s Stats) bool     { return s.Folded > 0 }
+
+// assertEquisat checks that c and opt agree under random models over c's
+// declared variables. Deterministic seed: failures reproduce.
+func assertEquisat(t *testing.T, c, opt *smt.Constraint) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		asg := eval.Assignment{}
+		for _, v := range c.Vars {
+			switch v.Sort.Kind {
+			case smt.KindBool:
+				asg[v.Name] = eval.BoolValue(rng.Intn(2) == 1)
+			case smt.KindBitVec:
+				w := v.Sort.Width
+				asg[v.Name] = eval.BVValue(bv.NewInt64(w, rng.Int63n(1<<uint(w))))
+			case smt.KindInt:
+				asg[v.Name] = eval.IntValue64(rng.Int63n(201) - 100)
+			default:
+				t.Fatalf("unhandled sort %v for %s", v.Sort, v.Name)
+			}
+		}
+		want, err := eval.Constraint(c, asg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := eval.Constraint(opt, asg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("optimization changed semantics under %v:\noriginal:\n%s\noptimized:\n%s",
+				asg, c.Script(), opt.Script())
+		}
+	}
+}

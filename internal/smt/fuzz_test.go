@@ -3,6 +3,7 @@ package smt
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -27,6 +28,13 @@ func FuzzParseScript(f *testing.F) {
 		"(assert #b)",
 		"(declare-fun x () Int)(assert (- 1 2 3))",
 		"(declare-fun x () Int)(declare-fun y () Int)(assert (= (- (* x x) (* y y)) 201))(assert (> x 90))(check-sat)",
+		// Pathological nesting: beyond the reader's depth limit (must
+		// error, not overflow the stack)…
+		"(declare-fun p () Bool)(assert " +
+			strings.Repeat("(not ", 12000) + "p" + strings.Repeat(")", 12000) + ")(check-sat)",
+		// …and deep but legal nesting that must round-trip.
+		"(declare-fun p () Bool)(assert " +
+			strings.Repeat("(not ", 500) + "p" + strings.Repeat(")", 500) + ")(check-sat)",
 	}
 	for _, s := range seeds {
 		f.Add(s)

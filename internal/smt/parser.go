@@ -28,9 +28,16 @@ func ParseScript(src string) (*Constraint, error) {
 	return c, nil
 }
 
+// maxTermDepth bounds term nesting. The term builder recurses per level,
+// and sexpr.MaxDepth already bounds the raw reader the same way; this
+// guard keeps the typed layer safe even for trees assembled by other
+// front ends.
+const maxTermDepth = 10000
+
 type scriptParser struct {
-	c    *Constraint
-	defs map[string]*Term // zero-arity define-fun macros
+	c     *Constraint
+	defs  map[string]*Term // zero-arity define-fun macros
+	depth int
 }
 
 func (p *scriptParser) command(n *sexpr.Node) error {
@@ -211,6 +218,11 @@ func (s *letScope) lookup(name string) (*Term, bool) {
 }
 
 func (p *scriptParser) term(n *sexpr.Node, scope *letScope) (*Term, error) {
+	if p.depth >= maxTermDepth {
+		return nil, fmt.Errorf("smt: %d:%d: term nesting exceeds %d levels", n.Line, n.Col, maxTermDepth)
+	}
+	p.depth++
+	defer func() { p.depth-- }()
 	b := p.c.Builder
 	switch n.Kind {
 	case sexpr.KindNumeral:

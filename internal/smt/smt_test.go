@@ -4,6 +4,8 @@ import (
 	"math/big"
 	"strings"
 	"testing"
+
+	"staub/internal/sexpr"
 )
 
 func TestHashConsing(t *testing.T) {
@@ -306,5 +308,58 @@ func TestNegativeLiteralFolding(t *testing.T) {
 	})
 	if !found {
 		t.Errorf("(- 5) should fold to the constant -5: %s", c.Assertions[0])
+	}
+}
+
+func TestParseScriptDeepNesting(t *testing.T) {
+	// Deep but legal nesting parses and round-trips; printing exercises
+	// the explicit-stack writeTerm on a tree thousands of levels deep.
+	depth := 5000
+	src := "(declare-fun p () Bool)(assert " +
+		strings.Repeat("(not ", depth) + "p" + strings.Repeat(")", depth) + ")(check-sat)"
+	c, err := ParseScript(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := c.Script()
+	if got := strings.Count(out, "(not"); got != depth {
+		t.Fatalf("printed script has %d not applications, want %d", got, depth)
+	}
+	if _, err := ParseScript(out); err != nil {
+		t.Fatalf("printed script does not reparse: %v", err)
+	}
+	// Past the reader's limit the whole script must fail cleanly.
+	tooDeep := "(declare-fun p () Bool)(assert " +
+		strings.Repeat("(not ", 12000) + "p" + strings.Repeat(")", 12000) + ")(check-sat)"
+	if _, err := ParseScript(tooDeep); err == nil {
+		t.Fatal("nesting beyond the reader limit should fail")
+	}
+}
+
+func TestTermDepthGuard(t *testing.T) {
+	// Drive the typed term builder past maxTermDepth with an sexpr tree
+	// assembled programmatically (the reader's own limit would otherwise
+	// trip first, since both limits coincide).
+	node := sexpr.Symbol("p")
+	for i := 0; i < maxTermDepth+1; i++ {
+		node = sexpr.List(sexpr.Symbol("not"), node)
+	}
+	c := NewConstraint("")
+	if _, err := c.Declare("p", BoolSort); err != nil {
+		t.Fatal(err)
+	}
+	p := &scriptParser{c: c, defs: map[string]*Term{}}
+	if _, err := p.term(node, nil); err == nil {
+		t.Fatal("term nesting beyond maxTermDepth should fail")
+	} else if !strings.Contains(err.Error(), "nesting exceeds") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if p.depth != 0 {
+		t.Fatalf("depth counter did not unwind: %d", p.depth)
+	}
+	// The parser stays usable afterwards.
+	ok := sexpr.List(sexpr.Symbol("not"), sexpr.Symbol("p"))
+	if _, err := p.term(ok, nil); err != nil {
+		t.Fatalf("shallow term after deep failure: %v", err)
 	}
 }

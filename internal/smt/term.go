@@ -83,34 +83,50 @@ func (t *Term) String() string {
 	return b.String()
 }
 
+// writeTerm renders t with an explicit work stack rather than recursion,
+// so printing depth is bounded by heap rather than goroutine stack — deep
+// terms (up to the parser's nesting limit) print without risk of overflow.
 func writeTerm(b *strings.Builder, t *Term) {
-	switch t.Op {
-	case OpVar:
-		b.WriteString(t.Name)
-	case OpTrue:
-		b.WriteString("true")
-	case OpFalse:
-		b.WriteString("false")
-	case OpIntConst:
-		if t.IntVal.Sign() < 0 {
-			fmt.Fprintf(b, "(- %s)", new(big.Int).Neg(t.IntVal).String())
-		} else {
-			b.WriteString(t.IntVal.String())
+	type frame struct {
+		t   *Term  // term to render, or
+		lit string // literal text to emit
+	}
+	stack := []frame{{t: t}}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if f.t == nil {
+			b.WriteString(f.lit)
+			continue
 		}
-	case OpRealConst:
-		writeRat(b, t.RatVal)
-	case OpBVConst:
-		fmt.Fprintf(b, "(_ bv%s %d)", t.IntVal.String(), t.Sort.Width)
-	case OpFPConst:
-		writeFPConst(b, t)
-	default:
-		b.WriteByte('(')
-		b.WriteString(opHead(t))
-		for _, a := range t.Args {
-			b.WriteByte(' ')
-			writeTerm(b, a)
+		u := f.t
+		switch u.Op {
+		case OpVar:
+			b.WriteString(u.Name)
+		case OpTrue:
+			b.WriteString("true")
+		case OpFalse:
+			b.WriteString("false")
+		case OpIntConst:
+			if u.IntVal.Sign() < 0 {
+				fmt.Fprintf(b, "(- %s)", new(big.Int).Neg(u.IntVal).String())
+			} else {
+				b.WriteString(u.IntVal.String())
+			}
+		case OpRealConst:
+			writeRat(b, u.RatVal)
+		case OpBVConst:
+			fmt.Fprintf(b, "(_ bv%s %d)", u.IntVal.String(), u.Sort.Width)
+		case OpFPConst:
+			writeFPConst(b, u)
+		default:
+			b.WriteByte('(')
+			b.WriteString(opHead(u))
+			stack = append(stack, frame{lit: ")"})
+			for i := len(u.Args) - 1; i >= 0; i-- {
+				stack = append(stack, frame{t: u.Args[i]}, frame{lit: " "})
+			}
 		}
-		b.WriteByte(')')
 	}
 }
 

@@ -1,0 +1,154 @@
+// Command passbench measures what per-stage tracing costs on the hot
+// path, and profiles where the pipeline's deterministic work goes per
+// pass. It sweeps the harness refinement corpus through the staged
+// pipeline twice — tracing off (the production default) and tracing on —
+// and writes the comparison as JSON (BENCH_4.json at the repository root
+// via `make bench`).
+//
+// The verdicts of the two sweeps must be identical: tracing is
+// observability only and may never change an outcome. The overhead ratio
+// quantifies the cost of leaving tracing on; the per-pass rows come from
+// the traced sweep's spans and use deterministic virtual-time work units,
+// so they are machine-independent.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"staub/internal/core"
+	"staub/internal/harness"
+	"staub/internal/pipeline"
+	"staub/internal/smt"
+)
+
+type sweepStats struct {
+	NsPerOp     int64 `json:"ns_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+}
+
+type passRow struct {
+	Pass      string  `json:"pass"`
+	Runs      int     `json:"runs"`
+	WorkUnits int64   `json:"work_units"`
+	SharePct  float64 `json:"share_pct"`
+}
+
+type report struct {
+	Benchmark         string     `json:"benchmark"`
+	TimeoutMS         int64      `json:"timeout_ms"`
+	RefineRounds      int        `json:"refine_rounds"`
+	TraceOff          sweepStats `json:"trace_off"`
+	TraceOn           sweepStats `json:"trace_on"`
+	OverheadRatio     float64    `json:"trace_overhead_ratio"`
+	VerdictsIdentical bool       `json:"verdicts_identical"`
+	Passes            []passRow  `json:"passes"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_4.json", "output file")
+	timeout := flag.Duration("timeout", 1500*time.Millisecond, "per-solve budget")
+	rounds := flag.Int("rounds", 3, "refinement rounds")
+	flag.Parse()
+
+	insts := harness.RefinementCorpus()
+	parsed := make([]*smt.Constraint, len(insts))
+	for i, inst := range insts {
+		c, err := smt.ParseScript(inst.Src)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", inst.Name, err))
+		}
+		parsed[i] = c
+	}
+	off := core.Config{Timeout: *timeout, Deterministic: true, RefineRounds: *rounds}
+	on := off
+	on.Trace = true
+
+	rep := report{
+		Benchmark:         "pipeline-trace-overhead",
+		TimeoutMS:         timeout.Milliseconds(),
+		RefineRounds:      *rounds,
+		VerdictsIdentical: true,
+	}
+
+	// Deterministic pass: verdict parity and the per-pass work profile.
+	agg := map[string]*passRow{}
+	var totalWork int64
+	for i := range parsed {
+		plain := core.RunPipeline(context.Background(), parsed[i], off, nil)
+		traced := core.RunPipeline(context.Background(), parsed[i], on, nil)
+		if plain.Status != traced.Status || plain.Outcome != traced.Outcome {
+			rep.VerdictsIdentical = false
+		}
+		if len(plain.Trace) != 0 {
+			fatal(fmt.Errorf("%s: spans recorded with tracing off", insts[i].Name))
+		}
+		for _, sp := range traced.Trace {
+			row := agg[sp.Pass]
+			if row == nil {
+				row = &passRow{Pass: sp.Pass}
+				agg[sp.Pass] = row
+			}
+			row.Runs++
+			row.WorkUnits += sp.Work
+			totalWork += sp.Work
+		}
+	}
+	order := []string{
+		pipeline.PassInferBounds, pipeline.PassRangeHints, pipeline.PassTranslate,
+		pipeline.PassSlot, pipeline.PassReduceIntToBV,
+		pipeline.PassBoundedSolve, pipeline.PassVerifyModel,
+	}
+	for _, name := range order {
+		if row := agg[name]; row != nil {
+			if totalWork > 0 {
+				row.SharePct = round2(100 * float64(row.WorkUnits) / float64(totalWork))
+			}
+			rep.Passes = append(rep.Passes, *row)
+		}
+	}
+
+	// Timing pass: one corpus sweep per op, tracing off then on.
+	sweep := func(c core.Config) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, p := range parsed {
+					core.RunPipeline(context.Background(), p, c, nil)
+				}
+			}
+		}
+	}
+	offR := testing.Benchmark(sweep(off))
+	rep.TraceOff.NsPerOp = offR.NsPerOp()
+	rep.TraceOff.AllocsPerOp = offR.AllocsPerOp()
+	onR := testing.Benchmark(sweep(on))
+	rep.TraceOn.NsPerOp = onR.NsPerOp()
+	rep.TraceOn.AllocsPerOp = onR.AllocsPerOp()
+	if rep.TraceOff.NsPerOp > 0 {
+		rep.OverheadRatio = round2(float64(rep.TraceOn.NsPerOp) / float64(rep.TraceOff.NsPerOp))
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("passbench: %s: trace on/off overhead %.2fx, verdicts identical: %t, %d passes profiled\n",
+		*out, rep.OverheadRatio, rep.VerdictsIdentical, len(rep.Passes))
+}
+
+func round2(v float64) float64 { return float64(int64(v*100+0.5)) / 100 }
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "passbench:", err)
+	os.Exit(1)
+}
