@@ -1,12 +1,13 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race fuzz differential bench serve-smoke
+.PHONY: check fmt vet build test race fuzz differential chaos bench serve-smoke
 
 # check is the CI gate: static checks, build, the full suite under the
 # race detector, short fuzz passes over the SMT-LIB parser and the server
 # request decoder, the incremental-vs-fresh refinement differential under
-# -race, and an end-to-end smoke of the staub-serve binary.
-check: fmt vet build race fuzz differential serve-smoke
+# -race, the short chaos gate, and an end-to-end smoke of the
+# staub-serve binary.
+check: fmt vet build race fuzz differential chaos serve-smoke
 
 # fmt fails if any file is not gofmt-clean, and prints the offenders.
 fmt:
@@ -35,6 +36,13 @@ differential:
 	$(GO) test -race -count=1 -run 'TestRefinementDifferentialIncrementalVsFresh' ./internal/core
 	$(GO) test -race -count=1 -run 'TestSessionMatchesFresh' ./internal/bitblast
 
+# chaos is the short chaos gate: a corpus subset under every fault class
+# with fixed seeds, race detector on — no crash, no verdict flip,
+# injection counters matching what fired. The full-corpus suite runs with
+# the rest of the tests via `race`.
+chaos:
+	$(GO) test -race -short -count=1 -run 'TestChaos' ./internal/chaos
+
 # serve-smoke boots the real staub-serve on a random port, solves a
 # testdata constraint over HTTP, scrapes /metrics, and asserts a clean
 # drain on SIGTERM.
@@ -45,3 +53,4 @@ bench:
 	$(GO) test -bench=. -benchmem
 	$(GO) run ./scripts/refinebench -out BENCH_3.json
 	$(GO) run ./scripts/passbench -out BENCH_4.json
+	$(GO) run ./scripts/chaosbench -out BENCH_5.json

@@ -18,6 +18,9 @@
 //	-max-batch N     constraints allowed per /v1/batch request (default 64)
 //	-drain D         grace period for in-flight requests on shutdown (default 30s)
 //	-pprof           expose net/http/pprof profiling under /debug/pprof/ (default off)
+//	-chaos SPEC      enable deterministic fault injection, e.g.
+//	                 "fault=pass-panic,rate=0.01,seed=7" (default off; for
+//	                 resilience drills — never in production)
 //	-version         print the build string and exit
 //
 // Shutdown: the first SIGINT/SIGTERM stops accepting work (healthz turns
@@ -40,6 +43,7 @@ import (
 	"time"
 
 	"staub/internal/buildinfo"
+	"staub/internal/chaos"
 	"staub/internal/server"
 )
 
@@ -54,6 +58,7 @@ func main() {
 		maxBatch    = flag.Int("max-batch", 64, "constraints allowed per /v1/batch request")
 		drain       = flag.Duration("drain", 30*time.Second, "grace period for in-flight requests on shutdown")
 		pprofOn     = flag.Bool("pprof", false, "expose net/http/pprof profiling under /debug/pprof/")
+		chaosSpec   = flag.String("chaos", "", `enable deterministic fault injection, e.g. "fault=pass-panic,rate=0.01,seed=7"`)
 		showVersion = flag.Bool("version", false, "print the build string and exit")
 	)
 	flag.Parse()
@@ -63,6 +68,15 @@ func main() {
 	}
 
 	logger := log.New(os.Stderr, "staub-serve: ", log.LstdFlags|log.Lmsgprefix)
+	if *chaosSpec != "" {
+		cfg, err := chaos.ParseSpec(*chaosSpec)
+		if err != nil {
+			logger.Fatalf("-chaos: %v", err)
+		}
+		chaos.Enable(chaos.NewInjector(cfg))
+		logger.Printf("CHAOS ENABLED (%s): injecting %s faults at rate %g — drill mode, not for production",
+			*chaosSpec, cfg.Fault, cfg.Rate)
+	}
 	srv := server.New(server.Config{
 		Workers:         *jobs,
 		QueueDepth:      *queue,

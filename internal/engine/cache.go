@@ -63,6 +63,11 @@ func NewCache() *Cache {
 // do returns the cached result for key, or computes it with f. The second
 // return of f reports whether the result may be memoized (false for runs
 // cut short by cancellation). do's own second return reports a cache hit.
+//
+// do is panic-safe: if f panics, the in-flight entry is removed and its
+// waiters are released with a faulted unknown result before the panic
+// propagates, so a poisoned job can neither deadlock concurrent identical
+// jobs nor leave a permanently wedged entry in the cache.
 func (c *Cache) do(key string, f func() (Result, bool)) (Result, bool) {
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok {
@@ -75,7 +80,19 @@ func (c *Cache) do(key string, f func() (Result, bool)) (Result, bool) {
 	c.entries[key] = e
 	c.mu.Unlock()
 
+	completed := false
+	defer func() {
+		if completed {
+			return
+		}
+		e.res = Result{Fault: pipeline.FaultPanic, Err: "engine: cached compute panicked"}
+		c.mu.Lock()
+		delete(c.entries, key)
+		c.mu.Unlock()
+		close(e.done)
+	}()
 	res, keep := f()
+	completed = true
 	e.res = res
 	if !keep {
 		c.mu.Lock()

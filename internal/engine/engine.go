@@ -12,11 +12,13 @@ package engine
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"staub/internal/chaos"
 	"staub/internal/core"
 	"staub/internal/metrics"
 	"staub/internal/pipeline"
@@ -62,6 +64,15 @@ type Result struct {
 	// CacheHit reports that the result came from the solve cache (or from
 	// joining an identical in-flight job) rather than a fresh solve.
 	CacheHit bool
+	// Fault classifies a contained failure for this job (the
+	// pipeline.Fault* vocabulary); empty for clean results. Faulted
+	// results are never memoized in the solve cache.
+	Fault string
+	// Transient marks a fault the caller may retry once (chaos-injected
+	// transient errors).
+	Transient bool
+	// Err describes the fault for logs and API error entries.
+	Err string
 }
 
 // timeout returns the job's effective time budget.
@@ -77,11 +88,35 @@ func (j Job) timeout() time.Duration {
 
 // ExecuteJob runs a single job to completion with no pool and no cache —
 // the sequential oracle the worker pool is tested against. The context
-// cancels the solve early.
-func ExecuteJob(ctx context.Context, j Job) Result {
+// cancels the solve early. Panics escaping the solve (from any layer not
+// already contained by the pipeline) are recovered into a faulted unknown
+// result, so one poisoned job can never take down its caller.
+func ExecuteJob(ctx context.Context, j Job) (res Result) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = faultResult(j, pipeline.FaultPanic, fmt.Sprintf("engine: job panicked: %v", r))
+		}
+	}()
+	switch chaos.At("engine:job") {
+	case chaos.FaultPassPanic:
+		panic(chaos.Injected{Site: "engine:job"})
+	case chaos.FaultTransientError:
+		return faultResult(j, pipeline.FaultTransient, "chaos: injected transient error at engine:job")
+	case chaos.FaultSolverStall:
+		chaos.Stall(j.timeout(), func() bool { return ctx.Err() != nil })
+		return faultResult(j, pipeline.FaultStall, "chaos: injected stall at engine:job")
+	case chaos.FaultBudgetBlowup:
+		return faultResult(j, pipeline.FaultBudget, "chaos: injected budget blowup at engine:job")
+	}
 	switch j.Kind {
 	case KindPipeline:
-		return Result{Pipeline: core.RunPipeline(ctx, j.Constraint, j.Config, nil)}
+		res = Result{Pipeline: core.RunPipeline(ctx, j.Constraint, j.Config, nil)}
+		res.Fault = res.Pipeline.Fault
+		if res.Fault != "" {
+			res.Transient = res.Fault == pipeline.FaultTransient
+			res.Err = fmt.Sprintf("pipeline fault %s in pass %s", res.Pipeline.Fault, res.Pipeline.FaultPass)
+		}
+		return res
 	case KindPortfolio:
 		return Result{Portfolio: core.RunPortfolio(ctx, j.Constraint, j.Config)}
 	default:
@@ -96,11 +131,32 @@ func ExecuteJob(ctx context.Context, j Job) Result {
 	}
 }
 
+// faultResult is the degraded result a contained fault yields for j: an
+// unknown verdict in the shape the job's kind promises, so downstream
+// aggregation treats it like any other give-up and never reads a zeroed
+// payload as a verified sat.
+func faultResult(j Job, fault, msg string) Result {
+	res := Result{Fault: fault, Transient: fault == pipeline.FaultTransient, Err: msg}
+	errPipe := core.PipelineResult{Outcome: core.OutcomeError, Status: status.Unknown, Fault: fault}
+	switch j.Kind {
+	case KindPipeline:
+		res.Pipeline = errPipe
+	case KindPortfolio:
+		// The fault struck before the race could run its unbounded leg:
+		// degrade the whole portfolio to unknown.
+		res.Portfolio = core.PortfolioResult{Status: status.Unknown, Degraded: true, Pipeline: errPipe}
+	default:
+		res.Solve = solver.Result{Status: status.Unknown, TimedOut: true, Work: 1, Engine: "faulted"}
+	}
+	return res
+}
+
 // Engine is a reusable worker pool over solve jobs.
 type Engine struct {
 	workers  int
 	cache    *Cache
-	inFlight metrics.Gauge // jobs currently executing (batch or single)
+	inFlight metrics.Gauge   // jobs currently executing (batch or single)
+	panics   metrics.Counter // worker-level recovered panics
 	// OnProgress, when non-nil, is called after each job completes with
 	// the number of completed jobs and the batch size. Calls may come from
 	// any worker goroutine but are serialized.
@@ -130,10 +186,15 @@ func (e *Engine) InFlight() int64 { return e.inFlight.Value() }
 // counters, when caching is enabled) through reg.
 func (e *Engine) Register(reg *metrics.Registry) {
 	reg.RegisterGauge("staub_engine_inflight", nil, &e.inFlight)
+	reg.RegisterCounter("staub_engine_worker_panics_total", nil, &e.panics)
 	if e.cache != nil {
 		e.cache.Register(reg)
 	}
 }
+
+// WorkerPanics reports how many worker-level panics this engine has
+// recovered (panics that escaped even the per-job containment).
+func (e *Engine) WorkerPanics() int64 { return e.panics.Value() }
 
 // Solve executes one job through the engine's cache and in-flight
 // accounting without batch scheduling — the hook point for callers that
@@ -166,7 +227,20 @@ func (e *Engine) Run(ctx context.Context, jobs []Job) []Result {
 		go func() {
 			defer wg.Done()
 			for i := range feed {
-				results[i] = e.runOne(ctx, jobs[i])
+				// Per-job recovery at the worker level: ExecuteJob already
+				// contains solve panics, so this boundary only catches
+				// panics from the scheduling machinery itself — but one
+				// poisoned job must never kill the pool either way.
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							e.panics.Inc()
+							results[i] = faultResult(jobs[i], pipeline.FaultPanic,
+								fmt.Sprintf("engine: worker panicked: %v", r))
+						}
+					}()
+					results[i] = e.runOne(ctx, jobs[i])
+				}()
 				executed[i] = true
 				n := int(done.Add(1))
 				if e.OnProgress != nil {
@@ -216,9 +290,12 @@ func (e *Engine) runOne(ctx context.Context, j Job) Result {
 	}
 	res, hit := e.cache.do(j.Key(), func() (Result, bool) {
 		r := ExecuteJob(jctx, j)
-		// Don't memoize work that was cut short by cancellation: a later
-		// batch must be able to solve it for real.
-		return r, jctx.Err() == nil
+		// Don't memoize work that was cut short by cancellation, or that
+		// degraded under a contained fault: a later batch must be able to
+		// solve it for real (a poisoned job must not poison the cache).
+		keep := jctx.Err() == nil && r.Fault == "" &&
+			!(j.Kind == KindPortfolio && r.Portfolio.Degraded)
+		return r, keep
 	})
 	res.CacheHit = hit
 	return res

@@ -1,0 +1,201 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"staub/internal/chaos"
+	"staub/internal/core"
+	"staub/internal/pipeline"
+	"staub/internal/smt"
+	"staub/internal/status"
+)
+
+func faultJobs(t *testing.T, n int) []Job {
+	t.Helper()
+	jobs := make([]Job, n)
+	for i := range jobs {
+		src := fmt.Sprintf(`(declare-fun x () Int)(assert (= (* x x) %d))(assert (> x 0))(check-sat)`, (i+2)*(i+2))
+		c, err := smt.ParseScript(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs[i] = Job{Kind: KindPipeline, Constraint: c,
+			Config: core.Config{Timeout: 2 * time.Second, Deterministic: true}}
+	}
+	return jobs
+}
+
+// TestWorkerRecoveryWithCache is the engine-recovery satellite: injected
+// pass panics must not deadlock the pool or kill sibling jobs, and a
+// panicked job must not poison the solve cache.
+func TestWorkerRecoveryWithCache(t *testing.T) {
+	jobs := faultJobs(t, 8)
+	cache := NewCache()
+	eng := New(4, cache)
+
+	restore := chaos.Enable(chaos.NewInjector(chaos.Config{
+		Seed: 11, Rate: 0.4, Fault: chaos.FaultPassPanic,
+		Sites: []string{"pass:" + pipeline.PassTranslate},
+	}))
+	results := eng.Run(context.Background(), jobs)
+	restore()
+
+	var faulted, clean int
+	for i, r := range results {
+		switch {
+		case r.Fault == pipeline.FaultPanic:
+			faulted++
+			if r.Pipeline.Outcome != core.OutcomeError || r.Pipeline.Status != status.Unknown {
+				t.Errorf("job %d: faulted result outcome/status = %v/%v, want error/unknown",
+					i, r.Pipeline.Outcome, r.Pipeline.Status)
+			}
+		case r.Fault == "":
+			clean++
+			if r.Pipeline.Outcome != core.OutcomeVerified {
+				t.Errorf("job %d: sibling of a panicked job degraded to %v", i, r.Pipeline.Outcome)
+			}
+		default:
+			t.Errorf("job %d: unexpected fault %q", i, r.Fault)
+		}
+	}
+	if faulted == 0 {
+		t.Fatal("injection rate 0.4 over 8 jobs hit nothing; seed drift?")
+	}
+	if clean == 0 {
+		t.Fatal("every job faulted; siblings were not isolated")
+	}
+
+	// Cache-poisoning check: with chaos off, the same batch through the
+	// same cache must verify every job — the faulted runs were never
+	// memoized, the clean runs are served from cache.
+	hitsBefore, _ := cache.Stats()
+	clean2 := eng.Run(context.Background(), jobs)
+	for i, r := range clean2 {
+		if r.Fault != "" || r.Pipeline.Outcome != core.OutcomeVerified {
+			t.Errorf("job %d after chaos: fault=%q outcome=%v, want clean verified", i, r.Fault, r.Pipeline.Outcome)
+		}
+	}
+	hitsAfter, _ := cache.Stats()
+	if hitsAfter-hitsBefore != int64(clean) {
+		t.Errorf("second run cache hits = %d, want exactly the %d clean first-run jobs",
+			hitsAfter-hitsBefore, clean)
+	}
+}
+
+func TestExecuteJobContainsEngineSitePanic(t *testing.T) {
+	restore := chaos.Enable(chaos.NewInjector(chaos.Config{
+		Seed: 5, Rate: 1, Max: 1, Fault: chaos.FaultPassPanic, Sites: []string{"engine:job"},
+	}))
+	defer restore()
+	res := ExecuteJob(context.Background(), faultJobs(t, 1)[0])
+	if res.Fault != pipeline.FaultPanic {
+		t.Fatalf("fault = %q, want panic", res.Fault)
+	}
+	if res.Pipeline.Outcome != core.OutcomeError || res.Pipeline.Status != status.Unknown {
+		t.Fatalf("pipeline payload = %v/%v, want error/unknown", res.Pipeline.Outcome, res.Pipeline.Status)
+	}
+}
+
+func TestExecuteJobTransientFault(t *testing.T) {
+	restore := chaos.Enable(chaos.NewInjector(chaos.Config{
+		Seed: 6, Rate: 1, Max: 1, Fault: chaos.FaultTransientError, Sites: []string{"engine:job"},
+	}))
+	defer restore()
+	res := ExecuteJob(context.Background(), faultJobs(t, 1)[0])
+	if res.Fault != pipeline.FaultTransient || !res.Transient {
+		t.Fatalf("fault/transient = %q/%t, want transient/true", res.Fault, res.Transient)
+	}
+}
+
+// TestCachePanicSafety drives Cache.do directly: a panicking compute must
+// release concurrent waiters, remove the in-flight entry, and let a later
+// caller compute fresh.
+func TestCachePanicSafety(t *testing.T) {
+	c := NewCache()
+	const key = "poisoned"
+
+	computing := make(chan struct{})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	panicked := make(chan any, 1)
+	go func() {
+		defer wg.Done()
+		defer func() { panicked <- recover() }()
+		c.do(key, func() (Result, bool) {
+			close(computing)
+			<-release
+			panic("compute exploded")
+		})
+	}()
+	var waiterRes Result
+	var waiterHit bool
+	go func() {
+		defer wg.Done()
+		<-computing // ensure we join as a waiter, not a second computer
+		close(release)
+		waiterRes, waiterHit = c.do(key, func() (Result, bool) {
+			// The waiter may instead observe the entry already removed and
+			// compute fresh; both are correct, neither may deadlock.
+			return Result{}, false
+		})
+	}()
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("cache waiter deadlocked on a panicked compute")
+	}
+	if p := <-panicked; p == nil {
+		t.Fatal("panic did not propagate to the computing caller")
+	}
+	if waiterHit && waiterRes.Fault != pipeline.FaultPanic {
+		t.Errorf("joined waiter got fault %q, want panic marker", waiterRes.Fault)
+	}
+	if c.Len() != 0 {
+		t.Errorf("cache retains %d entries after a panicked compute", c.Len())
+	}
+
+	// The key must be computable again.
+	res, hit := c.do(key, func() (Result, bool) { return Result{CacheHit: false}, true })
+	if hit || res.Fault != "" {
+		t.Errorf("recompute after panic: hit=%t fault=%q", hit, res.Fault)
+	}
+}
+
+func TestFaultedPortfolioNotMemoized(t *testing.T) {
+	c, err := smt.ParseScript(`(declare-fun x () Int)(assert (= (* x x) 49))(assert (> x 0))(check-sat)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := Job{Kind: KindPortfolio, Constraint: c,
+		Config: core.Config{Timeout: 2 * time.Second, Deterministic: true}}
+	cache := NewCache()
+	eng := New(1, cache)
+
+	restore := chaos.Enable(chaos.NewInjector(chaos.Config{
+		Seed: 7, Rate: 1, Fault: chaos.FaultPassPanic,
+		Sites: []string{"pass:" + pipeline.PassTranslate},
+	}))
+	degraded := eng.Solve(context.Background(), job)
+	restore()
+	if !degraded.Portfolio.Degraded {
+		t.Fatalf("portfolio under pass-panic chaos not degraded: %+v", degraded.Portfolio)
+	}
+	if cache.Len() != 0 {
+		t.Fatal("degraded portfolio result was memoized")
+	}
+	clean := eng.Solve(context.Background(), job)
+	// Either leg may win the clean race; what matters is a fresh,
+	// undegraded sat.
+	if clean.CacheHit || clean.Portfolio.Degraded || clean.Portfolio.Status != status.Sat {
+		t.Fatalf("post-chaos solve: hit=%t degraded=%t status=%v, want fresh clean sat",
+			clean.CacheHit, clean.Portfolio.Degraded, clean.Portfolio.Status)
+	}
+}

@@ -13,15 +13,18 @@ package pipeline
 import (
 	"context"
 	"fmt"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"staub/internal/absint"
+	"staub/internal/chaos"
 	"staub/internal/eval"
 	"staub/internal/smt"
 	"staub/internal/solver"
+	"staub/internal/status"
 	"staub/internal/translate"
 )
 
@@ -163,6 +166,11 @@ type State struct {
 // outcome taxonomy (reassign UnsatOutcome/UnknownOutcome for other
 // assemblies).
 func NewState(ctx context.Context, c *smt.Constraint, cfg Config, deadline time.Time, interrupt *atomic.Bool) *State {
+	if interrupt == nil {
+		// Watchdogs cancel runaway passes through the interrupt flag, so
+		// every run gets one even when no portfolio peer supplies it.
+		interrupt = new(atomic.Bool)
+	}
 	return &State{
 		Ctx:            ctx,
 		Cfg:            cfg.WithDefaults(),
@@ -268,9 +276,51 @@ func Exec(st *State, passes []Pass) {
 
 func runPass(st *State, p Pass) Verdict {
 	st.SpanWork, st.SpanNote = 0, ""
+	// Per-pass watchdog: the pass gets a slice of the request timeout; a
+	// pass that exceeds it is cancelled through the interrupt flag instead
+	// of starving the portfolio peer. The timer fires only for genuinely
+	// wedged passes — shares are sized so no legitimate pass (including
+	// deterministic solves under -race slowdowns) comes near them.
+	var fired atomic.Bool
+	var watchdog *time.Timer
+	if share := watchdogShare(st, p.Name); share > 0 && st.Interrupt != nil {
+		intr := st.Interrupt
+		watchdog = time.AfterFunc(share, func() {
+			fired.Store(true)
+			intr.Store(true)
+		})
+	}
 	t0 := time.Now()
-	v := p.Run(st)
+	v := execPass(st, p)
 	wall := time.Since(t0)
+	if watchdog != nil {
+		watchdog.Stop()
+	}
+	if fired.Load() {
+		if m := aggFor(p.Name); m != nil {
+			m.watchdogs.Inc()
+		}
+		if st.Res.Fault == "" {
+			v = failFault(st, p.Name, FaultWatchdog,
+				fmt.Errorf("pipeline: watchdog cancelled pass %s", p.Name))
+		}
+	}
+	// Work-budget ceiling: a pass reporting work far beyond anything the
+	// configured timeout could legitimately buy is treated as a contained
+	// budget fault (chaos budget blowups land here).
+	if ceil := workCeiling(st.Cfg); st.SpanWork > ceil {
+		st.SpanWork = ceil
+		if st.Res.Fault == "" {
+			if st.Interrupt != nil {
+				st.Interrupt.Store(true)
+			}
+			if m := aggFor(p.Name); m != nil {
+				m.budgets.Inc()
+			}
+			v = failFault(st, p.Name, FaultBudget,
+				fmt.Errorf("pipeline: pass %s exceeded the work-budget ceiling", p.Name))
+		}
+	}
 	if m := aggFor(p.Name); m != nil {
 		m.runs.Inc()
 		m.work.Add(st.SpanWork)
@@ -284,6 +334,91 @@ func runPass(st *State, p Pass) Verdict {
 		st.Res.Trace = append(st.Res.Trace, sp)
 	}
 	return v
+}
+
+// execPass runs one pass behind the panic-isolation boundary and the
+// per-pass chaos site. A recovered panic becomes an OutcomeError result
+// carrying the pass name and the captured stack; the process (and the
+// portfolio's unbounded leg) keeps running.
+func execPass(st *State, p Pass) (v Verdict) {
+	site := "pass:" + p.Name
+	defer func() {
+		if r := recover(); r != nil {
+			if m := aggFor(p.Name); m != nil {
+				m.panics.Inc()
+			}
+			v = failFault(st, p.Name, FaultPanic,
+				fmt.Errorf("pipeline: pass %s panicked: %v", p.Name, r))
+			st.Res.PanicStack = string(debug.Stack())
+			st.SpanNote = fmt.Sprintf("panic: %v", r)
+		}
+	}()
+	switch chaos.At(site) {
+	case chaos.FaultPassPanic:
+		panic(chaos.Injected{Site: site})
+	case chaos.FaultSolverStall:
+		d := chaos.Stall(0, func() bool {
+			return (st.Interrupt != nil && st.Interrupt.Load()) ||
+				(st.Ctx != nil && st.Ctx.Err() != nil)
+		})
+		v = failFault(st, p.Name, FaultStall,
+			fmt.Errorf("chaos: injected stall in pass %s", p.Name))
+		st.SpanNote = fmt.Sprintf("chaos: stalled %v", d.Round(time.Millisecond))
+		return v
+	case chaos.FaultTransientError:
+		v = failFault(st, p.Name, FaultTransient,
+			fmt.Errorf("chaos: injected transient error in pass %s", p.Name))
+		st.SpanNote = "chaos: transient error"
+		return v
+	case chaos.FaultBudgetBlowup:
+		v = p.Run(st)
+		st.SpanWork += chaos.BlowupWork()
+		return v
+	}
+	return p.Run(st)
+}
+
+// failFault ends the run as a contained fault: OutcomeError, status
+// unknown, with the fault class and pass recorded for degradation
+// decisions upstream.
+func failFault(st *State, pass, fault string, err error) Verdict {
+	st.Res.Outcome = OutcomeError
+	st.Res.Status = status.Unknown
+	st.Res.Fault = fault
+	st.Res.FaultPass = pass
+	st.Err = err
+	if st.SpanNote == "" {
+		st.SpanNote = fault
+	}
+	return Stop
+}
+
+// watchdogShare is the watchdog allowance for one execution of the named
+// pass. Transform passes are sliced from the nominal request timeout (a
+// quarter each, with a floor that keeps -race slowdowns clear of the
+// trigger); bounded-solve already runs under its own deadline and work
+// budget, so its watchdog is only an anti-stuck backstop a full timeout
+// beyond that deadline. A zero share disarms the watchdog.
+func watchdogShare(st *State, pass string) time.Duration {
+	if pass == PassBoundedSolve {
+		if st.Deadline.IsZero() {
+			return 0
+		}
+		return time.Until(st.Deadline) + st.Cfg.Timeout
+	}
+	share := st.Cfg.Timeout / 4
+	if share < 25*time.Millisecond {
+		share = 25 * time.Millisecond
+	}
+	return share
+}
+
+// workCeiling is the per-pass work ceiling for cfg: several times the
+// whole run's deterministic work budget, so no legitimate pass can reach
+// it (deterministic solves clamp to the budget; transform passes charge
+// node counts).
+func workCeiling(cfg Config) int64 {
+	return 4 * solver.WorkBudgetFor(cfg.Timeout)
 }
 
 // Figure3PassNames is the pass chain RunOnce assembles for cfg — the

@@ -46,6 +46,30 @@ const (
 	// OutcomeUnknown: budget exhausted or unsupported input in the
 	// reduction pipeline; revert.
 	OutcomeUnknown
+	// OutcomeError: a pass fault was contained — a recovered panic, a
+	// watchdog cancellation, a budget-ceiling violation or an injected
+	// transient — and the run degraded instead of crashing. Result.Fault
+	// and Result.FaultPass classify the containment.
+	OutcomeError
+)
+
+// Fault classifications recorded in Result.Fault when a run ends with a
+// contained failure. Empty Fault means a clean run.
+const (
+	// FaultPanic: a pass panicked and the panic was recovered;
+	// Result.PanicStack holds the captured stack.
+	FaultPanic = "panic"
+	// FaultWatchdog: the per-pass watchdog cancelled a pass that exceeded
+	// its share of the request timeout.
+	FaultWatchdog = "watchdog"
+	// FaultBudget: a pass reported work beyond the run's work-budget
+	// ceiling (budget blowup).
+	FaultBudget = "budget"
+	// FaultStall: an injected stall wedged a pass until cancelled.
+	FaultStall = "stall"
+	// FaultTransient: a retryable transient error was injected; callers
+	// may retry the whole request once.
+	FaultTransient = "transient"
 )
 
 func (o Outcome) String() string {
@@ -64,6 +88,8 @@ func (o Outcome) String() string {
 		return "narrow-unsat"
 	case OutcomeNoReduction:
 		return "no-reduction"
+	case OutcomeError:
+		return "error"
 	default:
 		return "unknown"
 	}
@@ -118,6 +144,14 @@ type Result struct {
 	// Trace is the ordered per-stage span list, recorded only when
 	// Config.Trace is set (the hot path records aggregate metrics only).
 	Trace []Span
+	// Fault classifies a contained failure (FaultPanic, FaultWatchdog,
+	// FaultBudget, FaultStall, FaultTransient); empty for clean runs.
+	Fault string
+	// FaultPass names the pass the fault was contained at.
+	FaultPass string
+	// PanicStack is the captured goroutine stack of a recovered pass
+	// panic (empty unless Fault is FaultPanic).
+	PanicStack string
 }
 
 // String summarizes a pipeline result for logs.

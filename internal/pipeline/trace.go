@@ -29,9 +29,12 @@ type Span struct {
 // passMetrics are the always-on per-pass aggregates: every pass execution
 // pays three atomic updates here whether or not tracing is enabled.
 type passMetrics struct {
-	runs    metrics.Counter
-	work    metrics.Counter
-	seconds *metrics.Histogram
+	runs      metrics.Counter
+	work      metrics.Counter
+	seconds   *metrics.Histogram
+	panics    metrics.Counter
+	watchdogs metrics.Counter
+	budgets   metrics.Counter
 }
 
 // passLatencyBuckets resolve the sub-millisecond stages the default
@@ -64,6 +67,9 @@ func RegisterPassMetrics(reg *metrics.Registry) {
 		reg.RegisterCounter("staub_pass_runs_total", labels, &m.runs)
 		reg.RegisterCounter("staub_pass_work_units_total", labels, &m.work)
 		reg.RegisterHistogram("staub_pass_seconds", labels, m.seconds)
+		reg.RegisterCounter("staub_pass_panics_total", labels, &m.panics)
+		reg.RegisterCounter("staub_pass_watchdog_total", labels, &m.watchdogs)
+		reg.RegisterCounter("staub_pass_budget_faults_total", labels, &m.budgets)
 	}
 }
 
@@ -74,7 +80,11 @@ func PassMetricsSnapshot() map[string]PassTotals {
 	defer regMu.RUnlock()
 	out := make(map[string]PassTotals, len(passAgg))
 	for name, m := range passAgg {
-		out[name] = PassTotals{Runs: m.runs.Value(), Work: m.work.Value()}
+		out[name] = PassTotals{
+			Runs: m.runs.Value(), Work: m.work.Value(),
+			Panics: m.panics.Value(), Watchdogs: m.watchdogs.Value(),
+			BudgetFaults: m.budgets.Value(),
+		}
 	}
 	return out
 }
@@ -83,4 +93,9 @@ func PassMetricsSnapshot() map[string]PassTotals {
 type PassTotals struct {
 	Runs int64
 	Work int64
+	// Panics, Watchdogs and BudgetFaults count contained faults at this
+	// pass (recovered panics, watchdog cancellations, ceiling hits).
+	Panics       int64
+	Watchdogs    int64
+	BudgetFaults int64
 }

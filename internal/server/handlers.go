@@ -10,9 +10,11 @@ import (
 	"strings"
 	"time"
 
+	"staub/internal/chaos"
 	"staub/internal/core"
 	"staub/internal/engine"
 	"staub/internal/eval"
+	"staub/internal/pipeline"
 	"staub/internal/smt"
 	"staub/internal/solver"
 	"staub/internal/status"
@@ -84,6 +86,15 @@ type SolveResponse struct {
 	Refined   int               `json:"refined,omitempty"`
 	Cost      CostSplit         `json:"cost"`
 	ElapsedMS float64           `json:"elapsed_ms"`
+	// Degraded marks a portfolio answer delivered by the unbounded leg
+	// after the STAUB leg faulted (panic, stall, budget exhaustion).
+	Degraded bool `json:"degraded,omitempty"`
+	// Retried reports that a transient fault triggered the single
+	// automatic retry before this result.
+	Retried bool `json:"retried,omitempty"`
+	// Error describes a contained fault (or a per-item parse failure in a
+	// batch); empty for clean results.
+	Error string `json:"error,omitempty"`
 	// Trace is the ordered per-stage span list of the pipeline run,
 	// present only when the request set trace.
 	Trace []TraceSpan `json:"trace,omitempty"`
@@ -269,9 +280,16 @@ func buildJob(c *smt.Constraint, mode, profile string, timeout time.Duration, wi
 }
 
 // buildResponse classifies an engine result into the wire format and
-// bumps the per-outcome counter.
+// bumps the per-outcome counter, plus the fault/degradation counters
+// (and the /healthz degraded window) when the result carries a contained
+// fault.
 func (s *Server) buildResponse(id string, j engine.Job, res engine.Result, elapsed time.Duration) SolveResponse {
 	out := SolveResponse{ID: id, CacheHit: res.CacheHit, ElapsedMS: ms(elapsed)}
+	if res.Fault != "" {
+		out.Error = res.Err
+		s.faultedSolves.Inc()
+		s.noteFault()
+	}
 	switch j.Kind {
 	case engine.KindSolve:
 		out.Status = res.Solve.Status.String()
@@ -289,6 +307,14 @@ func (s *Server) buildResponse(id string, j engine.Job, res engine.Result, elaps
 		out.Refined = p.Pipeline.Refined
 		out.Cost = costSplit(p.Pipeline)
 		out.Trace = traceSpans(p.Pipeline)
+		out.Degraded = p.Degraded
+		if p.Degraded {
+			s.degradedSolves.Inc()
+			s.noteFault()
+			if out.Error == "" && p.Pipeline.Fault != "" {
+				out.Error = "staub leg fault: " + p.Pipeline.Fault
+			}
+		}
 		if p.Status == status.Sat {
 			out.Model = modelMap(p.Model)
 		}
@@ -405,15 +431,28 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 			"saturated: %d solves admitted (limit %d)", s.Admitted(), s.limit)
 		return
 	}
+	defer s.release(1)
+	chaos.PanicAt("server:solve")
 	ctx, cancel := s.solveCtx(r, wallBudget(timeout, req.Deterministic))
 	defer cancel()
 	t0 := time.Now()
-	res, ran := s.runJob(ctx, job)
+	res, ran, retried := s.solveWithRetry(ctx, job)
 	if !ran {
 		writeError(w, http.StatusGatewayTimeout, "deadline exceeded while queued")
 		return
 	}
-	writeJSON(w, http.StatusOK, s.buildResponse(requestID(r.Context()), job, res, time.Since(t0)))
+	// A contained panic with no graceful answer (a portfolio degrades to
+	// its unbounded leg instead) is this request's internal error.
+	if res.Fault == pipeline.FaultPanic && job.Kind != engine.KindPortfolio {
+		s.faultedSolves.Inc()
+		s.noteFault()
+		writeError(w, http.StatusInternalServerError,
+			"internal error (request %s): %s", requestID(r.Context()), res.Err)
+		return
+	}
+	resp := s.buildResponse(requestID(r.Context()), job, res, time.Since(t0))
+	resp.Retried = retried
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -431,19 +470,36 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			"batch of %d exceeds limit %d", len(req.Constraints), s.cfg.MaxBatch)
 		return
 	}
+	id := requestID(r.Context())
+	out := BatchResponse{ID: id, Count: len(req.Constraints), Results: make([]SolveResponse, len(req.Constraints))}
+	// Per-item parse isolation: one malformed constraint becomes an error
+	// entry in its slot instead of failing its well-formed siblings with a
+	// whole-batch 400.
 	constraints := make([]*smt.Constraint, len(req.Constraints))
+	valid := make([]int, 0, len(req.Constraints))
 	for i, src := range req.Constraints {
 		c, err := smt.ParseScript(src)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, "parsing constraint %d: %v", i, err)
-			return
+			out.Results[i] = SolveResponse{
+				ID:      fmt.Sprintf("%s/%d", id, i),
+				Status:  status.Unknown.String(),
+				Outcome: "parse-error",
+				Error:   fmt.Sprintf("parsing constraint %d: %v", i, err),
+			}
+			continue
 		}
 		constraints[i] = c
+		valid = append(valid, i)
+	}
+	if len(valid) == 0 {
+		writeJSON(w, http.StatusOK, out)
+		return
 	}
 	timeout := s.timeout(req.TimeoutMS)
-	n := int64(len(constraints))
-	// All-or-nothing admission keeps a partially admitted batch from
-	// occupying capacity while its rejected remainder fails the request.
+	n := int64(len(valid))
+	// All-or-nothing admission over the solvable subset keeps a partially
+	// admitted batch from occupying capacity while its rejected remainder
+	// fails the request.
 	if !s.admit(n) {
 		w.Header().Set("Retry-After", retryAfter(timeout))
 		writeError(w, http.StatusTooManyRequests,
@@ -452,15 +508,14 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.solveCtx(r, wallBudget(timeout, req.Deterministic))
 	defer cancel()
-	id := requestID(r.Context())
-	out := BatchResponse{ID: id, Count: len(constraints), Results: make([]SolveResponse, len(constraints))}
-	done := make(chan int, len(constraints))
-	for i := range constraints {
+	done := make(chan int, len(valid))
+	for _, i := range valid {
 		go func(i int) {
 			defer func() { done <- i }()
+			defer s.release(1)
 			job := buildJob(constraints[i], req.Mode, req.Profile, timeout, req.Width, req.SLOT, req.Deterministic, req.Trace)
 			jt0 := time.Now()
-			res, ran := s.runJob(ctx, job)
+			res, ran, retried := s.solveWithRetry(ctx, job)
 			if !ran {
 				out.Results[i] = SolveResponse{
 					ID:      fmt.Sprintf("%s/%d", id, i),
@@ -469,10 +524,14 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 				}
 				return
 			}
-			out.Results[i] = s.buildResponse(fmt.Sprintf("%s/%d", id, i), job, res, time.Since(jt0))
+			// A faulted item degrades to an error entry in its slot (the
+			// batch itself stays 200); buildResponse records the fault.
+			r := s.buildResponse(fmt.Sprintf("%s/%d", id, i), job, res, time.Since(jt0))
+			r.Retried = retried
+			out.Results[i] = r
 		}(i)
 	}
-	for range constraints {
+	for range valid {
 		<-done
 	}
 	writeJSON(w, http.StatusOK, out)
@@ -485,8 +544,21 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{
-		"status": "ok", "version": s.cfg.Version,
+	// "degraded" keeps the 200 (the instance still serves — load balancers
+	// should not eject it) but tells operators it contained faults within
+	// the configured window, with the counters to triage them.
+	st := "ok"
+	if s.degraded() {
+		st = "degraded"
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":           st,
+		"version":          s.cfg.Version,
+		"recovered_panics": s.recoveredPanics.Value(),
+		"faulted_solves":   s.faultedSolves.Value(),
+		"degraded_solves":  s.degradedSolves.Value(),
+		"worker_panics":    s.eng.WorkerPanics(),
+		"retries":          s.retries.Value(),
 	})
 }
 

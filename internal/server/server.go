@@ -30,11 +30,14 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"math/rand/v2"
 	"net/http"
 	"runtime"
+	"runtime/debug"
 	"sync/atomic"
 	"time"
 
+	"staub/internal/chaos"
 	"staub/internal/core"
 	"staub/internal/engine"
 	"staub/internal/metrics"
@@ -59,6 +62,11 @@ type Config struct {
 	// MaxBatch bounds the constraints of one /v1/batch request
 	// (default 64).
 	MaxBatch int
+	// DegradedWindow is how long after the most recent contained fault
+	// /healthz keeps reporting status "degraded" (default 5m). Load
+	// balancers can use it to distinguish "up" from "up but shedding
+	// faults" without taking the instance out of rotation.
+	DegradedWindow time.Duration
 	// Version is reported by /healthz and the X-Staub-Version header.
 	Version string
 	// Log receives one structured line per request (nil: standard logger).
@@ -83,6 +91,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBatch <= 0 {
 		c.MaxBatch = 64
+	}
+	if c.DegradedWindow <= 0 {
+		c.DegradedWindow = 5 * time.Minute
 	}
 	if c.Log == nil {
 		c.Log = log.Default()
@@ -110,6 +121,15 @@ type Server struct {
 	latency  *metrics.Histogram
 	requests func(path string, code int) *metrics.Counter
 
+	// Fault containment accounting: lastFault timestamps the most recent
+	// contained fault (for /healthz's degraded window); the counters split
+	// faults by where they were contained.
+	lastFault       atomic.Int64 // unix nanos; 0 = never
+	recoveredPanics *metrics.Counter
+	faultedSolves   *metrics.Counter
+	degradedSolves  *metrics.Counter
+	retries         *metrics.Counter
+
 	reqID    atomic.Int64
 	draining atomic.Bool
 
@@ -130,6 +150,8 @@ func New(cfg Config) *Server {
 	eng.Register(reg)
 	core.RegisterRefineMetrics(reg)
 	core.RegisterPassMetrics(reg)
+	core.RegisterPortfolioMetrics(reg)
+	chaos.RegisterMetrics(reg)
 
 	s := &Server{
 		cfg:   cfg,
@@ -144,6 +166,10 @@ func New(cfg Config) *Server {
 	reg.RegisterGauge("staub_queue_depth", nil, &s.queued)
 	s.rejected = reg.Counter("staub_rejected_total", nil)
 	s.latency = reg.Histogram("staub_solve_latency_seconds")
+	s.recoveredPanics = reg.Counter("staub_server_panics_total", nil)
+	s.faultedSolves = reg.Counter("staub_server_faulted_solves_total", nil)
+	s.degradedSolves = reg.Counter("staub_server_degraded_solves_total", nil)
+	s.retries = reg.Counter("staub_server_retries_total", nil)
 	s.solves = func(outcome string) *metrics.Counter {
 		return reg.Counter("staub_solves_total", metrics.Labels{"outcome": outcome})
 	}
@@ -161,8 +187,10 @@ func New(cfg Config) *Server {
 	return s
 }
 
-// Handler returns the server's HTTP handler with request-ID assignment
-// and per-request logging wrapped around the routes.
+// Handler returns the server's HTTP handler with request-ID assignment,
+// per-request logging and a panic-recovery boundary wrapped around the
+// routes: a handler panic is logged with its stack and answered with a
+// 500 carrying the request ID, and the process stays up.
 func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		id := fmt.Sprintf("r%06d", s.reqID.Add(1))
@@ -173,11 +201,34 @@ func (s *Server) Handler() http.Handler {
 		rw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		r = r.WithContext(context.WithValue(r.Context(), reqIDKey{}, id))
 		t0 := time.Now()
-		s.mux.ServeHTTP(rw, r)
+		func() {
+			defer func() {
+				if rec := recover(); rec != nil {
+					s.recoveredPanics.Inc()
+					s.noteFault()
+					s.cfg.Log.Printf("id=%s panic recovered: %v\n%s", id, rec, debug.Stack())
+					if !rw.wrote {
+						writeError(rw, http.StatusInternalServerError,
+							"internal error (request %s)", id)
+					}
+				}
+			}()
+			s.mux.ServeHTTP(rw, r)
+		}()
 		s.requests(r.URL.Path, rw.code).Inc()
 		s.cfg.Log.Printf("id=%s method=%s path=%s code=%d bytes=%d dur=%s",
 			id, r.Method, r.URL.Path, rw.code, rw.bytes, time.Since(t0).Round(time.Microsecond))
 	})
+}
+
+// noteFault timestamps a contained fault for /healthz's degraded window.
+func (s *Server) noteFault() { s.lastFault.Store(time.Now().UnixNano()) }
+
+// degraded reports whether a contained fault happened within the
+// configured degraded window.
+func (s *Server) degraded() bool {
+	last := s.lastFault.Load()
+	return last > 0 && time.Since(time.Unix(0, last)) < s.cfg.DegradedWindow
 }
 
 // Registry exposes the server's metrics registry (tests and embedders).
@@ -220,11 +271,11 @@ func (s *Server) admit(n int64) bool {
 func (s *Server) release(n int64) { s.admitted.Add(-n) }
 
 // runJob takes one admitted job through the queue and the engine. The
-// caller must have admitted it; runJob releases the admission slot. The
+// caller must have admitted it and owns the admission slot (releasing
+// stays with the caller so a transient-fault retry can reuse it). The
 // bool reports whether the job ran (false: the deadline fired while the
 // job was still queued).
 func (s *Server) runJob(ctx context.Context, j engine.Job) (engine.Result, bool) {
-	defer s.release(1)
 	s.queued.Inc()
 	select {
 	case s.slots <- struct{}{}:
@@ -247,6 +298,30 @@ func (s *Server) runJob(ctx context.Context, j engine.Job) (engine.Result, bool)
 	return res, true
 }
 
+// solveWithRetry runs the job, retrying once after a short jittered
+// backoff when the result is a transient fault (chaos-injected or
+// otherwise marked retryable). The third return reports that a retry
+// happened; the caller still owns the admission slot throughout.
+func (s *Server) solveWithRetry(ctx context.Context, j engine.Job) (engine.Result, bool, bool) {
+	res, ran := s.runJob(ctx, j)
+	if !ran || !res.Transient {
+		return res, ran, false
+	}
+	s.retries.Inc()
+	backoff := time.Duration(5+rand.Int64N(20)) * time.Millisecond
+	select {
+	case <-time.After(backoff):
+	case <-ctx.Done():
+		return res, true, false
+	}
+	retry, ran2 := s.runJob(ctx, j)
+	if !ran2 {
+		// The deadline fired during the backoff; report the first attempt.
+		return res, true, true
+	}
+	return retry, true, true
+}
+
 type reqIDKey struct{}
 
 // requestID returns the ID the Handler wrapper assigned.
@@ -265,19 +340,24 @@ func (s *Server) solveCtx(r *http.Request, timeout time.Duration) (context.Conte
 	return ctx, func() { stop(); cancel() }
 }
 
-// statusWriter records the response code and size for the request log.
+// statusWriter records the response code and size for the request log,
+// and whether anything was written (so the panic-recovery boundary knows
+// a 500 can still be sent).
 type statusWriter struct {
 	http.ResponseWriter
 	code  int
 	bytes int64
+	wrote bool
 }
 
 func (w *statusWriter) WriteHeader(code int) {
 	w.code = code
+	w.wrote = true
 	w.ResponseWriter.WriteHeader(code)
 }
 
 func (w *statusWriter) Write(p []byte) (int, error) {
+	w.wrote = true
 	n, err := w.ResponseWriter.Write(p)
 	w.bytes += int64(n)
 	return n, err

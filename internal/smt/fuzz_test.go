@@ -28,6 +28,16 @@ func FuzzParseScript(f *testing.F) {
 		"(assert #b)",
 		"(declare-fun x () Int)(assert (- 1 2 3))",
 		"(declare-fun x () Int)(declare-fun y () Int)(assert (= (- (* x x) (* y y)) 201))(assert (> x 90))(check-sat)",
+		// Hardened parse paths: panics once reachable from the server's
+		// request body, now plain 400-able errors.
+		"(declare-fun f () (_ FloatingPoint 5 11))(assert (fp.eq f (_ NaN 0 0)))",
+		"(declare-fun f () (_ FloatingPoint 5 11))(assert (fp.eq f (_ +oo 1 1)))",
+		"(declare-const (x) Int)",
+		"(declare-fun (x) () Int)(check-sat)",
+		"(define-fun (x) () Int 1)",
+		"(assert (= #x" + strings.Repeat("f", 17000) + " #x0))",
+		"(assert (fp #x0 #xzz #x0))",
+		"(assert (= (_ bv7 0) (_ bv7 0)))",
 		// Pathological nesting: beyond the reader's depth limit (must
 		// error, not overflow the stack)…
 		"(declare-fun p () Bool)(assert " +

@@ -1,0 +1,110 @@
+package smt
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseScriptHostileInputs pins the parser hardening: every input
+// here once panicked (or silently mis-parsed) somewhere reachable from
+// the server's request body, and must now return a plain error the
+// server can turn into a 400.
+func TestParseScriptHostileInputs(t *testing.T) {
+	cases := []struct {
+		name, src, wantErr string
+	}{
+		{
+			name:    "fp special with zero sort",
+			src:     `(declare-fun f () (_ FloatingPoint 5 11))(assert (fp.isNaN (_ NaN 0 0)))`,
+			wantErr: "invalid sort",
+		},
+		{
+			name:    "fp infinity with one-bit exponent",
+			src:     `(declare-fun f () (_ FloatingPoint 5 11))(assert (fp.isInfinite (_ +oo 1 11)))`,
+			wantErr: "invalid sort",
+		},
+		{
+			name:    "fp minus infinity with huge significand",
+			src:     `(assert (fp.isInfinite (_ -oo 8 99999)))`,
+			wantErr: "invalid sort",
+		},
+		{
+			name:    "declare-fun name is a list",
+			src:     `(declare-fun (x) () Int)`,
+			wantErr: "malformed declare-fun",
+		},
+		{
+			name:    "declare-const name is a list",
+			src:     `(declare-const (x) Int)`,
+			wantErr: "malformed declare-const",
+		},
+		{
+			name:    "define-fun name is a list",
+			src:     `(define-fun (x) () Int 1)`,
+			wantErr: "malformed define-fun",
+		},
+		{
+			name:    "hex literal wider than the sort limit",
+			src:     `(assert (= #x` + strings.Repeat("f", (1<<16)/4+1) + ` #x0))`,
+			wantErr: "sort limit",
+		},
+		{
+			name:    "binary literal wider than the sort limit",
+			src:     `(assert (= #b` + strings.Repeat("1", 1<<16+1) + ` #b0))`,
+			wantErr: "sort limit",
+		},
+		{
+			name:    "indexed bv literal with zero width",
+			src:     `(assert (= (_ bv7 0) (_ bv7 0)))`,
+			wantErr: "invalid bitvector literal width",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c, err := ParseScript(tc.src)
+			if err == nil {
+				t.Fatalf("ParseScript accepted hostile input, got constraint %v", c)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestParseScriptRecoversInternalPanics verifies the last-resort recover
+// in ParseScript by construction: whatever defect slips past the explicit
+// validations must surface as an error, never a panic (the fuzz target
+// leans on the same guarantee).
+func TestParseScriptRecoversInternalPanics(t *testing.T) {
+	// None of these are accepted; the point is that calling them in
+	// sequence can't crash the process however the internals fail.
+	hostile := []string{
+		`(assert (fp #b0 #b0 #b0))`,
+		`(assert (fp #x0 #xzz #x0))`,
+		`(assert #b)`,
+		`(assert (= (_ bv- 4) 0))`,
+		`(declare-fun x () (_ FloatingPoint 0 0))`,
+	}
+	for _, src := range hostile {
+		if _, err := ParseScript(src); err == nil {
+			t.Errorf("ParseScript(%q) accepted hostile input", src)
+		}
+	}
+}
+
+// TestParseScriptValidFPStillAccepted guards against over-tightening: the
+// legal FP specials and literals the corpus uses must keep parsing.
+func TestParseScriptValidFPStillAccepted(t *testing.T) {
+	ok := []string{
+		`(declare-fun f () (_ FloatingPoint 5 11))(assert (fp.isNaN (_ NaN 5 11)))(check-sat)`,
+		`(declare-fun f () (_ FloatingPoint 8 24))(assert (fp.eq f (_ +oo 8 24)))(check-sat)`,
+		`(declare-fun f () (_ FloatingPoint 5 11))(assert (fp.lt f (fp #b0 #b01111 #b0000000000)))(check-sat)`,
+		`(declare-fun v () (_ BitVec 16))(assert (= v #xbeef))(check-sat)`,
+	}
+	for _, src := range ok {
+		if _, err := ParseScript(src); err != nil {
+			t.Errorf("ParseScript(%q) = %v, want accepted", src, err)
+		}
+	}
+}

@@ -13,12 +13,22 @@ import (
 // set-info, set-option, declare-fun (zero arity), declare-const,
 // define-fun (zero arity, used as a macro), assert, check-sat, get-model,
 // get-value, exit. Unsupported commands yield an error.
-func ParseScript(src string) (*Constraint, error) {
+//
+// ParseScript never panics on any input: malformed scripts yield an
+// error, and a defect that would panic in a deeper layer is recovered
+// into one — parsing untrusted input (the server's request path) must
+// produce a 400, never a crash.
+func ParseScript(src string) (c *Constraint, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			c, err = nil, fmt.Errorf("smt: internal parse error: %v", r)
+		}
+	}()
 	nodes, err := sexpr.ParseAll(src)
 	if err != nil {
 		return nil, err
 	}
-	c := NewConstraint("")
+	c = NewConstraint("")
 	p := &scriptParser{c: c, defs: map[string]*Term{}}
 	for _, n := range nodes {
 		if err := p.command(n); err != nil {
@@ -54,7 +64,7 @@ func (p *scriptParser) command(n *sexpr.Node) error {
 	case "set-info", "set-option", "check-sat", "get-model", "get-value", "exit", "get-info":
 		return nil
 	case "declare-fun":
-		if n.Len() != 4 {
+		if n.Len() != 4 || n.Items[1].Kind != sexpr.KindSymbol {
 			return fmt.Errorf("smt: malformed declare-fun")
 		}
 		if n.Items[2].Kind != sexpr.KindList || n.Items[2].Len() != 0 {
@@ -67,7 +77,7 @@ func (p *scriptParser) command(n *sexpr.Node) error {
 		_, err = p.c.Declare(n.Items[1].Text, s)
 		return err
 	case "declare-const":
-		if n.Len() != 3 {
+		if n.Len() != 3 || n.Items[1].Kind != sexpr.KindSymbol {
 			return fmt.Errorf("smt: malformed declare-const")
 		}
 		s, err := p.sort(n.Items[2])
@@ -77,7 +87,7 @@ func (p *scriptParser) command(n *sexpr.Node) error {
 		_, err = p.c.Declare(n.Items[1].Text, s)
 		return err
 	case "define-fun":
-		if n.Len() != 5 {
+		if n.Len() != 5 || n.Items[1].Kind != sexpr.KindSymbol {
 			return fmt.Errorf("smt: malformed define-fun")
 		}
 		if n.Items[2].Kind != sexpr.KindList || n.Items[2].Len() != 0 {
@@ -240,15 +250,21 @@ func (p *scriptParser) term(n *sexpr.Node, scope *letScope) (*Term, error) {
 	case sexpr.KindHex:
 		digits := strings.TrimPrefix(n.Text, "#x")
 		v, ok := new(big.Int).SetString(digits, 16)
-		if !ok {
+		if !ok || len(digits) == 0 {
 			return nil, fmt.Errorf("smt: bad hex literal %q", n.Text)
+		}
+		if 4*len(digits) > 1<<16 {
+			return nil, fmt.Errorf("smt: hex literal %d digits wide exceeds the %d-bit sort limit", len(digits), 1<<16)
 		}
 		return b.BV(v, 4*len(digits)), nil
 	case sexpr.KindBinary:
 		digits := strings.TrimPrefix(n.Text, "#b")
 		v, ok := new(big.Int).SetString(digits, 2)
-		if !ok {
+		if !ok || len(digits) == 0 {
 			return nil, fmt.Errorf("smt: bad binary literal %q", n.Text)
+		}
+		if len(digits) > 1<<16 {
+			return nil, fmt.Errorf("smt: binary literal %d bits wide exceeds the %d-bit sort limit", len(digits), 1<<16)
 		}
 		return b.BV(v, len(digits)), nil
 	case sexpr.KindSymbol:
@@ -425,12 +441,15 @@ func (p *scriptParser) coerceTo(t *Term, want Sort) (*Term, error) {
 }
 
 func (p *scriptParser) indexedLiteral(n *sexpr.Node) (*Term, error) {
-	if n.Len() != 3 || n.Items[1].Kind != sexpr.KindSymbol {
+	if n.Len() < 3 || n.Items[1].Kind != sexpr.KindSymbol {
 		return nil, fmt.Errorf("smt: %d:%d: malformed indexed literal", n.Line, n.Col)
 	}
 	sym := n.Items[1].Text
 	switch {
 	case strings.HasPrefix(sym, "bv"):
+		if n.Len() != 3 {
+			return nil, fmt.Errorf("smt: %d:%d: malformed indexed literal", n.Line, n.Col)
+		}
 		v, ok := new(big.Int).SetString(sym[2:], 10)
 		if !ok {
 			return nil, fmt.Errorf("smt: bad bitvector literal %q", sym)
@@ -454,6 +473,11 @@ func (p *scriptParser) indexedLiteral(n *sexpr.Node) (*Term, error) {
 		sb, err := atoiNode(n.Items[3])
 		if err != nil {
 			return nil, err
+		}
+		// The same bounds the sort parser enforces: FloatSort panics below
+		// them, and (_ NaN 0 0) arrives straight off the wire.
+		if eb < 2 || eb > 30 || sb < 2 || sb > 1<<12 {
+			return nil, fmt.Errorf("smt: FP special literal with invalid sort (%d, %d)", eb, sb)
 		}
 		class := FPNaN
 		if sym == "+oo" {
@@ -479,7 +503,10 @@ func (p *scriptParser) fpLiteral(n *sexpr.Node) (*Term, error) {
 			parts[i-1] = strings.TrimPrefix(it.Text, "#b")
 		case sexpr.KindHex:
 			digits := strings.TrimPrefix(it.Text, "#x")
-			v, _ := new(big.Int).SetString(digits, 16)
+			v, ok := new(big.Int).SetString(digits, 16)
+			if !ok || len(digits) == 0 || 4*len(digits) > 1<<16 {
+				return nil, fmt.Errorf("smt: bad fp literal component %q", it.Text)
+			}
 			parts[i-1] = fmt.Sprintf("%0*b", 4*len(digits), v)
 		default:
 			return nil, fmt.Errorf("smt: fp literal component must be binary or hex")

@@ -1,0 +1,186 @@
+// Command chaosbench measures what the fault-containment machinery costs
+// and what it delivers. It writes BENCH_5.json (at the repository root
+// via `make bench`) with two sections:
+//
+//   - Overhead: the corpus pipeline sweep timed with the chaos hooks
+//     disabled (the production default, one atomic load per site) and
+//     with an injector enabled at rate 0 (every site pays the decision
+//     hash but nothing fires). The first number is directly comparable
+//     to BENCH_4's trace_off sweep — the hooks must cost nothing when
+//     disabled — and the verdicts of both sweeps must be identical to
+//     the clean run (zero behavior drift).
+//   - Degradation: the corpus run in portfolio mode under every fault
+//     class at rate 1, reporting per class how many runs degraded to the
+//     unbounded leg, how many still answered definitively, and how the
+//     injection counters match the faults observed.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"staub/internal/chaos"
+	"staub/internal/core"
+	"staub/internal/harness"
+	"staub/internal/pipeline"
+	"staub/internal/smt"
+	"staub/internal/status"
+)
+
+type sweepStats struct {
+	NsPerOp     int64 `json:"ns_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+}
+
+type classRow struct {
+	Fault string `json:"fault"`
+	// Jobs is the corpus size; Injected the chaos counter delta for the
+	// class across the portfolio sweep.
+	Jobs     int   `json:"jobs"`
+	Injected int64 `json:"injected"`
+	// Degraded counts portfolio runs answered by the unbounded leg after
+	// the STAUB leg faulted; Answered the subset that still delivered a
+	// definitive sat/unsat; Flips must always be zero.
+	Degraded int `json:"degraded"`
+	Answered int `json:"answered"`
+	Flips    int `json:"verdict_flips"`
+	// DegradedPct is Degraded over Jobs.
+	DegradedPct float64 `json:"degraded_pct"`
+}
+
+type report struct {
+	Benchmark         string     `json:"benchmark"`
+	TimeoutMS         int64      `json:"timeout_ms"`
+	RefineRounds      int        `json:"refine_rounds"`
+	Seed              int64      `json:"seed"`
+	Disabled          sweepStats `json:"chaos_disabled"`
+	EnabledRateZero   sweepStats `json:"chaos_enabled_rate_zero"`
+	HookOverheadRatio float64    `json:"hook_overhead_ratio"`
+	VerdictsIdentical bool       `json:"verdicts_identical"`
+	FaultClasses      []classRow `json:"fault_classes"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_5.json", "output file")
+	timeout := flag.Duration("timeout", 1500*time.Millisecond, "per-solve budget")
+	rounds := flag.Int("rounds", 3, "refinement rounds")
+	seed := flag.Int64("seed", 42, "chaos seed")
+	flag.Parse()
+
+	insts := harness.RefinementCorpus()
+	parsed := make([]*smt.Constraint, len(insts))
+	for i, inst := range insts {
+		c, err := smt.ParseScript(inst.Src)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", inst.Name, err))
+		}
+		parsed[i] = c
+	}
+	cfg := core.Config{Timeout: *timeout, Deterministic: true, RefineRounds: *rounds}
+	rep := report{
+		Benchmark:         "chaos-containment",
+		TimeoutMS:         timeout.Milliseconds(),
+		RefineRounds:      *rounds,
+		Seed:              *seed,
+		VerdictsIdentical: true,
+	}
+
+	// Clean reference verdicts, chaos fully disabled.
+	chaos.Disable()
+	ref := make([]status.Status, len(parsed))
+	for i := range parsed {
+		ref[i] = core.RunPipeline(context.Background(), parsed[i], cfg, nil).Status
+	}
+
+	// Overhead: disabled vs enabled-at-rate-zero sweeps, with verdict
+	// parity against the reference on every iteration's last run.
+	sweep := func(setup func() func()) func(b *testing.B) {
+		return func(b *testing.B) {
+			restore := setup()
+			defer restore()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j, p := range parsed {
+					r := core.RunPipeline(context.Background(), p, cfg, nil)
+					if r.Status != ref[j] || r.Fault != "" {
+						rep.VerdictsIdentical = false
+					}
+				}
+			}
+		}
+	}
+	offR := testing.Benchmark(sweep(func() func() { chaos.Disable(); return func() {} }))
+	rep.Disabled.NsPerOp = offR.NsPerOp()
+	rep.Disabled.AllocsPerOp = offR.AllocsPerOp()
+	zeroR := testing.Benchmark(sweep(func() func() {
+		return chaos.Enable(chaos.NewInjector(chaos.Config{Seed: *seed, Rate: 0, Fault: chaos.FaultTransientError}))
+	}))
+	rep.EnabledRateZero.NsPerOp = zeroR.NsPerOp()
+	rep.EnabledRateZero.AllocsPerOp = zeroR.AllocsPerOp()
+	if rep.Disabled.NsPerOp > 0 {
+		rep.HookOverheadRatio = round2(float64(rep.EnabledRateZero.NsPerOp) / float64(rep.Disabled.NsPerOp))
+	}
+
+	// Degradation rates: portfolio mode, every fault class at rate 1.
+	chaos.Disable()
+	portRef := make([]status.Status, len(parsed))
+	for i := range parsed {
+		portRef[i] = core.RunPortfolio(context.Background(), parsed[i], cfg).Status
+	}
+	for _, fault := range []chaos.Fault{
+		chaos.FaultPassPanic, chaos.FaultTransientError,
+		chaos.FaultBudgetBlowup, chaos.FaultSolverStall,
+	} {
+		row := classRow{Fault: fault.String(), Jobs: len(parsed)}
+		before := chaos.Snapshot()[fault.String()]
+		restore := chaos.Enable(chaos.NewInjector(chaos.Config{
+			Seed: *seed, Rate: 1, Fault: fault,
+			Sites:    []string{"pass:" + pipeline.PassTranslate},
+			StallFor: 2 * time.Second,
+		}))
+		for i := range parsed {
+			r := core.RunPortfolio(context.Background(), parsed[i], cfg)
+			if r.Degraded {
+				row.Degraded++
+			}
+			if r.Status != status.Unknown {
+				row.Answered++
+				if r.Status != portRef[i] && portRef[i] != status.Unknown {
+					row.Flips++
+				}
+			}
+		}
+		restore()
+		row.Injected = chaos.Snapshot()[fault.String()] - before
+		row.DegradedPct = round2(100 * float64(row.Degraded) / float64(row.Jobs))
+		rep.FaultClasses = append(rep.FaultClasses, row)
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("chaosbench: %s: hook overhead %.2fx (disabled vs rate-0), verdicts identical: %t, %d fault classes\n",
+		*out, rep.HookOverheadRatio, rep.VerdictsIdentical, len(rep.FaultClasses))
+	for _, row := range rep.FaultClasses {
+		fmt.Printf("  %-16s injected=%d degraded=%d/%d answered=%d flips=%d\n",
+			row.Fault, row.Injected, row.Degraded, row.Jobs, row.Answered, row.Flips)
+	}
+}
+
+func round2(v float64) float64 { return float64(int64(v*100+0.5)) / 100 }
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "chaosbench:", err)
+	os.Exit(1)
+}
