@@ -1,13 +1,13 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race fuzz differential chaos bench serve-smoke
+.PHONY: check fmt vet build test race fuzz differential sat-diff chaos bench serve-smoke
 
 # check is the CI gate: static checks, build, the full suite under the
 # race detector, short fuzz passes over the SMT-LIB parser and the server
 # request decoder, the incremental-vs-fresh refinement differential under
 # -race, the short chaos gate, and an end-to-end smoke of the
 # staub-serve binary.
-check: fmt vet build race fuzz differential chaos serve-smoke
+check: fmt vet build race fuzz differential sat-diff chaos serve-smoke
 
 # fmt fails if any file is not gofmt-clean, and prints the offenders.
 fmt:
@@ -22,12 +22,15 @@ build:
 test:
 	$(GO) test ./...
 
+# The race detector multiplies the harness experiments' wall-clock
+# several-fold, past go test's default 10m per-package timeout.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 45m ./...
 
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzParseScript -fuzztime=5s ./internal/smt
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeSolveRequest -fuzztime=5s ./internal/server
+	$(GO) test -run='^$$' -fuzz=FuzzDIMACS -fuzztime=5s ./internal/sat
 
 # differential pins the incremental refinement session to the fresh
 # per-round reference: same statuses, same widths, across the corpus and
@@ -35,6 +38,14 @@ fuzz:
 differential:
 	$(GO) test -race -count=1 -run 'TestRefinementDifferentialIncrementalVsFresh' ./internal/core
 	$(GO) test -race -count=1 -run 'TestSessionMatchesFresh' ./internal/bitblast
+
+# sat-diff is the CDCL differential gate: random CNF instances against a
+# brute-force oracle across every solver configuration (clause-DB
+# policies, preprocessing, variable elimination), SolveAssuming against
+# fresh copies, and the activation-literal retirement pattern — all under
+# the race detector.
+sat-diff:
+	$(GO) test -race -count=1 -run 'TestSATDiff' ./internal/sat
 
 # chaos is the short chaos gate: a corpus subset under every fault class
 # with fixed seeds, race detector on — no crash, no verdict flip,
@@ -54,3 +65,4 @@ bench:
 	$(GO) run ./scripts/refinebench -out BENCH_3.json
 	$(GO) run ./scripts/passbench -out BENCH_4.json
 	$(GO) run ./scripts/chaosbench -out BENCH_5.json
+	$(GO) run ./scripts/satbench -out BENCH_6.json

@@ -47,6 +47,7 @@ import (
 	"staub/internal/engine"
 	"staub/internal/harness"
 	"staub/internal/metrics"
+	"staub/internal/solver"
 	"staub/internal/termination"
 )
 
@@ -82,6 +83,8 @@ func main() {
 	cache.Register(reg)
 	core.RegisterRefineMetrics(reg)
 	core.RegisterPassMetrics(reg)
+	solver.RegisterSATMetrics(reg)
+	benchStart := time.Now()
 	opts := harness.Options{
 		Timeout: *timeout,
 		Seed:    *seed,
@@ -104,6 +107,14 @@ func main() {
 					snap["staub_refine_clauses_retained_total"],
 					snap["staub_refine_gate_hits_total"], snap["staub_refine_gate_misses_total"],
 					snap["staub_refine_work_units_total"])
+			}
+			if sm := solver.SATMetricsSnapshot(); sm["conflicts"] > 0 {
+				rate := float64(sm["conflicts"]) / time.Since(benchStart).Seconds()
+				fmt.Fprintf(os.Stderr, "staub-bench: %s: sat %d conflicts (%.0f/sec), %d props, %d learned (%d glue), db -%d/%d reductions, pre %d subsumed / %d strengthened / %d eliminated\n",
+					stage, sm["conflicts"], rate, sm["propagations"],
+					sm["learned"], sm["glue_learned"], sm["deleted"], sm["reductions"],
+					sm["subsumed"], sm["strengthened"], sm["eliminated"])
+				fmt.Fprintf(os.Stderr, "staub-bench: %s: sat lbd hist %s\n", stage, solver.FormatLBDHist())
 			}
 		}
 	}

@@ -157,6 +157,16 @@ func Solve(c *smt.Constraint, configure func(*sat.Solver)) (sat.Status, eval.Ass
 	if err := bl.Encode(c); err != nil {
 		return sat.Unknown, nil, err
 	}
+	// One-shot solve: nothing is added or assumed after this point, so
+	// any equisatisfiable preprocessing would be safe. Variable
+	// elimination nevertheless stays off by default: on the crafted
+	// arithmetic encodings this pipeline produces it perturbs the search
+	// trajectory unpredictably (order-of-magnitude conflict swings in
+	// both directions), while subsumption and self-subsuming resolution
+	// shrink the clause database without touching the trajectory's
+	// variance. Callers who want BVE can run s.Preprocess themselves via
+	// configure before Encode adds clauses, or on a solver they own.
+	s.Preprocess(sat.PreprocessOptions{})
 	st := s.Solve()
 	if st != sat.Sat {
 		return st, nil, nil

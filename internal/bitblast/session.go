@@ -101,7 +101,13 @@ func (se *Session) gate(k gateKey, mk func() sat.Lit) sat.Lit {
 func (se *Session) Encode(c *smt.Constraint) error {
 	if se.started {
 		se.s.AddClause(se.act.Not())
-		se.s.Simplify()
+		// Inprocess between rounds: the level-0 sweep inside Preprocess
+		// deletes the retired round's clauses, and subsumption +
+		// self-subsuming resolution (equivalence-preserving, so safe
+		// against the next round re-touching any variable) compact what
+		// survives. Variable elimination stays off: any session variable
+		// can gain clauses in a later round.
+		se.s.Preprocess(sat.PreprocessOptions{})
 		se.stats.ClausesRetained += int64(se.s.NumClauses() + se.s.NumLearnts())
 	}
 	se.act = sat.PosLit(se.s.NewVar())

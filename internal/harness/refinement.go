@@ -8,6 +8,7 @@ import (
 	"staub/internal/core"
 	"staub/internal/engine"
 	"staub/internal/smt"
+	"staub/internal/status"
 )
 
 // RefinementInstance is one named SMT-LIB script of the refinement
@@ -72,8 +73,12 @@ type RefinementRow struct {
 	// bounded-unsat) — that difference is the measured speedup showing up
 	// as a tractability gain.
 	Outcome, FreshOutcome core.Outcome
-	// StatusAgree reports that both loops reached the same final status
-	// (the soundness-relevant verdict: sat / unknown).
+	// StatusAgree reports that the two loops' final statuses are
+	// consistent: equal, or the fresh loop capped out at unknown on an
+	// instance the incremental session decided — reuse showing up as a
+	// tractability gain, the same way the outcome difference above does.
+	// The reverse direction (fresh decides, incremental stuck at
+	// unknown) and contradictory decided verdicts both report false.
 	StatusAgree bool
 	// Rounds is the refinement rounds taken; Width the final width.
 	Rounds, Width int
@@ -122,7 +127,7 @@ func RefinementExperiment(ctx context.Context, o Options) ([]RefinementRow, erro
 			Name:            inst.Name,
 			Outcome:         inc.Outcome,
 			FreshOutcome:    fresh.Outcome,
-			StatusAgree:     inc.Status == fresh.Status,
+			StatusAgree:     inc.Status == fresh.Status || fresh.Status == status.Unknown,
 			Rounds:          inc.Refined,
 			Width:           inc.Width,
 			IncWork:         inc.SolveWork,

@@ -4,6 +4,8 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"strconv"
+	"strings"
 )
 
 // WriteDIMACS writes the solver's problem clauses (not learned clauses) in
@@ -11,8 +13,21 @@ import (
 // inspected or handed to external SAT solvers.
 func (s *Solver) WriteDIMACS(w io.Writer) error {
 	bw := bufio.NewWriter(w)
-	if _, err := fmt.Fprintf(bw, "p cnf %d %d\n", len(s.vars), len(s.clauses)+len(s.unitsOnTrail())); err != nil {
+	// A solver already unsatisfiable at level 0 (empty clause, or
+	// conflicting units folded in by AddClause) has no stored clause
+	// recording that fact; emit the empty clause so the verdict survives
+	// the round-trip.
+	extra := 0
+	if !s.ok {
+		extra = 1
+	}
+	if _, err := fmt.Fprintf(bw, "p cnf %d %d\n", len(s.vars), len(s.clauses)+len(s.unitsOnTrail())+extra); err != nil {
 		return err
+	}
+	if !s.ok {
+		if _, err := fmt.Fprintln(bw, "0"); err != nil {
+			return err
+		}
 	}
 	// Top-level units (assigned at decision level 0) are part of the
 	// problem: AddClause enqueues unit clauses instead of storing them.
@@ -22,7 +37,7 @@ func (s *Solver) WriteDIMACS(w io.Writer) error {
 		}
 	}
 	for _, c := range s.clauses {
-		for _, l := range c.lits {
+		for _, l := range s.clsLits(c) {
 			if _, err := fmt.Fprintf(bw, "%d ", dimacsLit(l)); err != nil {
 				return err
 			}
@@ -32,6 +47,79 @@ func (s *Solver) WriteDIMACS(w io.Writer) error {
 		}
 	}
 	return bw.Flush()
+}
+
+// ParseDIMACS reads a DIMACS CNF problem into a fresh solver. The header
+// is required and variable indices must stay within its bound; clauses
+// are added as they complete, so the returned solver may already be
+// trivially unsatisfiable. It is the inverse of WriteDIMACS up to
+// level-0 simplification.
+func ParseDIMACS(r io.Reader) (*Solver, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	s := New()
+	nvars := -1
+	var clause []Lit
+	for sc.Scan() {
+		line := sc.Text()
+		fields := strings.Fields(line)
+		if len(fields) == 0 || strings.HasPrefix(fields[0], "c") {
+			continue
+		}
+		if fields[0] == "p" {
+			if nvars >= 0 {
+				return nil, fmt.Errorf("sat: duplicate DIMACS header")
+			}
+			if len(fields) != 4 || fields[1] != "cnf" {
+				return nil, fmt.Errorf("sat: malformed DIMACS header %q", line)
+			}
+			v, err := strconv.Atoi(fields[2])
+			if err != nil || v < 0 {
+				return nil, fmt.Errorf("sat: bad variable count in %q", line)
+			}
+			if _, err := strconv.Atoi(fields[3]); err != nil {
+				return nil, fmt.Errorf("sat: bad clause count in %q", line)
+			}
+			nvars = v
+			for i := 0; i < v; i++ {
+				s.NewVar()
+			}
+			continue
+		}
+		if nvars < 0 {
+			return nil, fmt.Errorf("sat: clause before DIMACS header")
+		}
+		for _, tok := range fields {
+			n, err := strconv.Atoi(tok)
+			if err != nil {
+				return nil, fmt.Errorf("sat: bad DIMACS token %q", tok)
+			}
+			if n == 0 {
+				s.AddClause(clause...)
+				clause = clause[:0]
+				continue
+			}
+			v := n
+			if v < 0 {
+				v = -v
+			}
+			if v > nvars {
+				return nil, fmt.Errorf("sat: literal %d exceeds declared %d variables", n, nvars)
+			}
+			if n > 0 {
+				clause = append(clause, PosLit(v-1))
+			} else {
+				clause = append(clause, NegLit(v-1))
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(clause) > 0 {
+		return nil, fmt.Errorf("sat: unterminated clause at end of input")
+	}
+	return s, nil
 }
 
 // unitsOnTrail returns the literals fixed at decision level 0.

@@ -1,0 +1,591 @@
+// Pre/inprocessing over the clause database: subsumption and
+// self-subsuming resolution via occurrence lists, and bounded variable
+// elimination (SatELite-style) with model reconstruction.
+//
+// Subsumption and self-subsuming resolution are equivalence-preserving,
+// so they are safe under every incremental usage pattern: clauses added
+// later, assumption solving, activation-literal retirement. Bounded
+// variable elimination only preserves equisatisfiability — the eliminated
+// variable's clauses are replaced by their resolvents — so it is gated:
+// frozen variables (Freeze) are never eliminated, and a later AddClause
+// or SolveAssuming over an eliminated variable panics instead of silently
+// computing with an unsound database. The incremental bit-blasting
+// session therefore preprocesses with VarElim off (any variable can gain
+// clauses in a later round), while the one-shot bit-blast path runs full
+// elimination.
+package sat
+
+import (
+	"sort"
+
+	"staub/internal/chaos"
+)
+
+// Chaos fault-injection sites inside the solver (see internal/chaos).
+// They sit on the cold boundaries — preprocessing entry and DB
+// reduction — never inside the propagation loop.
+const (
+	sitePreprocess = "sat:preprocess"
+	siteReduce     = "sat:reduce"
+)
+
+// chaosAt is the package-local alias the hot-path call sites use; with no
+// injector enabled it is one atomic load.
+func chaosAt(site string) chaos.Fault { return chaos.At(site) }
+
+// chaosPreprocess applies an injected fault at the preprocessing
+// boundary; true means preprocessing is skipped (it is an optimization,
+// so skipping contains the fault without touching the verdict).
+func (s *Solver) chaosPreprocess(f chaos.Fault) (skip bool) {
+	switch f {
+	case chaos.FaultPassPanic:
+		panic(chaos.Injected{Site: sitePreprocess})
+	case chaos.FaultSolverStall:
+		chaos.Stall(0, s.exhausted)
+	case chaos.FaultBudgetBlowup:
+		s.Stats.Propagations += chaos.BlowupWork()
+	case chaos.FaultTransientError:
+		skip = true
+	}
+	return skip
+}
+
+// chaosReduce applies an injected fault at the reduceDB boundary; true
+// means this reduction is skipped (the DB just stays larger until the
+// next one).
+func (s *Solver) chaosReduce(f chaos.Fault) (skip bool) {
+	switch f {
+	case chaos.FaultPassPanic:
+		panic(chaos.Injected{Site: siteReduce})
+	case chaos.FaultSolverStall:
+		chaos.Stall(0, s.exhausted)
+	case chaos.FaultBudgetBlowup:
+		s.Stats.Propagations += chaos.BlowupWork()
+	case chaos.FaultTransientError:
+		skip = true
+	}
+	return skip
+}
+
+// PreprocessOptions configures one Preprocess call.
+type PreprocessOptions struct {
+	// VarElim enables bounded variable elimination. Only safe when no
+	// later AddClause or SolveAssuming mentions an eliminated variable;
+	// Freeze exempts individual variables. Subsumption and
+	// self-subsuming resolution run unconditionally — they preserve
+	// logical equivalence and need no gate.
+	VarElim bool
+	// MaxOccur bounds elimination candidates: a variable is only
+	// eliminated when each polarity occurs in at most this many clauses
+	// (default 10). The no-growth rule (resolvents ≤ removed clauses)
+	// applies on top.
+	MaxOccur int
+	// MaxResolvent bounds resolvent width (default 6): elimination is
+	// skipped when any resolvent would carry more literals. The no-growth
+	// rule alone bounds clause count but not width, and wide resolvents
+	// are poison twice over — each watch visit scans more literals, and
+	// chains of eliminations compound the widening until propagation
+	// crawls and the learned clauses degrade.
+	MaxResolvent int
+}
+
+// occScanLimit caps the occurrence-list scans in backward subsumption
+// and self-subsuming resolution. A literal occurring in thousands of
+// clauses makes every clause mentioning its negation pay that scan;
+// skipping those lists loses a few subsumptions but keeps preprocessing
+// linear in practice.
+const occScanLimit = 500
+
+// elimEntry records one eliminated variable and the clauses removed with
+// it, for model reconstruction after Sat.
+type elimEntry struct {
+	v       int
+	clauses [][]Lit
+}
+
+// Preprocess simplifies the clause database at decision level 0:
+// level-0 sweep, backward subsumption, self-subsuming resolution, and
+// (when enabled) bounded variable elimination. Call it between solves;
+// pending assumptions do not survive it. It is idempotent and cheap on an
+// already-preprocessed database, which is what makes it usable as
+// per-round inprocessing in incremental sessions.
+func (s *Solver) Preprocess(opts PreprocessOptions) {
+	if !s.ok {
+		return
+	}
+	if f := chaosAt(sitePreprocess); f != chaos.FaultNone && s.chaosPreprocess(f) {
+		return
+	}
+	// Level-0 sweep first: removes satisfied clauses and falsified
+	// literals, so the occurrence index below sees only live literals.
+	s.Simplify()
+	if !s.ok {
+		return
+	}
+	if opts.MaxOccur <= 0 {
+		opts.MaxOccur = 10
+	}
+	if opts.MaxResolvent <= 0 {
+		opts.MaxResolvent = 6
+	}
+	p := &preprocessor{s: s}
+	p.init()
+	p.subsumeAll()
+	if s.ok && opts.VarElim {
+		p.eliminate(opts)
+		// Resolvents open fresh subsumption chances over their neighbors.
+		p.subsumeAll()
+	}
+	p.commit()
+}
+
+// preprocessor is the occurrence-indexed working state of one Preprocess
+// call. Clause deletion is by nil-ing the slot; occurrence lists may hold
+// stale entries (they over-approximate membership and every use
+// re-verifies), which keeps strengthening O(1).
+type preprocessor struct {
+	s   *Solver
+	cls [][]Lit  // problem clause literals + added resolvents; nil = deleted
+	sig []uint64 // literal-set signature per clause
+	occ [][]int  // literal → clause indices (stale entries allowed)
+	// queue holds clause indices pending a (re-)subsumption pass as the
+	// subsuming side; inQ dedups.
+	queue []int
+	inQ   []bool
+}
+
+func litSig(l Lit) uint64 { return 1 << (uint64(l) % 64) }
+
+func (p *preprocessor) init() {
+	s := p.s
+	// Copy the problem clauses out of the arena: the working set mutates
+	// freely (strengthening, deletion, resolvent adds) and commit rebuilds
+	// the arena from whatever survives.
+	p.cls = make([][]Lit, len(s.clauses))
+	p.sig = make([]uint64, len(p.cls))
+	p.occ = make([][]int, len(s.watches))
+	p.inQ = make([]bool, len(p.cls))
+	for i, c := range s.clauses {
+		lits := append([]Lit(nil), s.clsLits(c)...)
+		p.cls[i] = lits
+		var sig uint64
+		for _, l := range lits {
+			sig |= litSig(l)
+			p.occ[l] = append(p.occ[l], i)
+		}
+		p.sig[i] = sig
+	}
+	// Seed the queue shortest-first: small clauses subsume the most.
+	p.queue = make([]int, len(p.cls))
+	for i := range p.queue {
+		p.queue[i] = i
+	}
+	sort.SliceStable(p.queue, func(a, b int) bool {
+		return len(p.cls[p.queue[a]]) < len(p.cls[p.queue[b]])
+	})
+	for _, i := range p.queue {
+		p.inQ[i] = true
+	}
+}
+
+func (p *preprocessor) push(i int) {
+	if !p.inQ[i] {
+		p.inQ[i] = true
+		p.queue = append(p.queue, i)
+	}
+}
+
+func (p *preprocessor) subsumeAll() {
+	for len(p.queue) > 0 && p.s.ok {
+		i := p.queue[0]
+		p.queue = p.queue[1:]
+		p.inQ[i] = false
+		if p.cls[i] == nil {
+			continue
+		}
+		p.backwardSubsume(i)
+	}
+}
+
+// contains reports whether clause lits contain l.
+func contains(lits []Lit, l Lit) bool {
+	for _, m := range lits {
+		if m == l {
+			return true
+		}
+	}
+	return false
+}
+
+// subsumes reports whether every literal of c appears in d.
+func subsumes(c, d []Lit) bool {
+	for _, l := range c {
+		if !contains(d, l) {
+			return false
+		}
+	}
+	return true
+}
+
+// backwardSubsume finds the clauses clause i subsumes (delete) or
+// self-subsumes (strengthen: resolving on one flipped literal yields a
+// resolvent that subsumes the target, so the flipped literal can be
+// removed from it).
+func (p *preprocessor) backwardSubsume(i int) {
+	s := p.s
+	c := p.cls[i]
+	// Scan the smallest occurrence list among c's literals: every clause
+	// c subsumes contains all of c's literals, so any one list covers
+	// them all.
+	minLit := c[0]
+	for _, l := range c[1:] {
+		if len(p.occ[l]) < len(p.occ[minLit]) {
+			minLit = l
+		}
+	}
+	if len(p.occ[minLit]) > occScanLimit {
+		return
+	}
+	for _, j := range p.occ[minLit] {
+		d := p.cls[j]
+		if j == i || d == nil || len(d) < len(c) {
+			continue
+		}
+		if p.sig[i]&^p.sig[j] != 0 || !subsumes(c, d) {
+			continue
+		}
+		p.cls[j] = nil
+		s.Stats.Subsumed++
+	}
+	// Self-subsuming resolution: c with one literal l flipped subsumes d
+	// ⇒ the resolvent of c and d on l equals d minus ¬l; drop ¬l from d.
+	for li, l := range c {
+		if len(p.occ[l.Not()]) > occScanLimit {
+			continue
+		}
+		flipSig := p.sig[i]&^litSig(l) | litSig(l.Not())
+		for _, j := range p.occ[l.Not()] {
+			d := p.cls[j]
+			if j == i || d == nil || len(d) < len(c) {
+				continue
+			}
+			if flipSig&^p.sig[j] != 0 || !contains(d, l.Not()) {
+				continue
+			}
+			ok := true
+			for mi, m := range c {
+				if mi == li {
+					continue
+				}
+				if !contains(d, m) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			p.strengthen(j, l.Not())
+			if !s.ok {
+				return
+			}
+		}
+	}
+}
+
+// strengthen removes lit from clause j, requeueing it (a shorter clause
+// subsumes more) and promoting it to a level-0 unit when one literal
+// remains.
+func (p *preprocessor) strengthen(j int, lit Lit) {
+	s := p.s
+	d := p.cls[j]
+	out := d[:0]
+	for _, m := range d {
+		if m != lit {
+			out = append(out, m)
+		}
+	}
+	p.cls[j] = out
+	s.Stats.Strengthened++
+	var sig uint64
+	for _, m := range out {
+		sig |= litSig(m)
+	}
+	p.sig[j] = sig
+	switch len(out) {
+	case 0:
+		s.ok = false
+	case 1:
+		// Unit: enqueue at level 0; propagation runs at commit once the
+		// watch lists are rebuilt.
+		if !s.enqueue(out[0], crefUndef) {
+			s.ok = false
+		}
+		p.cls[j] = nil
+	default:
+		p.push(j)
+	}
+}
+
+// addClause appends a resolvent produced by variable elimination,
+// simplified against level-0 assignments, and queues it for subsumption.
+func (p *preprocessor) addClause(lits []Lit) {
+	s := p.s
+	out := make([]Lit, 0, len(lits))
+	for _, l := range lits {
+		switch s.litValue(l) {
+		case lTrue:
+			return // satisfied at level 0
+		case lFalse:
+			continue
+		}
+		out = append(out, l)
+	}
+	switch len(out) {
+	case 0:
+		s.ok = false
+		return
+	case 1:
+		if !s.enqueue(out[0], crefUndef) {
+			s.ok = false
+		}
+		return
+	}
+	j := len(p.cls)
+	p.cls = append(p.cls, out)
+	var sig uint64
+	for _, l := range out {
+		sig |= litSig(l)
+		p.occ[l] = append(p.occ[l], j)
+	}
+	p.sig = append(p.sig, sig)
+	p.inQ = append(p.inQ, false)
+	p.push(j)
+}
+
+// gather returns the alive clause indices containing l (verifying
+// membership, since occurrence lists may be stale).
+func (p *preprocessor) gather(l Lit) []int {
+	var out []int
+	for _, j := range p.occ[l] {
+		if d := p.cls[j]; d != nil && contains(d, l) {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// eliminate runs bounded variable elimination: cheap variables first,
+// each eliminated only when its resolvent set is no larger than the
+// clause set it replaces (the classic no-growth rule). Pure literals
+// eliminate with no resolvents at all.
+func (p *preprocessor) eliminate(opts PreprocessOptions) {
+	s := p.s
+	type cand struct{ v, occur int }
+	var cands []cand
+	for v := range s.vars {
+		vd := &s.vars[v]
+		if vd.frozen || vd.elim || s.assigns[PosLit(v)] != lUndef {
+			continue
+		}
+		n := len(p.occ[PosLit(v)]) + len(p.occ[NegLit(v)])
+		if n > 0 {
+			cands = append(cands, cand{v, n})
+		}
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].occur != cands[b].occur {
+			return cands[a].occur < cands[b].occur
+		}
+		return cands[a].v < cands[b].v
+	})
+	for _, cd := range cands {
+		if !s.ok {
+			return
+		}
+		v := cd.v
+		if s.assigns[PosLit(v)] != lUndef {
+			continue // a unit produced meanwhile fixed it
+		}
+		pos, neg := p.gather(PosLit(v)), p.gather(NegLit(v))
+		if len(pos) == 0 && len(neg) == 0 {
+			continue
+		}
+		if len(pos) > opts.MaxOccur || len(neg) > opts.MaxOccur {
+			continue
+		}
+		// Build the non-tautological resolvents; give up past the
+		// no-growth bound or the width bound.
+		bound := len(pos) + len(neg)
+		var resolvents [][]Lit
+		grew := false
+		for _, pj := range pos {
+			for _, nj := range neg {
+				r, taut := resolve(p.cls[pj], p.cls[nj], v)
+				if taut {
+					continue
+				}
+				if len(r) > opts.MaxResolvent {
+					grew = true
+					break
+				}
+				resolvents = append(resolvents, r)
+				if len(resolvents) > bound {
+					grew = true
+					break
+				}
+			}
+			if grew {
+				break
+			}
+		}
+		if grew {
+			continue
+		}
+		// Commit the elimination: save the removed clauses for model
+		// reconstruction, delete them, add the resolvents.
+		entry := elimEntry{v: v}
+		for _, j := range append(append([]int(nil), pos...), neg...) {
+			entry.clauses = append(entry.clauses, append([]Lit(nil), p.cls[j]...))
+			p.cls[j] = nil
+		}
+		s.elimStack = append(s.elimStack, entry)
+		s.vars[v].elim = true
+		s.Stats.Eliminated++
+		for _, r := range resolvents {
+			p.addClause(r)
+			if !s.ok {
+				return
+			}
+		}
+	}
+}
+
+// resolve computes the resolvent of pc (containing v positively) and nc
+// (containing v negatively) on v, reporting tautologies.
+func resolve(pc, nc []Lit, v int) (out []Lit, taut bool) {
+	out = make([]Lit, 0, len(pc)+len(nc)-2)
+	for _, l := range pc {
+		if l.Var() != v {
+			out = append(out, l)
+		}
+	}
+	for _, l := range nc {
+		if l.Var() == v {
+			continue
+		}
+		if contains(out, l.Not()) {
+			return nil, true
+		}
+		if !contains(out, l) {
+			out = append(out, l)
+		}
+	}
+	return out, false
+}
+
+// commit rebuilds the arena from the surviving working set — problem
+// clauses first, then the untouched learned clauses (headers preserved) —
+// which doubles as the compaction point reclaiming every hole deletion
+// and strengthening left behind. It then rebuilds the watch lists and
+// propagates any units produced during preprocessing.
+func (p *preprocessor) commit() {
+	s := p.s
+	// Learnt headers and literals must survive the arena rebuild; stage
+	// them before resetting.
+	type learntSave struct {
+		lits []Lit
+		lbd  int32
+		act  float32
+		prot bool
+	}
+	saved := make([]learntSave, len(s.learnts))
+	for i, c := range s.learnts {
+		saved[i] = learntSave{
+			lits: append([]Lit(nil), s.clsLits(c)...),
+			lbd:  s.clsLBD(c),
+			act:  s.clsAct(c),
+			prot: s.clsProtect(c),
+		}
+	}
+	s.arena = s.arena[:0]
+	s.clauses = s.clauses[:0]
+	for _, lits := range p.cls {
+		if lits != nil && len(lits) >= 2 {
+			s.clauses = append(s.clauses, s.alloc(lits, false))
+		}
+	}
+	s.learnts = s.learnts[:0]
+	for _, sv := range saved {
+		c := s.alloc(sv.lits, true)
+		s.setLBD(c, sv.lbd)
+		s.setAct(c, sv.act)
+		s.setProtect(c, sv.prot)
+		s.learnts = append(s.learnts, c)
+	}
+	// Preprocessing runs at level 0 with trail reasons already cleared by
+	// Simplify; clear defensively so no reason survives pointing into the
+	// discarded arena.
+	for _, l := range s.trail {
+		s.vars[l.Var()].reason = crefUndef
+	}
+	for i := range s.watches {
+		s.watches[i] = s.watches[i][:0]
+	}
+	if !s.ok {
+		return
+	}
+	for _, c := range s.clauses {
+		s.attach(c)
+	}
+	for _, c := range s.learnts {
+		s.attach(c)
+	}
+	if s.propagate() != crefUndef {
+		s.ok = false
+	}
+}
+
+// extendModel reconstructs values for eliminated variables after a Sat
+// search by walking the elimination stack in reverse: when v was
+// eliminated, its saved clauses mention only variables eliminated later
+// (already reconstructed) or still in the problem (assigned by search),
+// so each saved clause is decidable except for its v-literal. All
+// resolvents are satisfied, so the positive- and negative-occurrence
+// clauses can never force v both ways.
+func (s *Solver) extendModel() {
+	for i := len(s.elimStack) - 1; i >= 0; i-- {
+		e := &s.elimStack[i]
+		val := false
+		for _, cl := range e.clauses {
+			forced := false
+			pos := false
+			for _, l := range cl {
+				if l.Var() == e.v {
+					pos = !l.Sign()
+					continue
+				}
+				if s.modelLit(l) {
+					forced = false
+					break
+				}
+				forced = true
+			}
+			if forced && pos {
+				val = true
+				break
+			}
+		}
+		s.elimValue[e.v] = val
+	}
+}
+
+// modelLit reports l's truth under the current model, consulting
+// reconstructed values for eliminated variables.
+func (s *Solver) modelLit(l Lit) bool {
+	v := l.Var()
+	if s.vars[v].elim {
+		return s.elimValue[v] != l.Sign()
+	}
+	return (s.assigns[PosLit(v)] == lTrue) != l.Sign()
+}

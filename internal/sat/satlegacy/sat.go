@@ -1,27 +1,17 @@
-// Package sat implements a CDCL (conflict-driven clause learning) SAT
-// solver with two-literal watching, blocking literals, specialized binary
-// clause propagation, first-UIP conflict analysis, VSIDS variable
-// activity, phase saving, Luby restarts, glue-based (LBD) learned-clause
-// management with aggressive DB reduction on a geometric schedule, and a
-// pre/inprocessing pass (subsumption, self-subsuming resolution, bounded
-// variable elimination — see preprocess.go). It is the backend for
-// package bitblast, giving this repository the standard production
-// pipeline for deciding the bounded constraints STAUB produces.
+// Package satlegacy is the CDCL solver exactly as it stood before the
+// core modernization (glue-based clause management, blocking literals,
+// arena clause storage, preprocessing): two-literal watching, first-UIP
+// conflict analysis, VSIDS, phase saving, Luby restarts and
+// activity-based learned-clause deletion over pointer-backed clauses.
 //
-// Clauses live in a single flat arena ([]Lit) addressed by integer
-// references (cref), MiniSat-allocator style: a clause is a three-word
-// header (size+flags, LBD, activity bits) followed by its literals.
-// Compared to per-clause heap objects this halves the cache misses per
-// clause visit (header and literals share one allocation), shrinks a
-// watcher to eight pointer-free bytes (halving watch-list bandwidth in
-// propagate, the hottest loop), and removes millions of pointers from
-// the GC graph — no write barriers on watcher writes, near-zero scan
-// cost. Freed clauses leave holes that compactArena reclaims at level-0
-// maintenance points (Simplify, Preprocess).
-package sat
+// It is kept frozen, verbatim, for two jobs: the honest baseline leg of
+// scripts/satbench (an in-binary "legacy policy" flag would still share
+// the modern propagation core and under-measure the change), and a
+// second oracle for the differential tests in package sat. Nothing in
+// the production pipeline imports it; do not fix or improve it.
+package satlegacy
 
 import (
-	"math"
 	"math/rand"
 	"sort"
 	"sync/atomic"
@@ -80,101 +70,25 @@ const (
 	lFalse
 )
 
-// cref is a clause reference: the word index of the clause header in the
-// solver's arena. crefUndef marks "no clause" (decision or assumption).
-type cref int32
-
-const crefUndef cref = -1
-
-// Arena clause layout: header of hdrWords words at the cref, literals
-// after it.
-//
-//	arena[c+0]  size<<flagBits | learnedFlag | protectFlag
-//	arena[c+1]  LBD at learning time, updated on the fly (learnts)
-//	arena[c+2]  activity (float32 bits)
-//	arena[c+3:] the literals
-const (
-	hdrWords    = 3
-	flagBits    = 2
-	learnedFlag = 1
-	// protectFlag grants one reduceDB reprieve; set when conflict
-	// analysis observes the clause's LBD improving (the clause is pulling
-	// its weight even if its original LBD was poor).
-	protectFlag = 2
-)
-
-// glueLBD is the glue tier boundary: learned clauses with LBD at or below
-// it are never evicted (they connect few decision levels and re-derive
-// constantly if dropped).
-const glueLBD = 2
-
-func (s *Solver) clsSize(c cref) int     { return int(s.arena[c]) >> flagBits }
-func (s *Solver) clsLearned(c cref) bool { return s.arena[c]&learnedFlag != 0 }
-func (s *Solver) clsProtect(c cref) bool { return s.arena[c]&protectFlag != 0 }
-func (s *Solver) setProtect(c cref, on bool) {
-	if on {
-		s.arena[c] |= protectFlag
-	} else {
-		s.arena[c] &^= protectFlag
-	}
-}
-func (s *Solver) clsLBD(c cref) int32      { return int32(s.arena[c+1]) }
-func (s *Solver) setLBD(c cref, lbd int32) { s.arena[c+1] = Lit(lbd) }
-func (s *Solver) clsAct(c cref) float32    { return math.Float32frombits(uint32(s.arena[c+2])) }
-func (s *Solver) setAct(c cref, a float32) { s.arena[c+2] = Lit(math.Float32bits(a)) }
-func (s *Solver) setSize(c cref, n int) {
-	const flagsMask = Lit(1<<flagBits - 1)
-	s.arena[c] = Lit(n<<flagBits) | s.arena[c]&flagsMask
+type clause struct {
+	lits    []Lit
+	learned bool
+	act     float64
 }
 
-// clsLits returns the literal slice of clause c, aliasing the arena.
-// Valid until the next arena allocation or compaction.
-func (s *Solver) clsLits(c cref) []Lit {
-	i := int(c) + hdrWords
-	return s.arena[i : i+int(s.arena[c])>>flagBits]
-}
-
-// alloc appends a clause to the arena and returns its reference.
-func (s *Solver) alloc(lits []Lit, learned bool) cref {
-	c := cref(len(s.arena))
-	meta := Lit(len(lits) << flagBits)
-	if learned {
-		meta |= learnedFlag
-	}
-	s.arena = append(s.arena, meta, 0, 0)
-	s.arena = append(s.arena, lits...)
-	return c
-}
-
-// watcher is one watch-list entry: eight bytes, no pointers. A negative
-// cr marks a binary clause (the real reference is cr with the sign bit
-// cleared): its blocker is the entire rest of the clause, so binary
-// propagation and conflict detection never touch clause memory.
 type watcher struct {
-	cr      cref
+	c       *clause
 	blocker Lit
 }
 
-const (
-	watcherBin  = cref(-1) << 31
-	watcherMask = ^watcherBin
-)
-
 type varData struct {
 	level   int32
-	reason  cref
+	reason  *clause
 	act     float64
 	phase   bool // saved phase
 	polInit bool
-	elim    bool // removed by bounded variable elimination
-	frozen  bool // exempt from variable elimination (see Freeze)
 	heapIdx int32
 }
-
-// LBDBuckets is the size of the learning-time LBD histogram in Stats:
-// buckets 0..LBDBuckets-2 count clauses of LBD 1..LBDBuckets-1, the last
-// bucket everything larger.
-const LBDBuckets = 8
 
 // Stats records solver work counters.
 type Stats struct {
@@ -183,21 +97,6 @@ type Stats struct {
 	Conflicts    int64
 	Restarts     int64
 	Learned      int64
-	// GlueLearned counts learned clauses arriving in the glue tier
-	// (LBD ≤ glueLBD); these are kept forever.
-	GlueLearned int64
-	// LBDHist is the histogram of learning-time LBDs (see LBDBuckets).
-	LBDHist [LBDBuckets]int64
-	// Reductions counts reduceDB invocations, Deleted the learned
-	// clauses they evicted.
-	Reductions int64
-	Deleted    int64
-	// Subsumed, Strengthened and Eliminated count preprocessing effects:
-	// clauses removed by subsumption, literals removed by self-subsuming
-	// resolution, and variables removed by bounded elimination.
-	Subsumed     int64
-	Strengthened int64
-	Eliminated   int64
 }
 
 // Solver is an incremental CDCL SAT solver: construct, add clauses, call
@@ -206,9 +105,8 @@ type Stats struct {
 // phases are retained across calls, so repeated solves resume where the
 // previous search left off rather than starting from scratch.
 type Solver struct {
-	arena   []Lit // clause storage (see layout above)
-	clauses []cref
-	learnts []cref
+	clauses []*clause
+	learnts []*clause
 	watches [][]watcher // indexed by literal
 
 	vars     []varData
@@ -226,31 +124,8 @@ type Solver struct {
 	claDecay float64
 
 	ok        bool    // false once a top-level conflict is found
-	maxLearnt float64 // adaptive learned-clause cap (DBActivity policy)
+	maxLearnt float64 // adaptive learned-clause cap
 	rng       *rand.Rand
-
-	// DB selects the learned-clause management policy. The default,
-	// DBGlue, is the modern LBD-based policy; DBActivity is the previous
-	// activity-halving policy, kept as the differential-testing and
-	// benchmarking baseline. Set before the first Solve.
-	DB ClauseDB
-	// ReduceFirst is the conflict count before the first DB reduction
-	// under DBGlue (default 2000); each reduction then grows the interval
-	// geometrically. Tests lower it to exercise the reduction path.
-	ReduceFirst int64
-	// reduceInterval and nextReduce drive the geometric DBGlue schedule.
-	reduceInterval int64
-	nextReduce     int64
-
-	// lbdSeen/lbdTick stamp decision levels during LBD computation so one
-	// pass over a clause counts its distinct levels without clearing.
-	lbdSeen []int64
-	lbdTick int64
-
-	// elimStack records bounded variable elimination in order, for model
-	// reconstruction after Sat; elimValue holds reconstructed values.
-	elimStack []elimEntry
-	elimValue []bool
 
 	// RandomFreq is the probability of a random branching decision in
 	// [0, 1); a small positive value makes the search robust against
@@ -280,34 +155,16 @@ type Solver struct {
 	failed []Lit
 }
 
-// ClauseDB selects a learned-clause management policy.
-type ClauseDB int
-
-// Clause-management policies.
-const (
-	// DBGlue (the default) computes the literal block distance of every
-	// learned clause, protects the glue tier (LBD ≤ 2) and binary clauses
-	// forever, and aggressively halves the remainder — worst LBD first —
-	// on a geometrically growing conflict schedule.
-	DBGlue ClauseDB = iota
-	// DBActivity is the pre-LBD policy: drop the less active half
-	// whenever the DB outgrows an adaptive cap. It is retained as the
-	// baseline the differential harness and scripts/satbench compare
-	// DBGlue against.
-	DBActivity
-)
-
 // New returns an empty solver.
 func New() *Solver {
 	s := &Solver{
-		varInc:      1,
-		VarDecay:    0.8,
-		claInc:      1,
-		claDecay:    0.999,
-		ok:          true,
-		RandomFreq:  0.02,
-		ReduceFirst: 2000,
-		rng:         rand.New(rand.NewSource(1)),
+		varInc:     1,
+		VarDecay:   0.8,
+		claInc:     1,
+		claDecay:   0.999,
+		ok:         true,
+		RandomFreq: 0.02,
+		rng:        rand.New(rand.NewSource(1)),
 	}
 	s.order.s = s
 	return s
@@ -327,61 +184,39 @@ func (s *Solver) NumClauses() int { return len(s.clauses) }
 // NumLearnts returns the number of learned clauses currently retained.
 func (s *Solver) NumLearnts() int { return len(s.learnts) }
 
-// compactArena rewrites the arena with only the clauses reachable from
-// the problem and learnt lists, remapping both lists in place. Callers
-// must have cleared every trail reason (level 0 only) and must rebuild
-// the watch lists afterwards.
-func (s *Solver) compactArena() {
-	na := make([]Lit, 0, len(s.arena))
-	move := func(cs []cref) {
-		for i, c := range cs {
-			nc := cref(len(na))
-			end := int(c) + hdrWords + s.clsSize(c)
-			na = append(na, s.arena[c:end]...)
-			cs[i] = nc
-		}
-	}
-	move(s.clauses)
-	move(s.learnts)
-	s.arena = na
-}
-
 // Simplify sweeps the clause database at decision level 0: clauses
 // satisfied by a level-0 assignment are removed and literals falsified at
 // level 0 are stripped. Incremental sessions call this after permanently
 // falsifying a retired round's activation literal, which turns that
 // round's guarded clauses into level-0-satisfied garbage; sweeping them
-// keeps later rounds from paying propagation cost for dead state. The
-// sweep ends with an arena compaction, reclaiming the holes left by
-// deleted clauses.
+// keeps later rounds from paying propagation cost for dead state.
 func (s *Solver) Simplify() {
 	if !s.ok {
 		return
 	}
 	s.backtrack(0)
-	if s.propagate() != crefUndef {
+	if s.propagate() != nil {
 		s.ok = false
 		return
 	}
 	// Level-0 assignments are permanent facts; their reason clauses are
 	// never consulted again and must not dangle after removal below.
 	for _, l := range s.trail {
-		s.vars[l.Var()].reason = crefUndef
+		s.vars[l.Var()].reason = nil
 	}
-	sweep := func(cs []cref) []cref {
+	sweep := func(cs []*clause) []*clause {
 		kept := cs[:0]
 		for _, c := range cs {
-			lits := s.clsLits(c)
-			out := lits[:0]
+			lits := c.lits[:0]
 			satisfied := false
-			for _, l := range lits {
+			for _, l := range c.lits {
 				switch s.litValue(l) {
 				case lTrue:
 					satisfied = true
 				case lFalse:
 					continue
 				default:
-					out = append(out, l)
+					lits = append(lits, l)
 				}
 				if satisfied {
 					break
@@ -390,12 +225,12 @@ func (s *Solver) Simplify() {
 			if satisfied {
 				continue
 			}
-			s.setSize(c, len(out))
-			switch len(out) {
+			c.lits = lits
+			switch len(lits) {
 			case 0:
 				s.ok = false
 			case 1:
-				if !s.enqueue(out[0], crefUndef) {
+				if !s.enqueue(lits[0], nil) {
 					s.ok = false
 				}
 			default:
@@ -406,7 +241,6 @@ func (s *Solver) Simplify() {
 	}
 	s.clauses = sweep(s.clauses)
 	s.learnts = sweep(s.learnts)
-	s.compactArena()
 	// Rebuild watches over the surviving clauses before propagating any
 	// units the sweep enqueued: the old watcher lists still reference
 	// removed and stripped clauses.
@@ -422,7 +256,7 @@ func (s *Solver) Simplify() {
 	for _, c := range s.learnts {
 		s.attach(c)
 	}
-	if s.propagate() != crefUndef {
+	if s.propagate() != nil {
 		s.ok = false
 	}
 }
@@ -430,21 +264,13 @@ func (s *Solver) Simplify() {
 // NewVar creates a new variable and returns its index.
 func (s *Solver) NewVar() int {
 	v := len(s.vars)
-	s.vars = append(s.vars, varData{heapIdx: -1, reason: crefUndef})
+	s.vars = append(s.vars, varData{heapIdx: -1})
 	s.assigns = append(s.assigns, lUndef, lUndef)
 	s.watches = append(s.watches, nil, nil)
 	s.seen = append(s.seen, false)
-	s.elimValue = append(s.elimValue, false)
 	s.order.push(v)
 	return v
 }
-
-// Freeze exempts v from bounded variable elimination. Callers must freeze
-// any variable they will later pass to SolveAssuming or mention in an
-// AddClause after a Preprocess with variable elimination enabled:
-// elimination only preserves equisatisfiability, so new constraints over
-// an eliminated variable would be unsound.
-func (s *Solver) Freeze(v int) { s.vars[v].frozen = true }
 
 // AddClause adds a clause over existing variables. It returns false if the
 // solver is already known unsatisfiable at the top level. The solver
@@ -459,9 +285,6 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 	// Simplify: drop duplicate and false literals, detect tautologies.
 	out := lits[:0:0]
 	for _, l := range lits {
-		if s.vars[l.Var()].elim {
-			panic("sat: AddClause over an eliminated variable (Freeze it before Preprocess)")
-		}
 		switch s.litValue(l) {
 		case lTrue:
 			return true // already satisfied at level 0
@@ -491,47 +314,35 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 		s.ok = false
 		return false
 	case 1:
-		if !s.enqueue(out[0], crefUndef) {
+		if !s.enqueue(out[0], nil) {
 			s.ok = false
 			return false
 		}
-		if s.propagate() != crefUndef {
+		if s.propagate() != nil {
 			s.ok = false
 			return false
 		}
 		return true
 	}
-	c := s.alloc(out, false)
+	c := &clause{lits: out}
 	s.clauses = append(s.clauses, c)
 	s.attach(c)
 	return true
 }
 
-func (s *Solver) attach(c cref) {
-	lits := s.clsLits(c)
-	wc := c
-	if len(lits) == 2 {
-		wc = c | watcherBin
-	}
-	s.watches[lits[0].Not()] = append(s.watches[lits[0].Not()], watcher{cr: wc, blocker: lits[1]})
-	s.watches[lits[1].Not()] = append(s.watches[lits[1].Not()], watcher{cr: wc, blocker: lits[0]})
+func (s *Solver) attach(c *clause) {
+	s.watches[c.lits[0].Not()] = append(s.watches[c.lits[0].Not()], watcher{c: c, blocker: c.lits[1]})
+	s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], watcher{c: c, blocker: c.lits[0]})
 }
 
 func (s *Solver) litValue(l Lit) lbool { return s.assigns[l] }
 
 // Value returns the model value of variable v after a Sat result.
-// Eliminated variables report the value reconstructed from their saved
-// clauses (see Preprocess).
-func (s *Solver) Value(v int) bool {
-	if s.vars[v].elim {
-		return s.elimValue[v]
-	}
-	return s.assigns[PosLit(v)] == lTrue
-}
+func (s *Solver) Value(v int) bool { return s.assigns[PosLit(v)] == lTrue }
 
 func (s *Solver) decisionLevel() int { return len(s.trailLim) }
 
-func (s *Solver) enqueue(l Lit, reason cref) bool {
+func (s *Solver) enqueue(l Lit, reason *clause) bool {
 	switch s.assigns[l] {
 	case lTrue:
 		return true
@@ -547,8 +358,7 @@ func (s *Solver) enqueue(l Lit, reason cref) bool {
 	return true
 }
 
-func (s *Solver) propagate() cref {
-	assigns := s.assigns
+func (s *Solver) propagate() *clause {
 	for s.qhead < len(s.trail) {
 		l := s.trail[s.qhead]
 		s.qhead++
@@ -557,49 +367,28 @@ func (s *Solver) propagate() cref {
 		j := 0
 		for i := 0; i < len(ws); i++ {
 			w := ws[i]
-			// Blocking literal: most watcher visits end on this cache line
-			// without touching clause memory.
-			if assigns[w.blocker] == lTrue {
+			if s.litValue(w.blocker) == lTrue {
 				ws[j] = w
 				j++
 				continue
 			}
-			if w.cr < 0 {
-				// Binary clause: the blocker is the entire rest of the
-				// clause — propagate or conflict without touching it.
-				ws[j] = w
-				j++
-				c := w.cr & watcherMask
-				if assigns[w.blocker] == lFalse {
-					for i++; i < len(ws); i++ {
-						ws[j] = ws[i]
-						j++
-					}
-					s.watches[l] = ws[:j]
-					s.qhead = len(s.trail)
-					return c
-				}
-				s.enqueue(w.blocker, c)
-				continue
-			}
-			c := w.cr
-			lits := s.clsLits(c)
+			c := w.c
 			// Make sure the false literal is lits[1].
-			if lits[0] == l.Not() {
-				lits[0], lits[1] = lits[1], lits[0]
+			if c.lits[0] == l.Not() {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
 			}
-			first := lits[0]
-			if first != w.blocker && assigns[first] == lTrue {
-				ws[j] = watcher{cr: c, blocker: first}
+			first := c.lits[0]
+			if first != w.blocker && s.litValue(first) == lTrue {
+				ws[j] = watcher{c: c, blocker: first}
 				j++
 				continue
 			}
 			// Look for a new watch.
 			found := false
-			for k := 2; k < len(lits); k++ {
-				if assigns[lits[k]] != lFalse {
-					lits[1], lits[k] = lits[k], lits[1]
-					s.watches[lits[1].Not()] = append(s.watches[lits[1].Not()], watcher{cr: c, blocker: first})
+			for k := 2; k < len(c.lits); k++ {
+				if s.litValue(c.lits[k]) != lFalse {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], watcher{c: c, blocker: first})
 					found = true
 					break
 				}
@@ -608,9 +397,9 @@ func (s *Solver) propagate() cref {
 				continue
 			}
 			// Clause is unit or conflicting.
-			ws[j] = watcher{cr: c, blocker: first}
+			ws[j] = watcher{c: c, blocker: first}
 			j++
-			if assigns[first] == lFalse {
+			if s.litValue(first) == lFalse {
 				// Conflict: restore remaining watchers and report.
 				for i++; i < len(ws); i++ {
 					ws[j] = ws[i]
@@ -624,30 +413,17 @@ func (s *Solver) propagate() cref {
 		}
 		s.watches[l] = ws[:j]
 	}
-	return crefUndef
+	return nil
 }
 
-func (s *Solver) analyze(confl cref) (learnt []Lit, backLevel int) {
+func (s *Solver) analyze(confl *clause) (learnt []Lit, backLevel int) {
 	pathC := 0
 	var p Lit = -1
 	learnt = append(learnt, 0) // reserve slot for the asserting literal
 	idx := len(s.trail) - 1
 
 	for {
-		if s.clsLearned(confl) {
-			// A learned clause involved in a conflict is earning its keep:
-			// bump its activity, and refresh its LBD on the fly — an
-			// improved LBD promotes it (possibly into the glue tier) and
-			// buys one reduceDB reprieve.
-			s.bumpClause(confl)
-			if lbd := s.clsLBD(confl); lbd > glueLBD {
-				if nl := int32(s.clauseLBD(s.clsLits(confl))); nl < lbd {
-					s.setLBD(confl, nl)
-					s.setProtect(confl, true)
-				}
-			}
-		}
-		for _, q := range s.clsLits(confl) {
+		for _, q := range confl.lits {
 			if p != -1 && q == p {
 				continue
 			}
@@ -685,7 +461,7 @@ func (s *Solver) analyze(confl cref) (learnt []Lit, backLevel int) {
 	minimized := learnt[:1:1]
 	for _, q := range learnt[1:] {
 		r := s.vars[q.Var()].reason
-		if r == crefUndef || !s.redundant(q, r, learnt) {
+		if r == nil || !s.redundant(q, r, learnt) {
 			minimized = append(minimized, q)
 		}
 	}
@@ -711,8 +487,8 @@ func (s *Solver) analyze(confl cref) (learnt []Lit, backLevel int) {
 
 // redundant reports whether literal q's reason clause is subsumed by the
 // learnt set (all its other literals already appear or are level 0).
-func (s *Solver) redundant(q Lit, r cref, learnt []Lit) bool {
-	for _, l := range s.clsLits(r) {
+func (s *Solver) redundant(q Lit, r *clause, learnt []Lit) bool {
+	for _, l := range r.lits {
 		if l == q.Not() {
 			continue
 		}
@@ -745,7 +521,7 @@ func (s *Solver) backtrack(level int) {
 		s.vars[v].polInit = true
 		s.assigns[l] = lUndef
 		s.assigns[l^1] = lUndef
-		s.vars[v].reason = crefUndef
+		s.vars[v].reason = nil
 		if s.vars[v].heapIdx < 0 {
 			s.order.push(v)
 		}
@@ -768,36 +544,11 @@ func (s *Solver) bumpVar(v int) {
 	}
 }
 
-// clauseLBD counts the distinct nonzero decision levels among lits — the
-// clause's literal block distance (Audemard & Simon). One stamped pass:
-// no clearing, no allocation on the hot path.
-func (s *Solver) clauseLBD(lits []Lit) int {
-	if len(s.lbdSeen) <= len(s.vars) {
-		grown := make([]int64, len(s.vars)+1)
-		copy(grown, s.lbdSeen)
-		s.lbdSeen = grown
-	}
-	s.lbdTick++
-	n := 0
-	for _, l := range lits {
-		lv := s.vars[l.Var()].level
-		if lv > 0 && s.lbdSeen[lv] != s.lbdTick {
-			s.lbdSeen[lv] = s.lbdTick
-			n++
-		}
-	}
-	if n < 1 {
-		n = 1
-	}
-	return n
-}
-
-func (s *Solver) bumpClause(c cref) {
-	act := s.clsAct(c) + float32(s.claInc)
-	s.setAct(c, act)
-	if act > 1e20 {
+func (s *Solver) bumpClause(c *clause) {
+	c.act += s.claInc
+	if c.act > 1e20 {
 		for _, l := range s.learnts {
-			s.setAct(l, s.clsAct(l)*1e-20)
+			l.act *= 1e-20
 		}
 		s.claInc *= 1e-20
 	}
@@ -832,11 +583,6 @@ func (s *Solver) SolveAssuming(assumptions ...Lit) Status {
 		return Unsat
 	}
 	s.backtrack(0)
-	for _, a := range assumptions {
-		if s.vars[a.Var()].elim {
-			panic("sat: assumption over an eliminated variable (Freeze it before Preprocess)")
-		}
-	}
 	s.assumptions = append(s.assumptions[:0], assumptions...)
 	s.failed = s.failed[:0]
 	var restartN int64
@@ -844,9 +590,6 @@ func (s *Solver) SolveAssuming(assumptions ...Lit) Status {
 		restartN++
 		budget := 100 * luby(restartN)
 		st := s.search(budget)
-		if st == Sat {
-			s.extendModel()
-		}
 		if st != Unknown {
 			return st
 		}
@@ -884,8 +627,8 @@ func (s *Solver) analyzeFinal(p Lit) {
 		if !s.seen[v] {
 			continue
 		}
-		if r := s.vars[v].reason; r != crefUndef {
-			for _, q := range s.clsLits(r) {
+		if r := s.vars[v].reason; r != nil {
+			for _, q := range r.lits {
 				if s.vars[q.Var()].level > 0 {
 					s.seen[q.Var()] = true
 				}
@@ -918,7 +661,7 @@ func (s *Solver) search(conflictBudget int64) Status {
 	var conflicts int64
 	for {
 		confl := s.propagate()
-		if confl != crefUndef {
+		if confl != nil {
 			s.Stats.Conflicts++
 			conflicts++
 			if s.decisionLevel() == 0 {
@@ -928,25 +671,11 @@ func (s *Solver) search(conflictBudget int64) Status {
 			learnt, backLevel := s.analyze(confl)
 			s.backtrack(backLevel)
 			if len(learnt) == 1 {
-				s.enqueue(learnt[0], crefUndef)
+				s.enqueue(learnt[0], nil)
 			} else {
-				// Learning-time LBD: the non-asserting literals keep their
-				// levels across the backjump; the asserting literal sat at
-				// the conflict level, distinct from all of them, so it
-				// contributes exactly one more block.
-				lbd := s.clauseLBD(learnt[1:]) + 1
-				c := s.alloc(learnt, true)
-				s.setLBD(c, int32(lbd))
+				c := &clause{lits: learnt, learned: true}
 				s.learnts = append(s.learnts, c)
 				s.Stats.Learned++
-				bucket := lbd - 1
-				if bucket >= LBDBuckets {
-					bucket = LBDBuckets - 1
-				}
-				s.Stats.LBDHist[bucket]++
-				if lbd <= glueLBD {
-					s.Stats.GlueLearned++
-				}
 				s.attach(c)
 				s.bumpClause(c)
 				s.enqueue(learnt[0], c)
@@ -959,7 +688,13 @@ func (s *Solver) search(conflictBudget int64) Status {
 			if conflicts%256 == 0 && s.exhausted() {
 				return Unknown
 			}
-			s.maybeReduceDB()
+			if s.maxLearnt == 0 {
+				s.maxLearnt = float64(max(2000, len(s.clauses)/3))
+			}
+			if float64(len(s.learnts)) > s.maxLearnt {
+				s.reduceDB()
+				s.maxLearnt *= 1.1
+			}
 			continue
 		}
 		// Decide. Re-check budgets periodically on conflict-free stretches,
@@ -982,7 +717,7 @@ func (s *Solver) search(conflictBudget int64) Status {
 				return Unsat
 			default:
 				s.trailLim = append(s.trailLim, len(s.trail))
-				s.enqueue(p, crefUndef)
+				s.enqueue(p, nil)
 			}
 			continue
 		}
@@ -997,139 +732,60 @@ func (s *Solver) search(conflictBudget int64) Status {
 			phase = false
 		}
 		if phase {
-			s.enqueue(PosLit(v), crefUndef)
+			s.enqueue(PosLit(v), nil)
 		} else {
-			s.enqueue(NegLit(v), crefUndef)
+			s.enqueue(NegLit(v), nil)
 		}
 	}
 }
 
 func (s *Solver) pickBranchVar() int {
-	// Eliminated variables are skipped everywhere: no problem clause
-	// mentions them, and their model values come from reconstruction.
 	if s.RandomFreq > 0 && s.rng.Float64() < s.RandomFreq && len(s.vars) > 0 {
 		v := s.rng.Intn(len(s.vars))
-		if s.assigns[PosLit(v)] == lUndef && !s.vars[v].elim {
+		if s.assigns[PosLit(v)] == lUndef {
 			return v
 		}
 	}
 	for s.order.size() > 0 {
 		v := s.order.pop()
-		if s.assigns[PosLit(v)] == lUndef && !s.vars[v].elim {
+		if s.assigns[PosLit(v)] == lUndef {
 			return v
 		}
 	}
 	return -1
 }
 
-// maybeReduceDB triggers learned-clause DB reduction per the selected
-// policy: DBGlue reduces on a geometrically growing conflict schedule,
-// DBActivity when the DB outgrows its adaptive size cap.
-func (s *Solver) maybeReduceDB() {
-	if s.DB == DBActivity {
-		if s.maxLearnt == 0 {
-			s.maxLearnt = float64(max(2000, len(s.clauses)/3))
-		}
-		if float64(len(s.learnts)) > s.maxLearnt {
-			s.reduceDBActivity()
-			s.maxLearnt *= 1.1
-		}
-		return
-	}
-	if s.nextReduce == 0 {
-		s.reduceInterval = max(s.ReduceFirst, 1)
-		s.nextReduce = s.Stats.Conflicts + s.reduceInterval
-	}
-	if s.Stats.Conflicts >= s.nextReduce {
-		s.reduceDBGlue()
-		// Geometric growth: each reduction buys a 1.1x longer run to the
-		// next one, so reduction cost stays sublinear in total conflicts.
-		s.reduceInterval += s.reduceInterval/10 + 1
-		s.nextReduce = s.Stats.Conflicts + s.reduceInterval
-	}
-}
-
-// reduceDBGlue evicts roughly half of the eligible learned clauses, worst
-// LBD first (ties broken toward lower activity). Binary clauses, the glue
-// tier (LBD ≤ glueLBD), reason clauses of the current trail, and clauses
-// whose LBD improved since the last reduction (protect) are kept; protect
-// is a one-reduction reprieve and is cleared here.
-func (s *Solver) reduceDBGlue() {
-	if f := chaosAt(siteReduce); f != 0 && s.chaosReduce(f) {
-		return
-	}
-	s.Stats.Reductions++
-	locked := map[cref]bool{}
+// reduceDB removes the less active half of the learned clauses (keeping
+// reason clauses of the current trail).
+func (s *Solver) reduceDB() {
+	locked := map[*clause]bool{}
 	for _, l := range s.trail {
-		if r := s.vars[l.Var()].reason; r != crefUndef && s.clsLearned(r) {
+		if r := s.vars[l.Var()].reason; r != nil {
 			locked[r] = true
 		}
 	}
-	var cands []cref
-	for _, c := range s.learnts {
-		if s.clsSize(c) <= 2 || s.clsLBD(c) <= glueLBD || locked[c] {
-			continue
-		}
-		if s.clsProtect(c) {
-			s.setProtect(c, false)
-			continue
-		}
-		cands = append(cands, c)
-	}
-	sort.Slice(cands, func(i, j int) bool {
-		if li, lj := s.clsLBD(cands[i]), s.clsLBD(cands[j]); li != lj {
-			return li > lj
-		}
-		return s.clsAct(cands[i]) < s.clsAct(cands[j])
-	})
-	s.dropLearnts(cands[:len(cands)/2])
-}
-
-// reduceDBActivity is the DBActivity policy: remove the less active half
-// of the learned clauses (keeping reason clauses of the current trail).
-func (s *Solver) reduceDBActivity() {
-	if f := chaosAt(siteReduce); f != 0 && s.chaosReduce(f) {
-		return
-	}
-	s.Stats.Reductions++
-	locked := map[cref]bool{}
-	for _, l := range s.trail {
-		if r := s.vars[l.Var()].reason; r != crefUndef {
-			locked[r] = true
-		}
-	}
-	sorted := make([]cref, len(s.learnts))
+	sorted := make([]*clause, len(s.learnts))
 	copy(sorted, s.learnts)
-	sort.Slice(sorted, func(i, j int) bool { return s.clsAct(sorted[i]) < s.clsAct(sorted[j]) })
-	var drop []cref
-	for _, c := range sorted[:len(sorted)/2] {
-		if !locked[c] && s.clsSize(c) > 2 {
-			drop = append(drop, c)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].act < sorted[j].act })
+	thresholdIdx := len(sorted) / 2
+	drop := map[*clause]bool{}
+	for _, c := range sorted[:thresholdIdx] {
+		if !locked[c] && len(c.lits) > 2 {
+			drop[c] = true
 		}
 	}
-	s.dropLearnts(drop)
-}
-
-// dropLearnts removes the given learned clauses and rebuilds the watch
-// lists over the survivors. The arena slots leak until the next
-// compaction point (Simplify or Preprocess).
-func (s *Solver) dropLearnts(drop []cref) {
 	if len(drop) == 0 {
 		return
 	}
-	dropSet := make(map[cref]bool, len(drop))
-	for _, c := range drop {
-		dropSet[c] = true
-	}
 	kept := s.learnts[:0]
 	for _, c := range s.learnts {
-		if dropSet[c] {
+		if drop[c] {
 			continue
 		}
 		kept = append(kept, c)
 	}
-	s.Stats.Deleted += int64(len(s.learnts) - len(kept))
 	s.learnts = kept
+	// Rebuild watches.
 	for i := range s.watches {
 		s.watches[i] = s.watches[i][:0]
 	}

@@ -41,6 +41,7 @@ import (
 	"staub/internal/core"
 	"staub/internal/engine"
 	"staub/internal/metrics"
+	"staub/internal/solver"
 )
 
 // Config configures a Server. The zero value is usable: every field has a
@@ -151,6 +152,7 @@ func New(cfg Config) *Server {
 	core.RegisterRefineMetrics(reg)
 	core.RegisterPassMetrics(reg)
 	core.RegisterPortfolioMetrics(reg)
+	solver.RegisterSATMetrics(reg)
 	chaos.RegisterMetrics(reg)
 
 	s := &Server{

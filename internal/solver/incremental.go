@@ -50,7 +50,9 @@ func (bs *BVSession) SolveRound(c *smt.Constraint, o Options) Result {
 		stop := watchContext(o.Ctx, o.Interrupt)
 		defer stop()
 	}
-	before := bs.sat.Stats.Propagations
+	snap := bs.sat.Stats
+	before := snap.Propagations
+	defer func() { recordSATStats(satStatsDelta(bs.sat.Stats, snap)) }()
 	bs.sat.Deadline = o.Deadline
 	if o.WorkBudget > 0 {
 		bs.sat.PropagationCap = before + o.WorkBudget*satWorkScale

@@ -198,6 +198,7 @@ func solveDispatch(c *smt.Constraint, o Options) Result {
 		out := Result{Engine: "bitblast"}
 		if sref != nil {
 			out.Work = sref.Stats.Propagations / satWorkScale
+			recordSATStats(sref.Stats)
 		}
 		if err != nil {
 			out.Status = status.Unknown

@@ -1,0 +1,395 @@
+// Command satbench measures what the CDCL modernization (arena clause
+// storage, glue-based clause management, blocking literals,
+// preprocessing) buys over the pre-modernization solver. It writes
+// BENCH_6.json (at the repository root via `make bench`) with three
+// sections:
+//
+//   - Per-row: the int→BV slice of the refinement corpus at the widths
+//     the Figure 2 evaluation exercises, each instance encoded ONCE with
+//     the current bit-blaster and the resulting CNF handed to both
+//     solvers, so the legs differ only in the solver: the frozen pre-PR
+//     engine (internal/sat/satlegacy, pointer clauses, activity-managed
+//     DB, no preprocessing) versus the modern default (arena storage,
+//     glue tiers, blocking literals, subsumption/SSR preprocessing).
+//     Both run under the same deterministic propagation budget. The
+//     headline geomean covers the solver-bound rows — those where the
+//     baseline reaches its first clause-DB reduction (2000 conflicts) or
+//     exhausts the budget; lighter rows finish in milliseconds of mostly
+//     parse/setup, so they are reported and parity-checked but excluded
+//     from the geomean, and the log says so.
+//   - Throughput: aggregate conflicts/sec per configuration over the
+//     whole corpus, plus the modern core's preprocessing and
+//     clause-management counters.
+//   - Golden parity: Table 2 and Table 3 rendered with the golden
+//     harness options and byte-compared against the committed golden
+//     files — the modernization must not move a single verdict.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"staub/internal/bitblast"
+	"staub/internal/harness"
+	"staub/internal/sat"
+	"staub/internal/sat/satlegacy"
+	"staub/internal/smt"
+	"staub/internal/translate"
+)
+
+// propagationCap bounds both solvers identically — a generous
+// deterministic budget (about 20× the harness's default per-solve
+// budget). A leg that exhausts it records Unknown at the capped cost:
+// on such rows the ratio is pure search throughput. If only one leg
+// decides within the budget, the row measures time-to-verdict against
+// time-to-budget — a tractability difference the parity rules below
+// keep honest.
+const propagationCap = 40_000_000
+
+// reduceFirst mirrors the solvers' first clause-DB reduction point; a
+// baseline run that reaches it spent its time searching, which is the
+// regime this benchmark is about.
+const reduceFirst = 2000
+
+// corpusRows lists the benchmarked (instance, width) pairs: every int→BV
+// refinement-corpus instance at the widths where the evaluation
+// bit-blasts it. Chosen a priori — the solver-bound/light split is
+// decided by the baseline's measured conflicts, not by this list.
+var corpusRows = []struct {
+	Name  string
+	Width int
+}{
+	{"square-diff-201", 16},
+	{"square-diff-201", 20},
+	{"square-diff-201", 32},
+	{"legendre-2023", 16},
+	{"legendre-2023", 32},
+	{"two-square-mod4", 32},
+	{"unsat-square-7", 32},
+	{"cubes-855", 12},
+	{"cubes-855", 16},
+	{"cubes-855", 20},
+}
+
+type instanceRow struct {
+	Name  string `json:"name"`
+	Width int    `json:"width"`
+	// LegacyVerdict and ModernVerdict are each leg's result on the shared
+	// CNF; "unknown" means the leg exhausted the propagation budget.
+	LegacyVerdict string `json:"legacy_verdict"`
+	ModernVerdict string `json:"modern_verdict"`
+	// LegacyNS and ModernNS are wall-clock from DIMACS bytes to verdict
+	// (parse + any preprocessing + solve).
+	LegacyNS int64 `json:"legacy_ns"`
+	ModernNS int64 `json:"modern_ns"`
+	// Speedup is LegacyNS / ModernNS.
+	Speedup         float64 `json:"speedup"`
+	LegacyConflicts int64   `json:"legacy_conflicts"`
+	ModernConflicts int64   `json:"modern_conflicts"`
+	// SolverBound marks rows counted in the headline geomean: the
+	// baseline reached its first DB reduction or capped out.
+	SolverBound bool `json:"solver_bound"`
+}
+
+type coreStats struct {
+	Conflicts       int64   `json:"conflicts"`
+	Propagations    int64   `json:"propagations"`
+	ConflictsPerSec float64 `json:"conflicts_per_sec"`
+	Learned         int64   `json:"learned"`
+	GlueLearned     int64   `json:"glue_learned,omitempty"`
+	Reductions      int64   `json:"db_reductions,omitempty"`
+	Deleted         int64   `json:"clauses_deleted,omitempty"`
+	Subsumed        int64   `json:"clauses_subsumed,omitempty"`
+	Strengthened    int64   `json:"clauses_strengthened,omitempty"`
+	Eliminated      int64   `json:"vars_eliminated,omitempty"`
+}
+
+type report struct {
+	Benchmark string        `json:"benchmark"`
+	Instances []instanceRow `json:"instances"`
+	// GeomeanSpeedup is the geometric mean over the solver-bound rows;
+	// SolverBoundRows counts them.
+	GeomeanSpeedup  float64 `json:"geomean_speedup"`
+	SolverBoundRows int     `json:"solver_bound_rows"`
+	// CorpusWallLegacyNS / CorpusWallModernNS are end-to-end corpus
+	// wall-clock totals over every row, light rows included.
+	CorpusWallLegacyNS      int64     `json:"corpus_wall_legacy_ns"`
+	CorpusWallModernNS      int64     `json:"corpus_wall_modern_ns"`
+	VerdictParity           bool      `json:"verdict_parity"`
+	Legacy                  coreStats `json:"legacy"`
+	Modern                  coreStats `json:"modern"`
+	GoldenVerdictsIdentical bool      `json:"golden_verdicts_identical"`
+}
+
+// encodeCNF translates inst at width and bit-blasts it, returning the
+// DIMACS bytes both legs will solve.
+func encodeCNF(c *smt.Constraint, width int) ([]byte, error) {
+	tr, err := translate.IntToBV(c, width)
+	if err != nil {
+		return nil, err
+	}
+	s := sat.New()
+	bl := bitblast.New(s)
+	if err := bl.Encode(tr.Bounded); err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := s.WriteDIMACS(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// parseDIMACS feeds a DIMACS problem to any solver through its NewVar
+// and AddClause-shaped callbacks (satlegacy predates ParseDIMACS).
+func parseDIMACS(cnf []byte, newVar func() int, add func([]int)) {
+	fields := bytes.Fields(cnf)
+	var clause []int
+	for i := 0; i < len(fields); i++ {
+		f := fields[i]
+		switch {
+		case bytes.Equal(f, []byte("c")):
+		case bytes.Equal(f, []byte("p")):
+			n := atoi(fields[i+1+1]) // skip "cnf"
+			for v := 0; v < n; v++ {
+				newVar()
+			}
+			i += 3
+		default:
+			n := atoi(f)
+			if n == 0 {
+				add(clause)
+				clause = clause[:0]
+				continue
+			}
+			clause = append(clause, n)
+		}
+	}
+}
+
+func atoi(b []byte) int {
+	n, neg := 0, false
+	for _, c := range b {
+		if c == '-' {
+			neg = true
+			continue
+		}
+		n = n*10 + int(c-'0')
+	}
+	if neg {
+		return -n
+	}
+	return n
+}
+
+// legacySolve runs the frozen pre-PR solver on the CNF.
+func legacySolve(cnf []byte) (satlegacy.Status, time.Duration, satlegacy.Stats) {
+	start := time.Now()
+	s := satlegacy.New()
+	s.PropagationCap = propagationCap
+	parseDIMACS(cnf, s.NewVar, func(cl []int) {
+		lits := make([]satlegacy.Lit, len(cl))
+		for i, v := range cl {
+			if v > 0 {
+				lits[i] = satlegacy.PosLit(v - 1)
+			} else {
+				lits[i] = satlegacy.NegLit(-v - 1)
+			}
+		}
+		s.AddClause(lits...)
+	})
+	st := s.Solve()
+	return st, time.Since(start), s.Stats
+}
+
+// modernSolve runs the current solver in its production one-shot
+// configuration (the same preprocessing bitblast.Solve applies).
+func modernSolve(cnf []byte) (sat.Status, time.Duration, sat.Stats) {
+	start := time.Now()
+	s, err := sat.ParseDIMACS(bytes.NewReader(cnf))
+	if err != nil {
+		fatal(err)
+	}
+	s.PropagationCap = propagationCap
+	s.Preprocess(sat.PreprocessOptions{})
+	st := s.Solve()
+	return st, time.Since(start), s.Stats
+}
+
+func main() {
+	out := flag.String("out", "BENCH_6.json", "output file")
+	flag.Parse()
+
+	rep := report{
+		Benchmark:     "sat-core-modernization",
+		VerdictParity: true,
+	}
+	byName := map[string]*smt.Constraint{}
+	for _, inst := range harness.RefinementCorpus() {
+		c, err := smt.ParseScript(inst.Src)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", inst.Name, err))
+		}
+		byName[inst.Name] = c
+	}
+
+	var legacySecs, modernSecs float64
+	for _, cr := range corpusRows {
+		c := byName[cr.Name]
+		if c == nil {
+			fatal(fmt.Errorf("corpus row %s: no such refinement instance", cr.Name))
+		}
+		cnf, err := encodeCNF(c, cr.Width)
+		if err != nil {
+			fatal(fmt.Errorf("%s w=%d: %w", cr.Name, cr.Width, err))
+		}
+		lst, lel, lstats := legacySolve(cnf)
+		mst, mel, mstats := modernSolve(cnf)
+
+		row := instanceRow{
+			Name:            cr.Name,
+			Width:           cr.Width,
+			LegacyVerdict:   lst.String(),
+			ModernVerdict:   mst.String(),
+			LegacyNS:        lel.Nanoseconds(),
+			ModernNS:        mel.Nanoseconds(),
+			LegacyConflicts: lstats.Conflicts,
+			ModernConflicts: mstats.Conflicts,
+			SolverBound:     lstats.Conflicts >= reduceFirst || lstats.Propagations >= propagationCap,
+		}
+		if row.ModernNS > 0 {
+			row.Speedup = round2(float64(row.LegacyNS) / float64(row.ModernNS))
+		}
+		rep.Instances = append(rep.Instances, row)
+		rep.CorpusWallLegacyNS += row.LegacyNS
+		rep.CorpusWallModernNS += row.ModernNS
+		legacySecs += lel.Seconds()
+		modernSecs += mel.Seconds()
+
+		rep.Legacy.Conflicts += lstats.Conflicts
+		rep.Legacy.Propagations += lstats.Propagations
+		rep.Legacy.Learned += lstats.Learned
+		accumulate(&rep.Modern, mstats)
+
+		// A leg capping out to Unknown is a budget difference, not a
+		// verdict flip; only decided-vs-decided disagreement breaks
+		// parity. A modern-leg cap-out while legacy decides would be a
+		// regression worth failing the bench over.
+		if lst.String() != mst.String() {
+			if lst != satlegacy.Unknown && mst != sat.Unknown {
+				rep.VerdictParity = false
+				fmt.Fprintf(os.Stderr, "satbench: VERDICT MISMATCH %s w=%d: legacy %v, modern %v\n",
+					cr.Name, cr.Width, lst, mst)
+			}
+			if mst == sat.Unknown && lst != satlegacy.Unknown {
+				rep.VerdictParity = false
+				fmt.Fprintf(os.Stderr, "satbench: REGRESSION %s w=%d: modern capped out, legacy decided %v\n",
+					cr.Name, cr.Width, lst)
+			}
+		}
+	}
+
+	if legacySecs > 0 {
+		rep.Legacy.ConflictsPerSec = round2(float64(rep.Legacy.Conflicts) / legacySecs)
+	}
+	if modernSecs > 0 {
+		rep.Modern.ConflictsPerSec = round2(float64(rep.Modern.Conflicts) / modernSecs)
+	}
+
+	var logSum float64
+	light := 0
+	for _, row := range rep.Instances {
+		if !row.SolverBound {
+			light++
+			continue
+		}
+		if row.Speedup > 0 {
+			logSum += math.Log(row.Speedup)
+			rep.SolverBoundRows++
+		}
+	}
+	if rep.SolverBoundRows > 0 {
+		rep.GeomeanSpeedup = round2(math.Exp(logSum / float64(rep.SolverBoundRows)))
+	}
+
+	rep.GoldenVerdictsIdentical = goldenParity()
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("satbench: %s: geomean speedup %.2fx over %d solver-bound rows (%d light rows excluded), verdict parity %t, golden parity %t\n",
+		*out, rep.GeomeanSpeedup, rep.SolverBoundRows, light, rep.VerdictParity, rep.GoldenVerdictsIdentical)
+	fmt.Printf("  corpus wall-clock: legacy %.1fs, modern %.1fs (%.2fx)\n",
+		legacySecs, modernSecs, legacySecs/modernSecs)
+	fmt.Printf("  legacy: %.0f conflicts/sec, modern: %.0f conflicts/sec (pre: %d subsumed / %d strengthened / %d eliminated)\n",
+		rep.Legacy.ConflictsPerSec, rep.Modern.ConflictsPerSec,
+		rep.Modern.Subsumed, rep.Modern.Strengthened, rep.Modern.Eliminated)
+}
+
+// accumulate folds one modern solve's stats into the aggregate.
+func accumulate(cs *coreStats, st sat.Stats) {
+	cs.Conflicts += st.Conflicts
+	cs.Propagations += st.Propagations
+	cs.Learned += st.Learned
+	cs.GlueLearned += st.GlueLearned
+	cs.Reductions += st.Reductions
+	cs.Deleted += st.Deleted
+	cs.Subsumed += st.Subsumed
+	cs.Strengthened += st.Strengthened
+	cs.Eliminated += st.Eliminated
+}
+
+// goldenParity renders Table 2 and Table 3 with the golden harness
+// options and byte-compares them against the committed golden files: the
+// solver change must not move a verdict anywhere in the evaluation.
+func goldenParity() bool {
+	opts := harness.Options{
+		Timeout: 800 * time.Millisecond,
+		Seed:    42,
+		Counts:  map[string]int{"QF_NIA": 8, "QF_LIA": 4, "QF_NRA": 2, "QF_LRA": 2},
+	}
+	records, err := harness.Run(context.Background(), opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "satbench: golden harness run:", err)
+		return false
+	}
+	ok := true
+	var buf bytes.Buffer
+	harness.Table2(&buf, records)
+	ok = compareGolden("internal/harness/testdata/golden/table2.txt", buf.Bytes()) && ok
+	buf.Reset()
+	harness.Table3(&buf, records, opts.Timeout)
+	ok = compareGolden("internal/harness/testdata/golden/table3.txt", buf.Bytes()) && ok
+	return ok
+}
+
+func compareGolden(path string, got []byte) bool {
+	want, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "satbench:", err)
+		return false
+	}
+	if !bytes.Equal(got, want) {
+		fmt.Fprintf(os.Stderr, "satbench: %s drifted from the current solver's output\n", path)
+		return false
+	}
+	return true
+}
+
+func round2(v float64) float64 { return float64(int64(v*100+0.5)) / 100 }
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "satbench:", err)
+	os.Exit(1)
+}

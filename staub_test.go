@@ -22,7 +22,10 @@ func TestPublicAPIPipeline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := staub.RunPipeline(c, staub.Config{Timeout: 15 * time.Second})
+	// Deterministic virtual time: the budget buys a fixed amount of
+	// solver work, so the verdict is identical with or without the race
+	// detector's slowdown.
+	res := staub.RunPipeline(c, staub.Config{Timeout: 15 * time.Second, Deterministic: true})
 	if res.Outcome != staub.OutcomeVerified {
 		t.Fatalf("outcome = %v", res.Outcome)
 	}
