@@ -1,13 +1,13 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race fuzz differential sat-diff chaos bench serve-smoke
+.PHONY: check fmt vet build test race fuzz differential sat-diff chaos bench serve-smoke session-smoke
 
 # check is the CI gate: static checks, build, the full suite under the
 # race detector, short fuzz passes over the SMT-LIB parser and the server
 # request decoder, the incremental-vs-fresh refinement differential under
-# -race, the short chaos gate, and an end-to-end smoke of the
-# staub-serve binary.
-check: fmt vet build race fuzz differential sat-diff chaos serve-smoke
+# -race, the short chaos gate, and end-to-end smokes of the staub-serve
+# binary (one-shot solves and the stateful session tier).
+check: fmt vet build race fuzz differential sat-diff chaos serve-smoke session-smoke
 
 # fmt fails if any file is not gofmt-clean, and prints the offenders.
 fmt:
@@ -33,11 +33,14 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzDIMACS -fuzztime=5s ./internal/sat
 
 # differential pins the incremental refinement session to the fresh
-# per-round reference: same statuses, same widths, across the corpus and
-# randomized constraints, under the race detector.
+# per-round reference (same statuses, same widths) and the stateful
+# session tier to per-prefix fresh replay (byte-identical verdict
+# sequences across the incremental-script corpus, under default and
+# non-default refinement strategies) — all under the race detector.
 differential:
 	$(GO) test -race -count=1 -run 'TestRefinementDifferentialIncrementalVsFresh' ./internal/core
 	$(GO) test -race -count=1 -run 'TestSessionMatchesFresh' ./internal/bitblast
+	$(GO) test -race -count=1 -run 'TestSessionDifferential' ./internal/session
 
 # sat-diff is the CDCL differential gate: random CNF instances against a
 # brute-force oracle across every solver configuration (clause-DB
@@ -60,9 +63,17 @@ chaos:
 serve-smoke:
 	$(GO) run ./scripts/servesmoke
 
+# session-smoke boots the real staub-serve and drives one incremental
+# conversation through the session tier — create, assert, push, check,
+# pop, check, delete — asserting verdicts, staub_session_* metrics, and
+# a clean drain.
+session-smoke:
+	$(GO) run ./scripts/sessionsmoke
+
 bench:
 	$(GO) test -bench=. -benchmem
 	$(GO) run ./scripts/refinebench -out BENCH_3.json
 	$(GO) run ./scripts/passbench -out BENCH_4.json
 	$(GO) run ./scripts/chaosbench -out BENCH_5.json
 	$(GO) run ./scripts/satbench -out BENCH_6.json
+	$(GO) run ./scripts/sessionbench -out BENCH_7.json

@@ -8,14 +8,23 @@
 // the parallel engine's worker pool; verdicts print in argument order.
 // Ctrl-C cancels the solve cleanly in either mode.
 //
+// Incremental scripts — SMT-LIB command streams using push/pop, several
+// check-sat commands, get-value, echo or reset — run through a stateful
+// session: one verdict prints per check-sat, scope frames retract
+// assertions, and solver state is reused across checks. A single `-`
+// instead of a file name reads the script from stdin.
+//
 // Usage:
 //
 //	staub [flags] constraint.smt2 [more.smt2 ...]
+//	staub [flags] -                  # read script from stdin
 //
 // Flags:
 //
 //	-emit            print the transformed bounded constraint and exit
 //	-width N         use a fixed width instead of abstract interpretation
+//	-start-width N   start §6.2 refinement at width N instead of inferring
+//	-width-step N    multiply the width by N between refinement rounds
 //	-timeout D       per-solve budget (default 10s)
 //	-slot            apply SLOT compiler optimizations to the bounded form
 //	-portfolio       race STAUB against the unmodified solver (two cores)
@@ -30,6 +39,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"time"
@@ -39,6 +49,7 @@ import (
 	"staub/internal/core"
 	"staub/internal/engine"
 	"staub/internal/sat"
+	"staub/internal/session"
 	"staub/internal/slot"
 	"staub/internal/smt"
 	"staub/internal/solver"
@@ -47,16 +58,18 @@ import (
 
 func main() {
 	var (
-		emit      = flag.Bool("emit", false, "print the transformed bounded constraint and exit")
-		width     = flag.Int("width", 0, "fixed bit width (0 = infer via abstract interpretation)")
-		timeout   = flag.Duration("timeout", 10*time.Second, "per-solve budget")
-		useSlot   = flag.Bool("slot", false, "apply SLOT optimizations to the bounded constraint")
-		portfolio = flag.Bool("portfolio", false, "race STAUB against the unmodified solver")
-		profile   = flag.String("solver", "prima", "solver profile: prima or secunda")
-		jobs      = flag.Int("jobs", 0, "batch solve workers (0 = GOMAXPROCS)")
-		stats     = flag.Bool("stats", false, "print inference, translation and cache statistics")
-		dimacs    = flag.Bool("dimacs", false, "print the CNF of the bit-blasted bounded constraint and exit")
-		version   = flag.Bool("version", false, "print the build string and exit")
+		emit       = flag.Bool("emit", false, "print the transformed bounded constraint and exit")
+		width      = flag.Int("width", 0, "fixed bit width (0 = infer via abstract interpretation)")
+		startWidth = flag.Int("start-width", 0, "refinement start width (0 = infer via abstract interpretation)")
+		widthStep  = flag.Int("width-step", 0, "width multiplier between refinement rounds (0 = default 2)")
+		timeout    = flag.Duration("timeout", 10*time.Second, "per-solve budget")
+		useSlot    = flag.Bool("slot", false, "apply SLOT optimizations to the bounded constraint")
+		portfolio  = flag.Bool("portfolio", false, "race STAUB against the unmodified solver")
+		profile    = flag.String("solver", "prima", "solver profile: prima or secunda")
+		jobs       = flag.Int("jobs", 0, "batch solve workers (0 = GOMAXPROCS)")
+		stats      = flag.Bool("stats", false, "print inference, translation and cache statistics")
+		dimacs     = flag.Bool("dimacs", false, "print the CNF of the bit-blasted bounded constraint and exit")
+		version    = flag.Bool("version", false, "print the build string and exit")
 	)
 	flag.Parse()
 	if *version {
@@ -78,6 +91,8 @@ func main() {
 	cfg := core.Config{
 		Timeout:    *timeout,
 		FixedWidth: *width,
+		StartWidth: *startWidth,
+		WidthStep:  *widthStep,
 		UseSLOT:    *useSlot,
 		Profile:    prof,
 	}
@@ -89,7 +104,32 @@ func main() {
 		os.Exit(runBatch(ctx, flag.Args(), cfg, *portfolio, *jobs, *stats))
 	}
 
-	c := parseFile(flag.Arg(0))
+	src := readInput(flag.Arg(0))
+
+	// An incremental command stream (push/pop, several check-sats,
+	// get-value, reset) runs through a stateful session, one verdict per
+	// check-sat. The transform/debug modes and fixed-width solving keep
+	// the flat end-of-script view.
+	if !*emit && !*dimacs && !*portfolio && *width == 0 {
+		sc, err := smt.ParseScriptCommands(src)
+		if err != nil {
+			fatal(err)
+		}
+		if sc.Incremental() {
+			os.Exit(runIncremental(ctx, src, session.Config{
+				Timeout:    *timeout,
+				StartWidth: *startWidth,
+				WidthStep:  *widthStep,
+				Profile:    prof,
+				UseSLOT:    *useSlot,
+			}, *stats))
+		}
+	}
+
+	c, err := smt.ParseScript(src)
+	if err != nil {
+		fatal(err)
+	}
 
 	if *dimacs {
 		tr, _, err := core.Transform(c, cfg)
@@ -212,12 +252,50 @@ func runBatch(ctx context.Context, files []string, cfg core.Config, usePortfolio
 	return exit
 }
 
-func parseFile(name string) *smt.Constraint {
+// runIncremental executes an incremental SMT-LIB script through one
+// stateful session: verdicts print per check-sat, get-value and echo
+// print their outputs in stream order. The exit code is 1 if any check
+// stayed unknown.
+func runIncremental(ctx context.Context, src string, scfg session.Config, stats bool) int {
+	s := session.New(scfg)
+	defer s.Close()
+	outs, err := s.Exec(ctx, src)
+	if err != nil {
+		fatal(err)
+	}
+	exit := 0
+	for _, o := range outs {
+		fmt.Println(o.Text)
+		if o.Kind == session.OutVerdict && o.Text == status.Unknown.String() {
+			exit = 1
+		}
+	}
+	if stats {
+		st := s.Stats()
+		fmt.Fprintf(os.Stderr, "; session: checks=%d work=%d memo-hits=%d model-reuses=%d rebuilds=%d fallbacks=%d\n",
+			st.Checks, st.Work, st.MemoHits, st.ModelReuses, st.Rebuilds, st.Fallbacks)
+	}
+	return exit
+}
+
+// readInput reads one input argument: a file path, or `-` for stdin.
+func readInput(name string) string {
+	if name == "-" {
+		src, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			fatal(err)
+		}
+		return string(src)
+	}
 	src, err := os.ReadFile(name)
 	if err != nil {
 		fatal(err)
 	}
-	c, err := smt.ParseScript(string(src))
+	return string(src)
+}
+
+func parseFile(name string) *smt.Constraint {
+	c, err := smt.ParseScript(readInput(name))
 	if err != nil {
 		fatal(err)
 	}

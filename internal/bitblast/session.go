@@ -81,6 +81,20 @@ func (se *Session) Solver() *sat.Solver { return se.s }
 // Stats reports reuse counters accumulated so far.
 func (se *Session) Stats() SessionStats { return se.stats }
 
+// MemoryBytes estimates the heap retained by the session's own caches —
+// the structural gate cache and the per-name variable bit maps — on top
+// of whatever the underlying solver holds (see sat.Solver.MemoryBytes).
+// Like the solver figure it is an accounting estimate for session
+// budgets, not an exact heap profile.
+func (se *Session) MemoryBytes() int64 {
+	n := int64(len(se.gates)) * 48 // gateKey + literal + bucket overhead
+	for name, bits := range se.varBits {
+		n += int64(len(name)) + int64(cap(bits))*4 + 48
+	}
+	n += int64(len(se.varBools)) * 56
+	return n
+}
+
 // gate memoizes one structural gate: a cache hit returns the literal an
 // earlier encoding produced (its definition clauses are already in the
 // solver); a miss runs mk and remembers the output.

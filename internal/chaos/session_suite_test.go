@@ -1,0 +1,182 @@
+package chaos_test
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"staub/internal/chaos"
+	"staub/internal/server"
+	"staub/internal/session"
+)
+
+// sessionCorpus loads the incremental-script corpus the session tier is
+// anchored on, trimmed in -short mode like the refinement corpus.
+func sessionCorpus(t *testing.T) map[string]string {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join("..", "session", "testdata", "sessions", "*.smt2"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("session corpus not found: %v", err)
+	}
+	if testing.Short() && len(paths) > 3 {
+		paths = paths[:3]
+	}
+	out := map[string]string{}
+	for _, p := range paths {
+		src, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[strings.TrimSuffix(filepath.Base(p), ".smt2")] = string(src)
+	}
+	return out
+}
+
+// sessionRun executes one incremental script through a session and
+// returns the verdict sequence plus the final session stats.
+func sessionRun(t *testing.T, src string) ([]string, session.Stats) {
+	t.Helper()
+	s := session.New(session.Config{Timeout: time.Second, Deterministic: true})
+	defer s.Close()
+	outs, err := s.Exec(context.Background(), src)
+	if err != nil {
+		t.Fatalf("session exec: %v", err)
+	}
+	var verdicts []string
+	for _, o := range outs {
+		if o.Kind == session.OutVerdict {
+			verdicts = append(verdicts, o.Text)
+		}
+	}
+	return verdicts, s.Stats()
+}
+
+// TestChaosSessionConversations injects every fault class at the session
+// chaos sites (session:check skips the reuse tiers, session:evict drops
+// solver state after every check) at rate 1 and asserts the tentpole
+// containment invariant: the verdict sequence of every corpus script is
+// byte-identical to the clean run — session state is a cache, never the
+// truth, so losing it can never flip a verdict.
+func TestChaosSessionConversations(t *testing.T) {
+	corpus := sessionCorpus(t)
+
+	chaos.Disable()
+	ref := map[string][]string{}
+	for name, src := range corpus {
+		v, _ := sessionRun(t, src)
+		ref[name] = v
+	}
+
+	for _, fc := range faultClasses {
+		t.Run(fc.fault.String(), func(t *testing.T) {
+			before := chaos.Snapshot()[fc.fault.String()]
+			restore := chaos.Enable(chaos.NewInjector(chaos.Config{
+				Seed: 45, Rate: 1, Fault: fc.fault,
+				Sites: []string{"session:check", "session:evict"},
+			}))
+			defer restore()
+			for name, src := range corpus {
+				got, stats := sessionRun(t, src)
+				if strings.Join(got, "\n") != strings.Join(ref[name], "\n") {
+					t.Errorf("%s: verdicts flipped under %v:\n got %v\nwant %v",
+						name, fc.fault, got, ref[name])
+				}
+				// Rate-1 faults at session:check disable every reuse tier:
+				// each check must have been decided cold. (With the tiers
+				// off, solver state never accumulates, so zero drops is the
+				// consistent outcome, not a missed injection.)
+				if stats.MemoHits != 0 || stats.ModelReuses != 0 {
+					t.Errorf("%s: reuse tiers ran under rate-1 check faults: %+v", name, stats)
+				}
+			}
+			if after := chaos.Snapshot()[fc.fault.String()]; after <= before {
+				t.Errorf("injection counter did not advance (before %d, after %d)", before, after)
+			}
+		})
+	}
+}
+
+// TestChaosSessionEvictionMidConversation drives one conversation over
+// the real HTTP session tier with evictions firing after every check:
+// the table stays consistent (every route keeps answering for the id),
+// the verdicts match the clean sequence, and delete still works.
+func TestChaosSessionEvictionMidConversation(t *testing.T) {
+	restore := chaos.Enable(chaos.NewInjector(chaos.Config{
+		Seed: 46, Rate: 1, Fault: chaos.FaultTransientError,
+		Sites: []string{"session:evict"},
+	}))
+	defer restore()
+
+	srv := server.New(server.Config{Log: log.New(io.Discard, "", 0)})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.CloseSessions()
+
+	post := func(path, body string) (int, map[string]any) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+path, "text/plain", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var m map[string]any
+		raw, _ := io.ReadAll(resp.Body)
+		if len(raw) > 0 {
+			json.Unmarshal(raw, &m)
+		}
+		return resp.StatusCode, m
+	}
+
+	code, created := post("/v1/session", `{"deterministic": true}`)
+	if code != http.StatusCreated {
+		t.Fatalf("create: %d", code)
+	}
+	id, _ := created["id"].(string)
+	base := "/v1/session/" + id
+
+	steps := []struct {
+		path, body, wantStatus string
+	}{
+		{base + "/assert", "(set-logic QF_NIA)(declare-fun x () Int)(assert (= (* x x) 49))(assert (> x 0))", ""},
+		{base + "/check", "", "sat"},
+		{base + "/push", `{"n": 1}`, ""},
+		{base + "/assert", "(assert (< x 5))", ""},
+		{base + "/check", "", "unsat"},
+		{base + "/pop", `{"n": 1}`, ""},
+		{base + "/check", "", "sat"},
+	}
+	for _, step := range steps {
+		code, body := post(step.path, step.body)
+		if code != http.StatusOK {
+			t.Fatalf("%s under eviction chaos: %d", step.path, code)
+		}
+		if step.wantStatus != "" {
+			if got, _ := body["status"].(string); got != step.wantStatus {
+				t.Fatalf("%s: verdict %q under eviction chaos, want %q", step.path, got, step.wantStatus)
+			}
+		}
+	}
+
+	// The table survived the churn: the session is still addressable and
+	// deletable, and the tier reports a consistent live count.
+	req, _ := http.NewRequest("DELETE", ts.URL+base, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete after eviction chaos: %d", resp.StatusCode)
+	}
+	if code, _ := post(base+"/check", ""); code != http.StatusNotFound {
+		t.Fatalf("check after delete: %d, want 404", code)
+	}
+}

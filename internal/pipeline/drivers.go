@@ -98,20 +98,26 @@ func RunOnce(ctx context.Context, c *smt.Constraint, cfg Config, deadline time.T
 	return *res
 }
 
+// maxRefineWidth is the widest bitvector sort refinement may reach for
+// cfg: the configured limit, or 64 (machine-word semantics) when unset.
+func maxRefineWidth(cfg Config) int {
+	if cfg.Limits.MaxWidth > 0 {
+		return cfg.Limits.MaxWidth
+	}
+	return 64
+}
+
 // RunFresh is the reference refinement loop: every round rebuilds the
-// full transform-solve-verify pipeline from scratch at the doubled width.
+// full transform-solve-verify pipeline from scratch at the widened width.
 func RunFresh(ctx context.Context, c *smt.Constraint, cfg Config, deadline time.Time, interrupt *atomic.Bool) Result {
 	res := RunOnce(ctx, c, cfg, deadline, interrupt)
-	maxWidth := cfg.Limits.MaxWidth
-	if maxWidth == 0 {
-		maxWidth = 64
-	}
+	maxWidth := maxRefineWidth(cfg)
 	width := res.Width
 	for round := 1; round <= cfg.RefineRounds; round++ {
 		if res.Outcome != OutcomeBoundedUnsat || width == 0 {
 			break
 		}
-		width *= 2
+		width *= cfg.widthStep()
 		if width > maxWidth {
 			break
 		}
@@ -158,6 +164,20 @@ func RunFresh(ctx context.Context, c *smt.Constraint, cfg Config, deadline time.
 // doubled fixed width without hints, each under the same per-round budget
 // the fresh loop would get.
 func RunIncremental(ctx context.Context, c *smt.Constraint, cfg Config, deadline time.Time, interrupt *atomic.Bool) Result {
+	refineSessions.Inc()
+	return RunSession(ctx, c, cfg, deadline, interrupt, solver.NewBVSession())
+}
+
+// RunSession is RunIncremental over a caller-owned bitvector session:
+// the refinement loop encodes its rounds into sess instead of a fresh
+// session, so a long-lived conversation (internal/session) can carry
+// learned clauses, variable activities and the structural gate cache
+// across successive check-sat commands, not just across the
+// width-doubling rounds of one check. Each round still retires the
+// previous round's assertions through its activation literal, so stale
+// constraints from earlier checks can never leak into this one.
+func RunSession(ctx context.Context, c *smt.Constraint, cfg Config, deadline time.Time, interrupt *atomic.Bool, sess *solver.BVSession) Result {
+	cfg = cfg.WithDefaults()
 	st := NewState(ctx, c, cfg, deadline, interrupt)
 	// Memoized inference: abstract interpretation sees the original
 	// constraint only, so its results hold for every round.
@@ -170,13 +190,9 @@ func RunIncremental(ctx context.Context, c *smt.Constraint, cfg Config, deadline
 		return *res
 	}
 	width := st.Width
-	maxWidth := cfg.Limits.MaxWidth
-	if maxWidth == 0 {
-		maxWidth = 64
-	}
+	maxWidth := maxRefineWidth(cfg)
 
-	st.Session = solver.NewBVSession()
-	refineSessions.Inc()
+	st.Session = sess
 	res.InferredRoot = st.Root
 	res.Incremental = true
 	roundPasses := MustPasses(PassTranslate, PassSlot, PassBoundedSolve, PassVerifyModel)
@@ -203,7 +219,7 @@ func RunIncremental(ctx context.Context, c *smt.Constraint, cfg Config, deadline
 		if res.Outcome != OutcomeBoundedUnsat || round >= cfg.RefineRounds {
 			break
 		}
-		next := width * 2
+		next := width * cfg.widthStep()
 		if width == 0 || next > maxWidth {
 			break
 		}

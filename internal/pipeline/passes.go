@@ -66,6 +66,17 @@ func passInferBounds(st *State) Verdict {
 		inf := absint.InferIntWith(c, st.IntX, absint.SemPractical)
 		st.Width = absint.SelectBVWidth(inf.Root, cfg.Limits)
 		st.Root = inf.Root
+		if cfg.StartWidth > 0 {
+			// Per-session refinement strategy: start at the requested
+			// precision (clamped to the configured ceiling) regardless of
+			// the inferred bound; refinement rounds widen from there.
+			st.Width = cfg.StartWidth
+			if max := maxRefineWidth(cfg); st.Width > max {
+				st.Width = max
+			}
+			st.SpanNote = fmt.Sprintf("width=%d (start-width) root=%d", st.Width, st.Root)
+			return Continue
+		}
 		st.SpanNote = fmt.Sprintf("width=%d root=%d", st.Width, st.Root)
 	default:
 		x := absint.DefaultRealX(c)
@@ -80,7 +91,9 @@ func passInferBounds(st *State) Verdict {
 // passRangeHints infers per-variable ranges for translation hints. It is
 // a no-op outside the inferred integer→BV path.
 func passRangeHints(st *State) Verdict {
-	if !st.Cfg.RangeHints || st.Cfg.FixedWidth > 0 || st.Kind != translate.KindIntToBV {
+	if !st.Cfg.RangeHints || st.Cfg.FixedWidth > 0 || st.Cfg.StartWidth > 0 || st.Kind != translate.KindIntToBV {
+		// StartWidth suppresses hints: they are inferred against the full
+		// bound and could assert ranges wider than the starting width.
 		st.SpanNote = "skipped"
 		return Continue
 	}

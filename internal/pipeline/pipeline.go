@@ -58,6 +58,18 @@ type Config struct {
 	// bit-blasting session across rounds. The fresh loop is the reference
 	// semantics; it exists for differential testing and benchmarking.
 	FreshRefine bool
+	// StartWidth, when positive, overrides the inferred round-0 bitvector
+	// width (UppSAT-style refinement-strategy knob: sessions serving cheap
+	// interactive probes start narrow, deep batch refinement starts at the
+	// inferred bound). Unlike FixedWidth it does not disable refinement —
+	// later rounds still widen by WidthStep — and it suppresses range
+	// hints, which are inferred against the full bound and could exceed
+	// the requested starting precision.
+	StartWidth int
+	// WidthStep is the width multiplier between refinement rounds
+	// (default 2, the paper's §6.2 doubling schedule; values below 2 are
+	// treated as 2).
+	WidthStep int
 	// Seed perturbs randomized engines.
 	Seed int64
 	// Deterministic switches the pipeline to virtual-time accounting: the
@@ -77,7 +89,18 @@ func (c Config) WithDefaults() Config {
 	if c.Timeout == 0 {
 		c.Timeout = 2 * time.Second
 	}
+	if c.WidthStep == 0 {
+		c.WidthStep = 2
+	}
 	return c
+}
+
+// widthStep is the effective between-round width multiplier.
+func (c Config) widthStep() int {
+	if c.WidthStep < 2 {
+		return 2
+	}
+	return c.WidthStep
 }
 
 // Verdict is a pass's control-flow decision.
@@ -426,7 +449,7 @@ func workCeiling(cfg Config) int64 {
 // engine can derive cache keys from the actual pass list.
 func Figure3PassNames(cfg Config) []string {
 	names := []string{PassInferBounds}
-	if cfg.RangeHints && cfg.FixedWidth == 0 {
+	if cfg.RangeHints && cfg.FixedWidth == 0 && cfg.StartWidth == 0 {
 		names = append(names, PassRangeHints)
 	}
 	names = append(names, PassTranslate)

@@ -327,6 +327,23 @@ func (s *Solver) NumClauses() int { return len(s.clauses) }
 // NumLearnts returns the number of learned clauses currently retained.
 func (s *Solver) NumLearnts() int { return len(s.learnts) }
 
+// MemoryBytes estimates the solver's retained heap: the clause arena,
+// watch lists, per-variable bookkeeping, and the clause reference lists.
+// It is an accounting figure for session memory budgets — capacity-based
+// where capacity is what the GC actually holds (a popped arena still
+// pins its backing array), and deliberately ignoring small fixed-size
+// fields. It must stay cheap: callers invoke it after every check.
+func (s *Solver) MemoryBytes() int64 {
+	n := int64(cap(s.arena)) * 4
+	for i := range s.watches {
+		n += int64(cap(s.watches[i])) * 8 // watcher = {cref, blocker}
+	}
+	n += int64(len(s.vars)) * 48 // varData + assigns + heap/order share
+	n += int64(cap(s.clauses)+cap(s.learnts)) * 4
+	n += int64(cap(s.trail)) * 4
+	return n
+}
+
 // compactArena rewrites the arena with only the clauses reachable from
 // the problem and learnt lists, remapping both lists in place. Callers
 // must have cleared every trail reason (level 0 only) and must rebuild

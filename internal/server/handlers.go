@@ -559,6 +559,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"degraded_solves":  s.degradedSolves.Value(),
 		"worker_panics":    s.eng.WorkerPanics(),
 		"retries":          s.retries.Value(),
+		"sessions":         s.sessionTierState(),
 	})
 }
 
@@ -576,6 +577,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"in_flight":      s.eng.InFlight(),
 		"draining":       s.Draining(),
 		"version":        s.cfg.Version,
+		"sessions":       s.sessionTierState(),
 		"metrics":        s.reg.Snapshot(),
 	})
 }

@@ -34,6 +34,7 @@ import (
 	"net/http"
 	"runtime"
 	"runtime/debug"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -41,6 +42,7 @@ import (
 	"staub/internal/core"
 	"staub/internal/engine"
 	"staub/internal/metrics"
+	"staub/internal/session"
 	"staub/internal/solver"
 )
 
@@ -63,6 +65,19 @@ type Config struct {
 	// MaxBatch bounds the constraints of one /v1/batch request
 	// (default 64).
 	MaxBatch int
+	// SessionTTL is the idle lifetime of a stateful session; every
+	// session operation slides the deadline forward (default 10m).
+	SessionTTL time.Duration
+	// MaxSessions bounds live sessions; creating one past the bound
+	// evicts the least-recently-used session (default 256).
+	MaxSessions int
+	// SessionMemoryBudget is the per-session memory ceiling handed to
+	// session.Config (default 64 MiB).
+	SessionMemoryBudget int64
+	// SessionGlobalBudget caps the summed accounting bytes of all live
+	// sessions; past it, least-recently-used sessions first lose their
+	// solver state and then are evicted outright (default 256 MiB).
+	SessionGlobalBudget int64
 	// DegradedWindow is how long after the most recent contained fault
 	// /healthz keeps reporting status "degraded" (default 5m). Load
 	// balancers can use it to distinguish "up" from "up but shedding
@@ -95,6 +110,18 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DegradedWindow <= 0 {
 		c.DegradedWindow = 5 * time.Minute
+	}
+	if c.SessionTTL <= 0 {
+		c.SessionTTL = 10 * time.Minute
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 256
+	}
+	if c.SessionMemoryBudget <= 0 {
+		c.SessionMemoryBudget = 64 << 20
+	}
+	if c.SessionGlobalBudget <= 0 {
+		c.SessionGlobalBudget = 256 << 20
 	}
 	if c.Log == nil {
 		c.Log = log.Default()
@@ -131,6 +158,18 @@ type Server struct {
 	degradedSolves  *metrics.Counter
 	retries         *metrics.Counter
 
+	// Session tier: the table of live stateful conversations, guarded by
+	// sessMu. Checks run outside the lock (each session serializes
+	// internally), so table maintenance never blocks on a solve.
+	sessMu      sync.Mutex
+	sessions    map[string]*sessionEntry
+	sessID      atomic.Int64
+	sessLive    metrics.Gauge
+	sessBytes   metrics.Gauge
+	sessCreated *metrics.Counter
+	sessDeleted *metrics.Counter
+	sessEvicted func(reason string) *metrics.Counter
+
 	reqID    atomic.Int64
 	draining atomic.Bool
 
@@ -155,17 +194,27 @@ func New(cfg Config) *Server {
 	solver.RegisterSATMetrics(reg)
 	chaos.RegisterMetrics(reg)
 
+	session.RegisterSessionMetrics(reg)
+
 	s := &Server{
-		cfg:   cfg,
-		eng:   eng,
-		reg:   reg,
-		start: time.Now(),
-		limit: int64(eng.Workers() + cfg.QueueDepth),
-		slots: make(chan struct{}, eng.Workers()),
+		cfg:      cfg,
+		eng:      eng,
+		reg:      reg,
+		start:    time.Now(),
+		limit:    int64(eng.Workers() + cfg.QueueDepth),
+		slots:    make(chan struct{}, eng.Workers()),
+		sessions: map[string]*sessionEntry{},
 	}
 	s.hardCtx, s.hardCancel = context.WithCancel(context.Background())
 
 	reg.RegisterGauge("staub_queue_depth", nil, &s.queued)
+	reg.RegisterGauge("staub_session_live", nil, &s.sessLive)
+	reg.RegisterGauge("staub_session_bytes", nil, &s.sessBytes)
+	s.sessCreated = reg.Counter("staub_session_created_total", nil)
+	s.sessDeleted = reg.Counter("staub_session_deleted_total", nil)
+	s.sessEvicted = func(reason string) *metrics.Counter {
+		return reg.Counter("staub_session_evictions_total", metrics.Labels{"reason": reason})
+	}
 	s.rejected = reg.Counter("staub_rejected_total", nil)
 	s.latency = reg.Histogram("staub_solve_latency_seconds")
 	s.recoveredPanics = reg.Counter("staub_server_panics_total", nil)
@@ -183,6 +232,13 @@ func New(cfg Config) *Server {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("POST /v1/session", s.handleSessionCreate)
+	s.mux.HandleFunc("GET /v1/session/{id}", s.handleSessionGet)
+	s.mux.HandleFunc("DELETE /v1/session/{id}", s.handleSessionDelete)
+	s.mux.HandleFunc("POST /v1/session/{id}/assert", s.handleSessionAssert)
+	s.mux.HandleFunc("POST /v1/session/{id}/push", s.handleSessionPush)
+	s.mux.HandleFunc("POST /v1/session/{id}/pop", s.handleSessionPop)
+	s.mux.HandleFunc("POST /v1/session/{id}/check", s.handleSessionCheck)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /stats", s.handleStats)

@@ -1,0 +1,298 @@
+package session
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSessionBasicConversation walks one conversation through the typed
+// API: assert, push, check, pop, check.
+func TestSessionBasicConversation(t *testing.T) {
+	ctx := context.Background()
+	s := New(testConfig())
+	defer s.Close()
+
+	if err := s.Feed("(set-logic QF_NIA)(declare-fun x () Int)(assert (= (* x x) 49))(assert (> x 0))"); err != nil {
+		t.Fatal(err)
+	}
+	cr, err := s.Check(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr.Status.String() != "sat" {
+		t.Fatalf("want sat, got %s", cr.Status)
+	}
+	if err := s.Push(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Feed("(assert (< x 5))"); err != nil {
+		t.Fatal(err)
+	}
+	cr, err = s.Check(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr.Status.String() != "unsat" {
+		t.Fatalf("want unsat under (< x 5), got %s", cr.Status)
+	}
+	if err := s.Pop(1); err != nil {
+		t.Fatal(err)
+	}
+	cr, err = s.Check(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr.Status.String() != "sat" {
+		t.Fatalf("want sat after pop, got %s", cr.Status)
+	}
+	if !cr.Memoized {
+		t.Error("pop back to a decided state should answer from the memo")
+	}
+	st := s.Stats()
+	if st.Checks != 3 || st.MemoHits != 1 {
+		t.Errorf("stats = %+v, want 3 checks / 1 memo hit", st)
+	}
+}
+
+// TestSessionFeedRejectsChecks pins the service-tier split: Feed is for
+// state mutation only; checks and value queries go through Check/Exec.
+func TestSessionFeedRejectsChecks(t *testing.T) {
+	s := New(testConfig())
+	defer s.Close()
+	for _, src := range []string{"(check-sat)", "(declare-fun x () Int)(get-value (x))"} {
+		if err := s.Feed(src); err == nil {
+			t.Errorf("Feed(%q) should be rejected", src)
+		} else if !strings.Contains(err.Error(), "check endpoint") {
+			t.Errorf("Feed(%q) error %q should point at the check endpoint", src, err)
+		}
+	}
+}
+
+// TestSessionBudgetEviction forces the per-session budget to zero head
+// room: every check must evict the solver state, the next one rebuild
+// it, and the verdicts must not care either way.
+func TestSessionBudgetEviction(t *testing.T) {
+	ctx := context.Background()
+	cfg := testConfig()
+	cfg.MemoryBudget = 1 // nothing fits: evict after every check
+	s := New(cfg)
+	defer s.Close()
+
+	if err := s.Feed("(set-logic QF_NIA)(declare-fun x () Int)(declare-fun y () Int)(assert (= (* x y) 35))(assert (> x 1))(assert (> y 1))"); err != nil {
+		t.Fatal(err)
+	}
+	cr1, err := s.Check(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cr1.Evicted {
+		t.Error("check over budget should report eviction")
+	}
+	if err := s.Feed("(assert (< x y))"); err != nil {
+		t.Fatal(err)
+	}
+	cr2, err := s.Check(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr2.Status.String() != "sat" {
+		t.Fatalf("verdict after eviction = %s, want sat", cr2.Status)
+	}
+	if cr2.Incremental && !cr2.Rebuilt {
+		t.Error("post-eviction incremental check should report a rebuild")
+	}
+	st := s.Stats()
+	if st.Drops == 0 || st.Evictions == 0 {
+		t.Errorf("stats = %+v, want drops and evictions recorded", st)
+	}
+}
+
+// TestSessionDropSolverKeepsVerdicts drops the solver state by hand
+// between checks; the verdict stream must match an undisturbed session.
+func TestSessionDropSolverKeepsVerdicts(t *testing.T) {
+	ctx := context.Background()
+	src := corpusScripts(t)["inc_quad"]
+
+	want := sessionVerdicts(t, ctx, src, testConfig())
+
+	s := New(testConfig())
+	defer s.Close()
+	sc := strings.Split(src, "\n")
+	var got []string
+	for _, line := range sc {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if line == "(check-sat)" {
+			cr, err := s.Check(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, cr.Status.String())
+			s.DropSolver("lru") // sabotage the cache after every single check
+			continue
+		}
+		if err := s.Feed(line); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if strings.Join(got, "\n") != strings.Join(want, "\n") {
+		t.Fatalf("verdicts with per-check drops diverge:\n got %v\nwant %v", got, want)
+	}
+}
+
+// TestSessionClosed pins the lifecycle: every operation after Close
+// fails with ErrClosed.
+func TestSessionClosed(t *testing.T) {
+	ctx := context.Background()
+	s := New(testConfig())
+	s.Close()
+	if err := s.Feed("(declare-fun x () Int)"); !errors.Is(err, ErrClosed) {
+		t.Errorf("Feed after close: %v, want ErrClosed", err)
+	}
+	if _, err := s.Check(ctx); !errors.Is(err, ErrClosed) {
+		t.Errorf("Check after close: %v, want ErrClosed", err)
+	}
+	if err := s.Push(1); !errors.Is(err, ErrClosed) {
+		t.Errorf("Push after close: %v, want ErrClosed", err)
+	}
+	if err := s.Pop(1); !errors.Is(err, ErrClosed) {
+		t.Errorf("Pop after close: %v, want ErrClosed", err)
+	}
+	if _, err := s.Exec(ctx, "(check-sat)"); !errors.Is(err, ErrClosed) {
+		t.Errorf("Exec after close: %v, want ErrClosed", err)
+	}
+	s.Close() // double close is fine
+}
+
+// TestSessionGetValueNoModel: get-value before any sat check answers
+// with an SMT-LIB error s-expression, not a crash.
+func TestSessionGetValueNoModel(t *testing.T) {
+	ctx := context.Background()
+	s := New(testConfig())
+	defer s.Close()
+	outs, err := s.Exec(ctx, `(declare-fun x () Int)(get-value (x))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 1 || outs[0].Kind != OutValues {
+		t.Fatalf("outputs = %+v, want one values output", outs)
+	}
+	if !strings.Contains(outs[0].Text, "no model available") {
+		t.Errorf("get-value without a model = %q, want an error s-expression", outs[0].Text)
+	}
+}
+
+// TestSessionGetValueAfterSat evaluates terms under the standing model.
+func TestSessionGetValueAfterSat(t *testing.T) {
+	ctx := context.Background()
+	s := New(testConfig())
+	defer s.Close()
+	outs, err := s.Exec(ctx, `(set-logic QF_NIA)(declare-fun x () Int)(assert (= (* x x) 49))(assert (> x 0))(check-sat)(get-value (x (* x x)))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 2 {
+		t.Fatalf("want verdict + values, got %+v", outs)
+	}
+	if outs[0].Text != "sat" {
+		t.Fatalf("verdict = %q", outs[0].Text)
+	}
+	vals := outs[1].Text
+	if !strings.Contains(vals, "(x 7)") || !strings.Contains(vals, "49") {
+		t.Errorf("get-value = %q, want x bound to 7 and (* x x) to 49", vals)
+	}
+}
+
+// TestSessionEchoAndErrors: echo round-trips; hostile commands surface
+// script errors without wedging the session.
+func TestSessionEchoAndErrors(t *testing.T) {
+	ctx := context.Background()
+	s := New(testConfig())
+	defer s.Close()
+	outs, err := s.Exec(ctx, `(echo "hi there")`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 1 || outs[0].Kind != OutEcho || outs[0].Text != "hi there" {
+		t.Fatalf("echo output = %+v", outs)
+	}
+	if err := s.Feed("(pop 5)"); err == nil {
+		t.Fatal("over-pop must error")
+	}
+	// The failed command must not have corrupted the session.
+	if err := s.Feed("(declare-fun z () Int)(assert (> z 0))"); err != nil {
+		t.Fatalf("session wedged after rejected command: %v", err)
+	}
+	if cr, err := s.Check(ctx); err != nil || cr.Status.String() != "sat" {
+		t.Fatalf("check after recovery: %v %v", cr, err)
+	}
+}
+
+// TestSessionModelReuseAcrossUnsat pins the model-retention rule: an
+// unsat probe must not forget the standing sat model, so the pop-back
+// re-probe can still be answered by re-verification or memo.
+func TestSessionModelReuseAcrossUnsat(t *testing.T) {
+	ctx := context.Background()
+	s := New(testConfig())
+	defer s.Close()
+	outs, err := s.Exec(ctx, `(set-logic QF_NIA)(declare-fun x () Int)(assert (= (* x x) 49))(assert (> x 0))(check-sat)(push 1)(assert (< x 0))(check-sat)(pop 1)(assert (< x 100))(check-sat)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var verdicts []*CheckResult
+	var texts []string
+	for _, o := range outs {
+		if o.Kind == OutVerdict {
+			verdicts = append(verdicts, o.Check)
+			texts = append(texts, o.Text)
+		}
+	}
+	if strings.Join(texts, " ") != "sat unsat sat" {
+		t.Fatalf("verdicts = %v", texts)
+	}
+	last := verdicts[2]
+	if !last.ModelReused && !last.Memoized {
+		t.Errorf("final check should reuse the surviving model or the memo, got %+v", last)
+	}
+}
+
+// TestSessionTimeoutDefaulting exercises withDefaults.
+func TestSessionTimeoutDefaulting(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	cfg := s.Config()
+	if cfg.Timeout <= 0 || cfg.RefineRounds <= 0 || cfg.WidthStep < 2 {
+		t.Errorf("defaults not applied: %+v", cfg)
+	}
+	s2 := New(Config{RefineRounds: -1, Timeout: 50 * time.Millisecond})
+	defer s2.Close()
+	if got := s2.Config().RefineRounds; got != 0 {
+		t.Errorf("negative RefineRounds should clamp to 0, got %d", got)
+	}
+}
+
+// TestSessionMemoryBytesGrows: the accounting estimate must be positive
+// and must grow once solver state exists.
+func TestSessionMemoryBytesGrows(t *testing.T) {
+	ctx := context.Background()
+	s := New(testConfig())
+	defer s.Close()
+	if err := s.Feed("(set-logic QF_NIA)(declare-fun x () Int)(assert (= (* x x) 49))"); err != nil {
+		t.Fatal(err)
+	}
+	before := s.MemoryBytes()
+	if before <= 0 {
+		t.Fatalf("MemoryBytes = %d before check", before)
+	}
+	if _, err := s.Check(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if after := s.MemoryBytes(); after <= before {
+		t.Errorf("MemoryBytes after a check = %d, want > %d", after, before)
+	}
+}

@@ -45,6 +45,18 @@ func FuzzParseScript(f *testing.F) {
 		// …and deep but legal nesting that must round-trip.
 		"(declare-fun p () Bool)(assert " +
 			strings.Repeat("(not ", 500) + "p" + strings.Repeat(")", 500) + ")(check-sat)",
+		// Incremental command streams: push/pop interleavings, repeated
+		// checks, scope-local declarations, and the output commands.
+		"(declare-fun x () Int)(assert (> x 0))(check-sat)(push 1)(assert (< x 0))(check-sat)(pop 1)(check-sat)",
+		"(push 1)(push 2)(pop 3)(push)(pop)(check-sat)",
+		"(declare-fun x () Int)(push 1)(declare-fun y () Int)(assert (= y x))(pop 1)(declare-fun y () Bool)",
+		"(declare-fun x () Int)(check-sat)(get-value (x (+ x 1)))(echo \"done\")(exit)(garbage)",
+		"(set-logic QF_NIA)(declare-fun x () Int)(assert (= x 1))(reset)(declare-fun x () Int)(assert (= x 2))(check-sat)",
+		"(push 1)(pop 2)",
+		"(pop 1)",
+		"(push 99999999999999999999)",
+		"(echo notastring)",
+		"(declare-fun x () Int)(define-fun m () Int (* x x))(push 1)(define-fun m () Int 0)(assert (= m 0))(pop 1)(assert (> m 1))(check-sat)",
 	}
 	for _, s := range seeds {
 		f.Add(s)
@@ -75,6 +87,21 @@ func FuzzParseScript(f *testing.F) {
 		}
 		if got, want := len(c2.Assertions), len(c.Assertions); got != want {
 			t.Fatalf("assertion count changed on round trip: %d → %d", want, got)
+		}
+		// The command stream sees the same input (ParseScript is built on
+		// it, so acceptance must agree) and its printed form must be a
+		// fixed point: parse → print → parse → print is stable.
+		sc, err := ParseScriptCommands(src)
+		if err != nil {
+			t.Fatalf("ParseScript accepted input that ParseScriptCommands rejects: %v\ninput: %q", err, src)
+		}
+		first := sc.String()
+		sc2, err := ParseScriptCommands(first)
+		if err != nil {
+			t.Fatalf("printed command stream does not reparse: %v\ninput: %q\nprinted:\n%s", err, src, first)
+		}
+		if second := sc2.String(); second != first {
+			t.Fatalf("command stream not stable under print/reparse:\ninput: %q\nfirst:\n%s\nsecond:\n%s", src, first, second)
 		}
 	})
 }

@@ -58,6 +58,61 @@ func TestParseScriptHostileInputs(t *testing.T) {
 			src:     `(assert (= (_ bv7 0) (_ bv7 0)))`,
 			wantErr: "invalid bitvector literal width",
 		},
+		{
+			name:    "pop below the root frame",
+			src:     `(push 1)(pop 2)`,
+			wantErr: "below the root frame",
+		},
+		{
+			name:    "pop with no matching push",
+			src:     `(declare-fun x () Int)(pop 1)`,
+			wantErr: "below the root frame",
+		},
+		{
+			name:    "pop below root after an interleaved reset",
+			src:     `(push 3)(reset)(pop 1)`,
+			wantErr: "below the root frame",
+		},
+		{
+			name:    "push nesting past the frame limit",
+			src:     strings.Repeat("(push 1)", maxScopeDepth+1),
+			wantErr: "push nesting exceeds",
+		},
+		{
+			name:    "single push with a huge frame count",
+			src:     `(push 16000000)`,
+			wantErr: "push nesting exceeds",
+		},
+		{
+			name:    "push count past the numeral cap",
+			src:     `(push 99999999999999999999999999)`,
+			wantErr: "numeral",
+		},
+		{
+			name:    "push with a non-numeral argument",
+			src:     `(push x)`,
+			wantErr: "numeral",
+		},
+		{
+			name:    "push with trailing junk",
+			src:     `(push 1 2)`,
+			wantErr: "malformed push",
+		},
+		{
+			name:    "echo without a string literal",
+			src:     `(echo hello)`,
+			wantErr: "malformed echo",
+		},
+		{
+			name:    "get-value with a bare symbol instead of a list",
+			src:     `(declare-fun x () Int)(get-value x)`,
+			wantErr: "malformed get-value",
+		},
+		{
+			name:    "declaration shadowing a live outer declaration",
+			src:     `(declare-fun x () Int)(push 1)(declare-fun x () Int)`,
+			wantErr: "already declared",
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

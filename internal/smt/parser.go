@@ -9,34 +9,100 @@ import (
 )
 
 // ParseScript parses a complete SMT-LIB v2 script into a Constraint. The
-// supported command set covers what solver benchmark files use: set-logic,
-// set-info, set-option, declare-fun (zero arity), declare-const,
-// define-fun (zero arity, used as a macro), assert, check-sat, get-model,
-// get-value, exit. Unsupported commands yield an error.
+// supported command set covers what solver benchmark files and
+// incremental conversations use: set-logic, set-info, set-option,
+// declare-fun (zero arity), declare-const, define-fun (zero arity, used
+// as a macro), assert, push, pop, check-sat, get-model, get-value, echo,
+// reset, exit. Unsupported commands yield an error.
+//
+// The returned constraint is the one visible at the end of the script
+// (or at its first (exit)): assertions inside fully popped scopes are
+// gone, a (reset) discards everything before it. Scripts without
+// push/pop keep their historical flat meaning exactly. Callers that need
+// the command stream itself — one verdict per (check-sat) — parse with
+// ParseScriptCommands instead.
 //
 // ParseScript never panics on any input: malformed scripts yield an
 // error, and a defect that would panic in a deeper layer is recovered
 // into one — parsing untrusted input (the server's request path) must
 // produce a 400, never a crash.
-func ParseScript(src string) (c *Constraint, err error) {
+func ParseScript(src string) (*Constraint, error) {
+	st := NewScriptState()
+	if err := st.Parse(src, nil); err != nil {
+		return nil, err
+	}
+	return st.Constraint(), nil
+}
+
+// ParseScriptCommands parses src into its command stream without losing
+// the incremental structure ParseScript flattens away. The stream is
+// truncated at the first (exit).
+func ParseScriptCommands(src string) (*Script, error) {
+	st := NewScriptState()
+	var cmds []Command
+	err := st.Parse(src, func(cmd Command) error {
+		cmds = append(cmds, cmd)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Script{b: st.b, Commands: cmds}, nil
+}
+
+// Parse reads SMT-LIB commands from src and executes them against the
+// state, in order: each command is applied as soon as it parses (so later
+// commands resolve symbols against the mid-script scope), then handed to
+// visit when non-nil. Commands with no semantic content (set-info,
+// set-option, get-model, get-info) are accepted silently and not visited.
+// Parsing stops at the first error; commands already applied stay applied
+// (SMT-LIB REPL semantics). After an (exit), remaining input is ignored.
+//
+// Like ParseScript, Parse never panics on hostile input; errors returned
+// by visit pass through unchanged.
+func (st *ScriptState) Parse(src string, visit func(Command) error) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			c, err = nil, fmt.Errorf("smt: internal parse error: %v", r)
+			if ve, ok := r.(visitError); ok {
+				err = ve.err
+				return
+			}
+			err = fmt.Errorf("smt: internal parse error: %v", r)
 		}
 	}()
 	nodes, err := sexpr.ParseAll(src)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	c = NewConstraint("")
-	p := &scriptParser{c: c, defs: map[string]*Term{}}
+	p := &scriptParser{b: st.b, st: st}
 	for _, n := range nodes {
-		if err := p.command(n); err != nil {
-			return nil, err
+		if st.exited {
+			break
+		}
+		cmd, handled, err := p.command(n)
+		if err != nil {
+			return err
+		}
+		if !handled {
+			continue
+		}
+		if err := st.Apply(cmd); err != nil {
+			return err
+		}
+		if visit != nil {
+			if err := visit(cmd); err != nil {
+				// A visitor error aborts the stream but must not be wrapped
+				// by the panic recovery above into a parse error.
+				panic(visitError{err})
+			}
 		}
 	}
-	return c, nil
+	return nil
 }
+
+// visitError smuggles a visitor error through the panic-recovery
+// boundary without rewording it.
+type visitError struct{ err error }
 
 // maxTermDepth bounds term nesting. The term builder recurses per level,
 // and sexpr.MaxDepth already bounds the raw reader the same way; this
@@ -45,81 +111,123 @@ func ParseScript(src string) (c *Constraint, err error) {
 const maxTermDepth = 10000
 
 type scriptParser struct {
-	c     *Constraint
-	defs  map[string]*Term // zero-arity define-fun macros
+	b     *Builder
+	st    *ScriptState
 	depth int
 }
 
-func (p *scriptParser) command(n *sexpr.Node) error {
+// command parses one command node into a Command. handled=false means the
+// command is accepted but carries nothing (set-info and friends).
+func (p *scriptParser) command(n *sexpr.Node) (cmd Command, handled bool, err error) {
 	if n.Kind != sexpr.KindList || n.Len() == 0 {
-		return fmt.Errorf("smt: %d:%d: expected command list", n.Line, n.Col)
+		return cmd, false, fmt.Errorf("smt: %d:%d: expected command list", n.Line, n.Col)
 	}
 	switch n.Head() {
 	case "set-logic":
 		if n.Len() != 2 || n.Items[1].Kind != sexpr.KindSymbol {
-			return fmt.Errorf("smt: malformed set-logic")
+			return cmd, false, fmt.Errorf("smt: malformed set-logic")
 		}
-		p.c.Logic = n.Items[1].Text
-		return nil
-	case "set-info", "set-option", "check-sat", "get-model", "get-value", "exit", "get-info":
-		return nil
+		return Command{Kind: CmdSetLogic, Name: n.Items[1].Text}, true, nil
+	case "set-info", "set-option", "get-model", "get-info":
+		return cmd, false, nil
+	case "check-sat":
+		if n.Len() != 1 {
+			return cmd, false, fmt.Errorf("smt: malformed check-sat")
+		}
+		return Command{Kind: CmdCheckSat}, true, nil
+	case "get-value":
+		if n.Len() != 2 || n.Items[1].Kind != sexpr.KindList || n.Items[1].Len() == 0 {
+			return cmd, false, fmt.Errorf("smt: malformed get-value (want a non-empty term list)")
+		}
+		terms := make([]*Term, 0, n.Items[1].Len())
+		for _, it := range n.Items[1].Items {
+			t, err := p.term(it, nil)
+			if err != nil {
+				return cmd, false, err
+			}
+			terms = append(terms, t)
+		}
+		return Command{Kind: CmdGetValue, Terms: terms}, true, nil
+	case "echo":
+		if n.Len() != 2 || n.Items[1].Kind != sexpr.KindString {
+			return cmd, false, fmt.Errorf("smt: malformed echo (want a string literal)")
+		}
+		return Command{Kind: CmdEcho, Name: n.Items[1].Text}, true, nil
+	case "reset":
+		if n.Len() != 1 {
+			return cmd, false, fmt.Errorf("smt: malformed reset")
+		}
+		return Command{Kind: CmdReset}, true, nil
+	case "exit":
+		return Command{Kind: CmdExit}, true, nil
 	case "declare-fun":
 		if n.Len() != 4 || n.Items[1].Kind != sexpr.KindSymbol {
-			return fmt.Errorf("smt: malformed declare-fun")
+			return cmd, false, fmt.Errorf("smt: malformed declare-fun")
 		}
 		if n.Items[2].Kind != sexpr.KindList || n.Items[2].Len() != 0 {
-			return fmt.Errorf("smt: declare-fun with arguments is not supported")
+			return cmd, false, fmt.Errorf("smt: declare-fun with arguments is not supported")
 		}
 		s, err := p.sort(n.Items[3])
 		if err != nil {
-			return err
+			return cmd, false, err
 		}
-		_, err = p.c.Declare(n.Items[1].Text, s)
-		return err
+		return Command{Kind: CmdDeclare, Name: n.Items[1].Text, Sort: s}, true, nil
 	case "declare-const":
 		if n.Len() != 3 || n.Items[1].Kind != sexpr.KindSymbol {
-			return fmt.Errorf("smt: malformed declare-const")
+			return cmd, false, fmt.Errorf("smt: malformed declare-const")
 		}
 		s, err := p.sort(n.Items[2])
 		if err != nil {
-			return err
+			return cmd, false, err
 		}
-		_, err = p.c.Declare(n.Items[1].Text, s)
-		return err
+		return Command{Kind: CmdDeclare, Name: n.Items[1].Text, Sort: s}, true, nil
 	case "define-fun":
 		if n.Len() != 5 || n.Items[1].Kind != sexpr.KindSymbol {
-			return fmt.Errorf("smt: malformed define-fun")
+			return cmd, false, fmt.Errorf("smt: malformed define-fun")
 		}
 		if n.Items[2].Kind != sexpr.KindList || n.Items[2].Len() != 0 {
-			return fmt.Errorf("smt: define-fun with parameters is not supported")
+			return cmd, false, fmt.Errorf("smt: define-fun with parameters is not supported")
 		}
 		body, err := p.term(n.Items[4], nil)
 		if err != nil {
-			return err
+			return cmd, false, err
 		}
 		want, err := p.sort(n.Items[3])
 		if err != nil {
-			return err
+			return cmd, false, err
 		}
 		body, err = p.coerceTo(body, want)
 		if err != nil {
-			return fmt.Errorf("smt: define-fun %s: %v", n.Items[1].Text, err)
+			return cmd, false, fmt.Errorf("smt: define-fun %s: %v", n.Items[1].Text, err)
 		}
-		p.defs[n.Items[1].Text] = body
-		return nil
+		return Command{Kind: CmdDefine, Name: n.Items[1].Text, Sort: want, Term: body}, true, nil
 	case "assert":
 		if n.Len() != 2 {
-			return fmt.Errorf("smt: malformed assert")
+			return cmd, false, fmt.Errorf("smt: malformed assert")
 		}
 		t, err := p.term(n.Items[1], nil)
 		if err != nil {
-			return err
+			return cmd, false, err
 		}
-		return p.c.Assert(t)
+		return Command{Kind: CmdAssert, Term: t}, true, nil
 	case "push", "pop":
-		return fmt.Errorf("smt: incremental commands (push/pop) are not supported")
+		// (push) and (pop) with no numeral mean one frame.
+		count := 1
+		if n.Len() == 2 {
+			count, err = atoiNode(n.Items[1])
+			if err != nil {
+				return cmd, false, err
+			}
+		} else if n.Len() > 2 {
+			return cmd, false, fmt.Errorf("smt: malformed %s", n.Head())
+		}
+		kind := CmdPush
+		if n.Head() == "pop" {
+			kind = CmdPop
+		}
+		return Command{Kind: kind, N: count}, true, nil
 	default:
-		return fmt.Errorf("smt: %d:%d: unsupported command %q", n.Line, n.Col, n.Head())
+		return cmd, false, fmt.Errorf("smt: %d:%d: unsupported command %q", n.Line, n.Col, n.Head())
 	}
 }
 
@@ -233,7 +341,7 @@ func (p *scriptParser) term(n *sexpr.Node, scope *letScope) (*Term, error) {
 	}
 	p.depth++
 	defer func() { p.depth-- }()
-	b := p.c.Builder
+	b := p.b
 	switch n.Kind {
 	case sexpr.KindNumeral:
 		v, ok := new(big.Int).SetString(n.Text, 10)
@@ -277,10 +385,10 @@ func (p *scriptParser) term(n *sexpr.Node, scope *letScope) (*Term, error) {
 		if t, ok := scope.lookup(n.Text); ok {
 			return t, nil
 		}
-		if t, ok := p.defs[n.Text]; ok {
+		if t, ok := p.st.lookupDef(n.Text); ok {
 			return t, nil
 		}
-		if v, ok := b.LookupVar(n.Text); ok {
+		if v, ok := p.st.lookupVar(n.Text); ok {
 			return v, nil
 		}
 		return nil, fmt.Errorf("smt: %d:%d: undeclared symbol %q", n.Line, n.Col, n.Text)
@@ -292,7 +400,7 @@ func (p *scriptParser) term(n *sexpr.Node, scope *letScope) (*Term, error) {
 }
 
 func (p *scriptParser) application(n *sexpr.Node, scope *letScope) (*Term, error) {
-	b := p.c.Builder
+	b := p.b
 	if n.Len() == 0 {
 		return nil, fmt.Errorf("smt: %d:%d: empty application", n.Line, n.Col)
 	}
@@ -422,7 +530,7 @@ func (p *scriptParser) coerceNumerals(op Op, args []*Term) []*Term {
 	out := make([]*Term, len(args))
 	for i, a := range args {
 		if a.Op == OpIntConst {
-			out[i] = p.c.Builder.RealRat(new(big.Rat).SetInt(a.IntVal))
+			out[i] = p.b.RealRat(new(big.Rat).SetInt(a.IntVal))
 		} else {
 			out[i] = a
 		}
@@ -435,7 +543,7 @@ func (p *scriptParser) coerceTo(t *Term, want Sort) (*Term, error) {
 		return t, nil
 	}
 	if t.Op == OpIntConst && want.Kind == KindReal {
-		return p.c.Builder.RealRat(new(big.Rat).SetInt(t.IntVal)), nil
+		return p.b.RealRat(new(big.Rat).SetInt(t.IntVal)), nil
 	}
 	return nil, fmt.Errorf("sort mismatch: have %v, want %v", t.Sort, want)
 }
@@ -461,7 +569,7 @@ func (p *scriptParser) indexedLiteral(n *sexpr.Node) (*Term, error) {
 		if w < 1 || w > 1<<16 {
 			return nil, fmt.Errorf("smt: invalid bitvector literal width %d", w)
 		}
-		return p.c.Builder.BV(v, w), nil
+		return p.b.BV(v, w), nil
 	case sym == "NaN" || sym == "+oo" || sym == "-oo":
 		if n.Len() != 4 {
 			return nil, fmt.Errorf("smt: malformed FP special literal")
@@ -485,7 +593,7 @@ func (p *scriptParser) indexedLiteral(n *sexpr.Node) (*Term, error) {
 		} else if sym == "-oo" {
 			class = FPMinusInf
 		}
-		return p.c.Builder.FPSpecial(FloatSort(eb, sb), class), nil
+		return p.b.FPSpecial(FloatSort(eb, sb), class), nil
 	}
 	return nil, fmt.Errorf("smt: %d:%d: unsupported indexed literal %q", n.Line, n.Col, sym)
 }
@@ -524,7 +632,7 @@ func (p *scriptParser) fpLiteral(n *sexpr.Node) (*Term, error) {
 	if !ok {
 		return nil, fmt.Errorf("smt: bad fp literal bits")
 	}
-	return NewFPConstFromBits(p.c.Builder, FloatSort(eb, sb), bits)
+	return NewFPConstFromBits(p.b, FloatSort(eb, sb), bits)
 }
 
 func (p *scriptParser) indexedApplication(n *sexpr.Node, scope *letScope) (*Term, error) {

@@ -1,0 +1,419 @@
+// SMT-LIB scripts as command streams. A one-shot benchmark file is a
+// single constraint, but the paper's headline client (§7, Ultimate
+// Automizer) issues long conversations: assertions accumulate, (push n)
+// opens scopes, (pop n) retracts them, and (check-sat) fires repeatedly
+// against whatever is visible. This file models that: a Command is one
+// script command, a Script is the parsed stream, and a ScriptState is the
+// mutable assertion-stack a stream executes against. ParseScript keeps its
+// historical flat semantics (the constraint visible at end of script);
+// incremental callers parse with ParseScriptCommands or feed text into a
+// live ScriptState.
+package smt
+
+import (
+	"fmt"
+	"strings"
+)
+
+// maxScopeDepth bounds (push n) nesting. Like maxTermDepth it exists for
+// hostile input: each frame is small, but an unbounded stack lets one
+// request hold arbitrary memory.
+const maxScopeDepth = 8192
+
+// CommandKind identifies one SMT-LIB script command.
+type CommandKind int
+
+// Script commands. Commands with no effect on satisfiability that the
+// parser accepts but does not record (set-info, set-option, get-model,
+// get-info) have no kind.
+const (
+	CmdSetLogic CommandKind = iota
+	CmdDeclare
+	CmdDefine
+	CmdAssert
+	CmdPush
+	CmdPop
+	CmdCheckSat
+	CmdGetValue
+	CmdEcho
+	CmdReset
+	CmdExit
+)
+
+func (k CommandKind) String() string {
+	switch k {
+	case CmdSetLogic:
+		return "set-logic"
+	case CmdDeclare:
+		return "declare-fun"
+	case CmdDefine:
+		return "define-fun"
+	case CmdAssert:
+		return "assert"
+	case CmdPush:
+		return "push"
+	case CmdPop:
+		return "pop"
+	case CmdCheckSat:
+		return "check-sat"
+	case CmdGetValue:
+		return "get-value"
+	case CmdEcho:
+		return "echo"
+	case CmdReset:
+		return "reset"
+	case CmdExit:
+		return "exit"
+	default:
+		return fmt.Sprintf("CommandKind(%d)", int(k))
+	}
+}
+
+// Command is one parsed script command. Term-carrying commands hold terms
+// owned by the builder of the ScriptState that parsed them.
+type Command struct {
+	Kind CommandKind
+	// N is the frame count for push/pop.
+	N int
+	// Name is the declared/defined symbol (declare-fun, define-fun), the
+	// logic name (set-logic), or the echo text (echo).
+	Name string
+	// Sort is the declared sort (declare-fun) or the defined result sort
+	// (define-fun).
+	Sort Sort
+	// Term is the asserted term (assert) or the macro body (define-fun).
+	Term *Term
+	// Terms are the requested terms of a get-value command.
+	Terms []*Term
+}
+
+// String renders the command in SMT-LIB concrete syntax.
+func (cmd Command) String() string {
+	switch cmd.Kind {
+	case CmdSetLogic:
+		return fmt.Sprintf("(set-logic %s)", cmd.Name)
+	case CmdDeclare:
+		return fmt.Sprintf("(declare-fun %s () %s)", cmd.Name, cmd.Sort)
+	case CmdDefine:
+		return fmt.Sprintf("(define-fun %s () %s %s)", cmd.Name, cmd.Sort, cmd.Term)
+	case CmdAssert:
+		return fmt.Sprintf("(assert %s)", cmd.Term)
+	case CmdPush:
+		return fmt.Sprintf("(push %d)", cmd.N)
+	case CmdPop:
+		return fmt.Sprintf("(pop %d)", cmd.N)
+	case CmdCheckSat:
+		return "(check-sat)"
+	case CmdGetValue:
+		parts := make([]string, len(cmd.Terms))
+		for i, t := range cmd.Terms {
+			parts[i] = t.String()
+		}
+		return fmt.Sprintf("(get-value (%s))", strings.Join(parts, " "))
+	case CmdEcho:
+		return fmt.Sprintf("(echo %s)", quoteString(cmd.Name))
+	case CmdReset:
+		return "(reset)"
+	case CmdExit:
+		return "(exit)"
+	default:
+		return fmt.Sprintf("(unknown-command %d)", int(cmd.Kind))
+	}
+}
+
+// quoteString renders an SMT-LIB string literal ("" escapes a quote).
+func quoteString(s string) string {
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}
+
+// Script is a parsed SMT-LIB command stream. All terms referenced by its
+// commands belong to one builder.
+type Script struct {
+	b *Builder
+	// Commands is the stream in script order, truncated at (exit).
+	Commands []Command
+}
+
+// Builder returns the builder owning the script's terms.
+func (s *Script) Builder() *Builder { return s.b }
+
+// String renders the script back to SMT-LIB text, one command per line.
+// define-fun bodies and assertion terms print with macros inlined (the
+// parser resolves them at parse time), so the rendering is a semantic
+// round trip: reparsing yields an identical command stream.
+func (s *Script) String() string {
+	var b strings.Builder
+	for _, cmd := range s.Commands {
+		b.WriteString(cmd.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// NumChecks counts the script's check-sat commands.
+func (s *Script) NumChecks() int {
+	n := 0
+	for _, cmd := range s.Commands {
+		if cmd.Kind == CmdCheckSat {
+			n++
+		}
+	}
+	return n
+}
+
+// Incremental reports whether the script needs the stateful command-stream
+// execution path: scope or state manipulation (push/pop/reset), more than
+// one check-sat, or commands that produce per-command output (get-value,
+// echo). A plain declare/assert/check-sat file is not incremental and runs
+// through the historical one-shot path unchanged.
+func (s *Script) Incremental() bool {
+	checks := 0
+	for _, cmd := range s.Commands {
+		switch cmd.Kind {
+		case CmdPush, CmdPop, CmdReset, CmdGetValue, CmdEcho:
+			return true
+		case CmdCheckSat:
+			checks++
+		}
+	}
+	return checks > 1
+}
+
+// PrefixScripts returns, for each check-sat of the stream in order, the
+// flat one-shot SMT-LIB script of the constraint visible at that check.
+// This is the differential anchor for incremental solving: executing the
+// stream must produce, check by check, the verdicts of solving these
+// scripts from scratch.
+func (s *Script) PrefixScripts() ([]string, error) {
+	st := NewScriptState()
+	var out []string
+	for _, cmd := range s.Commands {
+		if err := st.Apply(cmd); err != nil {
+			return nil, err
+		}
+		if cmd.Kind == CmdCheckSat {
+			out = append(out, st.Constraint().Script())
+		}
+		if st.Exited() {
+			break
+		}
+	}
+	return out, nil
+}
+
+// scriptFrame is one assertion-stack scope: the declarations, macro
+// definitions and assertions it contributed, all retracted together by the
+// pop that closes it.
+type scriptFrame struct {
+	vars    []*Term
+	defs    map[string]*Term
+	asserts []*Term
+}
+
+// ScriptState is the mutable state an SMT-LIB command stream executes
+// against: a stack of scope frames over one term builder. The zero value
+// is not ready; use NewScriptState.
+//
+// Popping a frame retracts its declarations and assertions from
+// visibility, but terms stay interned in the builder — redeclaring a
+// popped name with the same sort yields the same term. The one deliberate
+// restriction hash-consing imposes: a name may not be redeclared with a
+// *different* sort later in the same stream, even after the original scope
+// was popped.
+type ScriptState struct {
+	b        *Builder
+	logic    string
+	frames   []*scriptFrame
+	varsLive map[string]bool
+	exited   bool
+}
+
+// NewScriptState returns an empty state with a fresh builder and only the
+// root frame.
+func NewScriptState() *ScriptState {
+	return &ScriptState{
+		b:        NewBuilder(),
+		frames:   []*scriptFrame{{}},
+		varsLive: map[string]bool{},
+	}
+}
+
+// Builder returns the builder owning every term of the state.
+func (st *ScriptState) Builder() *Builder { return st.b }
+
+// Logic returns the current set-logic name ("" if unset).
+func (st *ScriptState) Logic() string { return st.logic }
+
+// Depth reports how many frames are currently pushed above the root.
+func (st *ScriptState) Depth() int { return len(st.frames) - 1 }
+
+// Exited reports whether an (exit) command was applied; later commands are
+// ignored.
+func (st *ScriptState) Exited() bool { return st.exited }
+
+// NumAssertions counts the currently visible assertions across all frames.
+func (st *ScriptState) NumAssertions() int {
+	n := 0
+	for _, f := range st.frames {
+		n += len(f.asserts)
+	}
+	return n
+}
+
+// NumVars counts the currently visible declarations across all frames.
+func (st *ScriptState) NumVars() int {
+	n := 0
+	for _, f := range st.frames {
+		n += len(f.vars)
+	}
+	return n
+}
+
+func (st *ScriptState) top() *scriptFrame { return st.frames[len(st.frames)-1] }
+
+// Declare adds a variable to the current frame. Declaring a name already
+// visible in any live frame is an error, as is redeclaring a popped name
+// with a different sort (a hash-consing restriction, see the type doc).
+func (st *ScriptState) Declare(name string, s Sort) (*Term, error) {
+	if st.varsLive[name] {
+		return nil, fmt.Errorf("smt: variable %q already declared", name)
+	}
+	v, err := st.b.Var(name, s)
+	if err != nil {
+		return nil, err
+	}
+	st.varsLive[name] = true
+	top := st.top()
+	top.vars = append(top.vars, v)
+	return v, nil
+}
+
+// Define binds a zero-arity macro in the current frame, shadowing any
+// definition of the same name in outer frames.
+func (st *ScriptState) Define(name string, body *Term) {
+	top := st.top()
+	if top.defs == nil {
+		top.defs = map[string]*Term{}
+	}
+	top.defs[name] = body
+}
+
+// Assert appends a boolean term to the current frame.
+func (st *ScriptState) Assert(t *Term) error {
+	if t.Sort.Kind != KindBool {
+		return fmt.Errorf("smt: assertion has sort %v, want Bool", t.Sort)
+	}
+	top := st.top()
+	top.asserts = append(top.asserts, t)
+	return nil
+}
+
+// Push opens n new frames.
+func (st *ScriptState) Push(n int) error {
+	if n < 0 {
+		return fmt.Errorf("smt: push with negative count %d", n)
+	}
+	if len(st.frames)+n > maxScopeDepth {
+		return fmt.Errorf("smt: push nesting exceeds %d frames", maxScopeDepth)
+	}
+	for i := 0; i < n; i++ {
+		st.frames = append(st.frames, &scriptFrame{})
+	}
+	return nil
+}
+
+// Pop closes the n innermost frames, retracting their declarations,
+// definitions and assertions. Popping below the root frame is an error.
+func (st *ScriptState) Pop(n int) error {
+	if n < 0 {
+		return fmt.Errorf("smt: pop with negative count %d", n)
+	}
+	if n > len(st.frames)-1 {
+		return fmt.Errorf("smt: pop %d below the root frame (current depth %d)", n, len(st.frames)-1)
+	}
+	for i := 0; i < n; i++ {
+		f := st.frames[len(st.frames)-1]
+		st.frames = st.frames[:len(st.frames)-1]
+		for _, v := range f.vars {
+			delete(st.varsLive, v.Name)
+		}
+	}
+	return nil
+}
+
+// Reset clears the state back to an empty root frame (the builder and its
+// interned terms are kept; visibility is what resets).
+func (st *ScriptState) Reset() {
+	st.logic = ""
+	st.frames = []*scriptFrame{{}}
+	st.varsLive = map[string]bool{}
+}
+
+// lookupDef resolves a macro name through the frame stack, innermost
+// first.
+func (st *ScriptState) lookupDef(name string) (*Term, bool) {
+	for i := len(st.frames) - 1; i >= 0; i-- {
+		if t, ok := st.frames[i].defs[name]; ok {
+			return t, true
+		}
+	}
+	return nil, false
+}
+
+// lookupVar resolves a declared variable if it is currently visible.
+func (st *ScriptState) lookupVar(name string) (*Term, bool) {
+	if !st.varsLive[name] {
+		return nil, false
+	}
+	return st.b.LookupVar(name)
+}
+
+// Apply executes one command against the state. Commands that only
+// produce output (check-sat, get-value, echo) have no state effect here;
+// callers that solve do so from their command visitor. Commands after an
+// applied (exit) are ignored.
+func (st *ScriptState) Apply(cmd Command) error {
+	if st.exited {
+		return nil
+	}
+	switch cmd.Kind {
+	case CmdSetLogic:
+		st.logic = cmd.Name
+		return nil
+	case CmdDeclare:
+		_, err := st.Declare(cmd.Name, cmd.Sort)
+		return err
+	case CmdDefine:
+		st.Define(cmd.Name, cmd.Term)
+		return nil
+	case CmdAssert:
+		return st.Assert(cmd.Term)
+	case CmdPush:
+		return st.Push(cmd.N)
+	case CmdPop:
+		return st.Pop(cmd.N)
+	case CmdCheckSat, CmdGetValue, CmdEcho:
+		return nil
+	case CmdReset:
+		st.Reset()
+		return nil
+	case CmdExit:
+		st.exited = true
+		return nil
+	default:
+		return fmt.Errorf("smt: unknown command kind %d", int(cmd.Kind))
+	}
+}
+
+// Constraint materializes the currently visible declarations and
+// assertions as a flat constraint sharing the state's builder. The
+// returned constraint owns fresh slices: later pushes, pops and asserts do
+// not mutate it.
+func (st *ScriptState) Constraint() *Constraint {
+	c := &Constraint{Logic: st.logic, Builder: st.b}
+	for _, f := range st.frames {
+		c.Vars = append(c.Vars, f.vars...)
+		c.Assertions = append(c.Assertions, f.asserts...)
+	}
+	return c
+}

@@ -1,0 +1,252 @@
+package smt
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParseCommands(t *testing.T, src string) *Script {
+	t.Helper()
+	sc, err := ParseScriptCommands(src)
+	if err != nil {
+		t.Fatalf("ParseScriptCommands: %v\n%s", err, src)
+	}
+	return sc
+}
+
+func TestScriptCommandStream(t *testing.T) {
+	sc := mustParseCommands(t, `
+		(set-logic QF_NIA)
+		(declare-fun x () Int)
+		(assert (> x 0))
+		(check-sat)
+		(push 1)
+		(assert (< x 0))
+		(check-sat)
+		(pop 1)
+		(check-sat)
+		(exit)
+	`)
+	want := []CommandKind{
+		CmdSetLogic, CmdDeclare, CmdAssert, CmdCheckSat,
+		CmdPush, CmdAssert, CmdCheckSat, CmdPop, CmdCheckSat, CmdExit,
+	}
+	if len(sc.Commands) != len(want) {
+		t.Fatalf("got %d commands, want %d:\n%s", len(sc.Commands), len(want), sc)
+	}
+	for i, k := range want {
+		if sc.Commands[i].Kind != k {
+			t.Errorf("command %d: got %v, want %v", i, sc.Commands[i].Kind, k)
+		}
+	}
+	if got := sc.NumChecks(); got != 3 {
+		t.Errorf("NumChecks = %d, want 3", got)
+	}
+	if !sc.Incremental() {
+		t.Error("script with push/pop should be incremental")
+	}
+}
+
+func TestScriptIncrementalClassification(t *testing.T) {
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{"(declare-fun x () Int)(assert (> x 0))(check-sat)", false},
+		{"(check-sat)(check-sat)", true},
+		{"(push 1)(pop 1)", true},
+		{"(reset)", true},
+		{`(echo "hi")`, true},
+		{"(declare-fun x () Int)(check-sat)(get-value (x))", true},
+		{"(exit)", false},
+	}
+	for _, tc := range cases {
+		sc := mustParseCommands(t, tc.src)
+		if got := sc.Incremental(); got != tc.want {
+			t.Errorf("Incremental(%q) = %v, want %v", tc.src, got, tc.want)
+		}
+	}
+}
+
+func TestScriptStateScoping(t *testing.T) {
+	st := NewScriptState()
+	run := func(src string) error { return st.Parse(src, nil) }
+
+	if err := run("(declare-fun x () Int)(assert (> x 0))"); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("(push 1)(declare-fun y () Int)(assert (= y x))"); err != nil {
+		t.Fatal(err)
+	}
+	if st.Depth() != 1 || st.NumVars() != 2 || st.NumAssertions() != 2 {
+		t.Fatalf("after push: depth=%d vars=%d asserts=%d", st.Depth(), st.NumVars(), st.NumAssertions())
+	}
+	if err := run("(pop 1)"); err != nil {
+		t.Fatal(err)
+	}
+	if st.Depth() != 0 || st.NumVars() != 1 || st.NumAssertions() != 1 {
+		t.Fatalf("after pop: depth=%d vars=%d asserts=%d", st.Depth(), st.NumVars(), st.NumAssertions())
+	}
+	// y was retracted by the pop: referencing it is an error again.
+	if err := run("(assert (= y 0))"); err == nil || !strings.Contains(err.Error(), "undeclared symbol") {
+		t.Fatalf("popped variable still resolvable: %v", err)
+	}
+	// Redeclaring it at the same sort is fine (hash-consing reuses the term)…
+	if err := run("(declare-fun y () Int)"); err != nil {
+		t.Fatalf("redeclare popped name at same sort: %v", err)
+	}
+	// …but a different sort trips the documented hash-consing restriction.
+	if err := run("(push 1)(pop 1)(pop 0)"); err != nil {
+		t.Fatal(err)
+	}
+	st2 := NewScriptState()
+	if err := st2.Parse("(push 1)(declare-fun z () Int)(pop 1)(declare-fun z () Bool)", nil); err == nil {
+		t.Fatal("redeclaring a popped name with a different sort should error")
+	}
+}
+
+func TestScriptStateDefineShadowing(t *testing.T) {
+	st := NewScriptState()
+	src := `
+		(declare-fun x () Int)
+		(define-fun lim () Int 10)
+		(assert (< x lim))
+		(push 1)
+		(define-fun lim () Int 20)
+		(assert (< x lim))
+		(pop 1)
+		(assert (> x lim))
+	`
+	if err := st.Parse(src, nil); err != nil {
+		t.Fatal(err)
+	}
+	c := st.Constraint()
+	// The popped shadowing definition must not leak: both root-level
+	// assertions use 10, the popped one used 20 and is gone.
+	got := c.Script()
+	if strings.Contains(got, "20") {
+		t.Fatalf("popped macro leaked into visible constraint:\n%s", got)
+	}
+	if c2 := strings.Count(got, "10"); c2 != 2 {
+		t.Fatalf("want 2 uses of the outer macro value, got %d:\n%s", c2, got)
+	}
+}
+
+func TestScriptStateResetAndExit(t *testing.T) {
+	st := NewScriptState()
+	if err := st.Parse("(set-logic QF_NIA)(declare-fun x () Int)(assert (> x 0))(push 2)", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Parse("(reset)", nil); err != nil {
+		t.Fatal(err)
+	}
+	if st.Logic() != "" || st.Depth() != 0 || st.NumVars() != 0 || st.NumAssertions() != 0 {
+		t.Fatalf("reset left state: logic=%q depth=%d vars=%d asserts=%d",
+			st.Logic(), st.Depth(), st.NumVars(), st.NumAssertions())
+	}
+	// The name is free again after reset, same-sort redeclare works.
+	if err := st.Parse("(declare-fun x () Int)(assert (< x 0))(exit)(assert broken-after-exit)", nil); err != nil {
+		t.Fatalf("commands after (exit) must be ignored, got %v", err)
+	}
+	if !st.Exited() || st.NumAssertions() != 1 {
+		t.Fatalf("exited=%v asserts=%d", st.Exited(), st.NumAssertions())
+	}
+}
+
+func TestScriptPrefixScripts(t *testing.T) {
+	sc := mustParseCommands(t, `
+		(set-logic QF_NIA)
+		(declare-fun x () Int)
+		(assert (> x 3))
+		(check-sat)
+		(push 1)
+		(declare-fun y () Int)
+		(assert (= (* y y) x))
+		(check-sat)
+		(pop 1)
+		(assert (< x 10))
+		(check-sat)
+	`)
+	prefixes, err := sc.PrefixScripts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prefixes) != 3 {
+		t.Fatalf("got %d prefixes, want 3", len(prefixes))
+	}
+	// Each prefix is the flat script visible at that check: the second
+	// includes the pushed scope, the third has it retracted.
+	if !strings.Contains(prefixes[1], "declare-fun y") {
+		t.Errorf("prefix 2 lost the pushed declaration:\n%s", prefixes[1])
+	}
+	if strings.Contains(prefixes[2], "y") {
+		t.Errorf("prefix 3 kept the popped scope:\n%s", prefixes[2])
+	}
+	// And every prefix is itself a valid one-shot script.
+	for i, p := range prefixes {
+		if _, err := ParseScript(p); err != nil {
+			t.Errorf("prefix %d does not reparse: %v\n%s", i+1, err, p)
+		}
+	}
+}
+
+func TestScriptStringRoundTrip(t *testing.T) {
+	srcs := []string{
+		"(set-logic QF_NIA)\n(declare-fun x () Int)\n(assert (> x 0))\n(check-sat)\n",
+		"(push 1)\n(push 2)\n(pop 3)\n(check-sat)\n(exit)\n",
+		"(declare-fun x () Int)\n(check-sat)\n(get-value (x (+ x 1)))\n",
+		"(echo \"plain\")\n(echo \"with \"\"quotes\"\" inside\")\n(reset)\n(check-sat)\n",
+		"(declare-fun b () (_ BitVec 8))\n(assert (bvult b #x10))\n(check-sat)\n(check-sat)\n",
+	}
+	for _, src := range srcs {
+		sc := mustParseCommands(t, src)
+		out := sc.String()
+		sc2 := mustParseCommands(t, out)
+		if out2 := sc2.String(); out2 != out {
+			t.Errorf("command stream not stable under print/reparse:\n%s\nvs\n%s", out, out2)
+		}
+	}
+}
+
+func TestScriptEchoQuoting(t *testing.T) {
+	sc := mustParseCommands(t, `(echo "say ""hi"" twice")`)
+	if len(sc.Commands) != 1 || sc.Commands[0].Kind != CmdEcho {
+		t.Fatalf("commands: %v", sc.Commands)
+	}
+	if got := sc.Commands[0].Name; got != `say "hi" twice` {
+		t.Errorf("echo text = %q", got)
+	}
+	if got := sc.Commands[0].String(); got != `(echo "say ""hi"" twice")` {
+		t.Errorf("echo rendering = %s", got)
+	}
+}
+
+func TestScriptGetValueRequiresVisibleTerms(t *testing.T) {
+	// get-value terms resolve against the scope at the point of the
+	// command, like assertions do.
+	if _, err := ParseScriptCommands("(get-value (x))"); err == nil {
+		t.Error("get-value over an undeclared symbol should error")
+	}
+	if _, err := ParseScriptCommands("(declare-fun x () Int)(get-value ())"); err == nil {
+		t.Error("empty get-value should error")
+	}
+}
+
+func TestParseScriptFlatSemanticsWithScopes(t *testing.T) {
+	// ParseScript returns the end-of-script view: fully popped assertions
+	// are not part of the constraint.
+	c, err := ParseScript(`
+		(declare-fun x () Int)
+		(assert (> x 0))
+		(push 1)
+		(assert (< x (- 5)))
+		(pop 1)
+		(check-sat)
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Assertions) != 1 {
+		t.Fatalf("got %d assertions, want 1 (popped scope retracted):\n%s", len(c.Assertions), c.Script())
+	}
+}

@@ -210,13 +210,25 @@ func TestScriptRoundTrip(t *testing.T) {
 
 func TestUnsupportedCommands(t *testing.T) {
 	for _, src := range []string{
-		"(push 1)",
-		"(pop 1)",
+		"(pop 1)", // below the root frame
 		"(declare-fun f (Int) Int)",
 		"(frobnicate)",
 	} {
 		if _, err := ParseScript(src); err == nil {
 			t.Errorf("ParseScript(%q): expected error", src)
+		}
+	}
+	// Incremental scoping commands parse since PR 7.
+	for _, src := range []string{
+		"(push 1)",
+		"(push 1)(pop 1)",
+		"(push)(push 2)(pop 3)",
+		"(exit)(frobnicate after exit is ignored)",
+		`(echo "hello")`,
+		"(reset)",
+	} {
+		if _, err := ParseScript(src); err != nil {
+			t.Errorf("ParseScript(%q): %v", src, err)
 		}
 	}
 }
@@ -344,11 +356,11 @@ func TestTermDepthGuard(t *testing.T) {
 	for i := 0; i < maxTermDepth+1; i++ {
 		node = sexpr.List(sexpr.Symbol("not"), node)
 	}
-	c := NewConstraint("")
-	if _, err := c.Declare("p", BoolSort); err != nil {
+	st := NewScriptState()
+	if _, err := st.Declare("p", BoolSort); err != nil {
 		t.Fatal(err)
 	}
-	p := &scriptParser{c: c, defs: map[string]*Term{}}
+	p := &scriptParser{b: st.Builder(), st: st}
 	if _, err := p.term(node, nil); err == nil {
 		t.Fatal("term nesting beyond maxTermDepth should fail")
 	} else if !strings.Contains(err.Error(), "nesting exceeds") {

@@ -32,6 +32,12 @@ func NewBVSession() *BVSession {
 // Stats reports the underlying session's reuse counters.
 func (bs *BVSession) Stats() bitblast.SessionStats { return bs.sess.Stats() }
 
+// MemoryBytes estimates the heap the session retains across rounds: the
+// solver's clause arena and watch lists plus the bitblast gate cache and
+// variable-bit maps. Session memory budgets are enforced against this
+// figure after every check.
+func (bs *BVSession) MemoryBytes() int64 { return bs.sat.MemoryBytes() + bs.sess.MemoryBytes() }
+
 // SolveRound encodes c as the next refinement round and decides it under
 // o's deadline/interrupt/budget regime. Only bitvector/boolean
 // constraints are supported (the caller dispatches other kinds to the

@@ -1,0 +1,158 @@
+// Command sessionbench measures the session tier's solver-work saving on
+// the incremental-script corpus: every script runs once through a
+// stateful session in measured-replay mode, so each check reports both
+// the work the session actually spent and the work a fresh per-prefix
+// replay of the same check would have cost through the one-shot path.
+// The per-script ratio is Σreplay/Σwork; the headline number is their
+// geometric mean. Work units are deterministic virtual-time units, so
+// every column is machine-independent. Writes BENCH_7.json at the
+// repository root via `make bench`.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"staub/internal/session"
+)
+
+type checkRow struct {
+	Status      string `json:"status"`
+	WorkUnits   int64  `json:"work_units"`
+	ReplayUnits int64  `json:"replay_units"`
+	Incremental bool   `json:"incremental,omitempty"`
+	Memoized    bool   `json:"memoized,omitempty"`
+	ModelReused bool   `json:"model_reused,omitempty"`
+	Fallback    bool   `json:"fallback,omitempty"`
+}
+
+type scriptRow struct {
+	Name        string     `json:"name"`
+	Checks      int        `json:"checks"`
+	WorkUnits   int64      `json:"work_units"`
+	ReplayUnits int64      `json:"replay_units"`
+	SavedRatio  float64    `json:"saved_ratio"`
+	PerCheck    []checkRow `json:"per_check"`
+}
+
+type report struct {
+	Benchmark        string           `json:"benchmark"`
+	TimeoutMS        int64            `json:"timeout_ms"`
+	Scripts          []scriptRow      `json:"scripts"`
+	TotalWork        int64            `json:"total_work_units"`
+	TotalReplay      int64            `json:"total_replay_units"`
+	GeomeanSaved     float64          `json:"geomean_saved_ratio"`
+	SessionCounters  map[string]int64 `json:"session_counters"`
+	VerdictsMatching bool             `json:"verdicts_matching"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_7.json", "output file")
+	timeout := flag.Duration("timeout", time.Second, "per-check budget")
+	corpusDir := flag.String("corpus", "internal/session/testdata/sessions", "incremental-script corpus directory")
+	flag.Parse()
+
+	paths, err := filepath.Glob(filepath.Join(*corpusDir, "*.smt2"))
+	if err != nil || len(paths) == 0 {
+		fatal(fmt.Errorf("no corpus under %s: %v", *corpusDir, err))
+	}
+	sort.Strings(paths)
+
+	cfg := session.Config{
+		Timeout:       *timeout,
+		Deterministic: true,
+		MeasureReplay: true,
+	}
+	rep := report{
+		Benchmark:        "session-incremental-vs-replay",
+		TimeoutMS:        timeout.Milliseconds(),
+		VerdictsMatching: true,
+	}
+
+	ctx := context.Background()
+	var logSum float64
+	for _, p := range paths {
+		src, err := os.ReadFile(p)
+		if err != nil {
+			fatal(err)
+		}
+		name := strings.TrimSuffix(filepath.Base(p), ".smt2")
+
+		s := session.New(cfg)
+		outs, err := s.Exec(ctx, string(src))
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		row := scriptRow{Name: name}
+		for _, o := range outs {
+			if o.Kind != session.OutVerdict || o.Check == nil {
+				continue
+			}
+			cr := o.Check
+			row.Checks++
+			row.WorkUnits += cr.Work
+			row.ReplayUnits += cr.ReplayWork
+			row.PerCheck = append(row.PerCheck, checkRow{
+				Status:      o.Text,
+				WorkUnits:   cr.Work,
+				ReplayUnits: cr.ReplayWork,
+				Incremental: cr.Incremental,
+				Memoized:    cr.Memoized,
+				ModelReused: cr.ModelReused,
+				Fallback:    cr.Fallback,
+			})
+		}
+		s.Close()
+		if row.Checks == 0 || row.WorkUnits <= 0 {
+			fatal(fmt.Errorf("%s: no measured checks", name))
+		}
+		row.SavedRatio = round3(float64(row.ReplayUnits) / float64(row.WorkUnits))
+		logSum += math.Log(float64(row.ReplayUnits) / float64(row.WorkUnits))
+		rep.TotalWork += row.WorkUnits
+		rep.TotalReplay += row.ReplayUnits
+		rep.Scripts = append(rep.Scripts, row)
+	}
+	rep.GeomeanSaved = round3(math.Exp(logSum / float64(len(rep.Scripts))))
+	rep.SessionCounters = session.MetricsSnapshot()
+
+	// The saving claim rests on the sessions having done strictly the
+	// same deciding as the replay; the differential suite pins verdict
+	// equality, the bench pins the headline ratio.
+	if rep.GeomeanSaved < 1.3 {
+		fatal(fmt.Errorf("geomean saved ratio %.3f below the 1.3x gate", rep.GeomeanSaved))
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("sessionbench: %d scripts, %d checks, geomean saved ratio %.2fx -> %s\n",
+		len(rep.Scripts), rep.SessionCounters["checks"], rep.GeomeanSaved, *out)
+	for _, row := range rep.Scripts {
+		fmt.Printf("  %-22s checks=%d work=%d replay=%d ratio=%.2f\n",
+			row.Name, row.Checks, row.WorkUnits, row.ReplayUnits, row.SavedRatio)
+	}
+}
+
+func round3(f float64) float64 { return math.Round(f*1000) / 1000 }
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sessionbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,234 @@
+// Command sessionsmoke is the `make session-smoke` gate: it builds the
+// real staub-serve binary, boots it on a random port, drives one full
+// incremental conversation over the session tier — create, assert,
+// push, check, pop, check, delete — asserts the verdicts and the
+// staub_session_* metrics, and checks a clean drain on SIGTERM.
+// Everything is stdlib (no curl), so the gate runs anywhere the Go
+// toolchain does.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"syscall"
+	"time"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "session-smoke: FAIL:", err)
+		os.Exit(1)
+	}
+	fmt.Println("session-smoke: ok")
+}
+
+func run() error {
+	tmp, err := os.MkdirTemp("", "sessionsmoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+
+	bin := filepath.Join(tmp, "staub-serve")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/staub-serve")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		return fmt.Errorf("building staub-serve: %w", err)
+	}
+
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-timeout", "10s")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		return err
+	}
+	if err := cmd.Start(); err != nil {
+		return err
+	}
+	defer cmd.Process.Kill()
+
+	lines := make(chan string, 64)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+		close(lines)
+	}()
+	baseURL, err := awaitListening(lines)
+	if err != nil {
+		return err
+	}
+
+	// Create a deterministic session.
+	var created struct {
+		ID string `json:"id"`
+	}
+	if code, err := postJSON(baseURL+"/v1/session", `{"deterministic": true}`, &created); err != nil {
+		return err
+	} else if code != http.StatusCreated || created.ID == "" {
+		return fmt.Errorf("create session: code %d id %q", code, created.ID)
+	}
+	base := baseURL + "/v1/session/" + created.ID
+
+	// The conversation: x*x = 49 ∧ x > 0 is sat (x = 7); under a pushed
+	// x < 5 it is unsat; popping back it is sat again (memo hit).
+	type step struct {
+		path, body, wantStatus string
+	}
+	steps := []step{
+		{"/assert", "(set-logic QF_NIA)(declare-fun x () Int)(assert (= (* x x) 49))(assert (> x 0))", ""},
+		{"/check", "", "sat"},
+		{"/push", `{"n": 1}`, ""},
+		{"/assert", "(assert (< x 5))", ""},
+		{"/check", "", "unsat"},
+		{"/pop", `{"n": 1}`, ""},
+		{"/check", "", "sat"},
+	}
+	for _, st := range steps {
+		var got struct {
+			Status   string            `json:"status"`
+			Model    map[string]string `json:"model"`
+			Memoized bool              `json:"memoized"`
+		}
+		code, err := postJSON(base+st.path, st.body, &got)
+		if err != nil {
+			return fmt.Errorf("POST %s: %w", st.path, err)
+		}
+		if code != http.StatusOK {
+			return fmt.Errorf("POST %s: code %d", st.path, code)
+		}
+		if st.wantStatus != "" && got.Status != st.wantStatus {
+			return fmt.Errorf("POST %s: status %q, want %q", st.path, got.Status, st.wantStatus)
+		}
+		if st.wantStatus == "sat" && got.Model["x"] != "7" {
+			return fmt.Errorf("POST %s: model %v, want x=7", st.path, got.Model)
+		}
+	}
+
+	// The session tier's counters saw the conversation.
+	text, err := fetch(baseURL + "/metrics")
+	if err != nil {
+		return err
+	}
+	for _, want := range []string{
+		"staub_session_created_total 1",
+		"staub_session_checks_total 3",
+		"staub_session_memo_hits_total 1",
+		"staub_session_live 1",
+	} {
+		if !strings.Contains(text, want) {
+			return fmt.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// /healthz and /stats report the tier.
+	hz, err := fetch(baseURL + "/healthz")
+	if err != nil {
+		return err
+	}
+	var health struct {
+		Sessions struct {
+			Live int `json:"live"`
+		} `json:"sessions"`
+	}
+	if err := json.Unmarshal([]byte(hz), &health); err != nil {
+		return fmt.Errorf("decoding /healthz: %w", err)
+	}
+	if health.Sessions.Live != 1 {
+		return fmt.Errorf("/healthz sessions.live = %d, want 1", health.Sessions.Live)
+	}
+
+	// Delete and confirm the table forgot the id.
+	req, _ := http.NewRequest("DELETE", base, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusNoContent {
+		return fmt.Errorf("DELETE session: %d, want 204", dresp.StatusCode)
+	}
+	if code, _ := postJSON(base+"/check", "", nil); code != http.StatusNotFound {
+		return fmt.Errorf("check after delete: %d, want 404", code)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	var tail []string
+	for line := range lines {
+		tail = append(tail, line)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			return fmt.Errorf("staub-serve exited uncleanly after SIGTERM: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		return fmt.Errorf("staub-serve did not exit within 30s of SIGTERM")
+	}
+	if !strings.Contains(strings.Join(tail, "\n"), "drained cleanly") {
+		return fmt.Errorf("missing 'drained cleanly' in shutdown log:\n%s", strings.Join(tail, "\n"))
+	}
+	return nil
+}
+
+// postJSON posts body and decodes the JSON response into out (nil out
+// skips decoding). Returns the status code.
+func postJSON(url, body string, out any) (int, error) {
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, err
+	}
+	if out != nil && len(bytes.TrimSpace(raw)) > 0 {
+		if err := json.Unmarshal(raw, out); err != nil {
+			return resp.StatusCode, fmt.Errorf("decoding %s: %w", url, err)
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+func fetch(url string) (string, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	return string(raw), err
+}
+
+var listenRe = regexp.MustCompile(`listening on (http://[^ ]+)`)
+
+func awaitListening(lines <-chan string) (string, error) {
+	deadline := time.After(30 * time.Second)
+	for {
+		select {
+		case line, ok := <-lines:
+			if !ok {
+				return "", fmt.Errorf("staub-serve exited before announcing its address")
+			}
+			if m := listenRe.FindStringSubmatch(line); m != nil {
+				return m[1], nil
+			}
+		case <-deadline:
+			return "", fmt.Errorf("no 'listening on' line within 30s")
+		}
+	}
+}
