@@ -1,13 +1,14 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race fuzz differential sat-diff chaos bench serve-smoke session-smoke
+.PHONY: check fmt vet build test race fuzz differential sat-diff cube-diff chaos bench serve-smoke session-smoke
 
 # check is the CI gate: static checks, build, the full suite under the
 # race detector, short fuzz passes over the SMT-LIB parser and the server
 # request decoder, the incremental-vs-fresh refinement differential under
-# -race, the short chaos gate, and end-to-end smokes of the staub-serve
-# binary (one-shot solves and the stateful session tier).
-check: fmt vet build race fuzz differential sat-diff chaos serve-smoke session-smoke
+# -race, the cube-and-conquer differential, the short chaos gate, and
+# end-to-end smokes of the staub-serve binary (one-shot solves and the
+# stateful session tier).
+check: fmt vet build race fuzz differential sat-diff cube-diff chaos serve-smoke session-smoke
 
 # fmt fails if any file is not gofmt-clean, and prints the offenders.
 fmt:
@@ -50,6 +51,14 @@ differential:
 sat-diff:
 	$(GO) test -race -count=1 -run 'TestSATDiff' ./internal/sat
 
+# cube-diff is the cube-and-conquer differential gate: across the harness
+# corpus, cube-solve must reproduce every decided sequential verdict
+# byte-identically (strengthening a sequential timeout is the feature),
+# and the full result — verdict, model, work — must be byte-identical at
+# 1, 2 and 8 cube workers, under the race detector.
+cube-diff:
+	$(GO) test -race -count=1 -run 'TestCubeDiff' ./internal/cube
+
 # chaos is the short chaos gate: a corpus subset under every fault class
 # with fixed seeds, race detector on — no crash, no verdict flip,
 # injection counters matching what fired. The full-corpus suite runs with
@@ -77,3 +86,4 @@ bench:
 	$(GO) run ./scripts/chaosbench -out BENCH_5.json
 	$(GO) run ./scripts/satbench -out BENCH_6.json
 	$(GO) run ./scripts/sessionbench -out BENCH_7.json
+	$(GO) run ./scripts/cubebench -out BENCH_8.json

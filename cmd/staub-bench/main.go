@@ -29,6 +29,11 @@
 //	-seed N       benchmark generation seed (default 42)
 //	-scale F      scale instance counts by F (default 1.0)
 //	-jobs N       parallel solve workers (default 0 = GOMAXPROCS)
+//	-cube-vars N  cube-and-conquer the bounded solves over 2^N assumption
+//	              cubes (default 0 = sequential; published tables assume 0)
+//	-cube-jobs N  concurrent cube legs (0 = GOMAXPROCS)
+//	-cube-share-lbd N  glue cutoff for inter-cube clause sharing
+//	              (0 = default 2, negative disables)
 //	-v            progress and cache statistics on stderr
 //	-version      print the build string and exit
 package main
@@ -44,6 +49,7 @@ import (
 
 	"staub/internal/buildinfo"
 	"staub/internal/core"
+	"staub/internal/cube"
 	"staub/internal/engine"
 	"staub/internal/harness"
 	"staub/internal/metrics"
@@ -53,12 +59,15 @@ import (
 
 func main() {
 	var (
-		timeout = flag.Duration("timeout", 1500*time.Millisecond, "per-solve budget")
-		seed    = flag.Int64("seed", 42, "benchmark generation seed")
-		scale   = flag.Float64("scale", 1.0, "instance count scale factor")
-		jobs    = flag.Int("jobs", 0, "parallel solve workers (0 = GOMAXPROCS)")
-		verbose = flag.Bool("v", false, "progress and cache statistics on stderr")
-		version = flag.Bool("version", false, "print the build string and exit")
+		timeout  = flag.Duration("timeout", 1500*time.Millisecond, "per-solve budget")
+		seed     = flag.Int64("seed", 42, "benchmark generation seed")
+		scale    = flag.Float64("scale", 1.0, "instance count scale factor")
+		jobs     = flag.Int("jobs", 0, "parallel solve workers (0 = GOMAXPROCS)")
+		cubeVars = flag.Int("cube-vars", 0, "cube-and-conquer over 2^N assumption cubes (0 = sequential)")
+		cubeJobs = flag.Int("cube-jobs", 0, "concurrent cube legs (0 = GOMAXPROCS)")
+		cubeLBD  = flag.Int("cube-share-lbd", 0, "glue cutoff for inter-cube clause sharing (0 = default 2, negative disables)")
+		verbose  = flag.Bool("v", false, "progress and cache statistics on stderr")
+		version  = flag.Bool("version", false, "print the build string and exit")
 	)
 	flag.Parse()
 	if *version {
@@ -84,13 +93,17 @@ func main() {
 	core.RegisterRefineMetrics(reg)
 	core.RegisterPassMetrics(reg)
 	solver.RegisterSATMetrics(reg)
+	cube.RegisterCubeMetrics(reg)
 	benchStart := time.Now()
 	opts := harness.Options{
-		Timeout: *timeout,
-		Seed:    *seed,
-		Counts:  scaledCounts(*scale),
-		Jobs:    *jobs,
-		Cache:   cache,
+		Timeout:      *timeout,
+		Seed:         *seed,
+		Counts:       scaledCounts(*scale),
+		Jobs:         *jobs,
+		Cache:        cache,
+		CubeVars:     *cubeVars,
+		CubeJobs:     *cubeJobs,
+		CubeShareLBD: *cubeLBD,
 	}
 	if *verbose {
 		opts.Progress = os.Stderr
@@ -115,6 +128,12 @@ func main() {
 					sm["learned"], sm["glue_learned"], sm["deleted"], sm["reductions"],
 					sm["subsumed"], sm["strengthened"], sm["eliminated"])
 				fmt.Fprintf(os.Stderr, "staub-bench: %s: sat lbd hist %s\n", stage, solver.FormatLBDHist())
+			}
+			if cm := cube.CubeMetricsSnapshot(); cm["solves"] > 0 {
+				fmt.Fprintf(os.Stderr, "staub-bench: %s: cube %d solves (%d probe-decided, %d fallbacks), %d legs (%d sat / %d unsat), %d clauses shared / %d imported\n",
+					stage, cm["solves"], cm["probe_decides"], cm["fallbacks"],
+					cm["legs"], cm["sat_legs"], cm["unsat_legs"],
+					cm["shared_clauses"], cm["imported_clauses"])
 			}
 		}
 	}

@@ -17,6 +17,11 @@
 //	-max-body N      request body size limit in bytes (default 1 MiB)
 //	-max-batch N     constraints allowed per /v1/batch request (default 64)
 //	-drain D         grace period for in-flight requests on shutdown (default 30s)
+//	-cube-vars N     default cube-and-conquer split for requests that name
+//	                 none: 2^N assumption cubes (default 0 = sequential)
+//	-cube-jobs N     default concurrent cube legs (0 = GOMAXPROCS)
+//	-cube-share-lbd N  default glue cutoff for inter-cube clause sharing
+//	                 (0 = package default 2, negative disables)
 //	-pprof           expose net/http/pprof profiling under /debug/pprof/ (default off)
 //	-chaos SPEC      enable deterministic fault injection, e.g.
 //	                 "fault=pass-panic,rate=0.01,seed=7" (default off; for
@@ -57,6 +62,9 @@ func main() {
 		maxBody     = flag.Int64("max-body", 1<<20, "request body size limit in bytes")
 		maxBatch    = flag.Int("max-batch", 64, "constraints allowed per /v1/batch request")
 		drain       = flag.Duration("drain", 30*time.Second, "grace period for in-flight requests on shutdown")
+		cubeVars    = flag.Int("cube-vars", 0, "default cube-and-conquer split over 2^N assumption cubes (0 = sequential)")
+		cubeJobs    = flag.Int("cube-jobs", 0, "default concurrent cube legs (0 = GOMAXPROCS)")
+		cubeLBD     = flag.Int("cube-share-lbd", 0, "default glue cutoff for inter-cube clause sharing (0 = package default 2, negative disables)")
 		pprofOn     = flag.Bool("pprof", false, "expose net/http/pprof profiling under /debug/pprof/")
 		chaosSpec   = flag.String("chaos", "", `enable deterministic fault injection, e.g. "fault=pass-panic,rate=0.01,seed=7"`)
 		showVersion = flag.Bool("version", false, "print the build string and exit")
@@ -84,6 +92,9 @@ func main() {
 		MaxTimeout:      *maxTimeout,
 		MaxRequestBytes: *maxBody,
 		MaxBatch:        *maxBatch,
+		CubeVars:        *cubeVars,
+		CubeJobs:        *cubeJobs,
+		CubeShareLBD:    *cubeLBD,
 		Version:         buildinfo.String("staub-serve"),
 		Log:             logger,
 	})

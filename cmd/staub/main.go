@@ -28,6 +28,11 @@
 //	-timeout D       per-solve budget (default 10s)
 //	-slot            apply SLOT compiler optimizations to the bounded form
 //	-portfolio       race STAUB against the unmodified solver (two cores)
+//	-cube-vars N     cube-and-conquer: split the bounded solve over 2^N
+//	                 assumption cubes (0 = sequential solve)
+//	-cube-jobs N     concurrent cube legs (0 = GOMAXPROCS)
+//	-cube-share-lbd N  glue cutoff for inter-cube clause sharing
+//	                 (0 = default 2, negative disables sharing)
 //	-solver NAME     solver profile: prima (default) or secunda
 //	-jobs N          batch solve workers (default 0 = GOMAXPROCS)
 //	-stats           print inference, translation and cache statistics
@@ -65,6 +70,9 @@ func main() {
 		timeout    = flag.Duration("timeout", 10*time.Second, "per-solve budget")
 		useSlot    = flag.Bool("slot", false, "apply SLOT optimizations to the bounded constraint")
 		portfolio  = flag.Bool("portfolio", false, "race STAUB against the unmodified solver")
+		cubeVars   = flag.Int("cube-vars", 0, "cube-and-conquer over 2^N assumption cubes (0 = sequential solve)")
+		cubeJobs   = flag.Int("cube-jobs", 0, "concurrent cube legs (0 = GOMAXPROCS)")
+		cubeLBD    = flag.Int("cube-share-lbd", 0, "glue cutoff for inter-cube clause sharing (0 = default 2, negative disables)")
 		profile    = flag.String("solver", "prima", "solver profile: prima or secunda")
 		jobs       = flag.Int("jobs", 0, "batch solve workers (0 = GOMAXPROCS)")
 		stats      = flag.Bool("stats", false, "print inference, translation and cache statistics")
@@ -89,12 +97,15 @@ func main() {
 		prof = solver.Secunda
 	}
 	cfg := core.Config{
-		Timeout:    *timeout,
-		FixedWidth: *width,
-		StartWidth: *startWidth,
-		WidthStep:  *widthStep,
-		UseSLOT:    *useSlot,
-		Profile:    prof,
+		Timeout:      *timeout,
+		FixedWidth:   *width,
+		StartWidth:   *startWidth,
+		WidthStep:    *widthStep,
+		UseSLOT:      *useSlot,
+		Profile:      prof,
+		CubeVars:     *cubeVars,
+		CubeJobs:     *cubeJobs,
+		CubeShareLBD: *cubeLBD,
 	}
 
 	if flag.NArg() > 1 {

@@ -177,15 +177,24 @@ func Solve(c *smt.Constraint, configure func(*sat.Solver)) (sat.Status, eval.Ass
 // Model extracts the assignment of the encoded constraint's variables
 // after a Sat result.
 func (b *Blaster) Model() eval.Assignment {
+	return b.ModelWith(b.s.Value)
+}
+
+// ModelWith extracts the assignment reading variable values through val
+// instead of the blaster's own solver. The cube tier solves on replicas
+// of the encoding solver (sat.Solver.Clone shares the variable
+// numbering), so the winning replica's Value method decodes against this
+// blaster's literal maps directly.
+func (b *Blaster) ModelWith(val func(v int) bool) eval.Assignment {
 	m := make(eval.Assignment, len(b.c.Vars))
 	for _, v := range b.c.Vars {
 		switch v.Sort.Kind {
 		case smt.KindBool:
-			m[v.Name] = eval.BoolValue(b.litVal(b.bools[v]))
+			m[v.Name] = eval.BoolValue(b.litValWith(b.bools[v], val))
 		case smt.KindBitVec:
 			bitsVal := new(big.Int)
 			for i, l := range b.bits[v] {
-				if b.litVal(l) {
+				if b.litValWith(l, val) {
 					bitsVal.SetBit(bitsVal, i, 1)
 				}
 			}
@@ -196,13 +205,17 @@ func (b *Blaster) Model() eval.Assignment {
 }
 
 func (b *Blaster) litVal(l sat.Lit) bool {
+	return b.litValWith(l, b.s.Value)
+}
+
+func (b *Blaster) litValWith(l sat.Lit, val func(v int) bool) bool {
 	if l == b.tLit {
 		return true
 	}
 	if l == b.fLit() {
 		return false
 	}
-	return b.s.Value(l.Var()) != l.Sign()
+	return val(l.Var()) != l.Sign()
 }
 
 func (b *Blaster) fresh() sat.Lit { return sat.PosLit(b.s.NewVar()) }

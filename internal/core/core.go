@@ -17,6 +17,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	// Registers the cube-solve pass: every binary that assembles
+	// pipelines goes through core, so linking core guarantees the pass
+	// is in the registry before any Config.CubeVars run resolves it.
+	_ "staub/internal/cube"
 	"staub/internal/eval"
 	"staub/internal/metrics"
 	"staub/internal/pipeline"
@@ -94,8 +98,12 @@ type PortfolioResult struct {
 	// Status and Model are the combined verdict.
 	Status status.Status
 	Model  eval.Assignment
-	// FromSTAUB reports whether the STAUB leg produced the verdict.
+	// FromSTAUB reports whether a STAUB leg produced the verdict (the
+	// sequential pipeline, or the cube leg — see FromCube).
 	FromSTAUB bool
+	// FromCube reports that the cube-and-conquer leg produced the
+	// verdict (implies FromSTAUB).
+	FromCube bool
 	// Elapsed is the wall-clock time of the race.
 	Elapsed time.Duration
 	// Pipeline carries the STAUB leg details.
@@ -135,30 +143,43 @@ func PortfolioMetricsSnapshot() map[string]int64 {
 }
 
 // RunPortfolio races the original constraint (unbounded solver) against
-// the STAUB pipeline on two goroutines, following the paper's portfolio
-// methodology [68]: the first definitive answer wins and cancels the
-// other leg. Cancelling the context aborts both legs.
+// the STAUB pipeline, following the paper's portfolio methodology [68]:
+// the first definitive answer wins and cancels the other legs.
+// Cancelling the context aborts every leg. With Config.CubeVars set a
+// third leg joins the race — the STAUB pipeline with its bounded solve
+// replaced by cube-and-conquer — next to the sequential pipeline, so
+// cubing can only add a way to win, never slow the baseline race down.
 //
-// Both legs run behind a panic-isolation boundary: a leg that panics,
+// Every leg runs behind a panic-isolation boundary: a leg that panics,
 // stalls into its watchdog or exhausts its budget yields no definitive
-// answer, and the portfolio degrades to the surviving leg's verdict with
+// answer, and the portfolio degrades to the surviving legs' verdict with
 // Degraded set instead of failing the request.
 func RunPortfolio(ctx context.Context, c *smt.Constraint, cfg Config) PortfolioResult {
 	cfg = cfg.WithDefaults()
 	start := time.Now()
 	portfolioRuns.Inc()
 
-	var cancelOrig, cancelStaub atomic.Bool
+	var cancelOrig, cancelStaub, cancelCube atomic.Bool
+	cancelAll := func() {
+		cancelOrig.Store(true)
+		cancelStaub.Store(true)
+		cancelCube.Store(true)
+	}
 	type leg struct {
 		fromStaub bool
+		fromCube  bool
 		status    status.Status
 		model     eval.Assignment
 		pipeline  PipelineResult
 		ok        bool // definitive answer
 	}
-	results := make(chan leg, 2)
+	legs := 2
+	if cfg.CubeVars > 0 {
+		legs = 3
+	}
+	results := make(chan leg, legs)
 	var wg sync.WaitGroup
-	wg.Add(2)
+	wg.Add(legs)
 
 	origDeadline := time.Now().Add(cfg.Timeout)
 	origOpts := solver.Options{
@@ -183,6 +204,11 @@ func RunPortfolio(ctx context.Context, c *smt.Constraint, cfg Config) PortfolioR
 		r := solver.Solve(c, origOpts)
 		results <- leg{status: r.Status, model: r.Model, ok: r.Status != status.Unknown}
 	}()
+	// The sequential STAUB leg always runs without cubing; when cubing is
+	// requested it is the third leg's job, and racing both preserves the
+	// two-leg baseline behavior exactly.
+	seqCfg := cfg
+	seqCfg.CubeVars = 0
 	go func() {
 		defer wg.Done()
 		defer func() {
@@ -198,32 +224,58 @@ func RunPortfolio(ctx context.Context, c *smt.Constraint, cfg Config) PortfolioR
 				}}
 			}
 		}()
-		p := RunPipeline(ctx, c, cfg, &cancelStaub)
+		p := RunPipeline(ctx, c, seqCfg, &cancelStaub)
 		// Only a verified sat is definitive for the original constraint.
 		results <- leg{fromStaub: true, status: p.Status, model: p.Model, pipeline: p, ok: p.Status == status.Sat}
 	}()
+	if legs == 3 {
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					portfolioPanics.Inc()
+					results <- leg{fromStaub: true, fromCube: true, status: status.Unknown, pipeline: PipelineResult{
+						Outcome: OutcomeError,
+						Status:  status.Unknown,
+						Fault:   pipeline.FaultPanic,
+					}}
+				}
+			}()
+			p := RunPipeline(ctx, c, cfg, &cancelCube)
+			results <- leg{fromStaub: true, fromCube: true, status: p.Status, model: p.Model, pipeline: p, ok: p.Status == status.Sat}
+		}()
+	}
 
 	var out PortfolioResult
+	var seqPipe, cubePipe PipelineResult
 	out.Status = status.Unknown
-	for i := 0; i < 2; i++ {
+	for i := 0; i < legs; i++ {
 		l := <-results
-		if l.fromStaub {
-			out.Pipeline = l.pipeline
+		switch {
+		case l.fromCube:
+			cubePipe = l.pipeline
+		case l.fromStaub:
+			seqPipe = l.pipeline
 		}
 		if l.ok && out.Status == status.Unknown {
 			out.Status = l.status
 			out.Model = l.model
 			out.FromSTAUB = l.fromStaub
-			// Cancel the other leg.
-			cancelOrig.Store(true)
-			cancelStaub.Store(true)
+			out.FromCube = l.fromCube
+			// Cancel the other legs.
+			cancelAll()
 		}
 	}
 	wg.Wait()
+	out.Pipeline = seqPipe
+	if out.FromCube {
+		out.Pipeline = cubePipe
+	}
 	out.Elapsed = time.Since(start)
-	// A faulted STAUB leg means the verdict (definitive or not) came from
-	// the unbounded leg alone: the no-slowdown contract degraded but held.
-	if out.Pipeline.Fault != "" && !out.FromSTAUB {
+	// A faulted sequential STAUB leg means the verdict (definitive or
+	// not) came from outside it: the no-slowdown contract degraded but
+	// held.
+	if seqPipe.Fault != "" && !out.FromSTAUB {
 		out.Degraded = true
 		portfolioDegraded.Inc()
 	}

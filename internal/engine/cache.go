@@ -28,11 +28,13 @@ func (j Job) Key() string {
 			j.Profile, j.Timeout, j.Seed, j.Deterministic)
 	default:
 		c := j.Config
-		fmt.Fprintf(h, "|kind=%d|w=%d|t=%d|p=%d|slot=%t|hints=%t|refine=%d|fresh=%t|s=%d|det=%t|lim=%d,%d,%d,%d|trace=%t|sw=%d|ws=%d|passes=%s",
+		fmt.Fprintf(h, "|kind=%d|w=%d|t=%d|p=%d|slot=%t|hints=%t|refine=%d|fresh=%t|s=%d|det=%t|lim=%d,%d,%d,%d|trace=%t|sw=%d|ws=%d|cv=%d|cj=%d|cl=%d|passes=%s",
 			j.Kind, c.FixedWidth, c.Timeout, c.Profile, c.UseSLOT, c.RangeHints,
 			c.RefineRounds, c.FreshRefine, c.Seed, c.Deterministic,
 			c.Limits.MinWidth, c.Limits.MaxWidth, c.Limits.MaxSig, c.Limits.MaxPrec,
-			c.Trace, c.StartWidth, c.WidthStep, strings.Join(pipeline.Figure3PassNames(c), ","))
+			c.Trace, c.StartWidth, c.WidthStep,
+			c.CubeVars, c.CubeJobs, c.CubeShareLBD,
+			strings.Join(pipeline.Figure3PassNames(c), ","))
 	}
 	return hex.EncodeToString(h.Sum(nil))
 }

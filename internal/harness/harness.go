@@ -78,6 +78,13 @@ type Options struct {
 	// Cache, when non-nil, memoizes solves across runs and experiments;
 	// identical (constraint, configuration) jobs are solved once.
 	Cache *engine.Cache
+	// CubeVars, CubeJobs and CubeShareLBD, when CubeVars is positive,
+	// replace every pipeline measurement's bounded solve with
+	// cube-and-conquer over 2^CubeVars assumption cubes. Defaults keep
+	// the sequential solve, so published tables are unchanged.
+	CubeVars     int
+	CubeJobs     int
+	CubeShareLBD int
 }
 
 func (o Options) withDefaults() Options {
@@ -172,8 +179,15 @@ type planEntry struct {
 // modeConfig is the pipeline configuration measured for a mode. All
 // harness measurements run in deterministic virtual-time mode, so records
 // and tables are a pure function of the benchmark seed.
-func modeConfig(m Mode, profile solver.Profile, timeout time.Duration) core.Config {
-	cfg := core.Config{Timeout: timeout, Profile: profile, Deterministic: true}
+func modeConfig(m Mode, profile solver.Profile, o Options) core.Config {
+	cfg := core.Config{
+		Timeout:       o.Timeout,
+		Profile:       profile,
+		Deterministic: true,
+		CubeVars:      o.CubeVars,
+		CubeJobs:      o.CubeJobs,
+		CubeShareLBD:  o.CubeShareLBD,
+	}
 	switch m {
 	case ModeFixed8:
 		cfg.FixedWidth = 8
@@ -217,7 +231,7 @@ func buildPlan(o Options) (*plan, error) {
 					p.jobs = append(p.jobs, engine.Job{
 						Kind:       engine.KindPipeline,
 						Constraint: inst.Constraint,
-						Config:     modeConfig(m, profile, o.Timeout),
+						Config:     modeConfig(m, profile, o),
 					})
 				}
 				p.entries = append(p.entries, e)

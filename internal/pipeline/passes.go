@@ -160,6 +160,15 @@ func passSlot(st *State) Verdict {
 // installed (Figure 3, step 3). Unsat and unknown end the chain with the
 // state's parameterized outcomes.
 func passBoundedSolve(st *State) Verdict {
+	return SolveBounded(st, ChargeTranslation(st))
+}
+
+// ChargeTranslation closes the current round's translation accounting —
+// one work unit per original + bounded node in deterministic mode, wall
+// clock since T0 otherwise — and returns the charged translation work.
+// It is the shared prologue of the bounded-solve and cube-solve passes;
+// each solve pass must call it exactly once per round.
+func ChargeTranslation(st *State) int64 {
 	cfg, res := st.Cfg, st.Res
 	res.Bounded = st.Bounded
 	transWork := int64(st.Original.NumNodes() + st.Bounded.NumNodes())
@@ -168,7 +177,18 @@ func passBoundedSolve(st *State) Verdict {
 	} else {
 		res.TTrans += time.Since(st.T0)
 	}
+	return transWork
+}
 
+// SolveBounded solves the bounded constraint sequentially under the
+// budget that remains after transWork — a fresh solver, or the state's
+// incremental session when one is installed — and classifies the result
+// with the state's parameterized outcomes. It is the body of the
+// bounded-solve pass, exported so the cube-solve pass can delegate to
+// the exact sequential semantics when cubing does not apply or a cube
+// fault forces a fallback.
+func SolveBounded(st *State, transWork int64) Verdict {
+	cfg, res := st.Cfg, st.Res
 	opts := solver.Options{
 		Ctx:       st.Ctx,
 		Deadline:  st.Deadline,

@@ -82,6 +82,21 @@ type Config struct {
 	// Trace records an ordered per-stage span list into Result.Trace.
 	// Off by default: the hot path pays only atomic aggregate counters.
 	Trace bool
+	// CubeVars, when positive, replaces the bounded-solve pass with the
+	// cube-and-conquer pass (internal/cube): the bounded constraint is
+	// split into 2^CubeVars assumption cubes over the most active
+	// variables and the cubes are raced with LBD-filtered clause sharing.
+	// Zero keeps the sequential solve.
+	CubeVars int
+	// CubeJobs bounds concurrent cube legs (≤ 0 selects GOMAXPROCS). In
+	// deterministic mode it only enters the virtual-time makespan — leg
+	// execution order is fixed — so verdicts are identical for every
+	// value.
+	CubeJobs int
+	// CubeShareLBD is the glue cutoff for inter-leg clause sharing: legs
+	// exchange learned clauses with LBD at most this value (default 2,
+	// the classic glue tier; negative disables sharing).
+	CubeShareLBD int
 }
 
 // WithDefaults fills unset fields with their defaults.
@@ -226,6 +241,7 @@ const (
 	PassSlot          = "slot"
 	PassReduceIntToBV = "reduce-int2bv"
 	PassBoundedSolve  = "bounded-solve"
+	PassCubeSolve     = "cube-solve"
 	PassVerifyModel   = "verify-model"
 )
 
@@ -423,7 +439,7 @@ func failFault(st *State, pass, fault string, err error) Verdict {
 // budget, so its watchdog is only an anti-stuck backstop a full timeout
 // beyond that deadline. A zero share disarms the watchdog.
 func watchdogShare(st *State, pass string) time.Duration {
-	if pass == PassBoundedSolve {
+	if pass == PassBoundedSolve || pass == PassCubeSolve {
 		if st.Deadline.IsZero() {
 			return 0
 		}
@@ -439,9 +455,15 @@ func watchdogShare(st *State, pass string) time.Duration {
 // workCeiling is the per-pass work ceiling for cfg: several times the
 // whole run's deterministic work budget, so no legitimate pass can reach
 // it (deterministic solves clamp to the budget; transform passes charge
-// node counts).
+// node counts). The cube pass legitimately reports the sum of work over
+// all 2^CubeVars legs plus the probe, so its ceiling scales with the leg
+// count.
 func workCeiling(cfg Config) int64 {
-	return 4 * solver.WorkBudgetFor(cfg.Timeout)
+	ceil := 4 * solver.WorkBudgetFor(cfg.Timeout)
+	if cfg.CubeVars > 0 {
+		ceil *= int64(1)<<uint(cfg.CubeVars) + 1
+	}
+	return ceil
 }
 
 // Figure3PassNames is the pass chain RunOnce assembles for cfg — the
@@ -456,5 +478,9 @@ func Figure3PassNames(cfg Config) []string {
 	if cfg.UseSLOT {
 		names = append(names, PassSlot)
 	}
-	return append(names, PassBoundedSolve, PassVerifyModel)
+	solve := PassBoundedSolve
+	if cfg.CubeVars > 0 {
+		solve = PassCubeSolve
+	}
+	return append(names, solve, PassVerifyModel)
 }

@@ -131,6 +131,9 @@ type Result struct {
 	// units, summed across refinement rounds. In the incremental loop each
 	// round charges only its own new propagations.
 	SolveWork int64
+	// Cubes is the number of assumption cubes the cube-solve pass raced
+	// (zero when the sequential solve ran).
+	Cubes int
 	// Reuse carries the incremental session's reuse counters (only
 	// meaningful when Incremental is set).
 	Reuse bitblast.SessionStats

@@ -24,6 +24,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -266,6 +267,27 @@ type Solver struct {
 	// and machines. 0 means unlimited.
 	PropagationCap int64
 	interrupted    *atomic.Bool // optional external interrupt
+
+	// stop is the solver-owned cancellation flag set by Interrupt. Unlike
+	// the shared interrupted pointer it belongs to this solver alone and
+	// is cleared on entry to SolveAssuming, so a stopped solve returns
+	// Unknown and the solver is immediately reusable for the next call.
+	stop atomic.Bool
+
+	// importMu guards imports: learned clauses queued by ImportClauses
+	// from concurrently running sibling solvers, drained at restarts
+	// (decision level 0) where attaching foreign clauses is sound.
+	importMu sync.Mutex
+	imports  []SharedClause
+
+	// Export, when non-nil, receives every learned clause whose LBD is at
+	// most ExportLBD, called from the solving goroutine at learning time.
+	// The literal slice is freshly allocated and owned by the callee.
+	// Learned units export with LBD 1, so ExportLBD ≥ 1 includes them and
+	// ExportLBD = 0 disables export entirely.
+	Export func(lits []Lit, lbd int)
+	// ExportLBD is the glue cutoff for Export (0 disables export).
+	ExportLBD int
 
 	Stats Stats
 
@@ -848,7 +870,12 @@ func (s *Solver) SolveAssuming(assumptions ...Lit) Status {
 	if !s.ok {
 		return Unsat
 	}
+	s.stop.Store(false)
 	s.backtrack(0)
+	s.drainImports()
+	if !s.ok {
+		return Unsat
+	}
 	for _, a := range assumptions {
 		if s.vars[a.Var()].elim {
 			panic("sat: assumption over an eliminated variable (Freeze it before Preprocess)")
@@ -872,6 +899,10 @@ func (s *Solver) SolveAssuming(assumptions ...Lit) Status {
 		}
 		s.Stats.Restarts++
 		s.backtrack(0)
+		s.drainImports()
+		if !s.ok {
+			return Unsat
+		}
 	}
 }
 
@@ -928,6 +959,9 @@ func (s *Solver) exhausted() bool {
 	if s.interrupted != nil && s.interrupted.Load() {
 		return true
 	}
+	if s.stop.Load() {
+		return true
+	}
 	return false
 }
 
@@ -945,6 +979,9 @@ func (s *Solver) search(conflictBudget int64) Status {
 			learnt, backLevel := s.analyze(confl)
 			s.backtrack(backLevel)
 			if len(learnt) == 1 {
+				if s.Export != nil && s.ExportLBD >= 1 {
+					s.Export([]Lit{learnt[0]}, 1)
+				}
 				s.enqueue(learnt[0], crefUndef)
 			} else {
 				// Learning-time LBD: the non-asserting literals keep their
@@ -963,6 +1000,11 @@ func (s *Solver) search(conflictBudget int64) Status {
 				s.Stats.LBDHist[bucket]++
 				if lbd <= glueLBD {
 					s.Stats.GlueLearned++
+				}
+				if s.Export != nil && lbd <= s.ExportLBD {
+					out := make([]Lit, len(learnt))
+					copy(out, learnt)
+					s.Export(out, lbd)
 				}
 				s.attach(c)
 				s.bumpClause(c)

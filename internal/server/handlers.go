@@ -48,6 +48,17 @@ type SolveRequest struct {
 	// Trace asks for the ordered per-stage span list of the pipeline run
 	// in the response (pipeline/portfolio modes; off by default).
 	Trace bool `json:"trace,omitempty"`
+	// CubeVars, when positive, solves the bounded form by
+	// cube-and-conquer: 2^CubeVars assumption cubes raced with
+	// LBD-filtered clause sharing (pipeline mode replaces the bounded
+	// solve; portfolio mode adds a third racing leg).
+	CubeVars int `json:"cube_vars,omitempty"`
+	// CubeJobs bounds concurrent cube legs (0: GOMAXPROCS; in
+	// deterministic mode it only enters the virtual-time makespan).
+	CubeJobs int `json:"cube_jobs,omitempty"`
+	// CubeShareLBD is the glue cutoff for inter-leg clause sharing
+	// (0: default 2; negative disables sharing).
+	CubeShareLBD int `json:"cube_share_lbd,omitempty"`
 }
 
 // BatchRequest is the decoded body of POST /v1/batch: the shared knobs of
@@ -61,6 +72,9 @@ type BatchRequest struct {
 	SLOT          bool     `json:"slot,omitempty"`
 	Deterministic bool     `json:"deterministic,omitempty"`
 	Trace         bool     `json:"trace,omitempty"`
+	CubeVars      int      `json:"cube_vars,omitempty"`
+	CubeJobs      int      `json:"cube_jobs,omitempty"`
+	CubeShareLBD  int      `json:"cube_share_lbd,omitempty"`
 }
 
 // CostSplit is the paper's per-solve cost decomposition.
@@ -139,10 +153,10 @@ func decodeSolveRequest(contentType string, body []byte, query url.Values) (Solv
 	} else {
 		req.Constraint = string(body)
 	}
-	if err := applyQuery(&req.Mode, &req.Profile, &req.TimeoutMS, &req.Width, &req.SLOT, &req.Deterministic, &req.Trace, query); err != nil {
+	if err := applyQuery(&req.Mode, &req.Profile, &req.TimeoutMS, &req.Width, &req.SLOT, &req.Deterministic, &req.Trace, &req.CubeVars, &req.CubeJobs, &req.CubeShareLBD, query); err != nil {
 		return req, err
 	}
-	return req, validateKnobs(req.Constraint == "", req.Mode, req.Profile, req.TimeoutMS, req.Width)
+	return req, validateKnobs(req.Constraint == "", req.Mode, req.Profile, req.TimeoutMS, req.Width, req.CubeVars, req.CubeJobs, req.CubeShareLBD)
 }
 
 // decodeBatchRequest parses a /v1/batch body (always JSON) plus query
@@ -156,14 +170,14 @@ func decodeBatchRequest(body []byte, query url.Values) (BatchRequest, error) {
 	if dec.More() {
 		return req, errors.New("invalid JSON body: trailing data")
 	}
-	if err := applyQuery(&req.Mode, &req.Profile, &req.TimeoutMS, &req.Width, &req.SLOT, &req.Deterministic, &req.Trace, query); err != nil {
+	if err := applyQuery(&req.Mode, &req.Profile, &req.TimeoutMS, &req.Width, &req.SLOT, &req.Deterministic, &req.Trace, &req.CubeVars, &req.CubeJobs, &req.CubeShareLBD, query); err != nil {
 		return req, err
 	}
-	return req, validateKnobs(len(req.Constraints) == 0, req.Mode, req.Profile, req.TimeoutMS, req.Width)
+	return req, validateKnobs(len(req.Constraints) == 0, req.Mode, req.Profile, req.TimeoutMS, req.Width, req.CubeVars, req.CubeJobs, req.CubeShareLBD)
 }
 
 // applyQuery overlays URL query parameters onto decoded body fields.
-func applyQuery(mode, profile *string, timeoutMS *int64, width *int, slot, deterministic, trace *bool, query url.Values) error {
+func applyQuery(mode, profile *string, timeoutMS *int64, width *int, slot, deterministic, trace *bool, cubeVars, cubeJobs, cubeShareLBD *int, query url.Values) error {
 	if v := query.Get("mode"); v != "" {
 		*mode = v
 	}
@@ -191,11 +205,21 @@ func applyQuery(mode, profile *string, timeoutMS *int64, width *int, slot, deter
 	if v := query.Get("trace"); v != "" {
 		*trace = v == "1" || v == "true"
 	}
+	for _, p := range []struct {
+		name string
+		dst  *int
+	}{{"cube_vars", cubeVars}, {"cube_jobs", cubeJobs}, {"cube_share_lbd", cubeShareLBD}} {
+		if v := query.Get(p.name); v != "" {
+			if _, err := fmt.Sscanf(v, "%d", p.dst); err != nil {
+				return fmt.Errorf("invalid %s parameter %q", p.name, v)
+			}
+		}
+	}
 	return nil
 }
 
 // validateKnobs rejects out-of-range request knobs before any solving.
-func validateKnobs(emptyConstraint bool, mode, profile string, timeoutMS int64, width int) error {
+func validateKnobs(emptyConstraint bool, mode, profile string, timeoutMS int64, width, cubeVars, cubeJobs, cubeShareLBD int) error {
 	if emptyConstraint {
 		return errors.New("empty constraint")
 	}
@@ -215,6 +239,15 @@ func validateKnobs(emptyConstraint bool, mode, profile string, timeoutMS int64, 
 	if width < 0 || width > 1<<16 {
 		return fmt.Errorf("width %d out of range", width)
 	}
+	if cubeVars < 0 || cubeVars > 12 {
+		return fmt.Errorf("cube_vars %d out of range (0..12)", cubeVars)
+	}
+	if cubeJobs < 0 || cubeJobs > 1<<10 {
+		return fmt.Errorf("cube_jobs %d out of range", cubeJobs)
+	}
+	if cubeShareLBD > 1<<10 {
+		return fmt.Errorf("cube_share_lbd %d out of range", cubeShareLBD)
+	}
 	return nil
 }
 
@@ -228,6 +261,17 @@ func (s *Server) timeout(timeoutMS int64) time.Duration {
 		d = s.cfg.MaxTimeout
 	}
 	return d
+}
+
+// cubeKnobs resolves a request's cube-and-conquer knobs: a request that
+// names no cube_vars inherits the server-wide defaults wholesale, one
+// that does keeps its own jobs/LBD values (zero meaning the package
+// defaults).
+func (s *Server) cubeKnobs(cv, cj, cl int) (int, int, int) {
+	if cv == 0 {
+		return s.cfg.CubeVars, s.cfg.CubeJobs, s.cfg.CubeShareLBD
+	}
+	return cv, cj, cl
 }
 
 // wallBudget is the request-context deadline for a solve budget. A
@@ -247,7 +291,7 @@ func wallBudget(timeout time.Duration, deterministic bool) time.Duration {
 
 // buildJob compiles request knobs and a parsed constraint into an engine
 // job.
-func buildJob(c *smt.Constraint, mode, profile string, timeout time.Duration, width int, slot, deterministic, trace bool) engine.Job {
+func buildJob(c *smt.Constraint, mode, profile string, timeout time.Duration, width int, slot, deterministic, trace bool, cubeVars, cubeJobs, cubeShareLBD int) engine.Job {
 	prof := solver.Prima
 	if profile == "secunda" {
 		prof = solver.Secunda
@@ -275,6 +319,9 @@ func buildJob(c *smt.Constraint, mode, profile string, timeout time.Duration, wi
 			UseSLOT:       slot,
 			Deterministic: deterministic,
 			Trace:         trace,
+			CubeVars:      cubeVars,
+			CubeJobs:      cubeJobs,
+			CubeShareLBD:  cubeShareLBD,
 		},
 	}
 }
@@ -424,7 +471,8 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	timeout := s.timeout(req.TimeoutMS)
-	job := buildJob(c, req.Mode, req.Profile, timeout, req.Width, req.SLOT, req.Deterministic, req.Trace)
+	cv, cj, cl := s.cubeKnobs(req.CubeVars, req.CubeJobs, req.CubeShareLBD)
+	job := buildJob(c, req.Mode, req.Profile, timeout, req.Width, req.SLOT, req.Deterministic, req.Trace, cv, cj, cl)
 	if !s.admit(1) {
 		w.Header().Set("Retry-After", retryAfter(timeout))
 		writeError(w, http.StatusTooManyRequests,
@@ -508,12 +556,13 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.solveCtx(r, wallBudget(timeout, req.Deterministic))
 	defer cancel()
+	cv, cj, cl := s.cubeKnobs(req.CubeVars, req.CubeJobs, req.CubeShareLBD)
 	done := make(chan int, len(valid))
 	for _, i := range valid {
 		go func(i int) {
 			defer func() { done <- i }()
 			defer s.release(1)
-			job := buildJob(constraints[i], req.Mode, req.Profile, timeout, req.Width, req.SLOT, req.Deterministic, req.Trace)
+			job := buildJob(constraints[i], req.Mode, req.Profile, timeout, req.Width, req.SLOT, req.Deterministic, req.Trace, cv, cj, cl)
 			jt0 := time.Now()
 			res, ran, retried := s.solveWithRetry(ctx, job)
 			if !ran {

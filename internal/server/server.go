@@ -40,6 +40,7 @@ import (
 
 	"staub/internal/chaos"
 	"staub/internal/core"
+	"staub/internal/cube"
 	"staub/internal/engine"
 	"staub/internal/metrics"
 	"staub/internal/session"
@@ -83,6 +84,12 @@ type Config struct {
 	// balancers can use it to distinguish "up" from "up but shedding
 	// faults" without taking the instance out of rotation.
 	DegradedWindow time.Duration
+	// CubeVars, CubeJobs and CubeShareLBD are the server-wide default
+	// cube-and-conquer knobs, applied to requests that name no cube_vars
+	// of their own (default 0: sequential solving unless a request asks).
+	CubeVars     int
+	CubeJobs     int
+	CubeShareLBD int
 	// Version is reported by /healthz and the X-Staub-Version header.
 	Version string
 	// Log receives one structured line per request (nil: standard logger).
@@ -192,6 +199,7 @@ func New(cfg Config) *Server {
 	core.RegisterPassMetrics(reg)
 	core.RegisterPortfolioMetrics(reg)
 	solver.RegisterSATMetrics(reg)
+	cube.RegisterCubeMetrics(reg)
 	chaos.RegisterMetrics(reg)
 
 	session.RegisterSessionMetrics(reg)

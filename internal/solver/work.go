@@ -25,6 +25,11 @@ const (
 	// propagations are much cheaper than the other engines' search nodes.
 	satWorkScale = 40
 
+	// SATWorkScale exports satWorkScale for the cube tier, which drives
+	// sat.Solver propagation budgets directly and must convert between
+	// propagations and the work units the rest of the cost model uses.
+	SATWorkScale = satWorkScale
+
 	// fpWorkCost is how many work units one fpsolver node costs: every node
 	// re-evaluates the assertion set in big-number arithmetic, which is far
 	// more expensive than an intsolver/realsolver branch step.
