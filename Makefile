@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race fuzz differential sat-diff cube-diff chaos bench serve-smoke session-smoke
+.PHONY: check fmt vet build test race fuzz differential sat-diff cube-diff overapprox-diff chaos bench serve-smoke session-smoke
 
 # check is the CI gate: static checks, build, the full suite under the
 # race detector, short fuzz passes over the SMT-LIB parser and the server
@@ -8,7 +8,7 @@ GO ?= go
 # -race, the cube-and-conquer differential, the short chaos gate, and
 # end-to-end smokes of the staub-serve binary (one-shot solves and the
 # stateful session tier).
-check: fmt vet build race fuzz differential sat-diff cube-diff chaos serve-smoke session-smoke
+check: fmt vet build race fuzz differential sat-diff cube-diff overapprox-diff chaos serve-smoke session-smoke
 
 # fmt fails if any file is not gofmt-clean, and prints the offenders.
 fmt:
@@ -32,6 +32,7 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzParseScript -fuzztime=5s ./internal/smt
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeSolveRequest -fuzztime=5s ./internal/server
 	$(GO) test -run='^$$' -fuzz=FuzzDIMACS -fuzztime=5s ./internal/sat
+	$(GO) test -run='^$$' -fuzz=FuzzOverApproxPipeline -fuzztime=5s ./internal/overapprox
 
 # differential pins the incremental refinement session to the fresh
 # per-round reference (same statuses, same widths) and the stateful
@@ -58,6 +59,16 @@ sat-diff:
 # 1, 2 and 8 cube workers, under the race detector.
 cube-diff:
 	$(GO) test -race -count=1 -run 'TestCubeDiff' ./internal/cube
+
+# overapprox-diff is the over-approximation soundness gate: every
+# definitive verdict the over chain produces across the generated suites
+# is replayed against the unbounded oracle at a generous budget (an
+# over-approx unsat contradicted by an oracle model fails hard), plus
+# the clean zero-flip invariant — enabling the over leg never changes a
+# decided portfolio verdict — all under the race detector.
+overapprox-diff:
+	$(GO) test -race -count=1 -run 'TestOverApproxDifferential' ./internal/engine
+	$(GO) test -race -short -count=1 -run 'TestOverLegNeverFlipsCleanVerdicts' ./internal/chaos
 
 # chaos is the short chaos gate: a corpus subset under every fault class
 # with fixed seeds, race detector on — no crash, no verdict flip,
@@ -87,3 +98,4 @@ bench:
 	$(GO) run ./scripts/satbench -out BENCH_6.json
 	$(GO) run ./scripts/sessionbench -out BENCH_7.json
 	$(GO) run ./scripts/cubebench -out BENCH_8.json
+	$(GO) run ./scripts/overbench -out BENCH_9.json

@@ -21,6 +21,8 @@
 //	reduce    §6.4 extension: width reduction of wide bitvector corpora
 //	refine    §6.2 refinement: incremental session vs fresh per-round loop
 //	passes    per-stage pipeline profile from the pass-framework traces
+//	over      over-approximation: sound unsats, flips (must be 0), rescues
+//	          and the unsat-side speedup against the unbounded oracle
 //	all       every experiment in order (excluding reduce, refine and passes)
 //
 // Flags:
@@ -75,7 +77,7 @@ func main() {
 		return
 	}
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: staub-bench [flags] table1|table2|table3|fig2|fig7|fig8|ablation|reduce|refine|passes|all")
+		fmt.Fprintln(os.Stderr, "usage: staub-bench [flags] table1|table2|table3|fig2|fig7|fig8|ablation|reduce|refine|passes|over|all")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
@@ -92,6 +94,7 @@ func main() {
 	cache.Register(reg)
 	core.RegisterRefineMetrics(reg)
 	core.RegisterPassMetrics(reg)
+	core.RegisterOverApproxMetrics(reg)
 	solver.RegisterSATMetrics(reg)
 	cube.RegisterCubeMetrics(reg)
 	benchStart := time.Now()
@@ -135,6 +138,11 @@ func main() {
 					cm["legs"], cm["sat_legs"], cm["unsat_legs"],
 					cm["shared_clauses"], cm["imported_clauses"])
 			}
+			if om := core.OverApproxMetricsSnapshot(); om["runs"] > 0 {
+				fmt.Fprintf(os.Stderr, "staub-bench: %s: over %d runs (%d linearized, %d certified widths, %d linear fallbacks), %d sound unsats / %d verified sats / %d reverts\n",
+					stage, om["runs"], om["linearized"], om["width_certified"], om["linear_fallback"],
+					om["sound_unsat"], om["verified_sat"], om["reverts"])
+			}
 		}
 	}
 
@@ -143,7 +151,7 @@ func main() {
 	switch exp {
 	case "table1":
 		harness.Table1(w)
-	case "table2", "table3", "fig7", "ablation":
+	case "table2", "table3", "fig7", "ablation", "over":
 		records := runAll(ctx, opts)
 		switch exp {
 		case "table2":
@@ -156,6 +164,8 @@ func main() {
 			harness.Table2(w, records)
 			fmt.Fprintln(w)
 			harness.Table3(w, records, opts.Timeout)
+		case "over":
+			harness.OverTable(w, records)
 		}
 		reportCache(exp)
 	case "fig2":
@@ -202,6 +212,8 @@ func main() {
 		harness.Table2(w, records)
 		fmt.Fprintln(w)
 		harness.Table3(w, records, opts.Timeout)
+		fmt.Fprintln(w)
+		harness.OverTable(w, records)
 		fmt.Fprintln(w)
 		fmt.Fprintf(w, "Figure 7 portfolio invariant violations: %d\n", harness.Figure7Check(records))
 		if mean, err := harness.MeanInferredWidth(opts); err == nil && mean > 0 {

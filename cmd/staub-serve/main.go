@@ -22,6 +22,9 @@
 //	-cube-jobs N     default concurrent cube legs (0 = GOMAXPROCS)
 //	-cube-share-lbd N  default glue cutoff for inter-cube clause sharing
 //	                 (0 = package default 2, negative disables)
+//	-over            run the over-approximation leg on every
+//	                 pipeline/portfolio request by default (requests can
+//	                 also opt in per-request with over=true)
 //	-pprof           expose net/http/pprof profiling under /debug/pprof/ (default off)
 //	-chaos SPEC      enable deterministic fault injection, e.g.
 //	                 "fault=pass-panic,rate=0.01,seed=7" (default off; for
@@ -65,6 +68,7 @@ func main() {
 		cubeVars    = flag.Int("cube-vars", 0, "default cube-and-conquer split over 2^N assumption cubes (0 = sequential)")
 		cubeJobs    = flag.Int("cube-jobs", 0, "default concurrent cube legs (0 = GOMAXPROCS)")
 		cubeLBD     = flag.Int("cube-share-lbd", 0, "default glue cutoff for inter-cube clause sharing (0 = package default 2, negative disables)")
+		over        = flag.Bool("over", false, "run the over-approximation leg on every pipeline/portfolio request by default")
 		pprofOn     = flag.Bool("pprof", false, "expose net/http/pprof profiling under /debug/pprof/")
 		chaosSpec   = flag.String("chaos", "", `enable deterministic fault injection, e.g. "fault=pass-panic,rate=0.01,seed=7"`)
 		showVersion = flag.Bool("version", false, "print the build string and exit")
@@ -95,6 +99,7 @@ func main() {
 		CubeVars:        *cubeVars,
 		CubeJobs:        *cubeJobs,
 		CubeShareLBD:    *cubeLBD,
+		OverApprox:      *over,
 		Version:         buildinfo.String("staub-serve"),
 		Log:             logger,
 	})

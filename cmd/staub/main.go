@@ -28,6 +28,9 @@
 //	-timeout D       per-solve budget (default 10s)
 //	-slot            apply SLOT compiler optimizations to the bounded form
 //	-portfolio       race STAUB against the unmodified solver (two cores)
+//	-over            over-approximate: linearize nonlinear multiplication
+//	                 and certify a-priori bounds, so a bounded unsat is a
+//	                 sound unsat (alone, or as an extra -portfolio leg)
 //	-cube-vars N     cube-and-conquer: split the bounded solve over 2^N
 //	                 assumption cubes (0 = sequential solve)
 //	-cube-jobs N     concurrent cube legs (0 = GOMAXPROCS)
@@ -70,6 +73,7 @@ func main() {
 		timeout    = flag.Duration("timeout", 10*time.Second, "per-solve budget")
 		useSlot    = flag.Bool("slot", false, "apply SLOT optimizations to the bounded constraint")
 		portfolio  = flag.Bool("portfolio", false, "race STAUB against the unmodified solver")
+		over       = flag.Bool("over", false, "run the over-approximation pipeline (sound unsat via linearization and a-priori bounds)")
 		cubeVars   = flag.Int("cube-vars", 0, "cube-and-conquer over 2^N assumption cubes (0 = sequential solve)")
 		cubeJobs   = flag.Int("cube-jobs", 0, "concurrent cube legs (0 = GOMAXPROCS)")
 		cubeLBD    = flag.Int("cube-share-lbd", 0, "glue cutoff for inter-cube clause sharing (0 = default 2, negative disables)")
@@ -106,6 +110,7 @@ func main() {
 		CubeVars:     *cubeVars,
 		CubeJobs:     *cubeJobs,
 		CubeShareLBD: *cubeLBD,
+		OverApprox:   *over,
 	}
 
 	if flag.NArg() > 1 {
@@ -121,7 +126,7 @@ func main() {
 	// get-value, reset) runs through a stateful session, one verdict per
 	// check-sat. The transform/debug modes and fixed-width solving keep
 	// the flat end-of-script view.
-	if !*emit && !*dimacs && !*portfolio && *width == 0 {
+	if !*emit && !*dimacs && !*portfolio && !*over && *width == 0 {
 		sc, err := smt.ParseScriptCommands(src)
 		if err != nil {
 			fatal(err)
@@ -189,8 +194,8 @@ func main() {
 			fmt.Print(solver.FormatModel(c, res.Model))
 		}
 		if *stats {
-			fmt.Fprintf(os.Stderr, "; elapsed=%v from-staub=%t pipeline: %v\n",
-				res.Elapsed.Round(time.Microsecond), res.FromSTAUB, res.Pipeline)
+			fmt.Fprintf(os.Stderr, "; elapsed=%v from-staub=%t from-over=%t pipeline: %v\n",
+				res.Elapsed.Round(time.Microsecond), res.FromSTAUB, res.FromOver, res.Pipeline)
 		}
 		if res.Status == status.Unknown {
 			os.Exit(1)
@@ -202,10 +207,14 @@ func main() {
 	if *stats {
 		fmt.Fprintf(os.Stderr, "; pipeline: %v\n", res)
 	}
-	switch res.Outcome {
-	case core.OutcomeVerified:
+	switch {
+	case res.Outcome == core.OutcomeVerified:
 		fmt.Println("sat")
 		fmt.Print(solver.FormatModel(c, res.Model))
+	case res.Status == status.Unsat:
+		// Only an exact or over-approximating chain (-over) ever reports
+		// unsat; the direction lattice vetted its soundness.
+		fmt.Println("unsat")
 	default:
 		// STAUB alone concludes nothing on revert; fall back to the
 		// original solver within the remaining budget.
@@ -248,6 +257,9 @@ func runBatch(ctx context.Context, files []string, cfg core.Config, usePortfolio
 			st = res.Portfolio.Status
 		case res.Pipeline.Outcome == core.OutcomeVerified:
 			st = status.Sat
+		case res.Pipeline.Status == status.Unsat:
+			// Sound unsat from an exact/over chain (-over).
+			st = status.Unsat
 		default:
 			st = status.Unknown // reverted; batch mode does not re-solve
 		}

@@ -23,6 +23,10 @@ import (
 	_ "staub/internal/cube"
 	"staub/internal/eval"
 	"staub/internal/metrics"
+	// Registers the over-approximating passes (linearize-nia,
+	// infer-apriori-bounds) the same way, so Config.OverApprox runs
+	// resolve them in any binary that links core.
+	_ "staub/internal/overapprox"
 	"staub/internal/pipeline"
 	"staub/internal/smt"
 	"staub/internal/solver"
@@ -76,6 +80,19 @@ func RegisterPassMetrics(reg *metrics.Registry) {
 	pipeline.RegisterPassMetrics(reg)
 }
 
+// RegisterOverApproxMetrics exposes the over-approximation leg counters
+// (runs, linearizations, certified widths, linear fallbacks, sound
+// unsats, verified sats, reverts) through reg.
+func RegisterOverApproxMetrics(reg *metrics.Registry) {
+	pipeline.RegisterOverApproxMetrics(reg)
+}
+
+// OverApproxMetricsSnapshot reports the over-approximation counters for
+// CLI summaries and tests.
+func OverApproxMetricsSnapshot() map[string]int64 {
+	return pipeline.OverApproxMetricsSnapshot()
+}
+
 // RefineMetricsSnapshot reports the current refinement counter values
 // (sessions, rounds, clauses retained, gate hits/misses, vars reused,
 // solve work units) for CLI summaries.
@@ -104,6 +121,10 @@ type PortfolioResult struct {
 	// FromCube reports that the cube-and-conquer leg produced the
 	// verdict (implies FromSTAUB).
 	FromCube bool
+	// FromOver reports that the over-approximation leg produced the
+	// verdict (implies FromSTAUB): either a sound unsat under an
+	// exact/over chain or a verified sat.
+	FromOver bool
 	// Elapsed is the wall-clock time of the race.
 	Elapsed time.Duration
 	// Pipeline carries the STAUB leg details.
@@ -149,6 +170,10 @@ func PortfolioMetricsSnapshot() map[string]int64 {
 // third leg joins the race — the STAUB pipeline with its bounded solve
 // replaced by cube-and-conquer — next to the sequential pipeline, so
 // cubing can only add a way to win, never slow the baseline race down.
+// With Config.OverApprox set, an over-approximation leg joins too: it
+// linearizes nonlinear multiplication and certifies a-priori bounds so
+// that its bounded-unsat is a sound unsat — the only leg besides the
+// unbounded solver that can ever win with an unsat verdict.
 //
 // Every leg runs behind a panic-isolation boundary: a leg that panics,
 // stalls into its watchdog or exhausts its budget yields no definitive
@@ -159,15 +184,17 @@ func RunPortfolio(ctx context.Context, c *smt.Constraint, cfg Config) PortfolioR
 	start := time.Now()
 	portfolioRuns.Inc()
 
-	var cancelOrig, cancelStaub, cancelCube atomic.Bool
+	var cancelOrig, cancelStaub, cancelCube, cancelOver atomic.Bool
 	cancelAll := func() {
 		cancelOrig.Store(true)
 		cancelStaub.Store(true)
 		cancelCube.Store(true)
+		cancelOver.Store(true)
 	}
 	type leg struct {
 		fromStaub bool
 		fromCube  bool
+		fromOver  bool
 		status    status.Status
 		model     eval.Assignment
 		pipeline  PipelineResult
@@ -175,7 +202,10 @@ func RunPortfolio(ctx context.Context, c *smt.Constraint, cfg Config) PortfolioR
 	}
 	legs := 2
 	if cfg.CubeVars > 0 {
-		legs = 3
+		legs++
+	}
+	if cfg.OverApprox {
+		legs++
 	}
 	results := make(chan leg, legs)
 	var wg sync.WaitGroup
@@ -204,11 +234,13 @@ func RunPortfolio(ctx context.Context, c *smt.Constraint, cfg Config) PortfolioR
 		r := solver.Solve(c, origOpts)
 		results <- leg{status: r.Status, model: r.Model, ok: r.Status != status.Unknown}
 	}()
-	// The sequential STAUB leg always runs without cubing; when cubing is
-	// requested it is the third leg's job, and racing both preserves the
-	// two-leg baseline behavior exactly.
+	// The sequential STAUB leg always runs without cubing or
+	// over-approximation; when those are requested they are extra legs'
+	// jobs, and racing all of them preserves the two-leg baseline
+	// behavior exactly.
 	seqCfg := cfg
 	seqCfg.CubeVars = 0
+	seqCfg.OverApprox = false
 	go func() {
 		defer wg.Done()
 		defer func() {
@@ -228,7 +260,9 @@ func RunPortfolio(ctx context.Context, c *smt.Constraint, cfg Config) PortfolioR
 		// Only a verified sat is definitive for the original constraint.
 		results <- leg{fromStaub: true, status: p.Status, model: p.Model, pipeline: p, ok: p.Status == status.Sat}
 	}()
-	if legs == 3 {
+	if cfg.CubeVars > 0 {
+		cubeCfg := cfg
+		cubeCfg.OverApprox = false
 		go func() {
 			defer wg.Done()
 			defer func() {
@@ -241,19 +275,42 @@ func RunPortfolio(ctx context.Context, c *smt.Constraint, cfg Config) PortfolioR
 					}}
 				}
 			}()
-			p := RunPipeline(ctx, c, cfg, &cancelCube)
+			p := RunPipeline(ctx, c, cubeCfg, &cancelCube)
 			results <- leg{fromStaub: true, fromCube: true, status: p.Status, model: p.Model, pipeline: p, ok: p.Status == status.Sat}
+		}()
+	}
+	if cfg.OverApprox {
+		overCfg := cfg
+		overCfg.CubeVars = 0
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					portfolioPanics.Inc()
+					results <- leg{fromStaub: true, fromOver: true, status: status.Unknown, pipeline: PipelineResult{
+						Outcome: OutcomeError,
+						Status:  status.Unknown,
+						Fault:   pipeline.FaultPanic,
+					}}
+				}
+			}()
+			p := RunPipeline(ctx, c, overCfg, &cancelOver)
+			// Unlike the under-approximating legs, a sound unsat is also
+			// definitive here: the direction lattice already vetted it.
+			results <- leg{fromStaub: true, fromOver: true, status: p.Status, model: p.Model, pipeline: p, ok: p.Status != status.Unknown}
 		}()
 	}
 
 	var out PortfolioResult
-	var seqPipe, cubePipe PipelineResult
+	var seqPipe, cubePipe, overPipe PipelineResult
 	out.Status = status.Unknown
 	for i := 0; i < legs; i++ {
 		l := <-results
 		switch {
 		case l.fromCube:
 			cubePipe = l.pipeline
+		case l.fromOver:
+			overPipe = l.pipeline
 		case l.fromStaub:
 			seqPipe = l.pipeline
 		}
@@ -262,14 +319,18 @@ func RunPortfolio(ctx context.Context, c *smt.Constraint, cfg Config) PortfolioR
 			out.Model = l.model
 			out.FromSTAUB = l.fromStaub
 			out.FromCube = l.fromCube
+			out.FromOver = l.fromOver
 			// Cancel the other legs.
 			cancelAll()
 		}
 	}
 	wg.Wait()
 	out.Pipeline = seqPipe
-	if out.FromCube {
+	switch {
+	case out.FromCube:
 		out.Pipeline = cubePipe
+	case out.FromOver:
+		out.Pipeline = overPipe
 	}
 	out.Elapsed = time.Since(start)
 	// A faulted sequential STAUB leg means the verdict (definitive or

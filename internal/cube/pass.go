@@ -92,7 +92,9 @@ func passCubeSolve(st *pipeline.State) pipeline.Verdict {
 		return pipeline.Continue
 	case status.Unsat:
 		res.Outcome = st.UnsatOutcome
-		res.Status = status.Unknown
+		// Same soundness rule as the sequential solve: unsat holds for
+		// the original only under an over-approximating or exact chain.
+		res.Status = pipeline.SoundStatus(st.UnsatOutcome, st.Direction)
 	default:
 		res.Outcome = st.UnknownOutcome
 		res.Status = status.Unknown

@@ -15,7 +15,7 @@ import (
 // Key returns the job's content address: a hash of the canonical SMT-LIB
 // script of the constraint plus every configuration knob that can change
 // the verdict or the reported cost. Pipeline jobs additionally hash the
-// resolved pass list the configuration assembles (pipeline.Figure3PassNames),
+// resolved pass list the configuration assembles (pipeline.PassNamesFor),
 // so a future pass added to or removed from the chain changes the address
 // even if no knob does. Two jobs with equal keys are interchangeable, so
 // the cache may serve one's result for the other.
@@ -28,13 +28,13 @@ func (j Job) Key() string {
 			j.Profile, j.Timeout, j.Seed, j.Deterministic)
 	default:
 		c := j.Config
-		fmt.Fprintf(h, "|kind=%d|w=%d|t=%d|p=%d|slot=%t|hints=%t|refine=%d|fresh=%t|s=%d|det=%t|lim=%d,%d,%d,%d|trace=%t|sw=%d|ws=%d|cv=%d|cj=%d|cl=%d|passes=%s",
+		fmt.Fprintf(h, "|kind=%d|w=%d|t=%d|p=%d|slot=%t|hints=%t|refine=%d|fresh=%t|s=%d|det=%t|lim=%d,%d,%d,%d|trace=%t|sw=%d|ws=%d|cv=%d|cj=%d|cl=%d|over=%t|passes=%s",
 			j.Kind, c.FixedWidth, c.Timeout, c.Profile, c.UseSLOT, c.RangeHints,
 			c.RefineRounds, c.FreshRefine, c.Seed, c.Deterministic,
 			c.Limits.MinWidth, c.Limits.MaxWidth, c.Limits.MaxSig, c.Limits.MaxPrec,
 			c.Trace, c.StartWidth, c.WidthStep,
-			c.CubeVars, c.CubeJobs, c.CubeShareLBD,
-			strings.Join(pipeline.Figure3PassNames(c), ","))
+			c.CubeVars, c.CubeJobs, c.CubeShareLBD, c.OverApprox,
+			strings.Join(pipeline.PassNamesFor(c), ","))
 	}
 	return hex.EncodeToString(h.Sum(nil))
 }

@@ -146,7 +146,9 @@ func TestCacheKeyDistinguishesConfig(t *testing.T) {
 	slotted.Config.UseSLOT = true
 	longer := base
 	longer.Config.Timeout = 100 * time.Millisecond
-	variants = append(variants, widened, slotted, longer)
+	over := base
+	over.Config.OverApprox = true
+	variants = append(variants, widened, slotted, longer, over)
 
 	seen := map[string]int{}
 	for i, v := range variants {

@@ -1,0 +1,79 @@
+package engine_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"staub/internal/benchgen"
+	"staub/internal/core"
+	"staub/internal/engine"
+	"staub/internal/pipeline"
+	"staub/internal/solver"
+	"staub/internal/status"
+)
+
+// TestOverApproxDifferential is the soundness gate for the
+// over-approximation chain: across every logic's generated suite, each
+// verdict the over pipeline dares to call definitive is replayed against
+// the unbounded oracle at a far more generous budget. An over-approx
+// unsat contradicted by an oracle sat — or a verified sat contradicted
+// by an oracle unsat — is a soundness bug, not a flake, so any
+// disagreement fails hard. `make overapprox-diff` runs this under -race.
+func TestOverApproxDifferential(t *testing.T) {
+	counts := map[string]int{"QF_NIA": 8, "QF_LIA": 8, "QF_NRA": 4, "QF_LRA": 4}
+	if testing.Short() {
+		counts = map[string]int{"QF_NIA": 4, "QF_LIA": 4, "QF_NRA": 2, "QF_LRA": 2}
+	}
+	var jobs []engine.Job
+	var names []string
+	for _, logic := range benchgen.Logics() {
+		insts, err := benchgen.Suite(logic, counts[logic], 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, inst := range insts {
+			jobs = append(jobs, engine.Job{Kind: engine.KindPipeline, Constraint: inst.Constraint,
+				Config: core.Config{Timeout: 500 * time.Millisecond, Deterministic: true, OverApprox: true}})
+			names = append(names, logic+"/"+inst.Name)
+		}
+	}
+	ctx := context.Background()
+	results := engine.New(0, engine.NewCache()).Run(ctx, jobs)
+
+	decided := 0
+	for i, r := range results {
+		p := r.Pipeline
+		if p.Status == status.Unknown {
+			continue
+		}
+		decided++
+		// A definitive unsat may only come out of a chain that never
+		// shrank the solution set.
+		if p.Status == status.Unsat && p.Direction == pipeline.DirUnder {
+			t.Errorf("%s: unsat verdict from an under-approximating chain (outcome %v)", names[i], p.Outcome)
+		}
+		oracle := engine.ExecuteJob(ctx, engine.Job{
+			Kind: engine.KindSolve, Constraint: jobs[i].Constraint,
+			Profile: solver.Prima, Timeout: 5 * time.Second, Deterministic: true,
+		})
+		switch p.Status {
+		case status.Unsat:
+			if oracle.Solve.Status == status.Sat {
+				t.Errorf("%s: over-approx unsat but the unbounded oracle found a model (direction %v, outcome %v)",
+					names[i], p.Direction, p.Outcome)
+			}
+		case status.Sat:
+			if p.Outcome != core.OutcomeVerified {
+				t.Errorf("%s: sat verdict without verification (outcome %v)", names[i], p.Outcome)
+			}
+			if oracle.Solve.Status == status.Unsat {
+				t.Errorf("%s: verified sat but the unbounded oracle proved unsat", names[i])
+			}
+		}
+	}
+	if decided == 0 {
+		t.Error("over pipeline decided nothing across the whole suite — the gate tested nothing")
+	}
+	t.Logf("over differential: %d/%d decided and oracle-checked", decided, len(results))
+}

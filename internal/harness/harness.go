@@ -39,6 +39,10 @@ const (
 	ModeFixed16
 	// ModeSlot chains STAUB inference with the SLOT optimizer.
 	ModeSlot
+	// ModeOver runs the over-approximation pipeline: linearized nonlinear
+	// multiplication plus a-priori bound certificates, whose bounded
+	// unsat is a sound unsat — the only mode that can win with an unsat.
+	ModeOver
 	numModes
 )
 
@@ -52,6 +56,8 @@ func (m Mode) String() string {
 		return "Fixed 16-bit"
 	case ModeSlot:
 		return "STAUB+SLOT"
+	case ModeOver:
+		return "STAUB+Over"
 	default:
 		return "?"
 	}
@@ -104,17 +110,28 @@ func (o Options) withDefaults() Options {
 		o.Profiles = []solver.Profile{solver.Prima, solver.Secunda}
 	}
 	if len(o.Modes) == 0 {
-		o.Modes = []Mode{ModeStaub, ModeFixed8, ModeFixed16, ModeSlot}
+		o.Modes = []Mode{ModeStaub, ModeFixed8, ModeFixed16, ModeSlot, ModeOver}
 	}
 	return o
 }
 
 // ModeResult is one pipeline measurement.
 type ModeResult struct {
-	Outcome  core.Outcome
+	Outcome core.Outcome
+	// Status is the verdict sound for the ORIGINAL constraint. Only
+	// ModeOver can report unsat here — the under-approximating modes'
+	// bounded unsats are inconclusive and surface as unknown.
+	Status   status.Status
 	Total    time.Duration
 	Width    int
 	Verified bool
+}
+
+// Decided reports whether the measurement produced a verdict sound for
+// the original constraint: a verified sat, or a sound unsat from an
+// exact/over-approximating chain.
+func (mr ModeResult) Decided() bool {
+	return mr.Verified || mr.Status == status.Unsat
 }
 
 // Record is the full measurement of one instance under one profile.
@@ -130,11 +147,11 @@ type Record struct {
 }
 
 // FinalTime returns the portfolio completion time under the given mode:
-// the better of the original run and the pipeline (when the pipeline
-// verified).
+// the better of the original run and the pipeline, when the pipeline
+// decided — a verified sat, or ModeOver's sound unsat.
 func (r Record) FinalTime(m Mode) time.Duration {
 	mr, ok := r.Modes[m]
-	if !ok || !mr.Verified {
+	if !ok || !mr.Decided() {
 		return r.TPre
 	}
 	return min(r.TPre, mr.Total)
@@ -152,10 +169,19 @@ func (r Record) Alpha(m Mode) float64 {
 }
 
 // Tractability reports whether the mode turned an original timeout into a
-// verified answer.
+// decided verdict (a verified sat, or ModeOver's sound unsat).
 func (r Record) Tractability(m Mode) bool {
 	mr, ok := r.Modes[m]
-	return ok && r.PreStatus == status.Unknown && mr.Verified
+	return ok && r.PreStatus == status.Unknown && mr.Decided()
+}
+
+// StatusAgree reports that a measured verdict is consistent with a
+// reference verdict: they are equal, or the reference decided nothing
+// (unknown), which constrains nothing. A measured unknown against a
+// decided reference reports false — callers use this to check that a
+// verdict matched a reference that did decide.
+func StatusAgree(got, ref status.Status) bool {
+	return got == ref || ref == status.Unknown
 }
 
 // plan lays out one experiment run as a flat job list plus the bookkeeping
@@ -195,6 +221,8 @@ func modeConfig(m Mode, profile solver.Profile, o Options) core.Config {
 		cfg.FixedWidth = 16
 	case ModeSlot:
 		cfg.UseSLOT = true
+	case ModeOver:
+		cfg.OverApprox = true
 	}
 	return cfg
 }
@@ -267,6 +295,7 @@ func (p *plan) reduce(results []engine.Result) map[string][]Record {
 			}
 			rec.Modes[m] = ModeResult{
 				Outcome:  pl.Outcome,
+				Status:   pl.Status,
 				Total:    total,
 				Width:    pl.Width,
 				Verified: pl.Outcome == core.OutcomeVerified,

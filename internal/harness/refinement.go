@@ -8,7 +8,6 @@ import (
 	"staub/internal/core"
 	"staub/internal/engine"
 	"staub/internal/smt"
-	"staub/internal/status"
 )
 
 // RefinementInstance is one named SMT-LIB script of the refinement
@@ -127,7 +126,7 @@ func RefinementExperiment(ctx context.Context, o Options) ([]RefinementRow, erro
 			Name:            inst.Name,
 			Outcome:         inc.Outcome,
 			FreshOutcome:    fresh.Outcome,
-			StatusAgree:     inc.Status == fresh.Status || fresh.Status == status.Unknown,
+			StatusAgree:     StatusAgree(inc.Status, fresh.Status),
 			Rounds:          inc.Refined,
 			Width:           inc.Width,
 			IncWork:         inc.SolveWork,

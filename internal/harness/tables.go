@@ -19,7 +19,7 @@ import (
 // Iterating Record.Modes through it (instead of ranging over the map)
 // keeps floating-point accumulation order — and therefore rendered tables
 // — identical across runs.
-var allModes = []Mode{ModeStaub, ModeFixed8, ModeFixed16, ModeSlot}
+var allModes = []Mode{ModeStaub, ModeFixed8, ModeFixed16, ModeSlot, ModeOver}
 
 // Table1 prints the paper's Table 1: the decidability/boundedness summary
 // for the four unbounded logics. The facts are theoretical (Papadimitriou
@@ -47,13 +47,15 @@ func shortLogic(l string) string { return strings.TrimPrefix(l, "QF_") }
 // Table2 prints tractability improvement counts per logic and profile for
 // the fixed-width ablations and STAUB inference, plus the intersection
 // column (solved by neither profile originally, by at least one after
-// arbitrage).
+// arbitrage) and the unsat-provenance columns: how many instance×profile
+// measurements the unbounded oracle proved unsat, and how many the
+// over-approximation mode proved unsat soundly without it.
 func Table2(w io.Writer, records map[string][]Record) {
-	fmt.Fprintln(w, "Table 2. Tractability improvements (original timeout → verified answer).")
-	fmt.Fprintf(w, "%-5s | %7s %7s %7s | %7s %7s %7s | %7s %7s %7s\n",
-		"", "prima", "", "", "secunda", "", "", "both∩", "", "")
-	fmt.Fprintf(w, "%-5s | %7s %7s %7s | %7s %7s %7s | %7s %7s %7s\n",
-		"Logic", "8-bit", "16-bit", "STAUB", "8-bit", "16-bit", "STAUB", "8-bit", "16-bit", "STAUB")
+	fmt.Fprintln(w, "Table 2. Tractability improvements (original timeout → decided verdict).")
+	fmt.Fprintf(w, "%-5s | %7s %7s %7s | %7s %7s %7s | %7s %7s %7s | %6s %6s\n",
+		"", "prima", "", "", "secunda", "", "", "both∩", "", "", "unsat", "")
+	fmt.Fprintf(w, "%-5s | %7s %7s %7s | %7s %7s %7s | %7s %7s %7s | %6s %6s\n",
+		"Logic", "8-bit", "16-bit", "STAUB", "8-bit", "16-bit", "STAUB", "8-bit", "16-bit", "STAUB", "orig", "over")
 	logics := sortedLogics(records)
 	for _, logic := range logics {
 		recs := records[logic]
@@ -66,6 +68,7 @@ func Table2(w io.Writer, records map[string][]Record) {
 		preUnknown := map[string]int{}
 		rescued := map[string]map[Mode]bool{}
 		perProfile := map[string]int{}
+		unsatOrig, unsatOver := 0, 0
 		for _, r := range recs {
 			perProfile[r.Inst.Name]++
 			for _, m := range []Mode{ModeFixed8, ModeFixed16, ModeStaub} {
@@ -80,6 +83,12 @@ func Table2(w io.Writer, records map[string][]Record) {
 			if r.PreStatus == status.Unknown {
 				preUnknown[r.Inst.Name]++
 			}
+			if r.PreStatus == status.Unsat {
+				unsatOrig++
+			}
+			if r.Modes[ModeOver].Status == status.Unsat {
+				unsatOver++
+			}
 		}
 		inter := map[Mode]int{}
 		for name, nUnknown := range preUnknown {
@@ -92,11 +101,12 @@ func Table2(w io.Writer, records map[string][]Record) {
 				}
 			}
 		}
-		fmt.Fprintf(w, "%-5s | %7d %7d %7d | %7d %7d %7d | %7d %7d %7d\n",
+		fmt.Fprintf(w, "%-5s | %7d %7d %7d | %7d %7d %7d | %7d %7d %7d | %6d %6d\n",
 			shortLogic(logic),
 			counts[solver.Prima][ModeFixed8], counts[solver.Prima][ModeFixed16], counts[solver.Prima][ModeStaub],
 			counts[solver.Secunda][ModeFixed8], counts[solver.Secunda][ModeFixed16], counts[solver.Secunda][ModeStaub],
-			inter[ModeFixed8], inter[ModeFixed16], inter[ModeStaub])
+			inter[ModeFixed8], inter[ModeFixed16], inter[ModeStaub],
+			unsatOrig, unsatOver)
 	}
 }
 
@@ -132,8 +142,8 @@ type Table3Row struct {
 	Profile  solver.Profile
 	Interval Interval
 	Count    int
-	// Per mode: verified-case count, verified-case geomean speedup,
-	// overall geomean speedup.
+	// Per mode: decided-case count (verified sat, or ModeOver's sound
+	// unsat), decided-case geomean speedup, overall geomean speedup.
 	Verified map[Mode]int
 	VerSpeed map[Mode]float64
 	AllSpeed map[Mode]float64
@@ -164,7 +174,7 @@ func Table3Rows(records map[string][]Record, timeout time.Duration) []Table3Row 
 						}
 						alpha := r.Alpha(m)
 						perModeAll[m] = append(perModeAll[m], alpha)
-						if r.Modes[m].Verified {
+						if r.Modes[m].Decided() {
 							row.Verified[m]++
 							perModeVer[m] = append(perModeVer[m], alpha)
 						}
@@ -186,18 +196,18 @@ func Table3Rows(records map[string][]Record, timeout time.Duration) []Table3Row 
 // Table3 prints the full speedup table.
 func Table3(w io.Writer, records map[string][]Record, timeout time.Duration) {
 	fmt.Fprintln(w, "Table 3. Geometric mean speedups per logic, solver profile and T_pre interval.")
-	fmt.Fprintf(w, "%-5s %-8s %-7s %6s | %5s %8s %8s | %5s %8s %8s | %5s %8s %8s | %8s\n",
+	fmt.Fprintf(w, "%-5s %-8s %-7s %6s | %5s %8s %8s | %5s %8s %8s | %5s %8s %8s | %8s %8s\n",
 		"Logic", "Solver", "T_pre", "Count",
 		"#v8", "v8-spd", "all8",
 		"#v16", "v16-spd", "all16",
-		"#vS", "vS-spd", "allS", "SLOT")
+		"#vS", "vS-spd", "allS", "SLOT", "Over")
 	for _, row := range Table3Rows(records, timeout) {
-		fmt.Fprintf(w, "%-5s %-8s %-7s %6d | %5d %8.3f %8.3f | %5d %8.3f %8.3f | %5d %8.3f %8.3f | %8.3f\n",
+		fmt.Fprintf(w, "%-5s %-8s %-7s %6d | %5d %8.3f %8.3f | %5d %8.3f %8.3f | %5d %8.3f %8.3f | %8.3f %8.3f\n",
 			shortLogic(row.Logic), row.Profile, row.Interval.Name, row.Count,
 			row.Verified[ModeFixed8], orOne(row.VerSpeed[ModeFixed8]), orOne(row.AllSpeed[ModeFixed8]),
 			row.Verified[ModeFixed16], orOne(row.VerSpeed[ModeFixed16]), orOne(row.AllSpeed[ModeFixed16]),
 			row.Verified[ModeStaub], orOne(row.VerSpeed[ModeStaub]), orOne(row.AllSpeed[ModeStaub]),
-			orOne(row.AllSpeed[ModeSlot]))
+			orOne(row.AllSpeed[ModeSlot]), orOne(row.AllSpeed[ModeOver]))
 	}
 }
 
@@ -206,6 +216,60 @@ func orOne(v float64) float64 {
 		return 1
 	}
 	return v
+}
+
+// OverTable prints the over-approximation experiment: per logic, where
+// the unbounded oracle's verdicts came from, what the over leg decided
+// on its own (sound unsats, verified sats, reverts), the flip count
+// (instances both decided with DIFFERENT verdicts — zero by soundness),
+// the rescues (oracle unknown, over leg decided), and the geomean
+// speedup over the oracle's unsat instances, where the sound-unsat
+// shortcut is the whole point.
+func OverTable(w io.Writer, records map[string][]Record) {
+	fmt.Fprintln(w, "Over-approximation: sound unsat without the unbounded backstop.")
+	fmt.Fprintf(w, "%-5s %6s | %6s %6s %6s | %6s %6s %6s | %5s %7s | %8s\n",
+		"Logic", "n", "o-sat", "o-uns", "o-unk",
+		"sound⊥", "ver-sat", "revert", "flips", "rescued", "unsat-α")
+	for _, logic := range sortedLogics(records) {
+		var n, oSat, oUns, oUnk, soundUnsat, verSat, revert, flips, rescued int
+		var unsatAlphas []float64
+		for _, r := range records[logic] {
+			n++
+			switch r.PreStatus {
+			case status.Sat:
+				oSat++
+			case status.Unsat:
+				oUns++
+			default:
+				oUnk++
+			}
+			over := r.Modes[ModeOver]
+			switch {
+			case over.Status == status.Unsat:
+				soundUnsat++
+			case over.Verified:
+				verSat++
+			default:
+				revert++
+			}
+			if over.Decided() && r.PreStatus != status.Unknown && !StatusAgree(over.Status, r.PreStatus) {
+				flips++
+			}
+			if over.Decided() && r.PreStatus == status.Unknown {
+				rescued++
+			}
+			if r.PreStatus == status.Unsat {
+				unsatAlphas = append(unsatAlphas, r.Alpha(ModeOver))
+			}
+		}
+		alpha := 1.0
+		if len(unsatAlphas) > 0 {
+			alpha = GeoMean(unsatAlphas)
+		}
+		fmt.Fprintf(w, "%-5s %6d | %6d %6d %6d | %6d %6d %6d | %5d %7d | %8.3f\n",
+			shortLogic(logic), n, oSat, oUns, oUnk,
+			soundUnsat, verSat, revert, flips, rescued, alpha)
+	}
 }
 
 // Figure7CSV emits the scatter data: one row per instance and profile with

@@ -1,0 +1,586 @@
+package overapprox
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"sort"
+
+	"staub/internal/absint"
+	"staub/internal/pipeline"
+	"staub/internal/smt"
+	"staub/internal/translate"
+)
+
+// passInferApriori makes the bounded solve COMPLETE for the translation
+// source (the linear abstraction when linearize-nia installed one, the
+// original otherwise), so that bounded-unsat soundly refutes it:
+//
+//  1. Interval propagation over the source's linear atoms. If every
+//     integer variable acquires finite bounds, a bitvector width large
+//     enough for every value and intermediate (sound abstract semantics,
+//     Theorem 4.5) exists; when it fits the configured ceiling the width
+//     is certified and translation composes DirExact.
+//  2. When variables stay unbounded but the whole source is a system of
+//     linear atoms, the Papadimitriou small-model bound still yields a
+//     complete width — almost always past the ceiling, but exact when it
+//     is not.
+//  3. Otherwise, with an abstraction in hand, the pass routes around
+//     translation entirely (SkipTranslate): the linear abstraction is
+//     solved by the unbounded linear engines, whose unsat refutes the
+//     original through the abstraction's DirOver. That is still theory
+//     arbitrage — undecidable NIA/NRA traded for decidable linear
+//     arithmetic.
+//
+// A width ceiling is never clamped through: a clamped width destroys the
+// completeness certificate the sound unsat rests on, so the pass reverts
+// (transform-failed) instead. Constraints using integer div/mod are never
+// certified — bvsdiv truncates where SMT-LIB div is Euclidean, so the
+// translation is not exact for them at any width.
+func passInferApriori(st *pipeline.State) pipeline.Verdict {
+	if v, injected := checkSite(st, siteBounds); injected {
+		return v
+	}
+	src := st.Original
+	if st.Abstracted != nil {
+		src = st.Abstracted
+	}
+	kind, err := translate.Classify(src)
+	if err != nil {
+		return pipeline.FailTransform(st, fmt.Errorf("overapprox: %w", err))
+	}
+	st.Kind = kind
+	st.SpanWork = int64(src.NumNodes())
+	if kind == translate.KindRealToFP {
+		// Real constraints never certify: FP rounding both adds and
+		// removes solutions, so no float sort is exact. A linearized
+		// nonlinear real constraint still profits from the linear
+		// fallback; a linear one is already the simplex leg's home turf.
+		if st.Abstracted == nil {
+			return pipeline.FailTransform(st, errors.New("overapprox: no arbitrage for linear real constraints (no exact bounded sort exists)"))
+		}
+		st.Abstracted = dnfFriendly(st.Abstracted)
+		st.SkipTranslate = true
+		st.SpanNote = "linear fallback (real)"
+		return pipeline.Continue
+	}
+	if !usesIntDivMod(src) {
+		if width, hints, root, ok := certify(src, st.Cfg.Limits); ok {
+			st.Width = width
+			st.Hints = hints
+			st.Root = root
+			st.WidthCertified = true
+			st.SpanNote = fmt.Sprintf("certified width=%d root=%d", width, root)
+			return pipeline.Continue
+		}
+	}
+	if st.Abstracted != nil {
+		st.Abstracted = dnfFriendly(st.Abstracted)
+		st.SkipTranslate = true
+		st.SpanNote = "linear fallback (int)"
+		return pipeline.Continue
+	}
+	return pipeline.FailTransform(st, errors.New("overapprox: no a-priori bound certificate and no abstraction to fall back to"))
+}
+
+// dnfFriendly trims top-level implications from the abstraction before
+// the linear-fallback solve: the unbounded engines expand boolean
+// structure to DNF under a small case cap, and the eager axiom block is
+// implication-heavy enough to blow past it on every instance. Dropping
+// assertions only enlarges the solution set, so the over-approximation
+// direction survives; the unconditional axioms (squares, interval
+// products) carry the refutations this path targets.
+func dnfFriendly(c *smt.Constraint) *smt.Constraint {
+	kept := make([]*smt.Term, 0, len(c.Assertions))
+	for _, a := range c.Assertions {
+		if a.Op == smt.OpImplies {
+			continue
+		}
+		kept = append(kept, a)
+	}
+	if len(kept) == len(c.Assertions) {
+		return c
+	}
+	return &smt.Constraint{Logic: c.Logic, Builder: c.Builder, Vars: c.Vars, Assertions: kept}
+}
+
+// usesIntDivMod reports whether any assertion applies integer division or
+// modulo — the operators whose bitvector counterparts (bvsdiv/bvsmod
+// truncation) diverge from SMT-LIB's Euclidean semantics regardless of
+// width, breaking exactness.
+func usesIntDivMod(c *smt.Constraint) bool {
+	found := false
+	for _, a := range c.Assertions {
+		a.Walk(func(t *smt.Term) bool {
+			if t.Op == smt.OpIntDiv || t.Op == smt.OpMod {
+				found = true
+				return false
+			}
+			return true
+		})
+		if found {
+			break
+		}
+	}
+	return found
+}
+
+// certify attempts to derive a complete bitvector width for c. On
+// success it returns the width to translate at, per-variable range hints
+// (nil for the small-model path), and the raw sound root width.
+func certify(c *smt.Constraint, lim absint.Limits) (int, map[string]int, int, bool) {
+	maxW := lim.MaxWidth
+	if maxW <= 0 {
+		maxW = 64
+	}
+	minW := lim.MinWidth
+	if minW <= 0 {
+		minW = 4
+	}
+	atoms, complete := collectAtoms(c.Assertions)
+	iv := propagate(intVarNames(c.Vars), atoms)
+
+	x := 1
+	hints := map[string]int{}
+	allBounded := true
+	for _, v := range c.Vars {
+		if v.Sort.Kind != smt.KindInt {
+			continue
+		}
+		bounds := iv[v.Name]
+		if bounds == nil || bounds.lo == nil || bounds.hi == nil {
+			allBounded = false
+			break
+		}
+		hw := boundWidth(bounds)
+		hints[v.Name] = hw
+		if hw > x {
+			x = hw
+		}
+	}
+	if !allBounded {
+		if !complete {
+			return 0, nil, 0, false
+		}
+		bits := smallModelBits(c, atoms)
+		if bits <= 0 || bits > maxW {
+			return 0, nil, 0, false
+		}
+		x = bits
+		hints = nil
+	}
+	inf := absint.InferIntWith(c, x, absint.SemSound)
+	if inf.Root > maxW {
+		return 0, nil, 0, false
+	}
+	width := inf.Root
+	if width < minW {
+		// Widening preserves completeness; narrowing never would.
+		width = minW
+	}
+	return width, hints, inf.Root, true
+}
+
+// boundWidth is the signed bitvector width that holds every value of the
+// interval: [-2^(w-1), 2^(w-1)-1] ⊇ [lo, hi].
+func boundWidth(b *ivl) int {
+	w := maxInt(magBits(b.lo), magBits(b.hi)) + 1
+	if w < 2 {
+		w = 2
+	}
+	return w
+}
+
+func magBits(z *big.Int) int {
+	return new(big.Int).Abs(z).BitLen()
+}
+
+// smallModelBits is the Papadimitriou bound: an integer system of m
+// linear atoms over n variables with coefficients/constants of magnitude
+// at most a that is satisfiable has a solution with every component at
+// most n·(m·a)^(2m+1) in magnitude. The returned width holds that bound
+// as a signed value; systems of any realistic size exceed 64 bits and
+// fail certification, which is expected — the bound exists for the tiny
+// systems where it genuinely completes the solve.
+func smallModelBits(c *smt.Constraint, atoms []linAtom) int {
+	n := 0
+	for _, v := range c.Vars {
+		if v.Sort.Kind == smt.KindInt {
+			n++
+		}
+	}
+	if n == 0 {
+		return 1
+	}
+	m := len(atoms)
+	if m == 0 {
+		return 2
+	}
+	a := big.NewInt(1)
+	for _, at := range atoms {
+		for _, term := range at.terms {
+			if mag := new(big.Int).Abs(term.coeff); mag.Cmp(a) > 0 {
+				a = mag
+			}
+		}
+		if mag := new(big.Int).Abs(at.k); mag.Cmp(a) > 0 {
+			a = mag
+		}
+	}
+	// Cheap overflow guard before computing the exact power: the width is
+	// roughly (2m+1)·log2(m·a)+log2(n); far past any usable ceiling means
+	// no certificate without the big exponentiation.
+	ma := new(big.Int).Mul(big.NewInt(int64(m)), a)
+	if approx := (2*m+1)*ma.BitLen() + 8; approx > 4096 {
+		return approx
+	}
+	bound := new(big.Int).Exp(ma, big.NewInt(int64(2*m+1)), nil)
+	bound.Mul(bound, big.NewInt(int64(n)))
+	return bound.BitLen() + 1
+}
+
+// ivl is a (possibly half-open) integer interval; a nil side is
+// unbounded.
+type ivl struct {
+	lo, hi *big.Int
+}
+
+// linAtom is a normalized linear inequality Σ coeff_i·x_i ≤ k.
+type linAtom struct {
+	terms []linTerm
+	k     *big.Int
+}
+
+type linTerm struct {
+	name  string
+	coeff *big.Int
+}
+
+// intVarNames lists the integer variables of a declaration list.
+func intVarNames(vars []*smt.Term) []string {
+	var names []string
+	for _, v := range vars {
+		if v.Sort.Kind == smt.KindInt {
+			names = append(names, v.Name)
+		}
+	}
+	return names
+}
+
+// deriveIntervals runs the full interval propagation over a term list —
+// the hook linearize-nia uses to bound products from the constraint's own
+// atoms.
+func deriveIntervals(vars []*smt.Term, assertions []*smt.Term) map[string]*ivl {
+	atoms, _ := collectAtoms(assertions)
+	return propagate(intVarNames(vars), atoms)
+}
+
+// collectAtoms flattens every assertion's top-level conjunction and
+// normalizes each conjunct into ≤-atoms. The second return reports
+// whether EVERY conjunct normalized — required for the small-model bound,
+// which speaks about pure linear systems; propagation is sound on any
+// subset (a bound implied by some conjuncts is implied by all of them).
+func collectAtoms(assertions []*smt.Term) ([]linAtom, bool) {
+	var atoms []linAtom
+	complete := true
+	var conjunct func(t *smt.Term)
+	conjunct = func(t *smt.Term) {
+		if t.Op == smt.OpAnd {
+			for _, a := range t.Args {
+				conjunct(a)
+			}
+			return
+		}
+		if t.Op == smt.OpTrue {
+			return
+		}
+		parsed, ok := normalizeCmp(t, false)
+		if !ok {
+			complete = false
+			return
+		}
+		atoms = append(atoms, parsed...)
+	}
+	for _, a := range assertions {
+		conjunct(a)
+	}
+	return atoms, complete
+}
+
+// normalizeCmp turns a (possibly negated) comparison into ≤-atoms.
+// Chained (n-ary) comparisons decompose pairwise; negated chains would be
+// disjunctions and are skipped.
+func normalizeCmp(t *smt.Term, neg bool) ([]linAtom, bool) {
+	switch t.Op {
+	case smt.OpNot:
+		return normalizeCmp(t.Args[0], !neg)
+	case smt.OpLe, smt.OpLt, smt.OpGe, smt.OpGt, smt.OpEq:
+	default:
+		return nil, false
+	}
+	if len(t.Args) > 2 && neg {
+		return nil, false
+	}
+	var atoms []linAtom
+	for i := 0; i+1 < len(t.Args); i++ {
+		lhs, lk, ok := linComb(t.Args[i])
+		if !ok {
+			return nil, false
+		}
+		rhs, rk, ok := linComb(t.Args[i+1])
+		if !ok {
+			return nil, false
+		}
+		// diff = lhs - rhs (+ constant dk); atom forms are diff ≤ K.
+		diff := combineScaled(lhs, rhs, big.NewInt(-1))
+		dk := new(big.Int).Sub(lk, rk)
+		op := t.Op
+		if neg {
+			// ¬(a ≤ b) ≡ a > b, etc.
+			switch op {
+			case smt.OpLe:
+				op = smt.OpGt
+			case smt.OpLt:
+				op = smt.OpGe
+			case smt.OpGe:
+				op = smt.OpLt
+			case smt.OpGt:
+				op = smt.OpLe
+			case smt.OpEq:
+				return nil, false // disequality: a disjunction, not an atom
+			}
+		}
+		switch op {
+		case smt.OpLe: // diff + dk ≤ 0
+			atoms = append(atoms, makeAtom(diff, new(big.Int).Neg(dk)))
+		case smt.OpLt: // diff + dk ≤ -1
+			atoms = append(atoms, makeAtom(diff, new(big.Int).Sub(new(big.Int).Neg(dk), big.NewInt(1))))
+		case smt.OpGe: // -(diff) - dk ≤ 0
+			atoms = append(atoms, makeAtom(negateComb(diff), new(big.Int).Set(dk)))
+		case smt.OpGt: // -(diff) - dk ≤ -1
+			atoms = append(atoms, makeAtom(negateComb(diff), new(big.Int).Sub(dk, big.NewInt(1))))
+		case smt.OpEq:
+			atoms = append(atoms, makeAtom(diff, new(big.Int).Neg(dk)))
+			atoms = append(atoms, makeAtom(negateComb(diff), new(big.Int).Set(dk)))
+		}
+	}
+	return atoms, true
+}
+
+// makeAtom freezes a coefficient map into a deterministic atom (terms
+// sorted by variable name, zero coefficients dropped).
+func makeAtom(coeffs map[string]*big.Int, k *big.Int) linAtom {
+	names := make([]string, 0, len(coeffs))
+	for name, c := range coeffs {
+		if c.Sign() != 0 {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	terms := make([]linTerm, len(names))
+	for i, name := range names {
+		terms[i] = linTerm{name: name, coeff: coeffs[name]}
+	}
+	return linAtom{terms: terms, k: k}
+}
+
+func negateComb(coeffs map[string]*big.Int) map[string]*big.Int {
+	out := make(map[string]*big.Int, len(coeffs))
+	for name, c := range coeffs {
+		out[name] = new(big.Int).Neg(c)
+	}
+	return out
+}
+
+// combineScaled returns a + scale·b over coefficient maps.
+func combineScaled(a, b map[string]*big.Int, scale *big.Int) map[string]*big.Int {
+	out := make(map[string]*big.Int, len(a)+len(b))
+	for name, c := range a {
+		out[name] = new(big.Int).Set(c)
+	}
+	for name, c := range b {
+		add := new(big.Int).Mul(c, scale)
+		if prev, ok := out[name]; ok {
+			out[name] = new(big.Int).Add(prev, add)
+		} else {
+			out[name] = add
+		}
+	}
+	return out
+}
+
+// linComb decomposes an integer term into Σ coeff·var + k. Products fold
+// literal factors into the coefficient; a product of two variable parts
+// is nonlinear and fails the decomposition.
+func linComb(t *smt.Term) (map[string]*big.Int, *big.Int, bool) {
+	switch t.Op {
+	case smt.OpIntConst:
+		return map[string]*big.Int{}, t.IntVal, true
+	case smt.OpVar:
+		if t.Sort.Kind != smt.KindInt {
+			return nil, nil, false
+		}
+		return map[string]*big.Int{t.Name: big.NewInt(1)}, big.NewInt(0), true
+	case smt.OpNeg:
+		m, k, ok := linComb(t.Args[0])
+		if !ok {
+			return nil, nil, false
+		}
+		return negateComb(m), new(big.Int).Neg(k), true
+	case smt.OpAdd:
+		m, k, ok := linComb(t.Args[0])
+		if !ok {
+			return nil, nil, false
+		}
+		m = combineScaled(m, nil, nil)
+		k = new(big.Int).Set(k)
+		for _, a := range t.Args[1:] {
+			am, ak, ok := linComb(a)
+			if !ok {
+				return nil, nil, false
+			}
+			m = combineScaled(m, am, big.NewInt(1))
+			k.Add(k, ak)
+		}
+		return m, k, true
+	case smt.OpSub:
+		m, k, ok := linComb(t.Args[0])
+		if !ok {
+			return nil, nil, false
+		}
+		m = combineScaled(m, nil, nil)
+		k = new(big.Int).Set(k)
+		for _, a := range t.Args[1:] {
+			am, ak, ok := linComb(a)
+			if !ok {
+				return nil, nil, false
+			}
+			m = combineScaled(m, am, big.NewInt(-1))
+			k.Sub(k, ak)
+		}
+		return m, k, true
+	case smt.OpMul:
+		scale := big.NewInt(1)
+		var varPart map[string]*big.Int
+		varK := big.NewInt(0)
+		for _, a := range t.Args {
+			am, ak, ok := linComb(a)
+			if !ok {
+				return nil, nil, false
+			}
+			if len(am) == 0 {
+				scale = new(big.Int).Mul(scale, ak)
+				continue
+			}
+			if varPart != nil {
+				return nil, nil, false // nonlinear
+			}
+			varPart, varK = am, ak
+		}
+		if varPart == nil {
+			return map[string]*big.Int{}, scale, true
+		}
+		out := make(map[string]*big.Int, len(varPart))
+		for name, c := range varPart {
+			out[name] = new(big.Int).Mul(c, scale)
+		}
+		return out, new(big.Int).Mul(varK, scale), true
+	}
+	return nil, nil, false
+}
+
+// propagate tightens per-variable intervals to a capped fixpoint: for
+// each atom Σ c_i·x_i ≤ k and each variable x_j, the other terms'
+// minimal contributions bound c_j·x_j from above. Every derived bound is
+// implied by the atom given the bounds it was derived from, so the result
+// is sound at any round count; the cap only bounds work on pathological
+// chains that tighten forever.
+func propagate(names []string, atoms []linAtom) map[string]*ivl {
+	iv := make(map[string]*ivl, len(names))
+	for _, name := range names {
+		iv[name] = &ivl{}
+	}
+	for round := 0; round < 16; round++ {
+		changed := false
+		for _, at := range atoms {
+			for j, tj := range at.terms {
+				rest := new(big.Int).Set(at.k)
+				ok := true
+				for i, ti := range at.terms {
+					if i == j {
+						continue
+					}
+					bounds := iv[ti.name]
+					if bounds == nil {
+						ok = false
+						break
+					}
+					// Minimal contribution of c_i·x_i.
+					var minC *big.Int
+					if ti.coeff.Sign() > 0 {
+						if bounds.lo == nil {
+							ok = false
+							break
+						}
+						minC = new(big.Int).Mul(ti.coeff, bounds.lo)
+					} else {
+						if bounds.hi == nil {
+							ok = false
+							break
+						}
+						minC = new(big.Int).Mul(ti.coeff, bounds.hi)
+					}
+					rest.Sub(rest, minC)
+				}
+				if !ok {
+					continue
+				}
+				bounds := iv[tj.name]
+				if bounds == nil {
+					continue
+				}
+				if tj.coeff.Sign() > 0 {
+					ub := floorDiv(rest, tj.coeff)
+					if bounds.hi == nil || ub.Cmp(bounds.hi) < 0 {
+						bounds.hi = ub
+						changed = true
+					}
+				} else {
+					lb := ceilDiv(rest, tj.coeff)
+					if bounds.lo == nil || lb.Cmp(bounds.lo) > 0 {
+						bounds.lo = lb
+						changed = true
+					}
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return iv
+}
+
+// floorDiv and ceilDiv are exact rounded divisions for b ≠ 0.
+func floorDiv(a, b *big.Int) *big.Int {
+	q, r := new(big.Int).QuoRem(a, b, new(big.Int))
+	if r.Sign() != 0 && (a.Sign() < 0) != (b.Sign() < 0) {
+		q.Sub(q, big.NewInt(1))
+	}
+	return q
+}
+
+func ceilDiv(a, b *big.Int) *big.Int {
+	q, r := new(big.Int).QuoRem(a, b, new(big.Int))
+	if r.Sign() != 0 && (a.Sign() < 0) == (b.Sign() < 0) {
+		q.Add(q, big.NewInt(1))
+	}
+	return q
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

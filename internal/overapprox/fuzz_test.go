@@ -1,0 +1,64 @@
+package overapprox_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"staub/internal/pipeline"
+	"staub/internal/smt"
+	"staub/internal/status"
+)
+
+// FuzzOverApproxPipeline drives arbitrary scripts through the
+// over-approximating assembly (linearize-nia → infer-apriori-bounds →
+// the bounded backend). Whatever the input, the chain must not panic,
+// and the verdict must obey the direction lattice: the reported status
+// is exactly what SoundStatus derives from the outcome and direction,
+// so an unsat can never leak out of a chain that shrank the solution
+// set. Seeds concentrate on the linearizer's hard cases: deep product
+// chains, repeated factors, literal coefficients, div/mod, mixed
+// sorts, hostile variable names and implication-shaped axioms.
+func FuzzOverApproxPipeline(f *testing.F) {
+	seeds := []string{
+		"(set-logic QF_NIA)(declare-fun x () Int)(assert (= (* x x) 7))(check-sat)",
+		"(set-logic QF_NIA)(declare-fun x () Int)(declare-fun y () Int)(assert (< (+ (* x x) (* y y)) (- 3)))(check-sat)",
+		"(set-logic QF_NIA)(declare-fun x () Int)(declare-fun y () Int)(declare-fun z () Int)(assert (= (* x y z x) 17))(check-sat)",
+		"(set-logic QF_NIA)(declare-fun x () Int)(assert (> (* 3 x) (* 4 x)))(assert (>= x 0))(assert (<= x 9))(check-sat)",
+		"(set-logic QF_NIA)(declare-fun x () Int)(assert (= (mod (* x x) 5) 3))(check-sat)",
+		"(set-logic QF_NIA)(declare-fun x () Int)(assert (= (div x 3) (* x x)))(check-sat)",
+		"(set-logic QF_NIA)(declare-fun |_staub_mul_0| () Int)(declare-fun x () Int)(assert (= (* x x) |_staub_mul_0|))(assert (< |_staub_mul_0| 0))(check-sat)",
+		"(set-logic QF_NRA)(declare-fun a () Real)(assert (< (* a a) (- 1.0)))(check-sat)",
+		"(declare-fun i () Int)(declare-fun r () Real)(assert (> i 0))(assert (< r 1.5))(check-sat)",
+		"(set-logic QF_NIA)(declare-fun p () Bool)(declare-fun x () Int)(assert (=> p (= (* x x) 4)))(assert p)(check-sat)",
+		"(set-logic QF_NIA)(declare-fun x () Int)(assert (= (* x x x x x x x x) (- 2)))(check-sat)",
+		"(set-logic QF_LIA)(declare-fun x () Int)(assert (= (* 2 x) 1))(check-sat)",
+		"(set-logic QF_NIA)(declare-fun x () Int)(declare-fun y () Int)(assert (>= x 0))(assert (<= x 10))(assert (= y (* x x)))(assert (> y 200))(check-sat)",
+		"(set-logic QF_NIA)(declare-fun x () Int)(assert (distinct (* x x) (* x x)))(check-sat)",
+		"(set-logic QF_NIA)(declare-fun x () Int)(assert (let ((s (* x x))) (and (> s 3) (< s 3))))(check-sat)",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := smt.ParseScript(src)
+		if err != nil || c == nil {
+			return
+		}
+		cfg := pipeline.Config{Timeout: 100 * time.Millisecond, Deterministic: true, OverApprox: true}
+		res := pipeline.Run(context.Background(), c, cfg, nil)
+		if res.Fault != "" {
+			return // contained faults carry no verdict to check
+		}
+		if got := pipeline.SoundStatus(res.Outcome, res.Direction); got != res.Status {
+			t.Fatalf("status %v diverges from SoundStatus(%v, %v) = %v\nscript:\n%s",
+				res.Status, res.Outcome, res.Direction, got, src)
+		}
+		if res.Status == status.Unsat && res.Direction == pipeline.DirUnder {
+			t.Fatalf("unsat verdict from an under-approximating chain\nscript:\n%s", src)
+		}
+		if res.Status == status.Sat && res.Outcome != pipeline.OutcomeVerified {
+			t.Fatalf("sat verdict without model verification (outcome %v)\nscript:\n%s", res.Outcome, src)
+		}
+	})
+}

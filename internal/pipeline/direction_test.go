@@ -1,0 +1,118 @@
+package pipeline
+
+import (
+	"testing"
+	"time"
+
+	"staub/internal/status"
+)
+
+// TestSoundStatusMatrix pins the soundness rule for EVERY (Outcome,
+// Direction) pair: a verified model is sat regardless of direction
+// (verification re-checks against the original), an unsat-flavored
+// outcome is a real unsat only when the chain never shrank the solution
+// set (over/exact), and everything else concludes nothing.
+func TestSoundStatusMatrix(t *testing.T) {
+	outcomes := []Outcome{
+		OutcomeVerified, OutcomeBoundedUnsat, OutcomeSemanticDifference,
+		OutcomeBoundedUnknown, OutcomeTransformFailed, OutcomeNarrowUnsat,
+		OutcomeNoReduction, OutcomeUnknown, OutcomeError,
+	}
+	directions := []Direction{DirUnder, DirOver, DirExact}
+	for _, o := range outcomes {
+		for _, d := range directions {
+			want := status.Unknown
+			switch {
+			case o == OutcomeVerified:
+				want = status.Sat
+			case (o == OutcomeBoundedUnsat || o == OutcomeNarrowUnsat) && d != DirUnder:
+				want = status.Unsat
+			}
+			if got := SoundStatus(o, d); got != want {
+				t.Errorf("SoundStatus(%v, %v) = %v, want %v", o, d, got, want)
+			}
+		}
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	want := map[Direction]string{
+		DirUnder:       "under",
+		DirOver:        "over",
+		DirExact:       "exact",
+		Direction(127): "under", // unknown values default to the sound floor
+	}
+	for d, s := range want {
+		if d.String() != s {
+			t.Errorf("Direction(%d).String() = %q, want %q", int(d), d.String(), s)
+		}
+	}
+	// The zero value must be the historical under-approximation: every
+	// pre-lattice assembly seeded no direction and must stay unsound on
+	// unsat.
+	var zero Direction
+	if zero != DirUnder {
+		t.Fatalf("zero Direction = %v, want under", zero)
+	}
+}
+
+// TestComposeDirection pins the lattice: exact is the identity, equal
+// directions compose to themselves, and mixing under with over collapses
+// to under — a chain that both shrank and grew the solution set proves
+// nothing in either direction.
+func TestComposeDirection(t *testing.T) {
+	cases := []struct{ a, b, want Direction }{
+		{DirExact, DirExact, DirExact},
+		{DirExact, DirUnder, DirUnder},
+		{DirExact, DirOver, DirOver},
+		{DirUnder, DirExact, DirUnder},
+		{DirOver, DirExact, DirOver},
+		{DirUnder, DirUnder, DirUnder},
+		{DirOver, DirOver, DirOver},
+		{DirUnder, DirOver, DirUnder},
+		{DirOver, DirUnder, DirUnder},
+	}
+	for _, c := range cases {
+		if got := ComposeDirection(c.a, c.b); got != c.want {
+			t.Errorf("ComposeDirection(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+	// Commutativity and associativity over the whole domain, so pass
+	// order can never change a verdict's soundness.
+	all := []Direction{DirUnder, DirOver, DirExact}
+	for _, a := range all {
+		for _, b := range all {
+			if ComposeDirection(a, b) != ComposeDirection(b, a) {
+				t.Errorf("compose not commutative at (%v, %v)", a, b)
+			}
+			for _, c := range all {
+				l := ComposeDirection(ComposeDirection(a, b), c)
+				r := ComposeDirection(a, ComposeDirection(b, c))
+				if l != r {
+					t.Errorf("compose not associative at (%v, %v, %v)", a, b, c)
+				}
+			}
+		}
+	}
+}
+
+// TestExecStampsDirection: the executor must copy the state's composed
+// direction onto the result, and the historical Figure-3 chain must
+// always come out as the under default — its unsat outcomes stay
+// inconclusive exactly as before the lattice refactor.
+func TestExecStampsDirection(t *testing.T) {
+	c := parse(t, satSrc)
+	res := Run(t.Context(), c, Config{Timeout: time.Second, Deterministic: true}, nil)
+	if res.Direction != DirUnder {
+		t.Fatalf("under pipeline reported direction %v", res.Direction)
+	}
+	unsat := parse(t, `
+		(set-logic QF_NIA)
+		(declare-fun x () Int)
+		(assert (= (* x x) 7))
+		(check-sat)`)
+	res = Run(t.Context(), unsat, Config{Timeout: time.Second, Deterministic: true}, nil)
+	if res.Status != status.Unknown {
+		t.Fatalf("under-approximating chain reported a definitive %v on bounded-unsat", res.Status)
+	}
+}

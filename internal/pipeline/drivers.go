@@ -8,6 +8,7 @@ import (
 	"staub/internal/metrics"
 	"staub/internal/smt"
 	"staub/internal/solver"
+	"staub/internal/status"
 	"staub/internal/translate"
 )
 
@@ -51,6 +52,47 @@ func RefineMetricsSnapshot() map[string]int64 {
 	}
 }
 
+// Package-level over-approximation counters, exported to /metrics and
+// `staub-bench -v` through RegisterOverApproxMetrics. RunOverApprox
+// derives them from the finished run's state, so the overapprox passes
+// themselves stay metrics-free (and importable without a cycle).
+var (
+	overRuns           metrics.Counter
+	overLinearized     metrics.Counter
+	overCertified      metrics.Counter
+	overLinearFallback metrics.Counter
+	overSoundUnsat     metrics.Counter
+	overVerifiedSat    metrics.Counter
+	overReverts        metrics.Counter
+)
+
+// RegisterOverApproxMetrics exposes the over-approximation counters
+// through reg.
+func RegisterOverApproxMetrics(reg *metrics.Registry) {
+	reg.RegisterCounter("staub_overapprox_runs_total", nil, &overRuns)
+	reg.RegisterCounter("staub_overapprox_linearized_total", nil, &overLinearized)
+	reg.RegisterCounter("staub_overapprox_width_certified_total", nil, &overCertified)
+	reg.RegisterCounter("staub_overapprox_linear_fallback_total", nil, &overLinearFallback)
+	reg.RegisterCounter("staub_overapprox_sound_unsat_total", nil, &overSoundUnsat)
+	reg.RegisterCounter("staub_overapprox_verified_sat_total", nil, &overVerifiedSat)
+	reg.RegisterCounter("staub_overapprox_reverts_total", nil, &overReverts)
+}
+
+// OverApproxMetricsSnapshot reports the current over-approximation
+// counter values (runs, linearized, width certified, linear fallback,
+// sound unsat, verified sat, reverts) for CLI summaries.
+func OverApproxMetricsSnapshot() map[string]int64 {
+	return map[string]int64{
+		"runs":            overRuns.Value(),
+		"linearized":      overLinearized.Value(),
+		"width_certified": overCertified.Value(),
+		"linear_fallback": overLinearFallback.Value(),
+		"sound_unsat":     overSoundUnsat.Value(),
+		"verified_sat":    overVerifiedSat.Value(),
+		"reverts":         overReverts.Value(),
+	}
+}
+
 // BackstopDeadline bounds the wall-clock time of a deterministic run:
 // work budgets terminate the search deterministically, and the clock is
 // kept only as a generous safety net against pathological slowdowns (a
@@ -73,6 +115,9 @@ func Run(ctx context.Context, c *smt.Constraint, cfg Config, interrupt *atomic.B
 	deadline := time.Now().Add(cfg.Timeout)
 	if cfg.Deterministic {
 		deadline = BackstopDeadline(cfg.Timeout)
+	}
+	if cfg.OverApprox {
+		return RunOverApprox(ctx, c, cfg, deadline, interrupt)
 	}
 	if cfg.RefineRounds <= 0 || cfg.FixedWidth > 0 {
 		return RunOnce(ctx, c, cfg, deadline, interrupt)
@@ -238,6 +283,42 @@ func RunSession(ctx context.Context, c *smt.Constraint, cfg Config, deadline tim
 	refineGateHits.Add(reuse.GateHits)
 	refineGateMisses.Add(reuse.GateMisses)
 	refineVarsReused.Add(reuse.VarsReused)
+	return *res
+}
+
+// RunOverApprox is a single over-approximating round: linearize
+// nonlinear multiplication, certify a-priori bounds for the linear
+// fragment, then translate+solve+verify per OverApproxPassNames. The
+// state starts at DirExact — every pass composes its own direction onto
+// the chain, so the result's direction reflects exactly the
+// transformations that actually ran: DirExact when a certified width made
+// bounded solving complete, DirOver when the axiom-instantiated
+// linearization (or the linear fallback over it) did the arbitrage, and
+// a revert (transform-failed) when neither applies.
+func RunOverApprox(ctx context.Context, c *smt.Constraint, cfg Config, deadline time.Time, interrupt *atomic.Bool) Result {
+	overRuns.Inc()
+	st := NewState(ctx, c, cfg, deadline, interrupt)
+	st.Direction = DirExact
+	Exec(st, MustPasses(OverApproxPassNames(st.Cfg)...))
+	res := st.Res
+	res.Total = res.TTrans + res.TPost + res.TCheck
+	if st.Abstracted != nil {
+		overLinearized.Inc()
+	}
+	if st.WidthCertified {
+		overCertified.Inc()
+	}
+	if st.SkipTranslate {
+		overLinearFallback.Inc()
+	}
+	switch {
+	case res.Status == status.Unsat:
+		overSoundUnsat.Inc()
+	case res.Outcome == OutcomeVerified:
+		overVerifiedSat.Inc()
+	default:
+		overReverts.Inc()
+	}
 	return *res
 }
 

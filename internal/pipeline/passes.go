@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"staub/internal/absint"
+	"staub/internal/eval"
 	"staub/internal/slot"
 	"staub/internal/smt"
 	"staub/internal/solver"
@@ -35,6 +36,15 @@ func failTransform(st *State, err error) Verdict {
 	st.Err = err
 	st.SpanNote = err.Error()
 	return Stop
+}
+
+// FailTransform ends the round as transform-failed with the shared
+// accounting, exported so out-of-package passes (internal/overapprox)
+// revert exactly like the built-in transforms — including under injected
+// chaos faults, where a graceful transform-failed must never become a
+// verdict flip or a degradation.
+func FailTransform(st *State, err error) Verdict {
+	return failTransform(st, err)
 }
 
 // passInferBounds classifies the constraint's theory and selects the
@@ -104,21 +114,48 @@ func passRangeHints(st *State) Verdict {
 }
 
 // passTranslate rewrites the constraint into the selected bounded sorts
-// (Figure 3, step 2).
+// (Figure 3, step 2). The source is the linearized abstraction when an
+// earlier pass installed one, the original otherwise. When the
+// over-approximating assembly chose the linear fallback (SkipTranslate),
+// the pass installs the abstraction itself as the "bounded" form — the
+// solver dispatches Int/Real-sorted constraints to the unbounded linear
+// engines — with an identity model-back.
+//
+// Direction: an int→BV translation whose width was a-priori certified is
+// exact (every solution of the source fits the width); every other
+// translation — uncertified widths, range hints, real→FP rounding — is an
+// under-approximating step.
 func passTranslate(st *State) Verdict {
+	src := st.Original
+	if st.Abstracted != nil {
+		src = st.Abstracted
+	}
+	if st.SkipTranslate {
+		st.Bounded = src
+		st.ModelBack = func(m eval.Assignment) (eval.Assignment, error) { return m, nil }
+		st.Res.InferredRoot = st.Root
+		st.SpanWork = int64(src.NumNodes())
+		st.SpanNote = "skipped (linear form)"
+		return Continue
+	}
 	var (
 		tr  *translate.Result
 		err error
 	)
 	switch st.Kind {
 	case translate.KindIntToBV:
-		tr, err = translate.IntToBVWithHints(st.Original, st.Width, st.Hints)
+		tr, err = translate.IntToBVWithHints(src, st.Width, st.Hints)
 	default:
-		tr, err = translate.RealToFP(st.Original, st.FPSort)
+		tr, err = translate.RealToFP(src, st.FPSort)
 	}
 	st.Translated = tr
 	if err != nil {
 		return failTransform(st, err)
+	}
+	if st.WidthCertified {
+		st.Direction = ComposeDirection(st.Direction, DirExact)
+	} else {
+		st.Direction = ComposeDirection(st.Direction, DirUnder)
 	}
 	st.Bounded = tr.Bounded
 	st.ModelBack = tr.ModelBack
@@ -230,7 +267,10 @@ func SolveBounded(st *State, transWork int64) Verdict {
 		return Continue
 	case status.Unsat:
 		res.Outcome = st.UnsatOutcome
-		res.Status = status.Unknown
+		// Unsat soundness follows the approximation direction: an
+		// over-approximating or exact run proved the original unsat; an
+		// under-approximating run proved nothing.
+		res.Status = SoundStatus(st.UnsatOutcome, st.Direction)
 	default:
 		res.Outcome = st.UnknownOutcome
 		res.Status = status.Unknown
@@ -246,6 +286,11 @@ func passVerifyModel(st *State) Verdict {
 	cfg, res := st.Cfg, st.Res
 	t2 := time.Now()
 	model, err := st.ModelBack(st.Solve.Model)
+	if err == nil && st.AbstractBack != nil {
+		// Project the abstraction's model back onto the original's
+		// variables (drop fresh product variables) before verifying.
+		model, err = st.AbstractBack(model)
+	}
 	verified := err == nil && solver.VerifyModel(st.Original, model)
 	if cfg.Deterministic {
 		res.TCheck += solver.VirtualDuration(int64(st.Original.NumNodes()))

@@ -97,6 +97,16 @@ type Config struct {
 	// exchange learned clauses with LBD at most this value (default 2,
 	// the classic glue tier; negative disables sharing).
 	CubeShareLBD int
+	// OverApprox switches Run to the over-approximating assembly
+	// (linearize-nia, infer-apriori-bounds, translate, bounded-solve,
+	// verify-model): nonlinear products are abstracted away with eager
+	// axiom instantiation and widths are certified complete from a-priori
+	// bounds, so a bounded-unsat outcome is a sound unsat for the
+	// original. The portfolio races it as a fourth leg when set.
+	// FixedWidth, RefineRounds and CubeVars do not apply to this
+	// assembly: a fixed or narrowed width would break the completeness
+	// certificate the sound unsat rests on.
+	OverApprox bool
 }
 
 // WithDefaults fills unset fields with their defaults.
@@ -153,6 +163,34 @@ type State struct {
 	// Round is the refinement round (0 for single-shot runs); recorded
 	// into spans.
 	Round int
+
+	// Direction is the approximation direction composed so far: drivers
+	// seed it (DirUnder for the historical assemblies, DirExact for the
+	// over-approximating one) and each approximating pass composes its
+	// own direction on via ComposeDirection. Exec stamps the final value
+	// into Res.Direction.
+	Direction Direction
+	// Abstracted, when set, replaces Original as the translation source:
+	// the linearize-nia pass stores its linear abstraction here so the
+	// downstream passes bound and solve the abstraction while
+	// verification still targets Original.
+	Abstracted *smt.Constraint
+	// AbstractBack maps a model of the Abstracted constraint onto the
+	// original variables (dropping fresh product/alias variables);
+	// verify-model composes it after ModelBack. Nil when no abstraction
+	// ran.
+	AbstractBack func(eval.Assignment) (eval.Assignment, error)
+	// WidthCertified reports that infer-apriori-bounds certified the
+	// selected width complete for the translation source: every solution
+	// of the source fits the width with no overflow, so translation is
+	// DirExact instead of DirUnder.
+	WidthCertified bool
+	// SkipTranslate makes the translate pass hand the (abstracted)
+	// constraint to bounded-solve in its unbounded linear form instead of
+	// translating to bitvectors — the over-approximating assembly's
+	// fallback when no complete width exists but the linear abstraction
+	// is still cheaper to refute than the original.
+	SkipTranslate bool
 
 	// Kind classifies the original constraint (set by infer-bounds).
 	Kind translate.Kind
@@ -243,6 +281,8 @@ const (
 	PassBoundedSolve  = "bounded-solve"
 	PassCubeSolve     = "cube-solve"
 	PassVerifyModel   = "verify-model"
+	PassLinearizeNIA  = "linearize-nia"
+	PassInferApriori  = "infer-apriori-bounds"
 )
 
 var (
@@ -306,6 +346,11 @@ func MustPasses(names ...string) []Pass {
 // ends. Every pass execution updates the aggregate per-pass metrics; when
 // Cfg.Trace is set each execution also appends a Span to st.Res.Trace.
 func Exec(st *State, passes []Pass) {
+	defer func() {
+		if st.Res != nil {
+			st.Res.Direction = st.Direction
+		}
+	}()
 	for _, p := range passes {
 		if runPass(st, p) == Stop {
 			return
@@ -483,4 +528,22 @@ func Figure3PassNames(cfg Config) []string {
 		solve = PassCubeSolve
 	}
 	return append(names, solve, PassVerifyModel)
+}
+
+// OverApproxPassNames is the pass chain RunOverApprox assembles — the
+// over-approximating pipeline. SLOT and cubing do not apply: both operate
+// on bitvector forms the fallback path never produces, and neither can
+// change a verdict the certification argument depends on.
+func OverApproxPassNames(cfg Config) []string {
+	return []string{PassLinearizeNIA, PassInferApriori, PassTranslate, PassBoundedSolve, PassVerifyModel}
+}
+
+// PassNamesFor resolves the pass chain cfg assembles — the Figure 3
+// pipeline, or the over-approximating assembly when Config.OverApprox is
+// set. The engine derives cache keys from this list.
+func PassNamesFor(cfg Config) []string {
+	if cfg.OverApprox {
+		return OverApproxPassNames(cfg)
+	}
+	return Figure3PassNames(cfg)
 }

@@ -53,6 +53,84 @@ const (
 	OutcomeError
 )
 
+// Direction is the approximation direction of a pipeline run: the
+// relationship between the solution set of the constraint actually solved
+// and the solution set of the original. It decides which verdicts are
+// sound without verification (SoundStatus).
+type Direction int
+
+// Approximation directions. The zero value is DirUnder — the historical
+// STAUB semantics — so every assembly that predates the lattice keeps its
+// behavior without naming a direction.
+const (
+	// DirUnder: the solved constraint admits a subset of the original's
+	// solutions (int→BV with overflow guards, width narrowing, range
+	// hints). Sat models are candidates requiring verification; unsat says
+	// nothing about the original. Real→FP also runs under this direction:
+	// rounding both adds and removes solutions, so FP is not a true
+	// under-approximation, but DirUnder's verdict semantics — trust
+	// nothing without verification — are exactly what it needs.
+	DirUnder Direction = iota
+	// DirOver: the solved constraint admits a superset of the original's
+	// solutions (linearized nonlinear products with axiom instantiation).
+	// Unsat is sound for the original; sat models are candidates
+	// requiring verification.
+	DirOver
+	// DirExact: the solved constraint is equisatisfiable with the
+	// original (a-priori certified widths over the exact linear
+	// fragment). Both verdicts are sound; models are still verified
+	// before being reported, as defense in depth.
+	DirExact
+)
+
+func (d Direction) String() string {
+	switch d {
+	case DirOver:
+		return "over"
+	case DirExact:
+		return "exact"
+	default:
+		return "under"
+	}
+}
+
+// ComposeDirection combines the directions of two approximation steps
+// applied in sequence. Exact is the identity; equal directions compose to
+// themselves; mixing Under and Over yields Under, whose soundness profile
+// claims the least (sat needs verification, unsat proves nothing) — the
+// safe join for a chain whose net direction is indeterminate.
+func ComposeDirection(a, b Direction) Direction {
+	switch {
+	case a == DirExact:
+		return b
+	case b == DirExact:
+		return a
+	case a == b:
+		return a
+	default:
+		return DirUnder
+	}
+}
+
+// SoundStatus derives the verdict a run may soundly report for the
+// ORIGINAL constraint from its outcome and approximation direction.
+// A verified model is sat under every direction (verification is against
+// the original). An unsat approximation (bounded-unsat, narrow-unsat) is
+// sound exactly when the solved constraint over-approximates — every real
+// solution would survive into it — or is exact; under an
+// under-approximation it proves nothing. Every other outcome is a revert.
+func SoundStatus(o Outcome, d Direction) status.Status {
+	switch o {
+	case OutcomeVerified:
+		return status.Sat
+	case OutcomeBoundedUnsat, OutcomeNarrowUnsat:
+		if d == DirOver || d == DirExact {
+			return status.Unsat
+		}
+	}
+	return status.Unknown
+}
+
 // Fault classifications recorded in Result.Fault when a run ends with a
 // contained failure. Empty Fault means a clean run.
 const (
@@ -102,9 +180,16 @@ func (o Outcome) String() string {
 type Result struct {
 	// Outcome classifies the run.
 	Outcome Outcome
-	// Status is Sat when verified; Unknown otherwise (an approximating
-	// pipeline alone never concludes unsat).
+	// Status is the verdict sound for the ORIGINAL constraint, derived
+	// from the outcome and the approximation direction by SoundStatus:
+	// Sat when a model verified, Unsat when an over-approximating or
+	// exact run proved its constraint unsat, Unknown otherwise.
 	Status status.Status
+	// Direction is the approximation direction the run ended with
+	// (composed across its passes). The historical assemblies all run
+	// DirUnder; the over-approximating assembly reports DirOver, or
+	// DirExact when a-priori bounds certified a complete width.
+	Direction Direction
 	// Model is a verified model of the ORIGINAL constraint.
 	Model eval.Assignment
 	// TTrans, TPost and TCheck are the paper's cost components:

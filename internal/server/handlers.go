@@ -59,6 +59,11 @@ type SolveRequest struct {
 	// CubeShareLBD is the glue cutoff for inter-leg clause sharing
 	// (0: default 2; negative disables sharing).
 	CubeShareLBD int `json:"cube_share_lbd,omitempty"`
+	// Over runs the over-approximation leg: linearized nonlinear
+	// multiplication plus a-priori bound certificates, whose
+	// bounded-unsat is a sound unsat (pipeline mode runs that leg alone;
+	// portfolio mode adds it as a racing leg).
+	Over bool `json:"over,omitempty"`
 }
 
 // BatchRequest is the decoded body of POST /v1/batch: the shared knobs of
@@ -75,6 +80,7 @@ type BatchRequest struct {
 	CubeVars      int      `json:"cube_vars,omitempty"`
 	CubeJobs      int      `json:"cube_jobs,omitempty"`
 	CubeShareLBD  int      `json:"cube_share_lbd,omitempty"`
+	Over          bool     `json:"over,omitempty"`
 }
 
 // CostSplit is the paper's per-solve cost decomposition.
@@ -96,10 +102,17 @@ type SolveResponse struct {
 	CacheHit  bool              `json:"cache_hit"`
 	TimedOut  bool              `json:"timed_out,omitempty"`
 	FromSTAUB bool              `json:"from_staub,omitempty"`
-	Width     int               `json:"width,omitempty"`
-	Refined   int               `json:"refined,omitempty"`
-	Cost      CostSplit         `json:"cost"`
-	ElapsedMS float64           `json:"elapsed_ms"`
+	// FromOver marks a portfolio verdict delivered by the
+	// over-approximation leg (a sound unsat or a verified sat).
+	FromOver bool `json:"from_over,omitempty"`
+	// Direction is the approximation direction of the winning pipeline
+	// chain — "under", "over" or "exact" — for pipeline/portfolio
+	// solves; it is what makes an unsat verdict sound.
+	Direction string    `json:"direction,omitempty"`
+	Width     int       `json:"width,omitempty"`
+	Refined   int       `json:"refined,omitempty"`
+	Cost      CostSplit `json:"cost"`
+	ElapsedMS float64   `json:"elapsed_ms"`
 	// Degraded marks a portfolio answer delivered by the unbounded leg
 	// after the STAUB leg faulted (panic, stall, budget exhaustion).
 	Degraded bool `json:"degraded,omitempty"`
@@ -153,7 +166,7 @@ func decodeSolveRequest(contentType string, body []byte, query url.Values) (Solv
 	} else {
 		req.Constraint = string(body)
 	}
-	if err := applyQuery(&req.Mode, &req.Profile, &req.TimeoutMS, &req.Width, &req.SLOT, &req.Deterministic, &req.Trace, &req.CubeVars, &req.CubeJobs, &req.CubeShareLBD, query); err != nil {
+	if err := applyQuery(&req.Mode, &req.Profile, &req.TimeoutMS, &req.Width, &req.SLOT, &req.Deterministic, &req.Trace, &req.CubeVars, &req.CubeJobs, &req.CubeShareLBD, &req.Over, query); err != nil {
 		return req, err
 	}
 	return req, validateKnobs(req.Constraint == "", req.Mode, req.Profile, req.TimeoutMS, req.Width, req.CubeVars, req.CubeJobs, req.CubeShareLBD)
@@ -170,14 +183,14 @@ func decodeBatchRequest(body []byte, query url.Values) (BatchRequest, error) {
 	if dec.More() {
 		return req, errors.New("invalid JSON body: trailing data")
 	}
-	if err := applyQuery(&req.Mode, &req.Profile, &req.TimeoutMS, &req.Width, &req.SLOT, &req.Deterministic, &req.Trace, &req.CubeVars, &req.CubeJobs, &req.CubeShareLBD, query); err != nil {
+	if err := applyQuery(&req.Mode, &req.Profile, &req.TimeoutMS, &req.Width, &req.SLOT, &req.Deterministic, &req.Trace, &req.CubeVars, &req.CubeJobs, &req.CubeShareLBD, &req.Over, query); err != nil {
 		return req, err
 	}
 	return req, validateKnobs(len(req.Constraints) == 0, req.Mode, req.Profile, req.TimeoutMS, req.Width, req.CubeVars, req.CubeJobs, req.CubeShareLBD)
 }
 
 // applyQuery overlays URL query parameters onto decoded body fields.
-func applyQuery(mode, profile *string, timeoutMS *int64, width *int, slot, deterministic, trace *bool, cubeVars, cubeJobs, cubeShareLBD *int, query url.Values) error {
+func applyQuery(mode, profile *string, timeoutMS *int64, width *int, slot, deterministic, trace *bool, cubeVars, cubeJobs, cubeShareLBD *int, over *bool, query url.Values) error {
 	if v := query.Get("mode"); v != "" {
 		*mode = v
 	}
@@ -204,6 +217,9 @@ func applyQuery(mode, profile *string, timeoutMS *int64, width *int, slot, deter
 	}
 	if v := query.Get("trace"); v != "" {
 		*trace = v == "1" || v == "true"
+	}
+	if v := query.Get("over"); v != "" {
+		*over = v == "1" || v == "true"
 	}
 	for _, p := range []struct {
 		name string
@@ -291,7 +307,7 @@ func wallBudget(timeout time.Duration, deterministic bool) time.Duration {
 
 // buildJob compiles request knobs and a parsed constraint into an engine
 // job.
-func buildJob(c *smt.Constraint, mode, profile string, timeout time.Duration, width int, slot, deterministic, trace bool, cubeVars, cubeJobs, cubeShareLBD int) engine.Job {
+func buildJob(c *smt.Constraint, mode, profile string, timeout time.Duration, width int, slot, deterministic, trace bool, cubeVars, cubeJobs, cubeShareLBD int, over bool) engine.Job {
 	prof := solver.Prima
 	if profile == "secunda" {
 		prof = solver.Secunda
@@ -322,6 +338,7 @@ func buildJob(c *smt.Constraint, mode, profile string, timeout time.Duration, wi
 			CubeVars:      cubeVars,
 			CubeJobs:      cubeJobs,
 			CubeShareLBD:  cubeShareLBD,
+			OverApprox:    over,
 		},
 	}
 }
@@ -350,6 +367,8 @@ func (s *Server) buildResponse(id string, j engine.Job, res engine.Result, elaps
 		out.Status = p.Status.String()
 		out.Outcome = p.Pipeline.Outcome.String()
 		out.FromSTAUB = p.FromSTAUB
+		out.FromOver = p.FromOver
+		out.Direction = p.Pipeline.Direction.String()
 		out.Width = p.Pipeline.Width
 		out.Refined = p.Pipeline.Refined
 		out.Cost = costSplit(p.Pipeline)
@@ -369,6 +388,7 @@ func (s *Server) buildResponse(id string, j engine.Job, res engine.Result, elaps
 		p := res.Pipeline
 		out.Status = p.Status.String()
 		out.Outcome = p.Outcome.String()
+		out.Direction = p.Direction.String()
 		out.TimedOut = p.Outcome == core.OutcomeBoundedUnknown
 		out.Width = p.Width
 		out.Refined = p.Refined
@@ -472,7 +492,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	timeout := s.timeout(req.TimeoutMS)
 	cv, cj, cl := s.cubeKnobs(req.CubeVars, req.CubeJobs, req.CubeShareLBD)
-	job := buildJob(c, req.Mode, req.Profile, timeout, req.Width, req.SLOT, req.Deterministic, req.Trace, cv, cj, cl)
+	job := buildJob(c, req.Mode, req.Profile, timeout, req.Width, req.SLOT, req.Deterministic, req.Trace, cv, cj, cl, req.Over || s.cfg.OverApprox)
 	if !s.admit(1) {
 		w.Header().Set("Retry-After", retryAfter(timeout))
 		writeError(w, http.StatusTooManyRequests,
@@ -562,7 +582,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		go func(i int) {
 			defer func() { done <- i }()
 			defer s.release(1)
-			job := buildJob(constraints[i], req.Mode, req.Profile, timeout, req.Width, req.SLOT, req.Deterministic, req.Trace, cv, cj, cl)
+			job := buildJob(constraints[i], req.Mode, req.Profile, timeout, req.Width, req.SLOT, req.Deterministic, req.Trace, cv, cj, cl, req.Over || s.cfg.OverApprox)
 			jt0 := time.Now()
 			res, ran, retried := s.solveWithRetry(ctx, job)
 			if !ran {

@@ -90,6 +90,11 @@ type Config struct {
 	CubeVars     int
 	CubeJobs     int
 	CubeShareLBD int
+	// OverApprox makes every pipeline/portfolio request run the
+	// over-approximation leg by default; individual requests can still
+	// opt in per-request with over=true (they cannot opt out of a
+	// server-wide default — the leg only ever adds a way to win).
+	OverApprox bool
 	// Version is reported by /healthz and the X-Staub-Version header.
 	Version string
 	// Log receives one structured line per request (nil: standard logger).

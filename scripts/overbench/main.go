@@ -1,0 +1,272 @@
+// Command overbench measures what the sound-unsat over-approximation leg
+// buys on refutation-heavy workloads. It writes BENCH_9.json (at the
+// repository root via `make bench`) comparing, per corpus row, the
+// unbounded oracle's deterministic cost of proving unsat against the
+// over-approximating chain (linearize-nia → infer-apriori-bounds →
+// bounded solve), both under the same deterministic budget.
+//
+// Every corpus row is unsat by construction, so the benchmark doubles as
+// a ground-truth gate: either leg reporting sat is a soundness bug and
+// fails hard, and a decided-vs-decided disagreement is impossible to
+// wave through. Rows the oracle cannot refute within budget are the
+// tractability gain the over leg exists for — their oracle cost is "at
+// least the budget", so the row's speedup is a lower bound. The
+// portfolio charging rule applies throughout: the with-over cost of a
+// row is min(oracle, over-chain) when the chain decided, the oracle's
+// cost when it reverted, so a revert costs exactly 1.0x and can only
+// drag the geomean toward honesty, never below it.
+//
+// Gates: byte-identical verdicts across two runs of the over chain
+// (determinism), no sat from either leg, and an unsat-side geomean
+// speedup of at least 1.3x.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"staub/internal/core"
+	"staub/internal/engine"
+	"staub/internal/smt"
+	"staub/internal/solver"
+	"staub/internal/status"
+)
+
+// timeout is the deterministic per-leg budget (virtual time).
+const timeout = 1500 * time.Millisecond
+
+// corpus lists the benchmarked refutation problems. All are unsat; the
+// comment states why.
+var corpus = []struct {
+	Name string
+	Src  string
+}{
+	// Sum of squares below a negative constant: the square axioms the
+	// linearizer instantiates refute it without touching the backend.
+	{"neg-square-sum", `(set-logic QF_NIA)
+		(declare-fun x () Int)(declare-fun y () Int)(declare-fun z () Int)
+		(assert (< (+ (* x x) (* y y) (* z z)) (- 3)))(check-sat)`},
+	// A square strictly between consecutive squares: 90 < x^2 < 100
+	// forces 9 < x < 10 over the integers.
+	{"square-gap", `(set-logic QF_NIA)
+		(declare-fun x () Int)
+		(assert (> x 0))(assert (<= x 12))
+		(assert (> (* x x) 90))(assert (< (* x x) 100))(check-sat)`},
+	// Parity: an even linear form never hits an odd constant.
+	{"parity-odd", `(set-logic QF_LIA)
+		(declare-fun x () Int)(declare-fun y () Int)
+		(assert (>= x 0))(assert (<= x 4000))
+		(assert (>= y 0))(assert (<= y 4000))
+		(assert (= (+ (* 2 x) (* 4 y)) 4001))(check-sat)`},
+	// GCD obstruction: 6x + 10y = 15 has no integer solutions.
+	{"gcd-gap", `(set-logic QF_LIA)
+		(declare-fun x () Int)(declare-fun y () Int)
+		(assert (>= x 0))(assert (<= x 5000))
+		(assert (>= y 0))(assert (<= y 5000))
+		(assert (= (+ (* 6 x) (* 10 y)) 15))(check-sat)`},
+	// Market-split style 0/1 feasibility: all coefficients are odd, so a
+	// subset sum is even only for even-size subsets — and the smallest
+	// nonempty even-size sum is 17+29 = 46, putting 44 off the lattice.
+	{"market-split", `(set-logic QF_LIA)
+		(declare-fun a () Int)(declare-fun b () Int)(declare-fun c () Int)
+		(declare-fun d () Int)(declare-fun e () Int)(declare-fun f () Int)
+		(declare-fun g () Int)(declare-fun h () Int)(declare-fun i () Int)
+		(declare-fun j () Int)
+		(assert (and (>= a 0) (<= a 1) (>= b 0) (<= b 1) (>= c 0) (<= c 1)
+		             (>= d 0) (<= d 1) (>= e 0) (<= e 1) (>= f 0) (<= f 1)
+		             (>= g 0) (<= g 1) (>= h 0) (<= h 1) (>= i 0) (<= i 1)
+		             (>= j 0) (<= j 1)))
+		(assert (= (+ (* 193 a) (* 167 b) (* 131 c) (* 109 d) (* 83 e)
+		             (* 71 f) (* 53 g) (* 41 h) (* 29 i) (* 17 j)) 44))
+		(check-sat)`},
+	// Pigeonhole as integer intervals: five variables in [1,4], pairwise
+	// distinct.
+	{"pigeonhole-5x4", `(set-logic QF_LIA)
+		(declare-fun p1 () Int)(declare-fun p2 () Int)(declare-fun p3 () Int)
+		(declare-fun p4 () Int)(declare-fun p5 () Int)
+		(assert (and (>= p1 1) (<= p1 4) (>= p2 1) (<= p2 4) (>= p3 1) (<= p3 4)
+		             (>= p4 1) (<= p4 4) (>= p5 1) (<= p5 4)))
+		(assert (distinct p1 p2 p3 p4 p5))(check-sat)`},
+	// A bounded quadratic squeezed under its own minimum: y = x^2 with
+	// x in [3,20] forces y >= 9.
+	{"quad-under-min", `(set-logic QF_NIA)
+		(declare-fun x () Int)(declare-fun y () Int)
+		(assert (>= x 3))(assert (<= x 20))
+		(assert (= y (* x x)))(assert (< y 9))(check-sat)`},
+	// Tight alldifferent-sum: three distinct values in [0,2] must sum
+	// to 0+1+2 = 3.
+	{"distinct-sum", `(set-logic QF_LIA)
+		(declare-fun u () Int)(declare-fun v () Int)(declare-fun w () Int)
+		(assert (and (>= u 0) (<= u 2) (>= v 0) (<= v 2) (>= w 0) (<= w 2)))
+		(assert (distinct u v w))
+		(assert (= (+ u v w) 4))(check-sat)`},
+}
+
+type instanceRow struct {
+	Name string `json:"name"`
+	// OracleVerdict and OverVerdict are each leg's result; "unknown"
+	// means the leg exhausted the budget (oracle) or reverted (over).
+	OracleVerdict string `json:"oracle_verdict"`
+	OverVerdict   string `json:"over_verdict"`
+	// Direction is the over chain's composed approximation direction —
+	// what makes its unsat sound.
+	Direction string `json:"direction"`
+	// OracleMS and OverMS are each leg's deterministic virtual cost in
+	// milliseconds; an oracle cap-out is charged the full budget, making
+	// the row's speedup a lower bound.
+	OracleMS float64 `json:"oracle_ms"`
+	OverMS   float64 `json:"over_ms"`
+	// Speedup is oracle cost over the portfolio's with-over cost:
+	// min(oracle, over) when the over chain decided, oracle otherwise.
+	Speedup float64 `json:"speedup"`
+	// OracleCapped marks rows the unbounded oracle could not refute
+	// within budget; the over leg deciding them is the tractability gain.
+	OracleCapped bool `json:"oracle_capped"`
+}
+
+type report struct {
+	Benchmark string        `json:"benchmark"`
+	TimeoutMS int64         `json:"timeout_ms"`
+	Instances []instanceRow `json:"instances"`
+	// GeomeanSpeedup is the geometric mean of per-row speedups over the
+	// whole (all-unsat) corpus; OverDecided counts the rows the over
+	// chain refuted on its own, OracleCapped those the oracle could not.
+	GeomeanSpeedup float64 `json:"geomean_speedup"`
+	OverDecided    int     `json:"over_decided"`
+	OracleCapped   int     `json:"oracle_capped"`
+	// VerdictParity: no sat from either leg anywhere, and no
+	// decided-vs-decided disagreement.
+	VerdictParity bool `json:"verdict_parity"`
+	// Deterministic: a second over-chain run reproduced every verdict,
+	// direction and cost byte-identically.
+	Deterministic bool `json:"deterministic"`
+}
+
+// overRun executes the over-approximating pipeline on c and returns the
+// verdict, direction and virtual cost (clamped at the budget).
+func overRun(ctx context.Context, c *smt.Constraint) (status.Status, string, time.Duration) {
+	res := engine.ExecuteJob(ctx, engine.Job{
+		Kind: engine.KindPipeline, Constraint: c,
+		Config: core.Config{Timeout: timeout, Deterministic: true, OverApprox: true},
+	})
+	total := res.Pipeline.Total
+	if total > timeout {
+		total = timeout
+	}
+	return res.Pipeline.Status, res.Pipeline.Direction.String(), total
+}
+
+func main() {
+	out := flag.String("out", "BENCH_9.json", "output file")
+	flag.Parse()
+
+	rep := report{
+		Benchmark:     "over-approximation",
+		TimeoutMS:     timeout.Milliseconds(),
+		VerdictParity: true,
+		Deterministic: true,
+	}
+	ctx := context.Background()
+	var logSum float64
+	for _, inst := range corpus {
+		c, err := smt.ParseScript(inst.Src)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", inst.Name, err))
+		}
+		oracle := engine.ExecuteJob(ctx, engine.Job{
+			Kind: engine.KindSolve, Constraint: c,
+			Profile: solver.Prima, Timeout: timeout, Deterministic: true,
+		})
+		oracleCost := timeout
+		if oracle.Solve.Status != status.Unknown {
+			oracleCost = solver.VirtualDuration(oracle.Solve.Work)
+			if oracleCost > timeout {
+				oracleCost = timeout
+			}
+		}
+		overSt, dir, overCost := overRun(ctx, c)
+
+		// Both runs solve a known-unsat constraint: sat anywhere is a
+		// soundness bug, not a measurement.
+		for leg, st := range map[string]status.Status{"oracle": oracle.Solve.Status, "over": overSt} {
+			if st == status.Sat {
+				rep.VerdictParity = false
+				fmt.Fprintf(os.Stderr, "overbench: SOUNDNESS %s: %s leg reported sat on an unsat instance\n",
+					inst.Name, leg)
+			}
+		}
+
+		// Byte-identical verdicts: replay the over chain and demand the
+		// exact same (status, direction, cost) triple.
+		st2, dir2, cost2 := overRun(ctx, c)
+		if st2 != overSt || dir2 != dir || cost2 != overCost {
+			rep.Deterministic = false
+			fmt.Fprintf(os.Stderr, "overbench: DRIFT %s: %v/%s/%v vs %v/%s/%v across identical runs\n",
+				inst.Name, overSt, dir, overCost, st2, dir2, cost2)
+		}
+
+		portfolio := oracleCost
+		if overSt == status.Unsat {
+			rep.OverDecided++
+			portfolio = min(oracleCost, overCost)
+		}
+		row := instanceRow{
+			Name:          inst.Name,
+			OracleVerdict: oracle.Solve.Status.String(),
+			OverVerdict:   overSt.String(),
+			Direction:     dir,
+			OracleMS:      ms(oracleCost),
+			OverMS:        ms(overCost),
+			Speedup:       round2(float64(oracleCost) / float64(maxDur(portfolio, time.Microsecond))),
+			OracleCapped:  oracle.Solve.Status == status.Unknown,
+		}
+		if row.OracleCapped {
+			rep.OracleCapped++
+		}
+		rep.Instances = append(rep.Instances, row)
+		logSum += math.Log(row.Speedup)
+	}
+	rep.GeomeanSpeedup = round2(math.Exp(logSum / float64(len(rep.Instances))))
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("overbench: %s: geomean unsat-side speedup %.2fx over %d rows (%d over-decided, %d oracle cap-outs), parity %t, deterministic %t\n",
+		*out, rep.GeomeanSpeedup, len(rep.Instances), rep.OverDecided, rep.OracleCapped,
+		rep.VerdictParity, rep.Deterministic)
+	if rep.GeomeanSpeedup < 1.3 {
+		fatal(fmt.Errorf("geomean speedup %.2fx below the 1.3x gate", rep.GeomeanSpeedup))
+	}
+	if !rep.VerdictParity {
+		fatal(fmt.Errorf("verdict parity violated"))
+	}
+	if !rep.Deterministic {
+		fatal(fmt.Errorf("over chain not deterministic across identical runs"))
+	}
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
+func maxDur(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func round2(v float64) float64 { return float64(int64(v*100+0.5)) / 100 }
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "overbench:", err)
+	os.Exit(1)
+}

@@ -9,7 +9,10 @@
 // widths (integers) and (magnitude, precision) pairs (reals); because the
 // inferred bounds underapproximate, every satisfiable answer is verified
 // against the original constraint, and a portfolio run guarantees no
-// constraint is ever slowed down.
+// constraint is ever slowed down. A dual over-approximating chain
+// (Config.OverApprox) linearizes nonlinear arithmetic into sound axioms
+// and certifies complete widths a priori, so its unsat verdicts are sound
+// too — the approximation direction travels with every result.
 //
 // # Quick start
 //
@@ -38,6 +41,7 @@ import (
 	"staub/internal/absint"
 	"staub/internal/core"
 	"staub/internal/eval"
+	"staub/internal/pipeline"
 	"staub/internal/slot"
 	"staub/internal/smt"
 	"staub/internal/solver"
@@ -61,6 +65,11 @@ type (
 	PortfolioResult = core.PortfolioResult
 	// Outcome classifies how a pipeline run ended.
 	Outcome = core.Outcome
+	// Direction is the approximation direction of a pipeline run —
+	// whether the chain may have shrunk (under), enlarged (over) or
+	// preserved (exact) the solution set. It is what makes an unsat
+	// verdict sound: see SoundStatus.
+	Direction = pipeline.Direction
 	// Status is the three-valued solver verdict.
 	Status = status.Status
 	// Assignment maps variable names to values.
@@ -81,12 +90,26 @@ const (
 	OutcomeTransformFailed    = core.OutcomeTransformFailed
 )
 
+// Approximation directions.
+const (
+	DirUnder = pipeline.DirUnder
+	DirOver  = pipeline.DirOver
+	DirExact = pipeline.DirExact
+)
+
 // Solver verdicts.
 const (
 	Unknown = status.Unknown
 	Sat     = status.Sat
 	Unsat   = status.Unsat
 )
+
+// SoundStatus derives the verdict an (outcome, direction) pair supports:
+// a verified model is Sat in any direction, an unsat-flavored outcome is
+// Unsat only when the chain never shrank the solution set (over/exact),
+// and everything else is Unknown. Every pipeline Result's Status is
+// computed by this rule.
+func SoundStatus(o Outcome, d Direction) Status { return pipeline.SoundStatus(o, d) }
 
 // Solver profiles.
 const (
@@ -98,9 +121,13 @@ const (
 func ParseScript(src string) (*Constraint, error) { return smt.ParseScript(src) }
 
 // RunPipeline executes the STAUB pipeline (infer bounds → translate →
-// solve bounded → verify) on c. It never reports Unsat: an unsatisfiable
-// bounded constraint is indistinguishable from insufficient bounds, so the
-// pipeline reverts (Section 4.4 of the paper).
+// solve bounded → verify) on c. The default under-approximating chain
+// never reports Unsat — an unsatisfiable bounded constraint is
+// indistinguishable from insufficient bounds, so it reverts (Section 4.4
+// of the paper). With Config.OverApprox the over-approximating assembly
+// runs instead (linearize nonlinear products into sound axioms, certify
+// a complete width a priori), and its Unsat verdicts are sound: the
+// Result's Direction records which chain produced the answer.
 func RunPipeline(c *Constraint, cfg Config) PipelineResult {
 	return core.RunPipeline(context.Background(), c, cfg, nil)
 }
@@ -112,7 +139,10 @@ func RunPipelineCtx(ctx context.Context, c *Constraint, cfg Config) PipelineResu
 }
 
 // RunPortfolio races the pipeline against the unmodified solver on two
-// goroutines and returns the first definitive verdict.
+// goroutines and returns the first definitive verdict. With
+// Config.OverApprox a third approximation leg joins the race and can
+// settle unsat instances without waiting for the unbounded backstop
+// (PortfolioResult.FromOver marks its wins).
 func RunPortfolio(c *Constraint, cfg Config) PortfolioResult {
 	return core.RunPortfolio(context.Background(), c, cfg)
 }
