@@ -1,14 +1,14 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race fuzz differential sat-diff cube-diff overapprox-diff chaos bench serve-smoke session-smoke
+.PHONY: check fmt vet build test race fuzz differential sat-diff cube-diff overapprox-diff chaos bench serve-smoke session-smoke pool-smoke
 
 # check is the CI gate: static checks, build, the full suite under the
 # race detector, short fuzz passes over the SMT-LIB parser and the server
 # request decoder, the incremental-vs-fresh refinement differential under
 # -race, the cube-and-conquer differential, the short chaos gate, and
-# end-to-end smokes of the staub-serve binary (one-shot solves and the
-# stateful session tier).
-check: fmt vet build race fuzz differential sat-diff cube-diff overapprox-diff chaos serve-smoke session-smoke
+# end-to-end smokes of the staub-serve binary (one-shot solves, the
+# stateful session tier, and the peer pool's node-kill drill).
+check: fmt vet build race fuzz differential sat-diff cube-diff overapprox-diff chaos serve-smoke session-smoke pool-smoke
 
 # fmt fails if any file is not gofmt-clean, and prints the offenders.
 fmt:
@@ -90,6 +90,13 @@ serve-smoke:
 session-smoke:
 	$(GO) run ./scripts/sessionsmoke
 
+# pool-smoke is the node-kill drill against real processes: a 3-node
+# peer pool plus a standalone reference, mixed load, one node SIGKILLed
+# mid-run — every request answered, every verdict matching standalone,
+# survivors drain cleanly.
+pool-smoke:
+	$(GO) run ./scripts/poolsmoke
+
 bench:
 	$(GO) test -bench=. -benchmem
 	$(GO) run ./scripts/refinebench -out BENCH_3.json
@@ -99,3 +106,4 @@ bench:
 	$(GO) run ./scripts/sessionbench -out BENCH_7.json
 	$(GO) run ./scripts/cubebench -out BENCH_8.json
 	$(GO) run ./scripts/overbench -out BENCH_9.json
+	$(GO) run ./scripts/poolbench -out BENCH_10.json

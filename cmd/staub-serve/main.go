@@ -25,6 +25,14 @@
 //	-over            run the over-approximation leg on every
 //	                 pipeline/portfolio request by default (requests can
 //	                 also opt in per-request with over=true)
+//	-pool URL        this node's advertised base URL in a peer pool
+//	                 (default off = standalone; requires -peers)
+//	-peers URLS      comma-separated pool membership; every node lists the
+//	                 same set (self included or not — it is added)
+//	-cache-entries N bound the solve cache to an LRU of N memoized results
+//	                 (default 0 = unbounded)
+//	-jitter-seed N   seed for the deterministic retry/backoff jitter
+//	                 stream (default 0; fix it to reproduce a schedule)
 //	-pprof           expose net/http/pprof profiling under /debug/pprof/ (default off)
 //	-chaos SPEC      enable deterministic fault injection, e.g.
 //	                 "fault=pass-panic,rate=0.01,seed=7" (default off; for
@@ -47,6 +55,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -69,6 +78,10 @@ func main() {
 		cubeJobs    = flag.Int("cube-jobs", 0, "default concurrent cube legs (0 = GOMAXPROCS)")
 		cubeLBD     = flag.Int("cube-share-lbd", 0, "default glue cutoff for inter-cube clause sharing (0 = package default 2, negative disables)")
 		over        = flag.Bool("over", false, "run the over-approximation leg on every pipeline/portfolio request by default")
+		poolSelf    = flag.String("pool", "", "this node's advertised base URL in a peer pool (empty = standalone)")
+		poolPeers   = flag.String("peers", "", "comma-separated pool membership URLs (used with -pool)")
+		cacheEnts   = flag.Int("cache-entries", 0, "bound the solve cache to an LRU of N memoized results (0 = unbounded)")
+		jitterSeed  = flag.Int64("jitter-seed", 0, "seed for the deterministic retry/backoff jitter stream")
 		pprofOn     = flag.Bool("pprof", false, "expose net/http/pprof profiling under /debug/pprof/")
 		chaosSpec   = flag.String("chaos", "", `enable deterministic fault injection, e.g. "fault=pass-panic,rate=0.01,seed=7"`)
 		showVersion = flag.Bool("version", false, "print the build string and exit")
@@ -100,9 +113,17 @@ func main() {
 		CubeJobs:        *cubeJobs,
 		CubeShareLBD:    *cubeLBD,
 		OverApprox:      *over,
+		PoolSelf:        strings.TrimSuffix(strings.TrimSpace(*poolSelf), "/"),
+		PoolPeers:       splitPeers(*poolPeers),
+		CacheEntries:    *cacheEnts,
+		JitterSeed:      *jitterSeed,
 		Version:         buildinfo.String("staub-serve"),
 		Log:             logger,
 	})
+	defer srv.Close()
+	if p := srv.Pool(); p != nil {
+		logger.Printf("pool enabled: self=%s nodes=%v", p.Self(), p.Ring().Nodes())
+	}
 
 	handler := srv.Handler()
 	if *pprofOn {
@@ -135,6 +156,10 @@ func main() {
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
+	// Start probing peers only once this node itself is accepting, so a
+	// simultaneously-booted pool converges instead of opening breakers on
+	// each other during startup.
+	srv.StartPool()
 
 	sigs := make(chan os.Signal, 2)
 	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
@@ -167,5 +192,20 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	srv.Close()
 	logger.Printf("drained cleanly")
+}
+
+// splitPeers parses the -peers flag: comma-separated URLs, blanks
+// ignored, trailing slashes trimmed so membership strings compare equal
+// however operators spell them.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		p = strings.TrimSuffix(strings.TrimSpace(p), "/")
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }

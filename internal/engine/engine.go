@@ -201,7 +201,16 @@ func (e *Engine) WorkerPanics() int64 { return e.panics.Value() }
 // manage their own concurrency, such as the staub-serve request handlers.
 // The context's deadline (plus the engine's backstop) bounds the solve.
 func (e *Engine) Solve(ctx context.Context, j Job) Result {
-	return e.runOne(ctx, j)
+	return e.runOne(ctx, j, true)
+}
+
+// SolveLocal is Solve with the cache's remote tier bypassed: the job is
+// served from the local cache or computed here, never routed to a peer.
+// The peer-solve endpoint uses it so a request a peer routed here can
+// never be routed onward (no forwarding chains, no routing loops even
+// under inconsistent ring views during membership change).
+func (e *Engine) SolveLocal(ctx context.Context, j Job) Result {
+	return e.runOne(ctx, j, false)
 }
 
 // Run executes the batch and returns results indexed exactly like jobs,
@@ -239,7 +248,7 @@ func (e *Engine) Run(ctx context.Context, jobs []Job) []Result {
 								fmt.Sprintf("engine: worker panicked: %v", r))
 						}
 					}()
-					results[i] = e.runOne(ctx, jobs[i])
+					results[i] = e.runOne(ctx, jobs[i], true)
 				}()
 				executed[i] = true
 				n := int(done.Add(1))
@@ -276,8 +285,9 @@ func cancelledResult() Result {
 }
 
 // runOne executes one job under its per-job deadline, consulting the
-// cache when one is configured.
-func (e *Engine) runOne(ctx context.Context, j Job) Result {
+// cache (and, for remote-eligible calls, the cache's remote tier) when
+// one is configured.
+func (e *Engine) runOne(ctx context.Context, j Job, useRemote bool) Result {
 	if ctx.Err() != nil {
 		return cancelledResult()
 	}
@@ -288,14 +298,25 @@ func (e *Engine) runOne(ctx context.Context, j Job) Result {
 	if e.cache == nil {
 		return ExecuteJob(jctx, j)
 	}
-	res, hit := e.cache.do(j.Key(), func() (Result, bool) {
-		r := ExecuteJob(jctx, j)
-		// Don't memoize work that was cut short by cancellation, or that
-		// degraded under a contained fault: a later batch must be able to
-		// solve it for real (a poisoned job must not poison the cache).
-		keep := jctx.Err() == nil && r.Fault == "" &&
+	// local is the compute continuation handed to the remote tier: it
+	// runs the job here under the context the tier chooses (a hedged
+	// local solve gets a cancellable child so a winning remote answer
+	// can interrupt it). Don't memoize work that was cut short by
+	// cancellation, or that degraded under a contained fault: a later
+	// batch must be able to solve it for real (a poisoned job must not
+	// poison the cache).
+	local := func(lctx context.Context) (Result, bool) {
+		r := ExecuteJob(lctx, j)
+		keep := lctx.Err() == nil && r.Fault == "" &&
 			!(j.Kind == KindPortfolio && r.Portfolio.Degraded)
 		return r, keep
+	}
+	key := j.Key()
+	res, hit := e.cache.do(key, func() (Result, bool) {
+		if rem := e.cache.Remote(); useRemote && rem != nil {
+			return rem(jctx, key, j, local)
+		}
+		return local(jctx)
 	})
 	res.CacheHit = hit
 	return res

@@ -1,0 +1,146 @@
+package pool
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int
+
+// Breaker states.
+const (
+	// BreakerClosed: the peer is trusted; calls flow.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: the peer failed repeatedly; calls are skipped (the
+	// caller falls back to solving locally) until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: the cooldown elapsed; one probe call is admitted
+	// to test the peer. Its success closes the breaker, its failure
+	// reopens it for another cooldown.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// Breaker is a per-peer circuit breaker: Threshold consecutive failures
+// open it, Cooldown later it half-opens and admits a single probe, and
+// the probe's outcome closes or reopens it. Both solve calls and the
+// pool's periodic health checks feed it, so a dead peer is detected
+// even with no traffic routed at it, and a recovered peer is closed
+// again by the health prober without sacrificing a live request.
+//
+// Breakers are safe for concurrent use. The clock is injectable for
+// tests (nil selects time.Now).
+type Breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+
+	mu        sync.Mutex
+	state     BreakerState
+	failures  int       // consecutive failures while closed
+	openedAt  time.Time // when the breaker last opened
+	probing   bool      // a half-open probe is in flight
+	lastError string    // most recent failure detail, for /healthz
+}
+
+// NewBreaker returns a closed breaker. threshold ≤ 0 defaults to 3
+// consecutive failures; cooldown ≤ 0 defaults to 2s.
+func NewBreaker(threshold int, cooldown time.Duration, now func() time.Time) *Breaker {
+	if threshold <= 0 {
+		threshold = 3
+	}
+	if cooldown <= 0 {
+		cooldown = 2 * time.Second
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: now}
+}
+
+// Allow reports whether a call to the peer may proceed. In the open
+// state it returns false until the cooldown elapses, then admits
+// exactly one caller as the half-open probe; concurrent callers keep
+// getting false until that probe resolves via Success or Failure.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// Success records a successful call or health probe: it closes the
+// breaker from any state and resets the failure count.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = BreakerClosed
+	b.failures = 0
+	b.probing = false
+	b.lastError = ""
+}
+
+// Failure records a failed call or health probe. While closed it counts
+// toward the threshold; in half-open it reopens immediately (the probe
+// failed); while open it refreshes the cooldown window.
+func (b *Breaker) Failure(detail string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.lastError = detail
+	switch b.state {
+	case BreakerClosed:
+		b.failures++
+		if b.failures >= b.threshold {
+			b.state = BreakerOpen
+			b.openedAt = b.now()
+		}
+	case BreakerHalfOpen:
+		b.state = BreakerOpen
+		b.openedAt = b.now()
+		b.probing = false
+	case BreakerOpen:
+		b.openedAt = b.now()
+	}
+}
+
+// State reports the breaker's position (open reported as half-open only
+// once a probe was actually admitted, so readers see the same
+// transitions Allow grants).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// LastError reports the most recent failure detail ("" after success).
+func (b *Breaker) LastError() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.lastError
+}

@@ -1,0 +1,124 @@
+package pool
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is an advanceable time source for breaker tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1000, 0)} }
+func newTestBreaker(clk *fakeClock) *Breaker { return NewBreaker(3, 2*time.Second, clk.now) }
+func wantState(t *testing.T, b *Breaker, want BreakerState) {
+	t.Helper()
+	if got := b.State(); got != want {
+		t.Fatalf("breaker state = %v, want %v", got, want)
+	}
+}
+
+// TestBreakerOpensAtThreshold: failures below the threshold keep the
+// breaker closed; the Nth consecutive failure opens it; a success in
+// between resets the count.
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	clk := newFakeClock()
+	b := newTestBreaker(clk)
+	b.Failure("f1")
+	b.Failure("f2")
+	wantState(t, b, BreakerClosed)
+	b.Success() // resets the consecutive count
+	b.Failure("f3")
+	b.Failure("f4")
+	wantState(t, b, BreakerClosed)
+	b.Failure("f5")
+	wantState(t, b, BreakerOpen)
+	if b.Allow() {
+		t.Fatal("open breaker admitted a call before the cooldown")
+	}
+	if b.LastError() != "f5" {
+		t.Errorf("LastError = %q, want f5", b.LastError())
+	}
+}
+
+// TestBreakerHalfOpenProbe: after the cooldown exactly one caller is
+// admitted as the probe; its success closes the breaker, its failure
+// reopens for another full cooldown.
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	clk := newFakeClock()
+	b := newTestBreaker(clk)
+	for i := 0; i < 3; i++ {
+		b.Failure("down")
+	}
+	wantState(t, b, BreakerOpen)
+
+	clk.advance(2 * time.Second)
+	if !b.Allow() {
+		t.Fatal("cooldown elapsed but no probe admitted")
+	}
+	wantState(t, b, BreakerHalfOpen)
+	if b.Allow() {
+		t.Fatal("second caller admitted while the probe is in flight")
+	}
+
+	// Probe fails: reopen, and the cooldown starts over.
+	b.Failure("still down")
+	wantState(t, b, BreakerOpen)
+	clk.advance(time.Second)
+	if b.Allow() {
+		t.Fatal("reopened breaker admitted a call after half the cooldown")
+	}
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("second probe not admitted after the full cooldown")
+	}
+	// Probe succeeds: closed, calls flow, failure count reset.
+	b.Success()
+	wantState(t, b, BreakerClosed)
+	if !b.Allow() {
+		t.Fatal("closed breaker rejected a call")
+	}
+	if b.LastError() != "" {
+		t.Errorf("LastError = %q after success, want empty", b.LastError())
+	}
+	b.Failure("blip")
+	b.Failure("blip")
+	wantState(t, b, BreakerClosed)
+}
+
+// TestBreakerOpenFailureRefreshesCooldown: failures recorded while open
+// (e.g. by the health prober) push the half-open probe further out.
+func TestBreakerOpenFailureRefreshesCooldown(t *testing.T) {
+	clk := newFakeClock()
+	b := newTestBreaker(clk)
+	for i := 0; i < 3; i++ {
+		b.Failure("down")
+	}
+	clk.advance(1500 * time.Millisecond)
+	b.Failure("probe says still down") // refreshes openedAt
+	clk.advance(1500 * time.Millisecond)
+	if b.Allow() {
+		t.Fatal("probe admitted 1.5s after a refreshing failure (cooldown is 2s)")
+	}
+	clk.advance(500 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("probe not admitted after the refreshed cooldown elapsed")
+	}
+}
+
+// TestBreakerSuccessClosesFromOpen: the health prober can close an open
+// breaker directly (a recovered peer needs no sacrificial request).
+func TestBreakerSuccessClosesFromOpen(t *testing.T) {
+	clk := newFakeClock()
+	b := newTestBreaker(clk)
+	for i := 0; i < 3; i++ {
+		b.Failure("down")
+	}
+	wantState(t, b, BreakerOpen)
+	b.Success()
+	wantState(t, b, BreakerClosed)
+	if !b.Allow() {
+		t.Fatal("health-closed breaker rejected a call")
+	}
+}

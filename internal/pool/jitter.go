@@ -1,0 +1,60 @@
+package pool
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// JitterStream is a seed-deterministic source of backoff jitter: a
+// splitmix64 stream in the style of the chaos injector's decision hash,
+// so every retry delay a test observes is a pure function of the seed and
+// the draw ordinal — reproducible across runs and machines, unlike the
+// process-global math/rand state. It is safe for concurrent use; under
+// concurrency the draw order follows the interleaving, but the multiset
+// of values for n draws is always the same n stream values.
+type JitterStream struct {
+	state atomic.Uint64
+}
+
+// NewJitterStream returns a stream seeded with seed.
+func NewJitterStream(seed int64) *JitterStream {
+	s := &JitterStream{}
+	s.state.Store(uint64(seed) ^ 0x9e3779b97f4a7c15)
+	return s
+}
+
+// next returns the next raw stream value (splitmix64).
+func (s *JitterStream) next() uint64 {
+	z := s.state.Add(0x9e3779b97f4a7c15)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Between returns a duration drawn uniformly from [min, max). Degenerate
+// ranges (max ≤ min) return min.
+func (s *JitterStream) Between(min, max time.Duration) time.Duration {
+	if max <= min {
+		return min
+	}
+	span := uint64(max - min)
+	return min + time.Duration(s.next()%span)
+}
+
+// Backoff returns the jittered delay before retry number attempt
+// (0-based): an exponentially growing base (base << attempt, capped at
+// cap) plus up to three more base units of jitter, so concurrent
+// retriers decorrelate instead of thundering back in lockstep.
+func (s *JitterStream) Backoff(attempt int, base, cap time.Duration) time.Duration {
+	if base <= 0 {
+		base = 5 * time.Millisecond
+	}
+	d := base
+	for i := 0; i < attempt && d < cap; i++ {
+		d *= 2
+	}
+	if cap > 0 && d > cap {
+		d = cap
+	}
+	return s.Between(d, d*4)
+}

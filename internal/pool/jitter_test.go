@@ -1,0 +1,77 @@
+package pool
+
+import (
+	"testing"
+	"time"
+)
+
+// TestJitterDeterministic: equal seeds yield identical streams, distinct
+// seeds diverge — the property that makes retry schedules reproducible.
+func TestJitterDeterministic(t *testing.T) {
+	a := NewJitterStream(42)
+	b := NewJitterStream(42)
+	c := NewJitterStream(43)
+	same, diff := true, false
+	for i := 0; i < 64; i++ {
+		av := a.Between(time.Millisecond, 100*time.Millisecond)
+		bv := b.Between(time.Millisecond, 100*time.Millisecond)
+		cv := c.Between(time.Millisecond, 100*time.Millisecond)
+		if av != bv {
+			same = false
+		}
+		if av != cv {
+			diff = true
+		}
+	}
+	if !same {
+		t.Error("equal seeds produced different jitter streams")
+	}
+	if !diff {
+		t.Error("different seeds produced identical jitter streams")
+	}
+}
+
+// TestJitterBetweenRange: every draw lands in [min, max), and degenerate
+// ranges collapse to min.
+func TestJitterBetweenRange(t *testing.T) {
+	s := NewJitterStream(7)
+	min, max := 5*time.Millisecond, 25*time.Millisecond
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 10_000; i++ {
+		d := s.Between(min, max)
+		if d < min || d >= max {
+			t.Fatalf("Between(%v, %v) = %v out of range", min, max, d)
+		}
+		seen[d] = true
+	}
+	if len(seen) < 100 {
+		t.Errorf("only %d distinct values in 10k draws — jitter is not spreading", len(seen))
+	}
+	if got := s.Between(max, max); got != max {
+		t.Errorf("degenerate Between = %v, want %v", got, max)
+	}
+	if got := s.Between(max, min); got != max {
+		t.Errorf("inverted Between = %v, want min value %v", got, max)
+	}
+}
+
+// TestJitterBackoff: the backoff envelope grows exponentially with the
+// attempt, stays jittered within [base<<n, 4·(base<<n)), and respects
+// the cap.
+func TestJitterBackoff(t *testing.T) {
+	s := NewJitterStream(11)
+	base, cap := 5*time.Millisecond, 100*time.Millisecond
+	for attempt := 0; attempt < 6; attempt++ {
+		lo := base << attempt
+		if lo > cap {
+			lo = cap
+		}
+		hi := 4 * lo
+		for i := 0; i < 200; i++ {
+			d := s.Backoff(attempt, base, cap)
+			if d < lo || d >= hi {
+				t.Fatalf("Backoff(attempt=%d) = %v, want in [%v, %v)", attempt, d, lo, hi)
+			}
+		}
+	}
+}

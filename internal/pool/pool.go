@@ -1,0 +1,698 @@
+// Package pool turns independent staub-serve instances into a
+// fault-tolerant distributed solve tier. Each node runs one Pool:
+// engine cache keys (content addresses of solve jobs) are mapped to an
+// owning node by a consistent-hash ring, and the pool installs itself as
+// the engine cache's remote tier, making the solve cache two-level —
+// the local cache in front, the owning peer behind, with the owner's own
+// cache single-flighting identical solves for the whole cluster.
+//
+// Robustness is the design center, expressed as a strict degradation
+// ladder. For a key owned by a remote peer:
+//
+//  1. Route the solve to the owner over POST /v1/peer/solve.
+//  2. If the call runs past the hedge delay (an adaptive latency
+//     percentile), start a local solve in parallel and take whichever
+//     answer lands first (tail tolerance without giving up the remote
+//     cache hit).
+//  3. A transient peer error is retried a bounded number of times with
+//     seed-deterministic jittered backoff.
+//  4. Everything else — breaker open, peer saturated (429), hard error,
+//     undecodable or unverifiable response, version skew, even a panic
+//     inside the pool's own routing code — falls back to solving
+//     locally.
+//
+// Because step 4 is always available and always correct, a pool where
+// every peer is dead behaves exactly like a standalone server: same
+// verdicts, same models, just without the shared cache. Per-peer
+// circuit breakers (opened by consecutive failures, half-opened after a
+// cooldown, fed by both solve calls and a periodic /healthz prober)
+// keep a dead peer from costing even the connection attempt, and remote
+// sat answers are re-verified against the original constraint before
+// they are trusted, so a corrupt peer can cost performance but never a
+// verdict.
+package pool
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"staub/internal/chaos"
+	"staub/internal/engine"
+	"staub/internal/eval"
+	"staub/internal/metrics"
+	"staub/internal/solver"
+	"staub/internal/status"
+)
+
+// Config configures a Pool. Self and Peers are required; every other
+// field has a production default.
+type Config struct {
+	// Self is this node's advertised base URL (e.g. "http://10.0.0.1:8080"),
+	// exactly as it appears in the other nodes' Peers lists — ring
+	// ownership is decided by string identity.
+	Self string
+	// Peers is the pool membership (base URLs, Self included; Self is
+	// added if missing). All nodes must be configured with the same
+	// membership set, in any order.
+	Peers []string
+	// Replicas is the virtual-node count per peer on the hash ring
+	// (default DefaultReplicas).
+	Replicas int
+	// HealthInterval is the period of the background /healthz prober
+	// (default 1s).
+	HealthInterval time.Duration
+	// HealthTimeout bounds one health probe (default 500ms).
+	HealthTimeout time.Duration
+	// BreakerThreshold is the consecutive-failure count that opens a
+	// peer's circuit breaker (default 3).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker waits before admitting
+	// a half-open probe (default 2s).
+	BreakerCooldown time.Duration
+	// HedgeAfter, when positive, is a fixed delay before a routed solve
+	// is hedged with a local one. Zero selects the adaptive policy: the
+	// HedgeQuantile of recently observed peer latencies, floored at
+	// HedgeMin.
+	HedgeAfter time.Duration
+	// HedgeQuantile is the latency quantile the adaptive hedge delay
+	// tracks (default 0.95).
+	HedgeQuantile float64
+	// HedgeMin floors the adaptive hedge delay (default 25ms), so a
+	// burst of fast cache-hit responses cannot drive the delay to zero
+	// and hedge every call.
+	HedgeMin time.Duration
+	// Retries bounds transient-error retries per routed solve
+	// (default 1; negative disables retrying).
+	Retries int
+	// RetryBase and RetryCap shape the jittered exponential backoff
+	// between retries (defaults 5ms and 100ms).
+	RetryBase time.Duration
+	RetryCap  time.Duration
+	// Seed drives the deterministic backoff jitter stream.
+	Seed int64
+	// Client is the HTTP client for peer calls (default: a dedicated
+	// client with per-host connection pooling).
+	Client *http.Client
+	// Log receives pool events (nil: standard logger).
+	Log *log.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.Replicas <= 0 {
+		c.Replicas = DefaultReplicas
+	}
+	if c.HealthInterval <= 0 {
+		c.HealthInterval = time.Second
+	}
+	if c.HealthTimeout <= 0 {
+		c.HealthTimeout = 500 * time.Millisecond
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 2 * time.Second
+	}
+	if c.HedgeQuantile <= 0 || c.HedgeQuantile > 1 {
+		c.HedgeQuantile = 0.95
+	}
+	if c.HedgeMin <= 0 {
+		c.HedgeMin = 25 * time.Millisecond
+	}
+	if c.Retries == 0 {
+		c.Retries = 1
+	}
+	if c.Retries < 0 {
+		c.Retries = 0
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 5 * time.Millisecond
+	}
+	if c.RetryCap <= 0 {
+		c.RetryCap = 100 * time.Millisecond
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Transport: &http.Transport{
+			MaxIdleConnsPerHost: 16,
+			IdleConnTimeout:     90 * time.Second,
+		}}
+	}
+	if c.Log == nil {
+		c.Log = log.Default()
+	}
+	return c
+}
+
+// PeerSolvePath is the peer-to-peer solve endpoint every pool node
+// serves (see internal/server's handler).
+const PeerSolvePath = "/v1/peer/solve"
+
+// Pool is one node's view of the distributed solve tier. Create with
+// New, install Remote() on the engine cache, Start the health prober,
+// and Close on shutdown.
+type Pool struct {
+	cfg  Config
+	self string
+	ring *Ring
+
+	mu       sync.Mutex
+	breakers map[string]*Breaker
+
+	jitter *JitterStream
+	lat    *latencyTracker
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	wg       sync.WaitGroup
+
+	// Counters (exposed as staub_pool_* through Register).
+	routed       metrics.Counter // solves routed at a remote owner
+	localOwned   metrics.Counter // solves owned by this node (no routing)
+	remoteServed metrics.Counter // routed solves served by the peer
+	hedged       metrics.Counter // routed solves that started a local hedge
+	hedgeWins    metrics.Counter // hedges whose local answer won
+	breakerOpen  metrics.Counter // routings skipped on an open breaker
+	retries      metrics.Counter // transient-error peer retries
+	fbBreaker    metrics.Counter // fallbacks: breaker open
+	fbError      metrics.Counter // fallbacks: peer call failed
+	fbSaturated  metrics.Counter // fallbacks: peer saturated (429)
+	fbBadReply   metrics.Counter // fallbacks: undecodable/unverifiable reply
+	fbPanic      metrics.Counter // fallbacks: contained pool-code panic
+	healthOK     metrics.Counter
+	healthFail   metrics.Counter
+}
+
+// New builds a pool node. It does not start the health prober; call
+// Start once the node is serving (so peers probing back get answers).
+func New(cfg Config) (*Pool, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Self == "" {
+		return nil, fmt.Errorf("pool: Self is required")
+	}
+	members := append([]string{cfg.Self}, cfg.Peers...)
+	ring := NewRing(members, cfg.Replicas)
+	if ring.Len() < 2 {
+		return nil, fmt.Errorf("pool: need at least one peer besides self")
+	}
+	p := &Pool{
+		cfg:      cfg,
+		self:     cfg.Self,
+		ring:     ring,
+		breakers: map[string]*Breaker{},
+		jitter:   NewJitterStream(cfg.Seed),
+		lat:      newLatencyTracker(256),
+		stop:     make(chan struct{}),
+	}
+	for _, n := range ring.Nodes() {
+		if n != p.self {
+			p.breakers[n] = NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, nil)
+		}
+	}
+	return p, nil
+}
+
+// Self reports this node's advertised URL.
+func (p *Pool) Self() string { return p.self }
+
+// Ring exposes the pool's hash ring (tests and stats).
+func (p *Pool) Ring() *Ring { return p.ring }
+
+// Breaker returns the breaker guarding peer (nil for self/unknown).
+func (p *Pool) Breaker(peer string) *Breaker {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.breakers[peer]
+}
+
+// Start launches the background health prober.
+func (p *Pool) Start() {
+	p.wg.Add(1)
+	go p.healthLoop()
+}
+
+// Close stops the health prober and waits for it to exit. Safe to call
+// more than once.
+func (p *Pool) Close() {
+	p.stopOnce.Do(func() { close(p.stop) })
+	p.wg.Wait()
+}
+
+// Register exposes the pool counters through reg.
+func (p *Pool) Register(reg *metrics.Registry) {
+	reg.RegisterCounter("staub_pool_routed_total", nil, &p.routed)
+	reg.RegisterCounter("staub_pool_local_owned_total", nil, &p.localOwned)
+	reg.RegisterCounter("staub_pool_remote_served_total", nil, &p.remoteServed)
+	reg.RegisterCounter("staub_pool_hedged_total", nil, &p.hedged)
+	reg.RegisterCounter("staub_pool_hedge_wins_total", nil, &p.hedgeWins)
+	reg.RegisterCounter("staub_pool_breaker_open_total", nil, &p.breakerOpen)
+	reg.RegisterCounter("staub_pool_retries_total", nil, &p.retries)
+	reg.RegisterCounter("staub_pool_fallback_total", metrics.Labels{"reason": "breaker"}, &p.fbBreaker)
+	reg.RegisterCounter("staub_pool_fallback_total", metrics.Labels{"reason": "error"}, &p.fbError)
+	reg.RegisterCounter("staub_pool_fallback_total", metrics.Labels{"reason": "saturated"}, &p.fbSaturated)
+	reg.RegisterCounter("staub_pool_fallback_total", metrics.Labels{"reason": "bad-response"}, &p.fbBadReply)
+	reg.RegisterCounter("staub_pool_fallback_total", metrics.Labels{"reason": "panic"}, &p.fbPanic)
+	reg.RegisterCounter("staub_pool_health_probes_total", metrics.Labels{"result": "ok"}, &p.healthOK)
+	reg.RegisterCounter("staub_pool_health_probes_total", metrics.Labels{"result": "fail"}, &p.healthFail)
+}
+
+// Fallbacks reports the summed fallback count across reasons.
+func (p *Pool) Fallbacks() int64 {
+	return p.fbBreaker.Value() + p.fbError.Value() + p.fbSaturated.Value() +
+		p.fbBadReply.Value() + p.fbPanic.Value()
+}
+
+// Stats reports the pool block served under /healthz and /v1/stats.
+func (p *Pool) Stats() map[string]any {
+	peers := map[string]any{}
+	p.mu.Lock()
+	for peer, br := range p.breakers {
+		entry := map[string]any{"breaker": br.State().String()}
+		if le := br.LastError(); le != "" {
+			entry["last_error"] = le
+		}
+		peers[peer] = entry
+	}
+	p.mu.Unlock()
+	return map[string]any{
+		"self":         p.self,
+		"nodes":        p.ring.Nodes(),
+		"peers":        peers,
+		"routed":       p.routed.Value(),
+		"local_owned":  p.localOwned.Value(),
+		"remote":       p.remoteServed.Value(),
+		"hedged":       p.hedged.Value(),
+		"hedge_wins":   p.hedgeWins.Value(),
+		"breaker_open": p.breakerOpen.Value(),
+		"retries":      p.retries.Value(),
+		"fallbacks":    p.Fallbacks(),
+		"health_ok":    p.healthOK.Value(),
+		"health_fail":  p.healthFail.Value(),
+	}
+}
+
+// Remote returns the engine cache hook implementing the routing and
+// degradation ladder above.
+func (p *Pool) Remote() engine.RemoteFunc {
+	return p.remote
+}
+
+func (p *Pool) remote(ctx context.Context, key string, j engine.Job, local func(context.Context) (engine.Result, bool)) (res engine.Result, keep bool) {
+	owner := p.ring.Owner(key)
+	if owner == "" || owner == p.self {
+		p.localOwned.Inc()
+		return local(ctx)
+	}
+	if j.Kind != engine.KindSolve && j.Config.Trace {
+		// Trace requests want this node's per-stage spans; a remote
+		// result has none. Solve locally.
+		p.localOwned.Inc()
+		return local(ctx)
+	}
+
+	// Containment boundary: no defect in the routing code below (or
+	// chaos-injected panic at pool:peer-solve) may fault the job — the
+	// ladder's last rung is always a local solve.
+	served := false
+	defer func() {
+		if served {
+			return
+		}
+		if r := recover(); r != nil {
+			p.fbPanic.Inc()
+			p.cfg.Log.Printf("pool: recovered routing panic for peer %s: %v (solving locally)", owner, r)
+			res, keep = local(ctx)
+		}
+	}()
+
+	p.routed.Inc()
+	br := p.Breaker(owner)
+	if br == nil || !br.Allow() {
+		p.breakerOpen.Inc()
+		p.fbBreaker.Inc()
+		res, keep = local(ctx)
+		served = true
+		return res, keep
+	}
+	res, keep, ok := p.routeRemote(ctx, br, owner, key, j, local)
+	if !ok {
+		res, keep = local(ctx)
+	}
+	served = true
+	return res, keep
+}
+
+type remoteOutcome struct {
+	res engine.Result
+	err *peerError
+}
+
+type localOutcome struct {
+	res  engine.Result
+	keep bool
+}
+
+// routeRemote drives one routed solve: the peer call with bounded
+// jittered retries, hedged with a cancellable local solve after the
+// hedge delay. ok=false means nothing answered and the caller should
+// solve locally itself.
+func (p *Pool) routeRemote(ctx context.Context, br *Breaker, owner, key string, j engine.Job, local func(context.Context) (engine.Result, bool)) (engine.Result, bool, bool) {
+	rctx, rcancel := context.WithCancel(ctx)
+	defer rcancel() // reels in any still-running peer call on exit
+
+	resCh := make(chan remoteOutcome, p.cfg.Retries+1)
+	launch := func() {
+		t0 := time.Now()
+		go func() {
+			// A panic in the peer call (chaos at pool:peer-solve, or a real
+			// defect) is contained here, on its own goroutine, and surfaces
+			// as a non-retryable outcome the ladder turns into a local solve.
+			defer func() {
+				if r := recover(); r != nil {
+					resCh <- remoteOutcome{err: &peerError{
+						msg: fmt.Sprintf("pool: peer call panicked: %v", r), panicked: true}}
+				}
+			}()
+			r, err := p.callPeer(rctx, owner, key, j)
+			if err == nil {
+				p.lat.observe(time.Since(t0))
+			}
+			resCh <- remoteOutcome{res: r, err: err}
+		}()
+	}
+	launch()
+
+	hedgeCh := make(chan localOutcome, 1)
+	hedgeStarted := false
+	var hedgeCancel context.CancelFunc
+	defer func() {
+		if hedgeCancel != nil {
+			hedgeCancel()
+		}
+	}()
+	startHedge := func() {
+		if hedgeStarted {
+			return
+		}
+		hedgeStarted = true
+		p.hedged.Inc()
+		var hctx context.Context
+		hctx, hedgeCancel = context.WithCancel(ctx)
+		go func() {
+			r, k := local(hctx)
+			hedgeCh <- localOutcome{res: r, keep: k}
+		}()
+	}
+
+	hedgeTimer := time.NewTimer(p.hedgeDelay())
+	defer hedgeTimer.Stop()
+
+	attempt := 0
+	var retryC <-chan time.Time
+	for {
+		select {
+		case out := <-resCh:
+			if out.err == nil {
+				br.Success()
+				p.remoteServed.Inc()
+				// The hedged local leg (if any) is cancelled by the
+				// deferred hedgeCancel; its result is discarded.
+				return out.res, true, true
+			}
+			switch {
+			case out.err.panicked:
+				// Our own routing code failed, not the peer: no breaker
+				// feedback, no retry — straight to the local rung.
+				p.fbPanic.Inc()
+				p.cfg.Log.Printf("pool: %s (solving locally)", out.err.msg)
+			case out.err.saturated:
+				// The peer is alive but shedding load: not a breaker
+				// failure, and retrying would pile on. Solve locally.
+				p.fbSaturated.Inc()
+			default:
+				br.Failure(out.err.msg)
+				if out.err.transient && attempt < p.cfg.Retries && rctx.Err() == nil {
+					attempt++
+					p.retries.Inc()
+					retryC = time.After(p.jitter.Backoff(attempt-1, p.cfg.RetryBase, p.cfg.RetryCap))
+					continue
+				}
+				if out.err.bad {
+					p.fbBadReply.Inc()
+				} else {
+					p.fbError.Inc()
+				}
+			}
+			if hedgeStarted {
+				// The local fallback is already running as the hedge;
+				// wait for it instead of starting a second solve.
+				select {
+				case out := <-hedgeCh:
+					p.hedgeWins.Inc()
+					return out.res, out.keep, true
+				case <-ctx.Done():
+					return engine.Result{}, false, false
+				}
+			}
+			return engine.Result{}, false, false
+		case <-retryC:
+			retryC = nil
+			launch()
+		case <-hedgeTimer.C:
+			startHedge()
+		case out := <-hedgeCh:
+			p.hedgeWins.Inc()
+			return out.res, out.keep, true
+		case <-ctx.Done():
+			// Request cancelled/deadline: let the engine's local path
+			// report the cancellation uniformly.
+			return engine.Result{}, false, false
+		}
+	}
+}
+
+// hedgeDelay picks the delay before a routed solve is hedged locally.
+// Chaos at pool:hedge forces an immediate hedge, driving the race
+// paths deterministically in drills.
+func (p *Pool) hedgeDelay() time.Duration {
+	if chaos.At("pool:hedge") != chaos.FaultNone {
+		return 0
+	}
+	if p.cfg.HedgeAfter > 0 {
+		return p.cfg.HedgeAfter
+	}
+	d := p.lat.percentile(p.cfg.HedgeQuantile)
+	if d < p.cfg.HedgeMin {
+		d = p.cfg.HedgeMin
+	}
+	return d
+}
+
+// peerError classifies a failed peer call.
+type peerError struct {
+	msg       string
+	transient bool // worth a bounded retry (5xx, transport error)
+	saturated bool // peer answered 429: alive, shedding
+	bad       bool // undecodable or unverifiable response
+	panicked  bool // contained panic in the pool's own call path
+}
+
+func (e *peerError) Error() string { return e.msg }
+
+// callPeer does one POST /v1/peer/solve attempt against owner.
+func (p *Pool) callPeer(ctx context.Context, owner, key string, j engine.Job) (engine.Result, *peerError) {
+	switch chaos.At("pool:peer-solve") {
+	case chaos.FaultPassPanic:
+		panic(chaos.Injected{Site: "pool:peer-solve"})
+	case chaos.FaultTransientError:
+		return engine.Result{}, &peerError{msg: "chaos: injected transient error at pool:peer-solve", transient: true}
+	case chaos.FaultSolverStall:
+		chaos.Stall(0, func() bool { return ctx.Err() != nil })
+		return engine.Result{}, &peerError{msg: "chaos: injected stall at pool:peer-solve", transient: true}
+	case chaos.FaultBudgetBlowup:
+		return engine.Result{}, &peerError{msg: "chaos: injected budget blowup at pool:peer-solve", bad: true}
+	}
+
+	body, err := json.Marshal(EncodeJob(key, j))
+	if err != nil {
+		return engine.Result{}, &peerError{msg: fmt.Sprintf("encoding peer job: %v", err), bad: true}
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, owner+PeerSolvePath, bytes.NewReader(body))
+	if err != nil {
+		return engine.Result{}, &peerError{msg: fmt.Sprintf("building peer request: %v", err), bad: true}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := p.cfg.Client.Do(req)
+	if err != nil {
+		return engine.Result{}, &peerError{msg: fmt.Sprintf("peer %s: %v", owner, err), transient: true}
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return engine.Result{}, &peerError{msg: fmt.Sprintf("reading peer response: %v", err), transient: true}
+	}
+	switch {
+	case resp.StatusCode == http.StatusOK:
+	case resp.StatusCode == http.StatusTooManyRequests:
+		return engine.Result{}, &peerError{msg: fmt.Sprintf("peer %s saturated", owner), saturated: true}
+	case resp.StatusCode >= 500:
+		return engine.Result{}, &peerError{msg: fmt.Sprintf("peer %s: HTTP %d: %s", owner, resp.StatusCode, truncate(payload)), transient: true}
+	default:
+		return engine.Result{}, &peerError{msg: fmt.Sprintf("peer %s: HTTP %d: %s", owner, resp.StatusCode, truncate(payload)), bad: true}
+	}
+	var wire WireResult
+	if err := json.Unmarshal(payload, &wire); err != nil {
+		return engine.Result{}, &peerError{msg: fmt.Sprintf("decoding peer response: %v", err), bad: true}
+	}
+	res, err := DecodeResult(j, wire)
+	if err != nil {
+		return engine.Result{}, &peerError{msg: err.Error(), bad: true}
+	}
+	// Trust, but verify: a remote sat is only accepted with a model this
+	// node can verify against the original constraint. A peer can make
+	// us solve locally, never answer wrongly.
+	if st, m := resultVerdict(j, res); st == status.Sat {
+		if !solver.VerifyModel(j.Constraint, m) {
+			return engine.Result{}, &peerError{msg: fmt.Sprintf("peer %s returned an unverifiable model", owner), bad: true}
+		}
+	}
+	return res, nil
+}
+
+// resultVerdict extracts a decoded result's verdict and model by kind.
+func resultVerdict(j engine.Job, res engine.Result) (status.Status, eval.Assignment) {
+	switch j.Kind {
+	case engine.KindPipeline:
+		return res.Pipeline.Status, res.Pipeline.Model
+	case engine.KindPortfolio:
+		return res.Portfolio.Status, res.Portfolio.Model
+	default:
+		return res.Solve.Status, res.Solve.Model
+	}
+}
+
+func truncate(b []byte) string {
+	const max = 200
+	s := string(b)
+	if len(s) > max {
+		s = s[:max] + "..."
+	}
+	return s
+}
+
+// healthLoop probes every peer's /healthz each HealthInterval, feeding
+// the breakers so dead peers open (and recovered ones close) even with
+// no solve traffic routed at them.
+func (p *Pool) healthLoop() {
+	defer p.wg.Done()
+	t := time.NewTicker(p.cfg.HealthInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-t.C:
+		}
+		for _, peer := range p.ring.Nodes() {
+			if peer == p.self {
+				continue
+			}
+			select {
+			case <-p.stop:
+				return
+			default:
+			}
+			p.probe(peer)
+		}
+	}
+}
+
+// probe checks one peer's /healthz. Any 200 counts as healthy — a
+// degraded peer still serves correctly (it only contained faults), and
+// ejecting it would shift load for no soundness gain. 503 (draining)
+// and transport errors count as down.
+func (p *Pool) probe(peer string) {
+	br := p.Breaker(peer)
+	if br == nil {
+		return
+	}
+	if chaos.At("pool:health") != chaos.FaultNone {
+		p.healthFail.Inc()
+		br.Failure("chaos: injected health-probe failure at pool:health")
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), p.cfg.HealthTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/healthz", nil)
+	if err != nil {
+		p.healthFail.Inc()
+		br.Failure(err.Error())
+		return
+	}
+	resp, err := p.cfg.Client.Do(req)
+	if err != nil {
+		p.healthFail.Inc()
+		br.Failure(err.Error())
+		return
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		p.healthFail.Inc()
+		br.Failure(fmt.Sprintf("healthz HTTP %d", resp.StatusCode))
+		return
+	}
+	p.healthOK.Inc()
+	br.Success()
+}
+
+// latencyTracker keeps a bounded window of recent successful peer call
+// latencies for the adaptive hedge delay.
+type latencyTracker struct {
+	mu   sync.Mutex
+	buf  []time.Duration
+	next int
+	n    int
+}
+
+func newLatencyTracker(window int) *latencyTracker {
+	if window <= 0 {
+		window = 256
+	}
+	return &latencyTracker{buf: make([]time.Duration, window)}
+}
+
+func (t *latencyTracker) observe(d time.Duration) {
+	t.mu.Lock()
+	t.buf[t.next] = d
+	t.next = (t.next + 1) % len(t.buf)
+	if t.n < len(t.buf) {
+		t.n++
+	}
+	t.mu.Unlock()
+}
+
+// percentile reports the q-quantile of the window (0 when empty).
+func (t *latencyTracker) percentile(q float64) time.Duration {
+	t.mu.Lock()
+	if t.n == 0 {
+		t.mu.Unlock()
+		return 0
+	}
+	s := make([]time.Duration, t.n)
+	copy(s, t.buf[:t.n])
+	t.mu.Unlock()
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	i := int(q * float64(len(s)))
+	if i >= len(s) {
+		i = len(s) - 1
+	}
+	return s[i]
+}

@@ -1,0 +1,112 @@
+package pool
+
+import (
+	"sort"
+)
+
+// Ring is a consistent-hash ring mapping solve-cache keys to owning
+// nodes. Each node is projected onto the ring at Replicas pseudo-random
+// points (virtual nodes), which smooths the per-node key share toward
+// 1/N and — the property the distributed cache depends on — keeps key
+// movement under membership change proportional to the share of the
+// joining or leaving node only: a node join remaps ~1/(N+1) of the keys
+// and touches no key whose owner stays in the ring.
+//
+// The ring is immutable after construction; membership change builds a
+// new ring (the pool swaps it atomically). Lookups are a binary search,
+// safe for concurrent use.
+type Ring struct {
+	points []ringPoint
+	nodes  []string
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// DefaultReplicas is the virtual-node count per node: 128 keeps the
+// worst node within a few percent of the mean share at small N (the
+// ring test pins the tolerance) at negligible memory cost.
+const DefaultReplicas = 128
+
+// NewRing builds a ring over the given node names (peer URLs in the
+// pool). Duplicate names are deduplicated; order does not matter —
+// every permutation of the same membership builds the identical ring,
+// so peers configured with differently ordered -peers lists agree on
+// every key's owner. replicas ≤ 0 selects DefaultReplicas.
+func NewRing(nodes []string, replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	seen := make(map[string]bool, len(nodes))
+	uniq := make([]string, 0, len(nodes))
+	for _, n := range nodes {
+		if n == "" || seen[n] {
+			continue
+		}
+		seen[n] = true
+		uniq = append(uniq, n)
+	}
+	sort.Strings(uniq)
+	r := &Ring{nodes: uniq, points: make([]ringPoint, 0, len(uniq)*replicas)}
+	for _, n := range uniq {
+		h := hashString(n)
+		for i := 0; i < replicas; i++ {
+			// Derive each virtual point from the node hash and the replica
+			// ordinal with the same splitmix64 finalizer the chaos decider
+			// uses: cheap, stateless, stable across platforms.
+			r.points = append(r.points, ringPoint{hash: mix(h ^ uint64(i)*0x9e3779b97f4a7c15), node: n})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Ties (astronomically rare) break by node name so every peer
+		// agrees regardless of insertion order.
+		return r.points[i].node < r.points[j].node
+	})
+	return r
+}
+
+// Nodes returns the ring's membership, sorted.
+func (r *Ring) Nodes() []string {
+	out := make([]string, len(r.nodes))
+	copy(out, r.nodes)
+	return out
+}
+
+// Len reports the number of member nodes.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// Owner returns the node owning key: the first ring point at or after
+// the key's hash, wrapping around. An empty ring owns nothing ("").
+func (r *Ring) Owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := hashString(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].node
+}
+
+// hashString folds s FNV-style and finalizes with splitmix64, matching
+// the chaos decider's construction.
+func hashString(s string) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * 0x100000001b3
+	}
+	return mix(h)
+}
+
+// mix is the splitmix64 finalizer.
+func mix(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,134 @@
+package pool
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		// Hex-ish strings shaped like engine cache keys (sha256 hex).
+		keys[i] = fmt.Sprintf("%064x", uint64(i)*0x9e3779b97f4a7c15+1)
+	}
+	return keys
+}
+
+func nodeNames(n int) []string {
+	nodes := make([]string, n)
+	for i := range nodes {
+		nodes[i] = fmt.Sprintf("http://10.0.0.%d:8080", i+1)
+	}
+	return nodes
+}
+
+// TestRingBalance spreads 100k keys over rings of several sizes and
+// checks every node owns within ±35% of the fair share — the tolerance
+// 128 virtual nodes buys.
+func TestRingBalance(t *testing.T) {
+	keys := ringKeys(100_000)
+	for _, n := range []int{2, 3, 5, 8} {
+		t.Run(fmt.Sprintf("nodes=%d", n), func(t *testing.T) {
+			r := NewRing(nodeNames(n), DefaultReplicas)
+			counts := map[string]int{}
+			for _, k := range keys {
+				counts[r.Owner(k)]++
+			}
+			if len(counts) != n {
+				t.Fatalf("keys landed on %d of %d nodes", len(counts), n)
+			}
+			fair := float64(len(keys)) / float64(n)
+			for node, c := range counts {
+				ratio := float64(c) / fair
+				if ratio < 0.65 || ratio > 1.35 {
+					t.Errorf("node %s owns %d keys (%.2fx fair share, want within [0.65, 1.35])",
+						node, c, ratio)
+				}
+			}
+		})
+	}
+}
+
+// TestRingChurn checks the consistent-hashing contract: adding or
+// removing one node moves at most ~2/N of the keys (only keys adjacent
+// to the changed node's virtual points may change owner; everything
+// else stays put).
+func TestRingChurn(t *testing.T) {
+	keys := ringKeys(100_000)
+	for _, n := range []int{3, 5, 8} {
+		t.Run(fmt.Sprintf("nodes=%d", n), func(t *testing.T) {
+			nodes := nodeNames(n)
+			base := NewRing(nodes, DefaultReplicas)
+			joined := NewRing(append(nodeNames(n), "http://10.0.1.99:8080"), DefaultReplicas)
+			left := NewRing(nodes[:n-1], DefaultReplicas)
+
+			movedJoin, movedLeave := 0, 0
+			for _, k := range keys {
+				owner := base.Owner(k)
+				if joined.Owner(k) != owner {
+					movedJoin++
+				}
+				if left.Owner(k) != owner {
+					movedLeave++
+				}
+			}
+			// Fair movement is 1/(n+1) on join and 1/n worth of orphaned
+			// keys on leave; allow 2x slack for vnode variance.
+			maxJoin := 2 * len(keys) / (n + 1)
+			maxLeave := 2 * len(keys) / n
+			if movedJoin > maxJoin {
+				t.Errorf("join moved %d of %d keys, want ≤ %d (≈2/N churn)", movedJoin, len(keys), maxJoin)
+			}
+			if movedLeave > maxLeave {
+				t.Errorf("leave moved %d of %d keys, want ≤ %d (≈2/N churn)", movedLeave, len(keys), maxLeave)
+			}
+			// A leave must only reassign the departed node's keys.
+			for _, k := range keys {
+				owner := base.Owner(k)
+				if owner != nodes[n-1] && left.Owner(k) != owner {
+					t.Fatalf("key %s moved from surviving node %s to %s on leave", k[:12], owner, left.Owner(k))
+				}
+			}
+		})
+	}
+}
+
+// TestRingOrderIndependent checks every node computes the same ring from
+// any permutation of the membership list — the property that lets each
+// pool node route independently yet agree on owners.
+func TestRingOrderIndependent(t *testing.T) {
+	nodes := nodeNames(5)
+	base := NewRing(nodes, DefaultReplicas)
+	keys := ringKeys(1000)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 5; trial++ {
+		shuffled := append([]string(nil), nodes...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		r := NewRing(shuffled, DefaultReplicas)
+		for _, k := range keys {
+			if got, want := r.Owner(k), base.Owner(k); got != want {
+				t.Fatalf("trial %d: owner(%s) = %s from permuted membership, want %s", trial, k[:12], got, want)
+			}
+		}
+	}
+}
+
+// TestRingDedupAndDegenerate covers duplicate membership entries, the
+// single-node ring and the empty ring.
+func TestRingDedupAndDegenerate(t *testing.T) {
+	r := NewRing([]string{"http://a", "http://a", "http://b"}, 8)
+	if r.Len() != 2 {
+		t.Errorf("deduped ring has %d nodes, want 2", r.Len())
+	}
+	one := NewRing([]string{"http://only"}, 8)
+	for _, k := range ringKeys(50) {
+		if got := one.Owner(k); got != "http://only" {
+			t.Fatalf("single-node ring owner = %q", got)
+		}
+	}
+	empty := NewRing(nil, 8)
+	if got := empty.Owner("anything"); got != "" {
+		t.Errorf("empty ring owner = %q, want \"\"", got)
+	}
+}

@@ -620,7 +620,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.degraded() {
 		st = "degraded"
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	out := map[string]any{
 		"status":           st,
 		"version":          s.cfg.Version,
 		"recovered_panics": s.recoveredPanics.Value(),
@@ -629,7 +629,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"worker_panics":    s.eng.WorkerPanics(),
 		"retries":          s.retries.Value(),
 		"sessions":         s.sessionTierState(),
-	})
+	}
+	if s.pool != nil {
+		out["pool"] = s.pool.Stats()
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -638,7 +642,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	out := map[string]any{
 		"uptime_seconds": time.Since(s.start).Seconds(),
 		"workers":        s.eng.Workers(),
 		"queue_capacity": s.cfg.QueueDepth,
@@ -648,7 +652,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"version":        s.cfg.Version,
 		"sessions":       s.sessionTierState(),
 		"metrics":        s.reg.Snapshot(),
-	})
+	}
+	if s.pool != nil {
+		out["pool"] = s.pool.Stats()
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 // retryAfter suggests when a rejected client should try again: roughly

